@@ -1,0 +1,224 @@
+//! Fixed-width and logarithmic histograms.
+
+/// A histogram over `[lo, hi)` with equal-width or logarithmic bins.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_analysis::Histogram;
+///
+/// let mut h = Histogram::linear(0.0, 10.0, 5);
+/// h.push(1.0);
+/// h.push(1.5);
+/// h.push(9.0);
+/// assert_eq!(h.counts(), &[2, 0, 0, 0, 1]);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    logarithmic: bool,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`, a bound is not finite, or `bins == 0`.
+    pub fn linear(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range");
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            logarithmic: false,
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Logarithmically spaced bins over `[lo, hi)` — the right choice for
+    /// power-law data such as GIRG degrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo <= 0`, `lo >= hi`, or `bins == 0`.
+    pub fn logarithmic(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo > 0.0 && lo < hi && hi.is_finite(), "invalid log range");
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            logarithmic: true,
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds one observation; values outside `[lo, hi)` are counted in the
+    /// under/overflow tallies.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let frac = if self.logarithmic {
+            (x / self.lo).ln() / (self.hi / self.lo).ln()
+        } else {
+            (x - self.lo) / (self.hi - self.lo)
+        };
+        let bin = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+        self.counts[bin] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `[lo, hi)` bounds of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let frac = |k: usize| k as f64 / self.counts.len() as f64;
+        if self.logarithmic {
+            let ratio = self.hi / self.lo;
+            (
+                self.lo * ratio.powf(frac(i)),
+                self.lo * ratio.powf(frac(i + 1)),
+            )
+        } else {
+            let width = self.hi - self.lo;
+            (self.lo + width * frac(i), self.lo + width * frac(i + 1))
+        }
+    }
+
+    /// The empirical density of bin `i` (count / total / bin width).
+    ///
+    /// Returns 0 when the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn density(&self, i: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let (lo, hi) = self.bin_bounds(i);
+        self.counts[i] as f64 / total as f64 / (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_binning() {
+        let mut h = Histogram::linear(0.0, 1.0, 4);
+        for &x in &[0.0, 0.1, 0.3, 0.5, 0.74, 0.75, 0.99] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 2, 2]);
+        assert_eq!(h.bin_bounds(1), (0.25, 0.5));
+    }
+
+    #[test]
+    fn out_of_range_tallied() {
+        let mut h = Histogram::linear(0.0, 1.0, 2);
+        h.push(-0.5);
+        h.push(1.0);
+        h.push(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn log_binning() {
+        let mut h = Histogram::logarithmic(1.0, 16.0, 4);
+        // bins: [1,2) [2,4) [4,8) [8,16)
+        for &x in &[1.0, 1.9, 2.0, 5.0, 15.9] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        let (lo, hi) = h.bin_bounds(2);
+        assert!((lo - 4.0).abs() < 1e-9 && (hi - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let mut h = Histogram::linear(0.0, 2.0, 8);
+        for i in 0..100 {
+            h.push((i as f64) / 50.0);
+        }
+        let integral: f64 = (0..8)
+            .map(|i| {
+                let (lo, hi) = h.bin_bounds(i);
+                h.density(i) * (hi - lo)
+            })
+            .sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn rejects_bad_range() {
+        let _ = Histogram::linear(1.0, 1.0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid log range")]
+    fn rejects_nonpositive_log_range() {
+        let _ = Histogram::logarithmic(0.0, 10.0, 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_every_in_range_value_lands_in_its_bin(x in 0.0..0.999f64, bins in 1usize..20) {
+            let mut h = Histogram::linear(0.0, 1.0, bins);
+            h.push(x);
+            let bin = h.counts().iter().position(|&c| c == 1).unwrap();
+            let (lo, hi) = h.bin_bounds(bin);
+            prop_assert!(lo <= x && x < hi + 1e-12);
+        }
+
+        #[test]
+        fn prop_log_bins_partition(x in 1.0..99.9f64, bins in 1usize..20) {
+            let mut h = Histogram::logarithmic(1.0, 100.0, bins);
+            h.push(x);
+            prop_assert_eq!(h.total(), 1);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Ordinary least-squares line fitting.
+
+/// A least-squares fit `y ≈ slope · x + intercept`.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_analysis::LinearFit;
+///
+/// let fit = LinearFit::fit(&[(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// The fitted slope.
+    pub slope: f64,
+    /// The fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 when `y` is constant).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Fits a line through `(x, y)` points.
+    ///
+    /// Returns `None` with fewer than two points or when all `x` coincide.
+    pub fn fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+        if points.len() < 2 {
+            return None;
+        }
+        let n = points.len() as f64;
+        let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+        let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+        let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+        if sxx == 0.0 {
+            return None;
+        }
+        let sxy: f64 = points
+            .iter()
+            .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+            .sum();
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+        let ss_res: f64 = points
+            .iter()
+            .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+            .sum();
+        let r_squared = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Some(LinearFit {
+            slope,
+            intercept,
+            r_squared,
+        })
+    }
+
+    /// Fits a line through `(ln x, ln y)` — i.e. a power law `y = c·x^slope`.
+    ///
+    /// Points with non-positive coordinates are skipped.
+    pub fn fit_loglog(points: &[(f64, f64)]) -> Option<LinearFit> {
+        let transformed: Vec<(f64, f64)> = points
+            .iter()
+            .filter(|p| p.0 > 0.0 && p.1 > 0.0)
+            .map(|p| (p.0.ln(), p.1.ln()))
+            .collect();
+        LinearFit::fit(&transformed)
+    }
+
+    /// Fits a line through `(x, ln y)` — i.e. an exponential
+    /// `y = c·e^{slope·x}`, the shape of Theorem 3.2's failure decay.
+    ///
+    /// Points with non-positive `y` are skipped.
+    pub fn fit_semilog(points: &[(f64, f64)]) -> Option<LinearFit> {
+        let transformed: Vec<(f64, f64)> = points
+            .iter()
+            .filter(|p| p.1 > 0.0)
+            .map(|p| (p.0, p.1.ln()))
+            .collect();
+        LinearFit::fit(&transformed)
+    }
+
+    /// The predicted `y` at `x` (in the transformed space of the fit).
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(LinearFit::fit(&[]), None);
+        assert_eq!(LinearFit::fit(&[(1.0, 2.0)]), None);
+        assert_eq!(LinearFit::fit(&[(1.0, 2.0), (1.0, 3.0)]), None);
+    }
+
+    #[test]
+    fn constant_y_has_unit_r_squared() {
+        let fit = LinearFit::fit(&[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn loglog_recovers_power_law() {
+        let points: Vec<(f64, f64)> = (1..20)
+            .map(|i| {
+                let x = i as f64;
+                (x, 3.0 * x.powf(-2.5))
+            })
+            .collect();
+        let fit = LinearFit::fit_loglog(&points).unwrap();
+        assert!((fit.slope + 2.5).abs() < 1e-9, "slope {}", fit.slope);
+        assert!((fit.intercept - 3.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn semilog_recovers_exponential_decay() {
+        let points: Vec<(f64, f64)> = (0..15)
+            .map(|i| {
+                let x = i as f64;
+                (x, 0.5 * (-0.7 * x).exp())
+            })
+            .collect();
+        let fit = LinearFit::fit_semilog(&points).unwrap();
+        assert!((fit.slope + 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_skips_nonpositive_points() {
+        let points = [(0.0, 1.0), (-1.0, 2.0), (1.0, 0.0), (1.0, 1.0), (2.0, 4.0)];
+        let fit = LinearFit::fit_loglog(&points).unwrap();
+        // only (1,1) and (2,4) survive: slope = ln4/ln2 = 2
+        assert!((fit.slope - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_is_linear() {
+        let fit = LinearFit {
+            slope: 2.0,
+            intercept: -1.0,
+            r_squared: 1.0,
+        };
+        assert_eq!(fit.predict(0.0), -1.0);
+        assert_eq!(fit.predict(3.0), 5.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_exact_line_recovered(a in -5.0..5.0f64, b in -5.0..5.0f64,
+                                     xs in prop::collection::btree_set(-1000i32..1000, 2..20)) {
+            let points: Vec<(f64, f64)> = xs.iter().map(|&x| {
+                let x = x as f64 / 10.0;
+                (x, a * x + b)
+            }).collect();
+            let fit = LinearFit::fit(&points).unwrap();
+            prop_assert!((fit.slope - a).abs() < 1e-6);
+            prop_assert!((fit.intercept - b).abs() < 1e-6);
+            prop_assert!(fit.r_squared > 1.0 - 1e-6);
+        }
+    }
+}

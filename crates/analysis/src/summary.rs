@@ -1,0 +1,393 @@
+//! Sample summaries and success proportions.
+
+use std::fmt;
+
+/// Mean, variance and confidence interval of an `f64` sample.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_analysis::Summary;
+///
+/// let s: Summary = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.mean(), 2.5);
+/// let (lo, hi) = s.ci95();
+/// assert!(lo < 2.5 && 2.5 < hi);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    count: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation (Welford's online update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "summary observations must be finite, got {x}");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no observations were added.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The sample mean (0 for an empty summary).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// The sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// The standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Normal-approximation 95% confidence interval for the mean.
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_err();
+        (self.mean - half, self.mean + half)
+    }
+
+    /// The smallest observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// The largest observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl Default for Summary {
+    /// Same as [`Summary::new`].
+    fn default() -> Self {
+        Summary::new()
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "(no data)")
+        } else {
+            write!(f, "{:.4} ± {:.4} (n={})", self.mean, self.std_err(), self.count)
+        }
+    }
+}
+
+/// The `q`-quantile of a sample by the nearest-rank method.
+///
+/// Returns `None` for an empty sample. The input need not be sorted.
+///
+/// # Panics
+///
+/// Panics unless `q ∈ [0, 1]` and all values are comparable (no NaN).
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_analysis::summary::quantile;
+///
+/// let data = [5.0, 1.0, 3.0, 2.0, 4.0];
+/// assert_eq!(quantile(&data, 0.0), Some(1.0));
+/// assert_eq!(quantile(&data, 0.5), Some(3.0));
+/// assert_eq!(quantile(&data, 1.0), Some(5.0));
+/// ```
+pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile order out of range");
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    Some(sorted[idx])
+}
+
+/// A success rate with a Wilson-score confidence interval.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_analysis::Proportion;
+///
+/// let p = Proportion::new(90, 100);
+/// assert_eq!(p.rate(), 0.9);
+/// let (lo, hi) = p.wilson_ci95();
+/// assert!(lo > 0.8 && hi < 0.96);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Proportion {
+    successes: usize,
+    trials: usize,
+}
+
+impl Proportion {
+    /// Creates a proportion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `successes > trials`.
+    pub fn new(successes: usize, trials: usize) -> Self {
+        assert!(successes <= trials, "more successes than trials");
+        Proportion { successes, trials }
+    }
+
+    /// Records one Bernoulli trial.
+    pub fn push(&mut self, success: bool) {
+        self.trials += 1;
+        if success {
+            self.successes += 1;
+        }
+    }
+
+    /// Number of successes.
+    pub fn successes(&self) -> usize {
+        self.successes
+    }
+
+    /// Number of trials.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// The empirical rate (0 with no trials).
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// Wilson-score 95% interval — well-behaved at rates near 0 and 1,
+    /// which matters for the exponentially small failure rates of
+    /// Theorem 3.2.
+    pub fn wilson_ci95(&self) -> (f64, f64) {
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let z = 1.96f64;
+        let n = self.trials as f64;
+        let p = self.rate();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+}
+
+impl FromIterator<bool> for Proportion {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut p = Proportion::default();
+        for b in iter {
+            p.push(b);
+        }
+        p
+    }
+}
+
+impl fmt::Display for Proportion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} = {:.3}", self.successes, self.trials, self.rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+        assert_eq!(format!("{s}"), "(no data)");
+    }
+
+    #[test]
+    fn default_equals_new() {
+        // a derived Default would zero min/max and corrupt merged minima
+        assert_eq!(Summary::default(), Summary::new());
+        assert_eq!(Summary::default().min(), f64::INFINITY);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s: Summary = [5.0].into_iter().collect();
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn known_variance() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.mean(), 5.0);
+        // sample variance with n-1: 32/7
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let mut s = Summary::new();
+        s.push(f64::NAN);
+    }
+
+    #[test]
+    fn extend_matches_collect() {
+        let mut a = Summary::new();
+        a.extend([1.0, 2.0, 3.0]);
+        let b: Summary = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(a.mean(), b.mean());
+        assert_eq!(a.count(), b.count());
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[7.0], 0.99), Some(7.0));
+        let data: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile(&data, 0.95), Some(95.0));
+        assert_eq!(quantile(&data, 0.0), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_rejects_bad_order() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn proportion_basics() {
+        let p: Proportion = [true, true, false, true].into_iter().collect();
+        assert_eq!(p.successes(), 3);
+        assert_eq!(p.trials(), 4);
+        assert_eq!(p.rate(), 0.75);
+        assert!(format!("{p}").contains("3/4"));
+    }
+
+    #[test]
+    fn proportion_empty_ci_is_trivial() {
+        assert_eq!(Proportion::default().wilson_ci95(), (0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "more successes")]
+    fn proportion_rejects_invalid() {
+        let _ = Proportion::new(5, 3);
+    }
+
+    #[test]
+    fn wilson_interval_never_degenerate_at_extremes() {
+        let p = Proportion::new(50, 50);
+        let (lo, hi) = p.wilson_ci95();
+        assert!(lo < 1.0);
+        assert_eq!(hi, 1.0);
+        let q = Proportion::new(0, 50);
+        let (lo, hi) = q.wilson_ci95();
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_welford_matches_naive(xs in prop::collection::vec(-100.0..100.0f64, 2..50)) {
+            let s: Summary = xs.iter().copied().collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+            prop_assert!((s.mean() - mean).abs() < 1e-9);
+            prop_assert!((s.variance() - var).abs() < 1e-7);
+        }
+
+        #[test]
+        fn prop_ci_contains_mean(xs in prop::collection::vec(-10.0..10.0f64, 1..30)) {
+            let s: Summary = xs.iter().copied().collect();
+            let (lo, hi) = s.ci95();
+            prop_assert!(lo <= s.mean() && s.mean() <= hi);
+        }
+
+        #[test]
+        fn prop_wilson_contains_rate_roughly(k in 0usize..100, extra in 0usize..100) {
+            let p = Proportion::new(k, k + extra);
+            let (lo, hi) = p.wilson_ci95();
+            prop_assert!(lo <= hi);
+            prop_assert!((0.0..=1.0).contains(&lo));
+            prop_assert!((0.0..=1.0).contains(&hi));
+        }
+    }
+}

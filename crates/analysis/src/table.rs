@@ -1,0 +1,167 @@
+//! Aligned plain-text tables for the experiment binaries.
+
+use std::fmt;
+
+/// A plain-text table with right-aligned numeric-style columns.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_analysis::Table;
+///
+/// let mut t = Table::new(["n", "success", "hops"]);
+/// t.row(["1024", "0.71", "4.2"]);
+/// t.row(["65536", "0.73", "5.9"]);
+/// let out = t.to_string();
+/// assert!(out.contains("success"));
+/// assert!(out.lines().count() >= 4); // header, rule, two rows
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a title printed above the table.
+    pub fn title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of cells differs from the number of headers.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// Formats a float compactly for a table cell.
+pub fn fmt_f64(x: f64, decimals: usize) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{x:.decimals$}")
+    }
+}
+
+/// Formats a `(lo, hi)` confidence interval for a table cell.
+pub fn fmt_ci(lo: f64, hi: f64, decimals: usize) -> String {
+    format!("[{}, {}]", fmt_f64(lo, decimals), fmt_f64(hi, decimals))
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        if let Some(title) = &self.title {
+            writeln!(f, "## {title}")?;
+        }
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            write!(f, "{:>width$}", h, width = widths[i])?;
+        }
+        writeln!(f)?;
+        let rule_len: usize = widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(rule_len))?;
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{:>width$}", cell, width = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["a", "long-header"]);
+        t.row(["1", "2"]);
+        t.row(["100", "20000"]);
+        let out = t.to_string();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all lines same width (right-aligned columns)
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn title_is_printed() {
+        let mut t = Table::new(["x"]).title("Experiment 1");
+        t.row(["1"]);
+        assert!(t.to_string().starts_with("## Experiment 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn row_length_mismatch_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_f64(f64::NAN, 2), "-");
+        assert_eq!(fmt_ci(0.1, 0.9, 1), "[0.1, 0.9]");
+    }
+
+    #[test]
+    fn row_count_tracks() {
+        let mut t = Table::new(["x"]);
+        assert_eq!(t.row_count(), 0);
+        t.row(["1"]).row(["2"]);
+        assert_eq!(t.row_count(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Ablations of the design choices called out in DESIGN.md:
+//!
+//! * **type-II jump sampling**: the finite-α kernel pays for geometric-jump
+//!   sampling of long-range pairs; the threshold kernel has none — the gap
+//!   between them prices that machinery,
+//! * **weight layering**: sampling a constant-weight population (one layer)
+//!   vs a power law (many layers) isolates the layer bookkeeping cost,
+//! * **bidirectional vs unidirectional BFS**: the stretch measurements rely
+//!   on the bidirectional variant being much cheaper,
+//! * **Morton primitives**: the per-vertex cost floor of the cell sampler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use smallworld_geometry::{morton, Point};
+use smallworld_graph::{bfs_distance, bfs_distances, NodeId};
+use smallworld_models::girg::{GirgBuilder, SamplerAlgorithm};
+use smallworld_models::kernel::{Alpha, GirgKernel};
+
+fn bench_kernel_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_kernel_16k");
+    group.sample_size(10);
+    // comparable average degree via matched marginal constants
+    group.bench_function("finite_alpha_jump_sampling", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            GirgBuilder::<2>::new(16_000)
+                .alpha(2.0)
+                .lambda(0.02)
+                .algorithm(SamplerAlgorithm::CellBased)
+                .sample(&mut rng)
+                .expect("valid")
+        });
+    });
+    group.bench_function("threshold_no_jumps", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            GirgBuilder::<2>::new(16_000)
+                .alpha(f64::INFINITY)
+                .lambda(0.28)
+                .algorithm(SamplerAlgorithm::CellBased)
+                .sample(&mut rng)
+                .expect("valid")
+        });
+    });
+    group.finish();
+}
+
+fn bench_layering_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_layers_16k");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    let positions: Vec<Point<2>> = (0..16_000).map(|_| Point::random(&mut rng)).collect();
+    let flat_weights = vec![1.0f64; 16_000];
+    let kernel = GirgKernel::new(Alpha::Finite(2.0), 0.3, 1.0, 16_000.0, 2).expect("valid");
+    group.bench_function("single_layer_constant_weights", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            smallworld_models::girg::sample_edges(
+                &positions,
+                &flat_weights,
+                &kernel,
+                SamplerAlgorithm::CellBased,
+                &mut rng,
+            )
+        });
+    });
+    let pl = smallworld_models::PowerLaw::new(2.5, 1.0).expect("valid");
+    let heavy_weights: Vec<f64> = (0..16_000).map(|_| pl.sample(&mut rng)).collect();
+    group.bench_function("many_layers_power_law", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| {
+            smallworld_models::girg::sample_edges(
+                &positions,
+                &heavy_weights,
+                &kernel,
+                SamplerAlgorithm::CellBased,
+                &mut rng,
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_bfs_ablation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let girg = GirgBuilder::<2>::new(100_000)
+        .lambda(0.02)
+        .sample(&mut rng)
+        .expect("valid");
+    let pairs: Vec<(NodeId, NodeId)> = (0..64)
+        .map(|_| (girg.random_vertex(&mut rng), girg.random_vertex(&mut rng)))
+        .collect();
+    let mut group = c.benchmark_group("ablation_bfs_100k");
+    group.sample_size(10);
+    group.bench_function("bidirectional_pair_query", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            bfs_distance(girg.graph(), s, t)
+        });
+    });
+    group.bench_function("unidirectional_full_sweep", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (s, _) = pairs[i % pairs.len()];
+            i += 1;
+            bfs_distances(girg.graph(), s)
+        });
+    });
+    group.finish();
+}
+
+fn bench_morton(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_morton");
+    group.bench_function("encode_decode_2d", |b| {
+        let mut x = 0u32;
+        b.iter(|| {
+            x = x.wrapping_add(97) & 0x7FFF;
+            let code = morton::encode([x, x ^ 0x2AAA], 15);
+            morton::decode::<2>(code, 15)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernel_ablation,
+    bench_layering_ablation,
+    bench_bfs_ablation,
+    bench_morton
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Graph substrate throughput: CSR construction, components, BFS,
+//! clustering estimation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use smallworld_graph::{bfs_distances, stats, Components, Graph, NodeId};
+use smallworld_models::girg::{Girg, GirgBuilder};
+
+fn girg() -> Girg<2> {
+    let mut rng = StdRng::seed_from_u64(1);
+    GirgBuilder::<2>::new(100_000)
+        .beta(2.5)
+        .lambda(0.02)
+        .sample(&mut rng)
+        .expect("valid")
+}
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let girg = girg();
+    let graph = girg.graph();
+    let edges: Vec<(u32, u32)> = graph.edges().map(|(u, v)| (u.raw(), v.raw())).collect();
+    let n = graph.node_count();
+
+    let mut group = c.benchmark_group("graph_ops_100k");
+    group.sample_size(10);
+    group.bench_function("csr_build", |b| {
+        b.iter(|| Graph::from_edges(n, edges.iter().copied()).expect("valid"));
+    });
+    group.bench_function("components", |b| {
+        b.iter(|| Components::compute(graph));
+    });
+    group.bench_function("bfs_full", |b| {
+        b.iter(|| bfs_distances(graph, NodeId::new(0)));
+    });
+    group.bench_function("sampled_clustering_500", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| stats::sampled_average_clustering(graph, 500, &mut rng));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_ops);
+criterion_main!(benches);

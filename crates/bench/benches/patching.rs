@@ -1,0 +1,73 @@
+//! Patching overhead: the three rescue protocols against plain greedy on a
+//! sparse GIRG where dead ends are common.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use smallworld_core::{
+    GirgObjective, GravityPressureRouter, GreedyRouter, HistoryRouter, PhiDfsRouter, Router,
+};
+use smallworld_graph::NodeId;
+use smallworld_models::girg::{Girg, GirgBuilder};
+
+fn sparse_girg() -> Girg<2> {
+    let mut rng = StdRng::seed_from_u64(1);
+    GirgBuilder::<2>::new(30_000)
+        .beta(2.5)
+        .alpha(2.0)
+        .lambda(0.01)
+        .sample(&mut rng)
+        .expect("valid")
+}
+
+fn bench_patching(c: &mut Criterion) {
+    let girg = sparse_girg();
+    let obj = GirgObjective::new(&girg);
+    let mut rng = StdRng::seed_from_u64(2);
+    let queries: Vec<(NodeId, NodeId)> = (0..256)
+        .map(|_| (girg.random_vertex(&mut rng), girg.random_vertex(&mut rng)))
+        .collect();
+
+    let mut group = c.benchmark_group("patching_30k_sparse");
+    group.bench_function("greedy", |b| {
+        let router = GreedyRouter::new();
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = queries[i % queries.len()];
+            i += 1;
+            router.route(girg.graph(), &obj, s, t)
+        });
+    });
+    group.bench_function("phi_dfs", |b| {
+        let router = PhiDfsRouter::new();
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = queries[i % queries.len()];
+            i += 1;
+            router.route(girg.graph(), &obj, s, t)
+        });
+    });
+    group.bench_function("history", |b| {
+        let router = HistoryRouter::new();
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = queries[i % queries.len()];
+            i += 1;
+            router.route(girg.graph(), &obj, s, t)
+        });
+    });
+    group.bench_function("gravity_pressure", |b| {
+        let router = GravityPressureRouter::with_max_steps(100_000);
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = queries[i % queries.len()];
+            i += 1;
+            router.route(girg.graph(), &obj, s, t)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_patching);
+criterion_main!(benches);

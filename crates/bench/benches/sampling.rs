@@ -1,0 +1,74 @@
+//! Sampling throughput: naive vs cell-based GIRG sampling, plus the other
+//! generators. The headline: the cell sampler scales linearly while the
+//! naive sampler is quadratic, with a crossover around a few thousand
+//! vertices (which is where `SamplerAlgorithm::Auto` switches).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use smallworld_models::chung_lu::ChungLu;
+use smallworld_models::girg::{GirgBuilder, SamplerAlgorithm};
+use smallworld_models::{HrgBuilder, KleinbergLattice};
+
+fn bench_girg_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("girg_sampling");
+    group.sample_size(10);
+    for &n in &[1_000u64, 4_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                GirgBuilder::<2>::new(n)
+                    .lambda(0.02)
+                    .algorithm(SamplerAlgorithm::Naive)
+                    .sample(&mut rng)
+                    .expect("valid")
+            });
+        });
+    }
+    for &n in &[1_000u64, 4_000, 16_000, 64_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("cells", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                GirgBuilder::<2>::new(n)
+                    .lambda(0.02)
+                    .algorithm(SamplerAlgorithm::CellBased)
+                    .sample(&mut rng)
+                    .expect("valid")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_other_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_sampling_16k");
+    group.sample_size(10);
+    group.bench_function("hyperbolic_threshold", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| HrgBuilder::new(16_000).sample(&mut rng).expect("valid"));
+    });
+    group.bench_function("hyperbolic_temperature", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            HrgBuilder::new(16_000)
+                .temperature(0.5)
+                .sample(&mut rng)
+                .expect("valid")
+        });
+    });
+    group.bench_function("kleinberg_lattice_128", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| KleinbergLattice::sample(128, 2.0, 1, &mut rng).expect("valid"));
+    });
+    group.bench_function("chung_lu", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| ChungLu::power_law(16_000, 2.5, 1.0, &mut rng).expect("valid"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_girg_samplers, bench_other_models);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Regenerates the `geometric` experiment tables (see DESIGN.md's index).
+//!
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_geometric [--quick|--full]`
+
+use smallworld_bench::experiments::geometric;
+use smallworld_bench::Scale;
+
+fn main() {
+    let _ = geometric::run(Scale::from_env());
+}

@@ -1,0 +1,10 @@
+//! Regenerates the `hyperbolic` experiment tables (see DESIGN.md's index).
+//!
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_hyperbolic [--quick|--full]`
+
+use smallworld_bench::experiments::hyperbolic;
+use smallworld_bench::Scale;
+
+fn main() {
+    let _ = hyperbolic::run(Scale::from_env());
+}

@@ -1,0 +1,10 @@
+//! Regenerates the `kleinberg` experiment tables (see DESIGN.md's index).
+//!
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_kleinberg [--quick|--full]`
+
+use smallworld_bench::experiments::kleinberg;
+use smallworld_bench::Scale;
+
+fn main() {
+    let _ = kleinberg::run(Scale::from_env());
+}

@@ -1,0 +1,10 @@
+//! Regenerates the `patching` experiment tables (see DESIGN.md's index).
+//!
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_patching [--quick|--full]`
+
+use smallworld_bench::experiments::patching;
+use smallworld_bench::Scale;
+
+fn main() {
+    let _ = patching::run(Scale::from_env());
+}

@@ -1,0 +1,10 @@
+//! Regenerates the `path_length` experiment tables (see DESIGN.md's index).
+//!
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_path_length [--quick|--full]`
+
+use smallworld_bench::experiments::path_length;
+use smallworld_bench::Scale;
+
+fn main() {
+    let _ = path_length::run(Scale::from_env());
+}

@@ -1,0 +1,10 @@
+//! Regenerates the `relaxation` experiment tables (see DESIGN.md's index).
+//!
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_relaxation [--quick|--full]`
+
+use smallworld_bench::experiments::relaxation;
+use smallworld_bench::Scale;
+
+fn main() {
+    let _ = relaxation::run(Scale::from_env());
+}

@@ -1,0 +1,10 @@
+//! Regenerates the `robustness` experiment tables (see DESIGN.md's index).
+//!
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_robustness [--quick|--full]`
+
+use smallworld_bench::experiments::robustness;
+use smallworld_bench::Scale;
+
+fn main() {
+    let _ = robustness::run(Scale::from_env());
+}

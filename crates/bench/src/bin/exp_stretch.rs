@@ -1,0 +1,10 @@
+//! Regenerates the `stretch` experiment tables (see DESIGN.md's index).
+//!
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_stretch [--quick|--full]`
+
+use smallworld_bench::experiments::stretch;
+use smallworld_bench::Scale;
+
+fn main() {
+    let _ = stretch::run(Scale::from_env());
+}

@@ -1,0 +1,10 @@
+//! Regenerates the `structure` experiment tables (see DESIGN.md's index).
+//!
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_structure [--quick|--full]`
+
+use smallworld_bench::experiments::structure;
+use smallworld_bench::Scale;
+
+fn main() {
+    let _ = structure::run(Scale::from_env());
+}

@@ -1,0 +1,10 @@
+//! Regenerates the `success` experiment tables (see DESIGN.md's index).
+//!
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_success [--quick|--full]`
+
+use smallworld_bench::experiments::success;
+use smallworld_bench::Scale;
+
+fn main() {
+    let _ = success::run(Scale::from_env());
+}

@@ -1,0 +1,10 @@
+//! Regenerates the `trajectory` experiment tables (see DESIGN.md's index).
+//!
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_trajectory [--quick|--full]`
+
+use smallworld_bench::experiments::trajectory;
+use smallworld_bench::Scale;
+
+fn main() {
+    let _ = trajectory::run(Scale::from_env());
+}

@@ -1,0 +1,147 @@
+//! Command-line GIRG generator: sample a graph and save it in the
+//! `smallworld-models::io` text format (or print summary statistics).
+//!
+//! ```console
+//! cargo run --release -p smallworld-bench --bin girg_gen -- \
+//!     --n 100000 --beta 2.5 --alpha 2.0 --degree 10 --seed 42 --out girg.txt
+//! ```
+//!
+//! Omit `--out` to print statistics only. `--degree` calibrates λ via the
+//! Lemma 7.1 marginal; pass `--lambda` instead for a raw kernel constant.
+
+use std::io::BufWriter;
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use smallworld_core::theory::lambda_for_average_degree;
+use smallworld_graph::Components;
+use smallworld_models::girg::GirgBuilder;
+use smallworld_models::io::write_girg;
+use smallworld_models::Alpha;
+
+struct Options {
+    n: u64,
+    beta: f64,
+    alpha: f64,
+    lambda: Option<f64>,
+    degree: Option<f64>,
+    wmin: f64,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        n: 10_000,
+        beta: 2.5,
+        alpha: 2.0,
+        lambda: None,
+        degree: None,
+        wmin: 1.0,
+        seed: 1,
+        out: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            return Err(String::new());
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value for {flag}"))?;
+        let bad = |e: &str| format!("bad value for {flag}: {e}");
+        match flag {
+            "--n" => opts.n = value.parse().map_err(|_| bad(value))?,
+            "--beta" => opts.beta = value.parse().map_err(|_| bad(value))?,
+            "--alpha" => {
+                opts.alpha = if value == "inf" {
+                    f64::INFINITY
+                } else {
+                    value.parse().map_err(|_| bad(value))?
+                }
+            }
+            "--lambda" => opts.lambda = Some(value.parse().map_err(|_| bad(value))?),
+            "--degree" => opts.degree = Some(value.parse().map_err(|_| bad(value))?),
+            "--wmin" => opts.wmin = value.parse().map_err(|_| bad(value))?,
+            "--seed" => opts.seed = value.parse().map_err(|_| bad(value))?,
+            "--out" => opts.out = Some(value.clone()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    if opts.lambda.is_some() && opts.degree.is_some() {
+        return Err("--lambda and --degree are mutually exclusive".into());
+    }
+    Ok(opts)
+}
+
+fn usage() {
+    eprintln!(
+        "girg_gen: sample a 2-dimensional GIRG\n\
+         flags: --n <u64> --beta <f64 in (2,3)> --alpha <f64 or inf> \
+         [--lambda <f64> | --degree <f64>] [--wmin <f64>] [--seed <u64>] [--out <path>]"
+    );
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let lambda = opts.lambda.unwrap_or_else(|| {
+        let degree = opts.degree.unwrap_or(10.0);
+        lambda_for_average_degree(degree, opts.alpha, 2, opts.beta, opts.wmin)
+    });
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let start = std::time::Instant::now();
+    let girg = match GirgBuilder::<2>::new(opts.n)
+        .beta(opts.beta)
+        .alpha(Alpha::from(opts.alpha))
+        .wmin(opts.wmin)
+        .lambda(lambda)
+        .sample(&mut rng)
+    {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+    let comps = Components::compute(girg.graph());
+    eprintln!(
+        "sampled {} vertices, {} edges in {elapsed:.2}s (avg degree {:.2}, giant {:.1}%)",
+        girg.node_count(),
+        girg.graph().edge_count(),
+        girg.graph().average_degree(),
+        100.0 * comps.giant_fraction()
+    );
+
+    if let Some(path) = opts.out {
+        let file = match std::fs::File::create(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = write_girg(&girg, BufWriter::new(file)) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

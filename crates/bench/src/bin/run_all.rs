@@ -1,0 +1,37 @@
+//! Runs every experiment in the DESIGN.md index (E1–E14) in sequence.
+//!
+//! Usage: `cargo run --release -p smallworld-bench --bin run_all [--quick|--full]`
+
+use smallworld_bench::experiments;
+use smallworld_bench::Scale;
+
+type Suite = (&'static str, fn(Scale) -> Vec<smallworld_analysis::Table>);
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("=== smallworld experiment battery ({scale:?}) ===\n");
+    let suites: [Suite; 12] = [
+        ("E1  success probability", experiments::success::run),
+        ("E2/E3 failure decay", experiments::failure_wmin::run),
+        ("E4  path length", experiments::path_length::run),
+        ("E5  stretch", experiments::stretch::run),
+        ("E6  trajectory", experiments::trajectory::run),
+        ("E7/E8 patching", experiments::patching::run),
+        ("E9  relaxation", experiments::relaxation::run),
+        ("E10 hyperbolic", experiments::hyperbolic::run),
+        ("E11 geometric routing", experiments::geometric::run),
+        ("E12 kleinberg", experiments::kleinberg::run),
+        ("E13 robustness", experiments::robustness::run),
+        ("E14 structure", experiments::structure::run),
+    ];
+    for (name, run) in suites {
+        println!(">>> {name}");
+        let start = std::time::Instant::now();
+        let tables = run(scale);
+        println!(
+            "<<< {name}: {} table(s) in {:.1}s\n",
+            tables.len(),
+            start.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! E2/E3 — Theorem 3.2: the failure probability decays exponentially in
+//! `w_min` (part A) and polynomially in `min(w_s, w_t)` (part B).
+//!
+//! Part A uses the threshold kernel (for which (EP3) holds at any λ), sweeps
+//! `w_min` and fits `ln(failure)` against `w_min`: Theorem 3.2(i) predicts a
+//! negative slope (failure `≤ e^{−w_min^{Ω(1)}}`).
+//!
+//! Part B plants a source and a target of equal weight `w` at torus distance
+//! 1/2 and sweeps `w`: Theorem 3.2(ii) predicts failure
+//! `≤ min(w_s,w_t)^{−Ω(1)}`, i.e. a negative slope of `ln(failure)` against
+//! `ln w`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use smallworld_analysis::table::fmt_f64;
+use smallworld_analysis::{LinearFit, Table};
+use smallworld_core::{greedy_route, GirgObjective, GreedyRouter};
+use smallworld_geometry::Point;
+use smallworld_graph::{Components, NodeId};
+use smallworld_models::girg::GirgBuilder;
+
+use crate::experiments::{run_girg_trials, GirgConfig, ObjectiveChoice};
+use crate::harness::{parallel_map, RoutingAggregate, Scale};
+
+/// Runs E2 (part A) and E3 (part B); prints/returns both tables.
+pub fn run(scale: Scale) -> Vec<Table> {
+    vec![part_a(scale), part_b(scale)]
+}
+
+fn part_a(scale: Scale) -> Table {
+    let n = scale.pick(4_000, 30_000);
+    let reps = scale.pick(4, 8);
+    let pairs = scale.pick(150, 2_000);
+    let wmins: Vec<f64> = scale.pick(vec![1.0, 2.0, 3.0], vec![1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0]);
+
+    let mut table = Table::new(["wmin", "pairs(conn)", "failure", "ln(failure)"])
+        .title("E2 (Theorem 3.2(i)): failure probability decays exponentially in wmin");
+    let router = GreedyRouter::new();
+    let mut points = Vec::new();
+    for &wmin in &wmins {
+        // threshold kernel: (EP3) holds by construction at any λ, and
+        // λ = 0.3 keeps the graph sparse enough for failures to be visible
+        let config = GirgConfig {
+            n,
+            wmin,
+            alpha: f64::INFINITY,
+            lambda: 0.2,
+            ..GirgConfig::default()
+        };
+        let trials = run_girg_trials(
+            config,
+            ObjectiveChoice::Girg,
+            &router,
+            reps,
+            pairs,
+            false,
+            0xE2 ^ (wmin * 10.0) as u64,
+        );
+        let agg = RoutingAggregate::from_trials(&trials);
+        let failure = 1.0 - agg.success_connected.rate();
+        if failure > 0.0 {
+            points.push((wmin, failure));
+        }
+        table.row([
+            fmt_f64(wmin, 1),
+            agg.success_connected.trials().to_string(),
+            fmt_f64(failure, 4),
+            if failure > 0.0 {
+                fmt_f64(failure.ln(), 2)
+            } else {
+                "-inf".to_string()
+            },
+        ]);
+    }
+    if let Some(fit) = LinearFit::fit_semilog(&points) {
+        table.row([
+            "fit".to_string(),
+            String::new(),
+            format!("slope {:.2}", fit.slope),
+            format!("R2 {:.2}", fit.r_squared),
+        ]);
+    }
+    println!("{table}");
+    table
+}
+
+fn part_b(scale: Scale) -> Table {
+    let n = scale.pick(4_000, 10_000);
+    let reps = scale.pick(30, 400);
+    let ws: Vec<f64> = scale.pick(
+        vec![1.0, 4.0, 16.0],
+        vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
+    );
+
+    let mut table = Table::new(["w_s=w_t", "trials(conn)", "failure"])
+        .title("E3 (Theorem 3.2(ii)): failure decays polynomially in min(ws, wt)");
+    let mut points = Vec::new();
+    for &w in &ws {
+        // each rep samples a fresh graph with planted s (id 0) and t (id 1)
+        let outcomes = parallel_map(reps, 0xE3 ^ (w as u64), |_, seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let girg = GirgBuilder::<2>::new(n)
+                .alpha(f64::INFINITY)
+                .lambda(0.2)
+                .plant(Point::new([0.1, 0.1]), w)
+                .plant(Point::new([0.6, 0.6]), w)
+                .sample(&mut rng)
+                .expect("valid config");
+            let (s, t) = (NodeId::new(0), NodeId::new(1));
+            let comps = Components::compute(girg.graph());
+            if !comps.same_component(s, t) {
+                return None;
+            }
+            let obj = GirgObjective::new(&girg);
+            Some(greedy_route(girg.graph(), &obj, s, t).is_success())
+        });
+        let connected: Vec<bool> = outcomes.into_iter().flatten().collect();
+        let trials = connected.len();
+        let failures = connected.iter().filter(|&&ok| !ok).count();
+        let failure = if trials == 0 {
+            f64::NAN
+        } else {
+            failures as f64 / trials as f64
+        };
+        if failure > 0.0 {
+            points.push((w, failure));
+        }
+        table.row([fmt_f64(w, 0), trials.to_string(), fmt_f64(failure, 4)]);
+    }
+    if let Some(fit) = LinearFit::fit_loglog(&points) {
+        table.row([
+            "fit".to_string(),
+            String::new(),
+            format!("log-log slope {:.2} (R2 {:.2})", fit.slope, fit.r_squared),
+        ]);
+    }
+    println!("{table}");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_both_tables() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].row_count() >= 3);
+        assert!(tables[1].row_count() >= 3);
+    }
+}

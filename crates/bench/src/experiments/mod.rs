@@ -1,0 +1,191 @@
+//! One module per experiment of the `DESIGN.md` index (E1–E14).
+//!
+//! Every module exposes `run(scale) -> Vec<Table>`: it prints its tables to
+//! stdout (the "regenerated table/figure") and returns them so tests can
+//! assert on the numbers. All experiments are deterministic given the
+//! built-in master seeds.
+
+pub mod failure_wmin;
+pub mod geometric;
+pub mod hyperbolic;
+pub mod kleinberg;
+pub mod patching;
+pub mod path_length;
+pub mod relaxation;
+pub mod robustness;
+pub mod stretch;
+pub mod structure;
+pub mod success;
+pub mod trajectory;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use smallworld_core::{DistanceObjective, GirgObjective, QuantizedObjective, RelaxedObjective, Router};
+use smallworld_graph::Components;
+use smallworld_models::girg::{Girg, GirgBuilder};
+use smallworld_models::Alpha;
+
+use crate::harness::{parallel_map, route_random_pairs, TrialOutcome};
+
+/// Parameters of one GIRG sampling configuration (dimension fixed to 2;
+/// [`robustness`] instantiates other dimensions explicitly).
+#[derive(Clone, Copy, Debug)]
+pub struct GirgConfig {
+    /// Expected number of vertices.
+    pub n: u64,
+    /// Power-law exponent `β ∈ (2, 3)`.
+    pub beta: f64,
+    /// Decay `α > 1`, `f64::INFINITY` for the threshold kernel.
+    pub alpha: f64,
+    /// Minimum weight.
+    pub wmin: f64,
+    /// Kernel constant λ.
+    pub lambda: f64,
+}
+
+impl Default for GirgConfig {
+    fn default() -> Self {
+        GirgConfig {
+            n: 10_000,
+            beta: 2.5,
+            alpha: 2.0,
+            wmin: 1.0,
+            // calibrated to an average degree near 10 (8·√λ·E[W]² for the
+            // α=2, d=2 kernel at β=2.5), the regime of the experimental
+            // greedy-routing literature; λ=1 would give degree ≈ 70
+            lambda: 0.02,
+        }
+    }
+}
+
+impl GirgConfig {
+    /// A configuration calibrated to a target average degree via
+    /// [`smallworld_core::theory::lambda_for_average_degree`], so sweeps
+    /// across α or β compare graphs of comparable density.
+    pub fn with_degree(n: u64, beta: f64, alpha: f64, target_degree: f64) -> Self {
+        GirgConfig {
+            n,
+            beta,
+            alpha,
+            wmin: 1.0,
+            lambda: smallworld_core::theory::lambda_for_average_degree(
+                target_degree,
+                alpha,
+                2,
+                beta,
+                1.0,
+            ),
+        }
+    }
+
+    /// Samples a GIRG with these parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are invalid (experiment configs are
+    /// hard-coded and valid by construction).
+    pub fn sample(&self, rng: &mut StdRng) -> Girg<2> {
+        GirgBuilder::<2>::new(self.n)
+            .beta(self.beta)
+            .alpha(Alpha::from(self.alpha))
+            .wmin(self.wmin)
+            .lambda(self.lambda)
+            .sample(rng)
+            .expect("experiment configurations are valid")
+    }
+}
+
+/// Which objective the router maximizes in a GIRG experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ObjectiveChoice {
+    /// The paper's φ (§2.2).
+    Girg,
+    /// Degree-agnostic geometric routing (§4).
+    Distance,
+    /// The relaxed φ̃ of Theorem 3.5 with the given noise strength ε.
+    Relaxed(f64),
+    /// φ quantized to `k` levels per factor of e — the "rough
+    /// approximations suffice" reading of Theorem 3.5.
+    Quantized(f64),
+}
+
+/// Samples `reps` independent GIRGs in parallel and routes `pairs` random
+/// source/target pairs on each; returns all trial outcomes.
+pub fn run_girg_trials<R>(
+    config: GirgConfig,
+    objective: ObjectiveChoice,
+    router: &R,
+    reps: usize,
+    pairs: usize,
+    measure_stretch: bool,
+    master_seed: u64,
+) -> Vec<TrialOutcome>
+where
+    R: Router + Sync,
+{
+    let per_rep = parallel_map(reps, master_seed, |_, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let girg = config.sample(&mut rng);
+        if girg.node_count() < 2 {
+            return Vec::new();
+        }
+        let comps = Components::compute(girg.graph());
+        match objective {
+            ObjectiveChoice::Girg => {
+                let obj = GirgObjective::new(&girg);
+                route_random_pairs(girg.graph(), &obj, router, &comps, pairs, measure_stretch, &mut rng)
+            }
+            ObjectiveChoice::Distance => {
+                let obj = DistanceObjective::for_girg(&girg);
+                route_random_pairs(girg.graph(), &obj, router, &comps, pairs, measure_stretch, &mut rng)
+            }
+            ObjectiveChoice::Relaxed(eps) => {
+                let obj = RelaxedObjective::new(GirgObjective::new(&girg), eps, seed);
+                route_random_pairs(girg.graph(), &obj, router, &comps, pairs, measure_stretch, &mut rng)
+            }
+            ObjectiveChoice::Quantized(levels) => {
+                let obj = QuantizedObjective::new(GirgObjective::new(&girg), levels);
+                route_random_pairs(girg.graph(), &obj, router, &comps, pairs, measure_stretch, &mut rng)
+            }
+        }
+    });
+    per_rep.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The λ calibration of Lemma 7.1's marginal actually lands near the
+    /// requested average degree on sampled graphs, across α including the
+    /// threshold kernel.
+    #[test]
+    fn with_degree_calibration_is_accurate() {
+        for &alpha in &[1.5f64, 2.0, 4.0, f64::INFINITY] {
+            let config = GirgConfig::with_degree(30_000, 2.5, alpha, 10.0);
+            let mut rng = StdRng::seed_from_u64(42 ^ alpha.to_bits());
+            let girg = config.sample(&mut rng);
+            let avg = girg.graph().average_degree();
+            // the calibration ignores min(·,1) saturation, so it overshoots
+            // the kernel mass and the sampled degree comes out below target;
+            // it should still land within a factor ~1.7
+            assert!(
+                (6.0..=14.0).contains(&avg),
+                "alpha={alpha}: degree {avg} far from target 10"
+            );
+        }
+    }
+
+    #[test]
+    fn run_girg_trials_is_deterministic() {
+        let config = GirgConfig {
+            n: 1_500,
+            ..GirgConfig::default()
+        };
+        let router = smallworld_core::GreedyRouter::new();
+        let a = run_girg_trials(config, ObjectiveChoice::Girg, &router, 2, 40, false, 7);
+        let b = run_girg_trials(config, ObjectiveChoice::Girg, &router, 2, 40, false, 7);
+        assert_eq!(a, b);
+    }
+}

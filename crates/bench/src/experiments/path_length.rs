@@ -1,0 +1,142 @@
+//! E4 — Theorem 3.3: successful greedy paths have
+//! `(2+o(1))/|log(β−2)| · log log n` hops.
+//!
+//! For each β the experiment sweeps `n` and reports the mean hop count of
+//! successful routes next to the theory value
+//! `2/|ln(β−2)| · ln ln n`. Two shapes to check: hop counts grow *doubly*
+//! logarithmically (quadrupling n barely moves them), and the ordering in β
+//! matches the constant `2/|ln(β−2)|` (β closer to 3 → longer paths).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use smallworld_analysis::table::fmt_f64;
+use smallworld_analysis::{Summary, Table};
+use smallworld_core::theory::{predicted_hops, ultra_small_distance};
+use smallworld_core::{greedy_route, GirgObjective, GreedyRouter};
+use smallworld_geometry::Point;
+use smallworld_graph::NodeId;
+use smallworld_models::girg::GirgBuilder;
+
+use crate::experiments::{run_girg_trials, GirgConfig, ObjectiveChoice};
+use crate::harness::{parallel_map, RoutingAggregate, Scale};
+
+/// Runs E4 (random endpoints) and E4b (planted endpoints vs the refined
+/// expression (1)); prints/returns both tables.
+pub fn run(scale: Scale) -> Vec<Table> {
+    vec![random_endpoints(scale), planted_endpoints(scale)]
+}
+
+fn random_endpoints(scale: Scale) -> Table {
+    let ns: Vec<u64> = scale.pick(
+        vec![1_024, 8_192],
+        vec![1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576],
+    );
+    let betas: Vec<f64> = scale.pick(vec![2.5], vec![2.3, 2.5, 2.8]);
+    let reps = scale.pick(3, 6);
+    let pairs = scale.pick(100, 300);
+
+    let mut table = Table::new([
+        "beta", "n", "succ routes", "mean hops", "p95", "theory 2/|ln(b-2)|*lnln n",
+    ])
+    .title("E4 (Theorem 3.3): greedy path length is ultra-small, Θ(log log n)");
+
+    let router = GreedyRouter::new();
+    for &beta in &betas {
+        for &n in &ns {
+            let config = GirgConfig {
+                n,
+                beta,
+                ..GirgConfig::default()
+            };
+            let trials = run_girg_trials(
+                config,
+                ObjectiveChoice::Girg,
+                &router,
+                reps,
+                pairs,
+                false,
+                0xE4 ^ n ^ (beta * 100.0) as u64,
+            );
+            let hops: Vec<f64> = trials
+                .iter()
+                .filter(|t| t.success)
+                .map(|t| t.hops as f64)
+                .collect();
+            let agg = RoutingAggregate::from_trials(&trials);
+            let p95 = smallworld_analysis::quantile(&hops, 0.95).unwrap_or(f64::NAN);
+            table.row([
+                fmt_f64(beta, 1),
+                n.to_string(),
+                hops.len().to_string(),
+                fmt_f64(agg.hops.mean(), 2),
+                fmt_f64(p95, 0),
+                fmt_f64(ultra_small_distance(beta, n as f64), 2),
+            ]);
+        }
+    }
+    println!("{table}");
+    table
+}
+
+/// E4b — the refined bound, expression (1) of Theorem 3.3: heavier planted
+/// endpoints shorten the route, quantitatively as
+/// `(1/|ln(β−2)|)(ln ln_{w_s} 1/φ(s) + ln ln_{w_t} 1/φ(s))`.
+fn planted_endpoints(scale: Scale) -> Table {
+    let n = scale.pick(8_000, 100_000);
+    let reps = scale.pick(20, 120);
+    let beta = 2.5;
+    let ws: Vec<f64> = scale.pick(vec![2.0, 50.0], vec![2.0, 5.0, 15.0, 50.0, 200.0]);
+
+    let mut table = Table::new([
+        "w_s = w_t",
+        "delivered",
+        "mean hops",
+        "expression (1)",
+    ])
+    .title("E4b (Theorem 3.3, expression (1)): heavy endpoints shorten routes");
+    for &w in &ws {
+        let outcomes = parallel_map(reps, 0xB4 ^ w as u64, |_, seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let girg = GirgBuilder::<2>::new(n)
+                .beta(beta)
+                .lambda(0.02)
+                .plant(Point::new([0.1, 0.1]), w)
+                .plant(Point::new([0.6, 0.6]), w)
+                .sample(&mut rng)
+                .expect("valid config");
+            let obj = GirgObjective::new(&girg);
+            let record = greedy_route(girg.graph(), &obj, NodeId::new(0), NodeId::new(1));
+            record.is_success().then(|| record.hops() as f64)
+        });
+        let hops: Summary = outcomes.into_iter().flatten().collect();
+        // φ(s) = w / (w_min · n · dist^2) with dist = 1/2
+        let phi_s = w / (n as f64 * 0.25);
+        let prediction = if phi_s < 1.0 && w > 1.0 {
+            predicted_hops(beta, w, w, phi_s)
+        } else {
+            f64::NAN
+        };
+        table.row([
+            fmt_f64(w, 0),
+            format!("{}/{reps}", hops.count()),
+            fmt_f64(hops.mean(), 2),
+            fmt_f64(prediction, 2),
+        ]);
+    }
+    println!("{table}");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_has_rows() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].row_count() >= 2);
+        assert_eq!(tables[1].row_count(), 2);
+    }
+}

@@ -1,0 +1,91 @@
+//! E9 — Theorem 3.5: relaxed objectives don't change the results.
+//!
+//! Greedy routing runs with the perturbed objective
+//! `φ̃(v) = φ(v) · M_v^{ε·u_v}` (`u_v ∈ [−1,1]` fixed per vertex,
+//! `M_v = min(w_v, 1/φ(v))`), sweeping the noise strength ε. The shapes to
+//! check: success probability and hop counts stay essentially flat across
+//! moderate ε — nodes only need *approximate* knowledge of their neighbors'
+//! quality, as Milgram's participants had.
+
+use smallworld_analysis::table::fmt_f64;
+use smallworld_analysis::Table;
+use smallworld_core::GreedyRouter;
+
+use crate::experiments::{run_girg_trials, GirgConfig, ObjectiveChoice};
+use crate::harness::{RoutingAggregate, Scale};
+
+/// Runs E9 and prints/returns its table.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let config = GirgConfig {
+        n: scale.pick(4_000, 50_000),
+        ..GirgConfig::default()
+    };
+    let reps = scale.pick(4, 8);
+    let pairs = scale.pick(100, 400);
+    let epsilons: Vec<f64> = scale.pick(
+        vec![0.0, 0.25, 1.0],
+        vec![0.0, 0.05, 0.1, 0.25, 0.5, 1.0],
+    );
+
+    let mut table = Table::new(["epsilon", "succ|conn", "mean hops", "mean stretch"])
+        .title("E9 (Theorem 3.5): noisy objectives leave success and length intact");
+    let router = GreedyRouter::new();
+    for &eps in &epsilons {
+        let trials = run_girg_trials(
+            config,
+            ObjectiveChoice::Relaxed(eps),
+            &router,
+            reps,
+            pairs,
+            true,
+            0xE9, // same seed across ε: identical graphs and pairs
+        );
+        let agg = RoutingAggregate::from_trials(&trials);
+        table.row([
+            fmt_f64(eps, 2),
+            fmt_f64(agg.success_connected.rate(), 3),
+            fmt_f64(agg.hops.mean(), 2),
+            fmt_f64(agg.stretch.mean(), 3),
+        ]);
+    }
+    println!("{table}");
+
+    // Part B: quantized ("rough") objectives — how few grades per e-factor
+    // of φ still route well?
+    let mut quant = Table::new(["levels per e-factor", "succ|conn", "mean hops", "mean stretch"])
+        .title("E9b (Theorem 3.5): quantized objectives — rough grades suffice");
+    let levels: Vec<f64> = scale.pick(vec![4.0, 1.0], vec![8.0, 4.0, 2.0, 1.0, 0.5]);
+    for &k in &levels {
+        let trials = run_girg_trials(
+            config,
+            ObjectiveChoice::Quantized(k),
+            &router,
+            reps,
+            pairs,
+            true,
+            0xE9,
+        );
+        let agg = RoutingAggregate::from_trials(&trials);
+        quant.row([
+            fmt_f64(k, 1),
+            fmt_f64(agg.success_connected.rate(), 3),
+            fmt_f64(agg.hops.mean(), 2),
+            fmt_f64(agg.stretch.mean(), 3),
+        ]);
+    }
+    println!("{quant}");
+    vec![table, quant]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_covers_epsilons() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].row_count(), 3);
+        assert_eq!(tables[1].row_count(), 2);
+    }
+}

@@ -1,0 +1,73 @@
+//! E5 — Theorem 3.3 / §4: the stretch of successful greedy routes tends
+//! to 1.
+//!
+//! For each `n`, successful routes are compared against bidirectional-BFS
+//! shortest paths. The shapes to check: the mean stretch is close to 1
+//! already at moderate `n` (the experimental papers report values around
+//! 1.0–1.1) and does not grow with `n`.
+
+use smallworld_analysis::table::fmt_f64;
+use smallworld_analysis::Table;
+use smallworld_core::GreedyRouter;
+
+use crate::experiments::{run_girg_trials, GirgConfig, ObjectiveChoice};
+use crate::harness::{RoutingAggregate, Scale};
+
+/// Runs E5 and prints/returns its table.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let ns: Vec<u64> = scale.pick(vec![1_024, 8_192], vec![4_096, 16_384, 65_536, 262_144]);
+    let betas: Vec<f64> = scale.pick(vec![2.5], vec![2.3, 2.5, 2.8]);
+    let reps = scale.pick(3, 6);
+    let pairs = scale.pick(60, 200);
+
+    let mut table = Table::new(["beta", "n", "routes", "mean stretch", "max stretch", "frac ==1"])
+        .title("E5 (Theorem 3.3, §4): stretch of successful greedy routes tends to 1");
+    let router = GreedyRouter::new();
+    for &beta in &betas {
+        for &n in &ns {
+            let config = GirgConfig {
+                n,
+                beta,
+                ..GirgConfig::default()
+            };
+            let trials = run_girg_trials(
+                config,
+                ObjectiveChoice::Girg,
+                &router,
+                reps,
+                pairs,
+                true,
+                0xE5 ^ n ^ (beta * 100.0) as u64,
+            );
+            let agg = RoutingAggregate::from_trials(&trials);
+            let stretches: Vec<f64> = trials.iter().filter_map(|t| t.stretch).collect();
+            let exactly_one = stretches.iter().filter(|&&s| s == 1.0).count();
+            let frac_one = if stretches.is_empty() {
+                f64::NAN
+            } else {
+                exactly_one as f64 / stretches.len() as f64
+            };
+            table.row([
+                fmt_f64(beta, 1),
+                n.to_string(),
+                stretches.len().to_string(),
+                fmt_f64(agg.stretch.mean(), 3),
+                fmt_f64(agg.stretch.max(), 2),
+                fmt_f64(frac_one, 3),
+            ]);
+        }
+    }
+    println!("{table}");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reports_stretch_near_one() {
+        let tables = run(Scale::Quick);
+        assert!(tables[0].row_count() >= 2);
+    }
+}

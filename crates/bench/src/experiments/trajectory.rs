@@ -1,0 +1,202 @@
+//! E6 — Figure 1 / §4: the typical trajectory of a greedy path.
+//!
+//! Successful routes are normalized to ten position buckets; within each
+//! bucket the experiment averages `ln w` (weight profile) and the distance
+//! to the target. The shapes to check against Figure 1:
+//!
+//! * the weight profile rises then falls (the peak sits in the interior),
+//! * the distance to the target collapses mostly in the second half,
+//! * the fraction of vertices classified into phase `V₂` rises along the
+//!   path (the V₁ → V₂ transition of §7.3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use smallworld_analysis::table::fmt_f64;
+use smallworld_analysis::{Summary, Table};
+use smallworld_core::trajectory::{layer_revisits, layer_sequence, Phase};
+use smallworld_core::{greedy_route, GirgObjective, Trajectory};
+use smallworld_graph::NodeId;
+
+use crate::experiments::GirgConfig;
+use crate::harness::{parallel_map, Scale};
+
+const BUCKETS: usize = 10;
+
+/// Plain per-bucket accumulators (mergeable across workers).
+#[derive(Clone, Copy, Default)]
+struct Bucket {
+    log_weight_sum: f64,
+    distance_sum: f64,
+    phase2: usize,
+    total: usize,
+}
+
+/// Per-worker result.
+#[derive(Default)]
+struct Partial {
+    buckets: [Bucket; BUCKETS],
+    /// normalized peak positions, one per analyzed route
+    peaks: Vec<f64>,
+    phase_reversions: usize,
+    /// §8.1 layer revisits (Lemma 8.1 predicts ~0) and total layered hops
+    layer_revisits: usize,
+    layered_hops: usize,
+}
+
+/// Runs E6 and prints/returns its tables.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(8_000, 100_000);
+    let reps = scale.pick(4, 8);
+    let routes_per_rep = scale.pick(80, 400);
+    let min_hops = 4;
+
+    let config = GirgConfig {
+        n,
+        beta: 2.5,
+        ..GirgConfig::default()
+    };
+
+    let results = parallel_map(reps, 0xE6, |_, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let girg = config.sample(&mut rng);
+        let obj = GirgObjective::new(&girg);
+        let mut partial = Partial::default();
+        let nverts = girg.node_count();
+        for _ in 0..routes_per_rep {
+            let s = NodeId::from_index(rng.gen_range(0..nverts));
+            let t = NodeId::from_index(rng.gen_range(0..nverts));
+            if s == t {
+                continue;
+            }
+            let record = greedy_route(girg.graph(), &obj, s, t);
+            if !record.is_success() || record.hops() < min_hops {
+                continue;
+            }
+            let traj = Trajectory::extract(&girg, &record);
+            let len = traj.len();
+            for (i, (&w, &d)) in traj.weights.iter().zip(traj.distances.iter()).enumerate() {
+                let b = (i * BUCKETS / len).min(BUCKETS - 1);
+                partial.buckets[b].log_weight_sum += w.ln();
+                partial.buckets[b].distance_sum += d;
+                partial.buckets[b].total += 1;
+                if traj.phases[i] == Phase::ObjectiveDescent {
+                    partial.buckets[b].phase2 += 1;
+                }
+            }
+            partial
+                .peaks
+                .push(traj.peak_index().expect("non-empty") as f64 / (len - 1) as f64);
+            // Lemma 8.1: at most one vertex per §8.1 layer (target excluded:
+            // its objective is +inf)
+            let layers = layer_sequence(&traj, girg.params().wmin, girg.params().beta);
+            partial.layer_revisits += layer_revisits(&layers[..layers.len() - 1]);
+            partial.layered_hops += layers.len() - 1;
+            let mut seen2 = false;
+            for &p in &traj.phases {
+                match p {
+                    Phase::ObjectiveDescent => seen2 = true,
+                    Phase::WeightClimb if seen2 => {
+                        partial.phase_reversions += 1;
+                        break;
+                    }
+                    Phase::WeightClimb => {}
+                }
+            }
+        }
+        partial
+    });
+
+    // merge workers
+    let mut buckets = [Bucket::default(); BUCKETS];
+    let mut peaks: Vec<f64> = Vec::new();
+    let mut reversions = 0usize;
+    let mut revisits = 0usize;
+    let mut layered_hops = 0usize;
+    for partial in results {
+        for (m, l) in buckets.iter_mut().zip(partial.buckets) {
+            m.log_weight_sum += l.log_weight_sum;
+            m.distance_sum += l.distance_sum;
+            m.phase2 += l.phase2;
+            m.total += l.total;
+        }
+        peaks.extend(partial.peaks);
+        reversions += partial.phase_reversions;
+        revisits += partial.layer_revisits;
+        layered_hops += partial.layered_hops;
+    }
+    let route_count = peaks.len();
+
+    let mut profile = Table::new(["position", "mean ln(w)", "mean dist to t", "frac in V2"])
+        .title("E6 (Figure 1): averaged greedy-path profile (normalized position)");
+    for (i, b) in buckets.iter().enumerate() {
+        let (lw, dist, frac2) = if b.total == 0 {
+            (f64::NAN, f64::NAN, f64::NAN)
+        } else {
+            (
+                b.log_weight_sum / b.total as f64,
+                b.distance_sum / b.total as f64,
+                b.phase2 as f64 / b.total as f64,
+            )
+        };
+        profile.row([
+            format!("{:.2}", (i as f64 + 0.5) / BUCKETS as f64),
+            fmt_f64(lw, 3),
+            fmt_f64(dist, 4),
+            fmt_f64(frac2, 3),
+        ]);
+    }
+    println!("{profile}");
+
+    let peak_summary: Summary = peaks.iter().copied().collect();
+    let interior = peaks.iter().filter(|&&p| p > 0.0 && p < 1.0).count();
+    let mut shape =
+        Table::new(["quantity", "value"]).title("E6 (Figure 1): trajectory shape statistics");
+    shape.row(["routes analyzed".to_string(), route_count.to_string()]);
+    shape.row([
+        "mean normalized weight-peak position".to_string(),
+        fmt_f64(peak_summary.mean(), 3),
+    ]);
+    shape.row([
+        "fraction of paths with interior peak".to_string(),
+        fmt_f64(
+            if route_count == 0 {
+                f64::NAN
+            } else {
+                interior as f64 / route_count as f64
+            },
+            3,
+        ),
+    ]);
+    shape.row([
+        "paths reverting V2 -> V1".to_string(),
+        format!("{reversions}/{route_count}"),
+    ]);
+    shape.row([
+        "layer revisits per hop (Lemma 8.1: ~0)".to_string(),
+        fmt_f64(
+            if layered_hops == 0 {
+                f64::NAN
+            } else {
+                revisits as f64 / layered_hops as f64
+            },
+            4,
+        ),
+    ]);
+    println!("{shape}");
+
+    vec![profile, shape]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_profile() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].row_count(), 10);
+        assert_eq!(tables[1].row_count(), 5);
+    }
+}

@@ -1,0 +1,315 @@
+//! Deterministic seeding, parallel Monte-Carlo, and routing aggregates.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+#[cfg(test)]
+use rand::SeedableRng;
+
+use smallworld_analysis::{Proportion, Summary};
+use smallworld_core::{stretch, Objective, Router};
+use smallworld_graph::{Components, Graph};
+
+/// Experiment size: `Quick` for smoke tests / CI, `Full` for the numbers
+/// recorded in `EXPERIMENTS.md`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale runs with reduced `n` and repetition counts.
+    Quick,
+    /// The full parameter grid.
+    #[default]
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the process environment and CLI arguments
+    /// (`--quick` / `--full` take precedence over `SMALLWORLD_SCALE`).
+    pub fn from_env() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--quick") {
+            return Scale::Quick;
+        }
+        if args.iter().any(|a| a == "--full") {
+            return Scale::Full;
+        }
+        match std::env::var("SMALLWORLD_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Full,
+        }
+    }
+
+    /// Picks `quick` or `full` value.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// SplitMix64: derives independent per-task seeds from a master seed.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_bench::split_seed;
+///
+/// let a = split_seed(42, 0);
+/// let b = split_seed(42, 1);
+/// assert_ne!(a, b);
+/// assert_eq!(a, split_seed(42, 0)); // deterministic
+/// ```
+pub fn split_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `tasks` independent jobs across available cores and collects the
+/// results in task order. Each job receives its index and a seed derived
+/// deterministically from `master_seed`, so runs are reproducible regardless
+/// of thread scheduling.
+pub fn parallel_map<T, F>(tasks: usize, master_seed: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, u64) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(tasks.max(1));
+    let mut results: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            handles.push(scope.spawn(|| {
+                let mut out = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= tasks {
+                        break;
+                    }
+                    out.push((i, f(i, split_seed(master_seed, i as u64))));
+                }
+                out
+            }));
+        }
+        for handle in handles {
+            for (i, value) in handle.join().expect("worker panicked") {
+                results[i] = Some(value);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("all tasks completed"))
+        .collect()
+}
+
+/// The outcome of one routing trial.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrialOutcome {
+    /// Whether the packet was delivered.
+    pub success: bool,
+    /// Hops taken (only meaningful on success for failure-free analysis,
+    /// but recorded either way).
+    pub hops: usize,
+    /// Stretch versus the BFS shortest path, when measured and delivered.
+    pub stretch: Option<f64>,
+    /// Whether source and target shared a connected component.
+    pub same_component: bool,
+}
+
+/// Routes `pairs` uniformly random source/target pairs and records outcomes.
+///
+/// Pairs with `s == t` are redrawn. When `measure_stretch` is set, each
+/// successful route also runs a bidirectional BFS.
+pub fn route_random_pairs<R, O>(
+    graph: &Graph,
+    objective: &O,
+    router: &R,
+    components: &Components,
+    pairs: usize,
+    measure_stretch: bool,
+    rng: &mut StdRng,
+) -> Vec<TrialOutcome>
+where
+    R: Router,
+    O: Objective,
+{
+    route_pairs_impl(graph, objective, router, components, pairs, measure_stretch, false, rng)
+}
+
+/// Like [`route_random_pairs`], but only pairs within one component are
+/// drawn (redrawing until one is found).
+///
+/// Use this for backtracking patchers: on a cross-component pair they
+/// correctly — but expensively — exhaust the source's component before
+/// failing, which measures nothing the theorems speak about (Theorem 3.4 is
+/// conditional on a shared component).
+///
+/// # Panics
+///
+/// Panics if no two vertices share a component.
+pub fn route_random_connected_pairs<R, O>(
+    graph: &Graph,
+    objective: &O,
+    router: &R,
+    components: &Components,
+    pairs: usize,
+    measure_stretch: bool,
+    rng: &mut StdRng,
+) -> Vec<TrialOutcome>
+where
+    R: Router,
+    O: Objective,
+{
+    assert!(
+        components.largest_size() >= 2,
+        "no two vertices share a component"
+    );
+    route_pairs_impl(graph, objective, router, components, pairs, measure_stretch, true, rng)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn route_pairs_impl<R, O>(
+    graph: &Graph,
+    objective: &O,
+    router: &R,
+    components: &Components,
+    pairs: usize,
+    measure_stretch: bool,
+    connected_only: bool,
+    rng: &mut StdRng,
+) -> Vec<TrialOutcome>
+where
+    R: Router,
+    O: Objective,
+{
+    let n = graph.node_count();
+    assert!(n >= 2, "need at least two vertices to route");
+    let mut out = Vec::with_capacity(pairs);
+    for _ in 0..pairs {
+        let (s, t) = loop {
+            let s = smallworld_graph::NodeId::from_index(rng.gen_range(0..n));
+            let t = smallworld_graph::NodeId::from_index(rng.gen_range(0..n));
+            if t == s {
+                continue;
+            }
+            if connected_only && !components.same_component(s, t) {
+                continue;
+            }
+            break (s, t);
+        };
+        let record = router.route(graph, objective, s, t);
+        let st = if measure_stretch {
+            stretch(graph, &record)
+        } else {
+            None
+        };
+        out.push(TrialOutcome {
+            success: record.is_success(),
+            hops: record.hops(),
+            stretch: st,
+            same_component: components.same_component(s, t),
+        });
+    }
+    out
+}
+
+/// Aggregate statistics over a set of [`TrialOutcome`]s.
+#[derive(Clone, Debug, Default)]
+pub struct RoutingAggregate {
+    /// Delivery rate over all pairs.
+    pub success: Proportion,
+    /// Delivery rate conditioned on `s` and `t` sharing a component — the
+    /// quantity the theorems bound.
+    pub success_connected: Proportion,
+    /// Hop counts of successful routes.
+    pub hops: Summary,
+    /// Stretch of successful routes (where measured).
+    pub stretch: Summary,
+}
+
+impl RoutingAggregate {
+    /// Aggregates trial outcomes.
+    pub fn from_trials<'a>(trials: impl IntoIterator<Item = &'a TrialOutcome>) -> Self {
+        let mut agg = RoutingAggregate::default();
+        for t in trials {
+            agg.success.push(t.success);
+            if t.same_component {
+                agg.success_connected.push(t.success);
+            }
+            if t.success {
+                agg.hops.push(t.hops as f64);
+                if let Some(s) = t.stretch {
+                    agg.stretch.push(s);
+                }
+            }
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smallworld_core::{GirgObjective, GreedyRouter};
+    use smallworld_models::girg::GirgBuilder;
+
+    #[test]
+    fn split_seed_is_deterministic_and_spread() {
+        let seeds: Vec<u64> = (0..100).map(|i| split_seed(7, i)).collect();
+        let unique: std::collections::BTreeSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), 100);
+        assert_eq!(seeds[3], split_seed(7, 3));
+    }
+
+    #[test]
+    fn parallel_map_orders_results() {
+        let out = parallel_map(50, 1, |i, seed| (i, seed));
+        for (i, (idx, seed)) in out.iter().enumerate() {
+            assert_eq!(i, *idx);
+            assert_eq!(*seed, split_seed(1, i as u64));
+        }
+    }
+
+    #[test]
+    fn parallel_map_zero_tasks() {
+        let out: Vec<u64> = parallel_map(0, 1, |_, s| s);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn routing_trials_aggregate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let girg = GirgBuilder::<2>::new(1_000).sample(&mut rng).unwrap();
+        let comps = Components::compute(girg.graph());
+        let obj = GirgObjective::new(&girg);
+        let trials = route_random_pairs(
+            girg.graph(),
+            &obj,
+            &GreedyRouter::new(),
+            &comps,
+            100,
+            true,
+            &mut rng,
+        );
+        assert_eq!(trials.len(), 100);
+        let agg = RoutingAggregate::from_trials(&trials);
+        assert_eq!(agg.success.trials(), 100);
+        assert!(agg.success_connected.trials() <= 100);
+        // any successful multi-hop route has stretch >= 1
+        assert!(agg.stretch.is_empty() || agg.stretch.min() >= 1.0);
+    }
+}

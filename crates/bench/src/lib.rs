@@ -1,0 +1,17 @@
+//! Experiment harness reproducing every table and figure of the paper.
+//!
+//! Each experiment of `DESIGN.md`'s index (E1–E14) lives in
+//! [`experiments`] as a `run(scale)` function returning the tables it
+//! prints; the `exp_*` binaries are thin wrappers, and `run_all` executes
+//! the entire battery. [`harness`] provides deterministic seeding and a
+//! `std::thread`-based parallel Monte-Carlo runner (no extra dependencies).
+//!
+//! Scale is controlled by the `SMALLWORLD_SCALE` environment variable
+//! (`quick` or `full`) or a `--quick`/`--full` CLI flag; `quick` keeps every
+//! experiment under a few seconds for CI, `full` reproduces the numbers
+//! recorded in `EXPERIMENTS.md`.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{parallel_map, split_seed, RoutingAggregate, Scale, TrialOutcome};

@@ -1,0 +1,352 @@
+//! Algorithm 1: the basic greedy routing protocol.
+//!
+//! From the current vertex the packet moves to the neighbor with the best
+//! objective — but only if that strictly improves on the current vertex;
+//! otherwise the packet is dropped (a *dead end*, the failure mode that the
+//! patching protocols of [`crate::patching`] repair). Every vertex uses only
+//! the addresses `(x_u, w_u)` of its direct neighbors plus the target
+//! address carried by the message, exactly the locality the paper insists
+//! on.
+
+use smallworld_graph::{Graph, NodeId};
+
+use crate::objective::Objective;
+
+/// Default cap on routing steps; greedy paths are `Θ(log log n)` so this is
+/// effectively unlimited while still preventing runaway loops with
+/// ill-behaved custom objectives.
+pub const DEFAULT_MAX_STEPS: usize = 1_000_000;
+
+/// How a routing attempt ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RouteOutcome {
+    /// The packet reached the target.
+    Delivered,
+    /// The current vertex had no neighbor with a strictly better objective
+    /// (a local optimum); the packet was dropped.
+    DeadEnd,
+    /// The step budget was exhausted.
+    MaxStepsExceeded,
+}
+
+impl RouteOutcome {
+    /// Whether the packet was delivered.
+    pub fn is_success(self) -> bool {
+        self == RouteOutcome::Delivered
+    }
+}
+
+/// The result of one routing attempt.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RouteRecord {
+    /// How the attempt ended.
+    pub outcome: RouteOutcome,
+    /// Every vertex the packet visited, in order, starting at the source.
+    /// For backtracking protocols a vertex may appear several times.
+    pub path: Vec<NodeId>,
+}
+
+impl RouteRecord {
+    /// Number of hops (edges traversed), i.e. `path.len() − 1`.
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+
+    /// Whether the packet was delivered.
+    pub fn is_success(&self) -> bool {
+        self.outcome.is_success()
+    }
+
+    /// The source vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is empty (never produced by this crate's routers).
+    pub fn source(&self) -> NodeId {
+        *self.path.first().expect("route has a source")
+    }
+
+    /// The final vertex reached (the target iff delivered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is empty (never produced by this crate's routers).
+    pub fn last(&self) -> NodeId {
+        *self.path.last().expect("route has a last vertex")
+    }
+}
+
+/// Routes greedily from `s` to `t` (Algorithm 1) with the default step cap.
+///
+/// # Panics
+///
+/// Panics if `s` or `t` is out of range for `graph`.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_core::{greedy_route, Objective, RouteOutcome};
+/// use smallworld_graph::{Graph, NodeId};
+///
+/// // a path graph with scores increasing towards the target
+/// struct Line;
+/// impl Objective for Line {
+///     fn score(&self, v: NodeId, t: NodeId) -> f64 {
+///         if v == t { f64::INFINITY } else { v.index() as f64 }
+///     }
+/// }
+/// let g = Graph::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3)])?;
+/// let r = greedy_route(&g, &Line, NodeId::new(0), NodeId::new(3));
+/// assert_eq!(r.outcome, RouteOutcome::Delivered);
+/// assert_eq!(r.hops(), 3);
+/// # Ok::<(), smallworld_graph::GraphError>(())
+/// ```
+pub fn greedy_route<O: Objective>(
+    graph: &Graph,
+    objective: &O,
+    s: NodeId,
+    t: NodeId,
+) -> RouteRecord {
+    greedy_route_with_limit(graph, objective, s, t, DEFAULT_MAX_STEPS)
+}
+
+/// Routes greedily from `s` to `t` with an explicit step cap.
+///
+/// # Panics
+///
+/// Panics if `s` or `t` is out of range for `graph`.
+pub fn greedy_route_with_limit<O: Objective>(
+    graph: &Graph,
+    objective: &O,
+    s: NodeId,
+    t: NodeId,
+    max_steps: usize,
+) -> RouteRecord {
+    let mut path = vec![s];
+    let mut current = s;
+    let mut current_score = objective.score(s, t);
+    loop {
+        if current == t {
+            return RouteRecord {
+                outcome: RouteOutcome::Delivered,
+                path,
+            };
+        }
+        if path.len() > max_steps {
+            return RouteRecord {
+                outcome: RouteOutcome::MaxStepsExceeded,
+                path,
+            };
+        }
+        // argmax over neighbors; first-best wins ties deterministically
+        let mut best: Option<(f64, NodeId)> = None;
+        for &u in graph.neighbors(current) {
+            let score = objective.score(u, t);
+            if best.is_none_or(|(b, _)| score > b) {
+                best = Some((score, u));
+            }
+        }
+        match best {
+            Some((score, u)) if score > current_score => {
+                path.push(u);
+                current = u;
+                current_score = score;
+            }
+            _ => {
+                return RouteRecord {
+                    outcome: RouteOutcome::DeadEnd,
+                    path,
+                };
+            }
+        }
+    }
+}
+
+/// The plain greedy protocol as a [`crate::patching::Router`].
+#[derive(Clone, Copy, Debug)]
+pub struct GreedyRouter {
+    max_steps: usize,
+}
+
+impl GreedyRouter {
+    /// Creates the router with the default step cap.
+    pub fn new() -> Self {
+        GreedyRouter {
+            max_steps: DEFAULT_MAX_STEPS,
+        }
+    }
+
+    /// Creates the router with an explicit step cap.
+    pub fn with_max_steps(max_steps: usize) -> Self {
+        GreedyRouter { max_steps }
+    }
+}
+
+impl Default for GreedyRouter {
+    fn default() -> Self {
+        GreedyRouter::new()
+    }
+}
+
+impl crate::patching::Router for GreedyRouter {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn route<O: Objective>(&self, graph: &Graph, objective: &O, s: NodeId, t: NodeId) -> RouteRecord {
+        greedy_route_with_limit(graph, objective, s, t, self.max_steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::GirgObjective;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use smallworld_geometry::Point;
+    use smallworld_graph::Graph;
+    use smallworld_models::girg::GirgBuilder;
+
+    /// Score = vertex id; target is infinite.
+    struct ById;
+    impl Objective for ById {
+        fn score(&self, v: NodeId, t: NodeId) -> f64 {
+            if v == t {
+                f64::INFINITY
+            } else {
+                v.index() as f64
+            }
+        }
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let g = Graph::from_edges(2, [(0u32, 1u32)]).unwrap();
+        let r = greedy_route(&g, &ById, NodeId::new(1), NodeId::new(1));
+        assert_eq!(r.outcome, RouteOutcome::Delivered);
+        assert_eq!(r.hops(), 0);
+        assert_eq!(r.path, vec![NodeId::new(1)]);
+        assert_eq!(r.source(), NodeId::new(1));
+        assert_eq!(r.last(), NodeId::new(1));
+    }
+
+    #[test]
+    fn direct_edge_to_target_is_taken() {
+        // t maximizes the objective, so an adjacent source sends directly
+        let g = Graph::from_edges(3, [(0u32, 2u32), (0, 1)]).unwrap();
+        let r = greedy_route(&g, &ById, NodeId::new(0), NodeId::new(2));
+        assert_eq!(r.outcome, RouteOutcome::Delivered);
+        assert_eq!(r.hops(), 1);
+    }
+
+    #[test]
+    fn isolated_source_is_dead_end() {
+        let g = Graph::from_edges(3, [(1u32, 2u32)]).unwrap();
+        let r = greedy_route(&g, &ById, NodeId::new(0), NodeId::new(2));
+        assert_eq!(r.outcome, RouteOutcome::DeadEnd);
+        assert_eq!(r.hops(), 0);
+    }
+
+    #[test]
+    fn local_optimum_is_dead_end() {
+        // star around 3 (high id), target 4 is not adjacent to 3 via better ids
+        // 0-3, 3-1, 1-4: from 0 greedy goes to 3; 3's best neighbor is 1 < 3
+        let g = Graph::from_edges(5, [(0u32, 3u32), (3, 1), (1, 4)]).unwrap();
+        let r = greedy_route(&g, &ById, NodeId::new(0), NodeId::new(4));
+        assert_eq!(r.outcome, RouteOutcome::DeadEnd);
+        assert_eq!(r.last(), NodeId::new(3));
+    }
+
+    #[test]
+    fn max_steps_is_respected() {
+        // long path, tight budget
+        let g = Graph::from_edges(10, (0u32..9).map(|i| (i, i + 1))).unwrap();
+        let r = greedy_route_with_limit(&g, &ById, NodeId::new(0), NodeId::new(9), 3);
+        assert_eq!(r.outcome, RouteOutcome::MaxStepsExceeded);
+        assert!(r.hops() <= 4);
+    }
+
+    #[test]
+    fn path_is_strictly_improving() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let girg = GirgBuilder::<2>::new(1_500).sample(&mut rng).unwrap();
+        let obj = GirgObjective::new(&girg);
+        for _ in 0..30 {
+            let s = girg.random_vertex(&mut rng);
+            let t = girg.random_vertex(&mut rng);
+            let r = greedy_route(girg.graph(), &obj, s, t);
+            for w in r.path.windows(2) {
+                assert!(obj.score(w[1], t) > obj.score(w[0], t));
+                assert!(girg.graph().has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn planted_adjacent_pair_delivers() {
+        // plant s and t within the saturated-probability radius => the edge
+        // {s, t} exists surely and greedy takes it directly
+        let mut rng = StdRng::seed_from_u64(2);
+        let girg = GirgBuilder::<2>::new(100)
+            .plant(Point::new([0.3, 0.3]), 1.0)
+            .plant(Point::new([0.3, 0.3001]), 1.0)
+            .sample(&mut rng)
+            .unwrap();
+        let obj = GirgObjective::new(&girg);
+        let r = greedy_route(girg.graph(), &obj, NodeId::new(0), NodeId::new(1));
+        assert_eq!(r.outcome, RouteOutcome::Delivered);
+        assert_eq!(r.hops(), 1);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        /// On arbitrary graphs and the id objective, greedy either delivers
+        /// with a strictly increasing simple path or ends in a certified
+        /// local optimum.
+        #[test]
+        fn prop_greedy_contract(
+            edges in proptest::collection::vec((0u32..25, 0u32..25), 0..80),
+            s in 0u32..25,
+            t in 0u32..25,
+        ) {
+            let edges: Vec<(u32, u32)> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            let g = Graph::from_edges(25, edges).unwrap();
+            let r = greedy_route(&g, &ById, NodeId::new(s), NodeId::new(t));
+            // simple & strictly improving
+            let mut seen = std::collections::BTreeSet::new();
+            for &v in &r.path {
+                proptest::prop_assert!(seen.insert(v));
+            }
+            for w in r.path.windows(2) {
+                proptest::prop_assert!(g.has_edge(w[0], w[1]));
+                proptest::prop_assert!(ById.score(w[1], NodeId::new(t)) > ById.score(w[0], NodeId::new(t)));
+            }
+            match r.outcome {
+                RouteOutcome::Delivered => proptest::prop_assert_eq!(r.last(), NodeId::new(t)),
+                RouteOutcome::DeadEnd => {
+                    // certificate: no neighbor of the last vertex beats it
+                    let last = r.last();
+                    let own = ById.score(last, NodeId::new(t));
+                    for &u in g.neighbors(last) {
+                        proptest::prop_assert!(ById.score(u, NodeId::new(t)) <= own);
+                    }
+                }
+                RouteOutcome::MaxStepsExceeded => {
+                    proptest::prop_assert!(false, "cannot exceed budget on 25 vertices");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_router_trait_matches_function() {
+        use crate::patching::Router;
+        let g = Graph::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3)]).unwrap();
+        let router = GreedyRouter::new();
+        let a = router.route(&g, &ById, NodeId::new(0), NodeId::new(3));
+        let b = greedy_route(&g, &ById, NodeId::new(0), NodeId::new(3));
+        assert_eq!(a, b);
+        assert_eq!(router.name(), "greedy");
+    }
+}

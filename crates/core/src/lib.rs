@@ -1,0 +1,66 @@
+//! Greedy routing and patching on geometric inhomogeneous random graphs —
+//! the primary contribution of *Greedy Routing and the Algorithmic
+//! Small-World Phenomenon* (PODC 2017).
+//!
+//! * [`objective`] — the objective functions greedy routing maximizes: the
+//!   paper's φ (§2.2), the hyperbolic-distance objective of §11, the
+//!   degree-agnostic geometric objective of §4, Kleinberg's lattice
+//!   objective, and the relaxed/approximate objectives of Theorem 3.5.
+//! * [`greedy`] — Algorithm 1: forward the packet to the neighbor with the
+//!   best objective, fail in local optima.
+//! * [`distributed`] — the same protocol run as per-node programs against
+//!   a locality-enforcing interface: the §3 "purely distributed, one node
+//!   awake at a time" claim, made structural.
+//! * [`lookahead`] — the one-hop "know thy neighbor's neighbor" variant
+//!   cited among the Kleinberg-model refinements.
+//! * [`patching`] — routing protocols that never give up: the paper's
+//!   Algorithm 2 (distributed Φ-DFS, satisfies (P1)–(P3)), a message-history
+//!   protocol (the other §5 example), and the gravity–pressure heuristic the
+//!   paper discusses as a (P3)-violating baseline.
+//! * [`trajectory`] — instrumentation reproducing Figure 1: weight and
+//!   objective profiles, the V₁/V₂ phase split of §7.3.
+//! * [`stretch`](mod@stretch) — greedy-path length versus BFS shortest path.
+//! * [`theory`] — the paper's closed-form predictions, e.g.
+//!   `(2+o(1))/|log(β−2)| · log log n`.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use smallworld_core::{greedy_route, GirgObjective, RouteOutcome};
+//! use smallworld_models::girg::GirgBuilder;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let girg = GirgBuilder::<2>::new(2_000).beta(2.5).sample(&mut rng)?;
+//! let objective = GirgObjective::new(&girg);
+//! let s = girg.random_vertex(&mut rng);
+//! let t = girg.random_vertex(&mut rng);
+//! let record = greedy_route(girg.graph(), &objective, s, t);
+//! if record.outcome == RouteOutcome::Delivered {
+//!     println!("{} hops", record.hops());
+//! }
+//! # Ok::<(), smallworld_models::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod distributed;
+pub mod greedy;
+pub mod lookahead;
+pub mod objective;
+pub mod patching;
+pub mod stretch;
+pub mod theory;
+pub mod trajectory;
+
+pub use distributed::{DistributedGreedy, Simulator};
+pub use greedy::{greedy_route, greedy_route_with_limit, GreedyRouter, RouteOutcome, RouteRecord};
+pub use lookahead::LookaheadRouter;
+pub use objective::{
+    DistanceObjective, GirgObjective, HyperbolicObjective, KleinbergObjective, Objective,
+    QuantizedObjective, RelaxedObjective,
+};
+pub use patching::{GravityPressureRouter, HistoryRouter, PhiDfsRouter, Router, RouterKind};
+pub use stretch::stretch;
+pub use trajectory::{Layer, Phase, Trajectory};

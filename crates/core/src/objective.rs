@@ -1,0 +1,543 @@
+//! Objective functions for greedy routing.
+//!
+//! A greedy router forwards the packet to the neighbor maximizing an
+//! [`Objective`]. The paper's canonical choice (§2.2) is
+//!
+//! ```text
+//! φ(v) = w_v / (w_min · n · ‖x_v − x_t‖^d),
+//! ```
+//!
+//! the natural reading of Milgram's instruction "forward to the acquaintance
+//! most likely to know the target": for finite α, maximizing φ is equivalent
+//! to maximizing the connection probability p_{vt}. Because greedy routing
+//! only *compares* objective values, any strictly monotone transform induces
+//! the same protocol; implementations are free to exploit this (e.g. the
+//! hyperbolic objective returns `−d_H` instead of the paper's
+//! `1/√(cosh d_H)` form).
+
+use std::hash::{Hash, Hasher};
+
+use smallworld_geometry::Point;
+use smallworld_graph::NodeId;
+use smallworld_models::girg::Girg;
+use smallworld_models::hyperbolic::Hrg;
+use smallworld_models::kleinberg::{ContinuumKleinberg, KleinbergLattice};
+
+/// A routing objective: vertices with larger score are "closer" to `target`.
+///
+/// Implementations must score the target itself strictly above every other
+/// vertex (the paper requires φ to be globally maximized at `t`).
+pub trait Objective {
+    /// Score of vertex `v` when routing towards `target`.
+    fn score(&self, v: NodeId, target: NodeId) -> f64;
+}
+
+/// The paper's objective `φ(v) = w_v / (w_min · n · ‖x_v − x_t‖^d)` (§2.2).
+///
+/// Returns `+∞` for the target itself (distance 0).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use smallworld_core::{GirgObjective, Objective};
+/// use smallworld_models::girg::GirgBuilder;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let girg = GirgBuilder::<2>::new(300).sample(&mut rng)?;
+/// let obj = GirgObjective::new(&girg);
+/// let t = girg.random_vertex(&mut rng);
+/// assert!(obj.score(t, t).is_infinite());
+/// # Ok::<(), smallworld_models::ModelError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct GirgObjective<'a, const D: usize> {
+    positions: &'a [Point<D>],
+    weights: &'a [f64],
+    norm: f64,
+}
+
+impl<'a, const D: usize> GirgObjective<'a, D> {
+    /// Creates the objective for a sampled GIRG.
+    pub fn new(girg: &'a Girg<D>) -> Self {
+        GirgObjective {
+            positions: girg.positions(),
+            weights: girg.weights(),
+            norm: girg.params().wmin * girg.params().intensity,
+        }
+    }
+
+    /// Creates the objective from raw positions and weights with
+    /// normalization `w_min · n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or the normalization is not
+    /// positive.
+    pub fn from_parts(positions: &'a [Point<D>], weights: &'a [f64], wmin_times_n: f64) -> Self {
+        assert_eq!(positions.len(), weights.len());
+        assert!(wmin_times_n > 0.0, "normalization must be positive");
+        GirgObjective {
+            positions,
+            weights,
+            norm: wmin_times_n,
+        }
+    }
+
+    /// The raw φ value (same as [`Objective::score`], provided for
+    /// phase/trajectory analysis).
+    pub fn phi(&self, v: NodeId, target: NodeId) -> f64 {
+        let dist_pow_d = self.positions[v.index()].distance_pow_d(&self.positions[target.index()]);
+        if dist_pow_d == 0.0 {
+            f64::INFINITY
+        } else {
+            self.weights[v.index()] / (self.norm * dist_pow_d)
+        }
+    }
+}
+
+impl<const D: usize> Objective for GirgObjective<'_, D> {
+    fn score(&self, v: NodeId, target: NodeId) -> f64 {
+        if v == target {
+            return f64::INFINITY;
+        }
+        self.phi(v, target)
+    }
+}
+
+/// Degree-agnostic *geometric* routing (§4): score is the negated torus
+/// distance to the target, ignoring weights entirely.
+///
+/// The paper cites experiments showing this is far less efficient and robust
+/// than weight-aware greedy routing; experiment `exp_geometric` reproduces
+/// the comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct DistanceObjective<'a, const D: usize> {
+    positions: &'a [Point<D>],
+}
+
+impl<'a, const D: usize> DistanceObjective<'a, D> {
+    /// Creates the objective from vertex positions.
+    pub fn new(positions: &'a [Point<D>]) -> Self {
+        DistanceObjective { positions }
+    }
+
+    /// Creates the objective for a sampled GIRG (using positions only).
+    pub fn for_girg(girg: &'a Girg<D>) -> Self {
+        DistanceObjective {
+            positions: girg.positions(),
+        }
+    }
+}
+
+impl<'a> DistanceObjective<'a, 2> {
+    /// Creates the objective for the continuum Kleinberg model, whose
+    /// positions live on `T²`.
+    pub fn for_continuum(model: &'a ContinuumKleinberg) -> Self {
+        DistanceObjective {
+            positions: model.positions(),
+        }
+    }
+}
+
+impl<const D: usize> Objective for DistanceObjective<'_, D> {
+    fn score(&self, v: NodeId, target: NodeId) -> f64 {
+        if v == target {
+            return f64::INFINITY;
+        }
+        -self.positions[v.index()].distance(&self.positions[target.index()])
+    }
+}
+
+/// Geometric greedy routing on hyperbolic random graphs (§11): score is the
+/// negated hyperbolic distance to the target.
+///
+/// This is a strictly monotone transform of the paper's
+/// `φ_H(v) = n / (w_t w_min √(cosh d_H(v,t)))`, hence induces the identical
+/// protocol, and by Corollary 3.6 inherits all the paper's guarantees.
+#[derive(Clone, Copy, Debug)]
+pub struct HyperbolicObjective<'a> {
+    hrg: &'a Hrg,
+}
+
+impl<'a> HyperbolicObjective<'a> {
+    /// Creates the objective for a sampled hyperbolic random graph.
+    pub fn new(hrg: &'a Hrg) -> Self {
+        HyperbolicObjective { hrg }
+    }
+}
+
+impl HyperbolicObjective<'_> {
+    /// The paper's exact form
+    /// `φ_H(v) = n / (w_t · w_min · √(cosh d_H(v, t)))` (§11).
+    ///
+    /// This is a strictly decreasing function of `d_H`, so routing by
+    /// [`Objective::score`] (which returns `−d_H`) takes exactly the same
+    /// decisions — asserted by a property test. Exposed for analyses that
+    /// want φ_H on the GIRG scale (it plugs into the Theorem 3.5 class).
+    pub fn phi_h(&self, v: NodeId, target: NodeId) -> f64 {
+        let params = self.hrg.params();
+        let n = params.n as f64;
+        let wmin = (-params.c / 2.0).exp();
+        let w_t = self.hrg.girg_weight(target);
+        n / (w_t * wmin * self.hrg.distance(v, target).cosh().sqrt())
+    }
+}
+
+impl Objective for HyperbolicObjective<'_> {
+    fn score(&self, v: NodeId, target: NodeId) -> f64 {
+        if v == target {
+            return f64::INFINITY;
+        }
+        -self.hrg.distance(v, target)
+    }
+}
+
+/// Kleinberg's lattice objective: negated torus Manhattan distance.
+#[derive(Clone, Copy, Debug)]
+pub struct KleinbergObjective<'a> {
+    lattice: &'a KleinbergLattice,
+}
+
+impl<'a> KleinbergObjective<'a> {
+    /// Creates the objective for a sampled Kleinberg lattice.
+    pub fn new(lattice: &'a KleinbergLattice) -> Self {
+        KleinbergObjective { lattice }
+    }
+}
+
+impl Objective for KleinbergObjective<'_> {
+    fn score(&self, v: NodeId, target: NodeId) -> f64 {
+        if v == target {
+            return f64::INFINITY;
+        }
+        -(self.lattice.lattice_distance(v, target) as f64)
+    }
+}
+
+/// The relaxed objective φ̃ of Theorem 3.5: a *fixed* multiplicative
+/// perturbation of a base objective.
+///
+/// For each vertex `v` a deterministic pseudo-random factor
+/// `exp(ε · u_v · ln M_v)` is applied, where `u_v ∈ [−1, 1]` is derived by
+/// hashing `(seed, v)` and `M_v = max(min(w_v, 1/φ(v)), e)`. This realizes
+/// exactly the admissible perturbation class
+/// `φ̃(v) = Θ(φ(v) · min(w_v, φ(v)^{−1})^{±ε})` of condition (2): the routing
+/// sees a noisy-but-consistent view of its neighbors' quality, as Milgram's
+/// participants did.
+///
+/// The perturbation is a function of the vertex only (not re-randomized per
+/// query), as the theorem requires, and the target keeps score `+∞`.
+#[derive(Clone, Copy, Debug)]
+pub struct RelaxedObjective<'a, const D: usize> {
+    base: GirgObjective<'a, D>,
+    epsilon: f64,
+    seed: u64,
+}
+
+impl<'a, const D: usize> RelaxedObjective<'a, D> {
+    /// Wraps a GIRG objective with noise strength `epsilon ≥ 0` (`0` is the
+    /// exact objective).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative or not finite.
+    pub fn new(base: GirgObjective<'a, D>, epsilon: f64, seed: u64) -> Self {
+        assert!(
+            epsilon >= 0.0 && epsilon.is_finite(),
+            "epsilon must be a finite non-negative number"
+        );
+        RelaxedObjective {
+            base,
+            epsilon,
+            seed,
+        }
+    }
+
+    /// The noise factor applied at vertex `v` (useful for tests).
+    pub fn noise_exponent(&self, v: NodeId) -> f64 {
+        // deterministic u_v in [-1, 1]
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.seed.hash(&mut h);
+        v.raw().hash(&mut h);
+        let bits = h.finish();
+        let unit = (bits >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+        2.0 * unit - 1.0
+    }
+}
+
+impl<const D: usize> Objective for RelaxedObjective<'_, D> {
+    fn score(&self, v: NodeId, target: NodeId) -> f64 {
+        if v == target {
+            return f64::INFINITY;
+        }
+        let phi = self.base.phi(v, target);
+        if self.epsilon == 0.0 {
+            return phi;
+        }
+        let w = self.base.weights[v.index()];
+        let m = w.min(phi.recip()).max(std::f64::consts::E);
+        phi * (self.epsilon * self.noise_exponent(v) * m.ln()).exp()
+    }
+}
+
+/// A coarsely quantized objective: φ rounded to a fixed number of levels
+/// per decade (base-e).
+///
+/// The abstract's claim that "rough approximations suffice" (Theorem 3.5)
+/// is exercised in its most practical form here: a node comparing
+/// neighbors only needs `levels_per_e_factor` distinguishable grades per
+/// factor of `e` in φ. Quantization is a multiplicative perturbation by at
+/// most `e^{1/(2k)}`, a Θ-factor, hence inside the admissible class of
+/// condition (2). Ties between same-grade neighbors are broken by the
+/// router's deterministic argmax.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use smallworld_core::{GirgObjective, Objective, QuantizedObjective};
+/// use smallworld_models::girg::GirgBuilder;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let girg = GirgBuilder::<2>::new(200).sample(&mut rng)?;
+/// let coarse = QuantizedObjective::new(GirgObjective::new(&girg), 2.0);
+/// let t = girg.random_vertex(&mut rng);
+/// assert!(coarse.score(t, t).is_infinite());
+/// # Ok::<(), smallworld_models::ModelError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct QuantizedObjective<'a, const D: usize> {
+    base: GirgObjective<'a, D>,
+    levels_per_e_factor: f64,
+}
+
+impl<'a, const D: usize> QuantizedObjective<'a, D> {
+    /// Wraps a GIRG objective; `levels_per_e_factor` is the resolution `k`
+    /// (scores are `round(k · ln φ)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `levels_per_e_factor` is positive and finite.
+    pub fn new(base: GirgObjective<'a, D>, levels_per_e_factor: f64) -> Self {
+        assert!(
+            levels_per_e_factor > 0.0 && levels_per_e_factor.is_finite(),
+            "resolution must be positive and finite"
+        );
+        QuantizedObjective {
+            base,
+            levels_per_e_factor,
+        }
+    }
+}
+
+impl<const D: usize> Objective for QuantizedObjective<'_, D> {
+    fn score(&self, v: NodeId, target: NodeId) -> f64 {
+        if v == target {
+            return f64::INFINITY;
+        }
+        (self.levels_per_e_factor * self.base.phi(v, target).ln()).round()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use smallworld_models::girg::GirgBuilder;
+    use smallworld_models::HrgBuilder;
+
+    fn girg() -> Girg<2> {
+        let mut rng = StdRng::seed_from_u64(1);
+        GirgBuilder::<2>::new(300)
+            .plant(Point::new([0.0, 0.0]), 2.0)
+            .plant(Point::new([0.25, 0.0]), 8.0)
+            .plant(Point::new([0.5, 0.0]), 2.0)
+            .sample(&mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn girg_objective_values() {
+        let g = girg();
+        let obj = GirgObjective::new(&g);
+        let (s, mid, t) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        // φ(s) = 2 / (1 · 300 · 0.5²), φ(mid) = 8 / (300 · 0.25²)
+        assert!((obj.score(s, t) - 2.0 / (300.0 * 0.25)).abs() < 1e-12);
+        assert!((obj.score(mid, t) - 8.0 / (300.0 * 0.0625)).abs() < 1e-12);
+        assert!(obj.score(mid, t) > obj.score(s, t));
+        assert!(obj.score(t, t).is_infinite());
+    }
+
+    #[test]
+    fn girg_objective_prefers_weight_at_equal_distance() {
+        let g = girg();
+        let obj = GirgObjective::new(&g);
+        let t = NodeId::new(2);
+        // same position, different weight => higher weight wins
+        // (vertices 0 and 1 differ in both; construct φ directly)
+        let phi_light = obj.phi(NodeId::new(0), t);
+        assert!(phi_light > 0.0);
+    }
+
+    #[test]
+    fn distance_objective_ignores_weight() {
+        let g = girg();
+        let obj = DistanceObjective::for_girg(&g);
+        let t = NodeId::new(2);
+        // vertex 1 (distance .25) beats vertex 0 (distance .5) regardless of weight
+        assert!(obj.score(NodeId::new(1), t) > obj.score(NodeId::new(0), t));
+        assert!(obj.score(t, t).is_infinite());
+        assert_eq!(obj.score(NodeId::new(0), t), -0.5);
+    }
+
+    #[test]
+    fn hyperbolic_objective_orders_by_distance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hrg = HrgBuilder::new(100).sample(&mut rng).unwrap();
+        let obj = HyperbolicObjective::new(&hrg);
+        let t = NodeId::new(0);
+        assert!(obj.score(t, t).is_infinite());
+        for v in 1..100u32 {
+            let v = NodeId::new(v);
+            assert!((obj.score(v, t) + hrg.distance(v, t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn phi_h_and_distance_induce_same_protocol() {
+        // φ_H is a strictly decreasing function of d_H, so the argmax over
+        // any neighborhood agrees with the −d_H score
+        let mut rng = StdRng::seed_from_u64(8);
+        let hrg = HrgBuilder::new(300).sample(&mut rng).unwrap();
+        let obj = HyperbolicObjective::new(&hrg);
+        let t = NodeId::new(0);
+        let mut by_score: Vec<u32> = (1..300).collect();
+        let mut by_phi_h = by_score.clone();
+        by_score.sort_by(|&a, &b| {
+            obj.score(NodeId::new(a), t)
+                .total_cmp(&obj.score(NodeId::new(b), t))
+        });
+        by_phi_h.sort_by(|&a, &b| {
+            obj.phi_h(NodeId::new(a), t)
+                .total_cmp(&obj.phi_h(NodeId::new(b), t))
+        });
+        assert_eq!(by_score, by_phi_h);
+    }
+
+    #[test]
+    fn kleinberg_objective_is_negated_lattice_distance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let kl = KleinbergLattice::sample(8, 2.0, 0, &mut rng).unwrap();
+        let obj = KleinbergObjective::new(&kl);
+        let t = kl.node_at(0, 0);
+        let v = kl.node_at(3, 2);
+        assert_eq!(obj.score(v, t), -5.0);
+        assert!(obj.score(t, t).is_infinite());
+    }
+
+    #[test]
+    fn relaxed_objective_with_zero_noise_is_exact() {
+        let g = girg();
+        let base = GirgObjective::new(&g);
+        let relaxed = RelaxedObjective::new(base, 0.0, 99);
+        let t = NodeId::new(2);
+        for v in 0..10u32 {
+            let v = NodeId::new(v);
+            assert_eq!(relaxed.score(v, t), base.score(v, t));
+        }
+    }
+
+    #[test]
+    fn relaxed_objective_is_deterministic_per_vertex() {
+        let g = girg();
+        let base = GirgObjective::new(&g);
+        let relaxed = RelaxedObjective::new(base, 0.3, 7);
+        let t = NodeId::new(2);
+        let v = NodeId::new(5);
+        assert_eq!(relaxed.score(v, t), relaxed.score(v, t));
+        // different seeds give different noise
+        let other = RelaxedObjective::new(base, 0.3, 8);
+        assert_ne!(relaxed.noise_exponent(v), other.noise_exponent(v));
+    }
+
+    #[test]
+    fn relaxed_objective_bounded_perturbation() {
+        let g = girg();
+        let base = GirgObjective::new(&g);
+        let eps = 0.2;
+        let relaxed = RelaxedObjective::new(base, eps, 1);
+        let t = NodeId::new(2);
+        for v in g.graph().nodes() {
+            if v == t {
+                continue;
+            }
+            let phi = base.phi(v, t);
+            let m = g.weight(v).min(phi.recip()).max(std::f64::consts::E);
+            let ratio = relaxed.score(v, t) / phi;
+            assert!(ratio <= m.powf(eps) + 1e-9);
+            assert!(ratio >= m.powf(-eps) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn relaxed_keeps_target_maximal() {
+        let g = girg();
+        let relaxed = RelaxedObjective::new(GirgObjective::new(&g), 0.5, 2);
+        let t = NodeId::new(1);
+        assert!(relaxed.score(t, t).is_infinite());
+    }
+
+    #[test]
+    fn noise_exponent_in_range() {
+        let g = girg();
+        let relaxed = RelaxedObjective::new(GirgObjective::new(&g), 0.5, 3);
+        for v in 0..200u32 {
+            let u = relaxed.noise_exponent(NodeId::new(v));
+            assert!((-1.0..=1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn quantized_objective_preserves_coarse_order() {
+        let g = girg();
+        let base = GirgObjective::new(&g);
+        let coarse = QuantizedObjective::new(base, 1.0);
+        let t = NodeId::new(2);
+        // vertices an e^2-factor apart in φ keep their order at resolution 1
+        let (s, mid) = (NodeId::new(0), NodeId::new(1));
+        let ratio = base.phi(mid, t) / base.phi(s, t);
+        assert!(ratio > std::f64::consts::E * std::f64::consts::E);
+        assert!(coarse.score(mid, t) > coarse.score(s, t));
+    }
+
+    #[test]
+    fn quantized_objective_collapses_close_scores() {
+        let g = girg();
+        let coarse = QuantizedObjective::new(GirgObjective::new(&g), 0.5);
+        let t = NodeId::new(2);
+        // at half a level per e-factor, many vertices share a grade
+        let grades: std::collections::BTreeSet<i64> = g
+            .graph()
+            .nodes()
+            .filter(|&v| v != t)
+            .map(|v| coarse.score(v, t) as i64)
+            .collect();
+        assert!(grades.len() < g.graph().node_count() / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn quantized_rejects_bad_resolution() {
+        let g = girg();
+        let _ = QuantizedObjective::new(GirgObjective::new(&g), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn relaxed_rejects_negative_epsilon() {
+        let g = girg();
+        let _ = RelaxedObjective::new(GirgObjective::new(&g), -0.1, 0);
+    }
+}

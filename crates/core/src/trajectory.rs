@@ -1,0 +1,462 @@
+//! Trajectory instrumentation: reproducing Figure 1 and the §6/§7.3
+//! two-phase structure of greedy paths.
+//!
+//! The paper predicts (and §4 reports experimental confirmations of) a
+//! characteristic shape: starting from a low-weight source, the path first
+//! climbs towards ever-heavier vertices (phase 1, the set
+//! `V₁ = {v : φ(v) ≤ w_v^{−γ(ε)}}` with `γ(ε) = (1−ε)/(β−2)`), reaches the
+//! network core, then descends towards the target through vertices of
+//! rapidly improving objective but decreasing weight (phase 2, `V₂`).
+//! [`Trajectory`] captures the per-hop weights, objectives and phases of a
+//! route so the experiments can average these profiles.
+
+use smallworld_graph::NodeId;
+use smallworld_models::girg::Girg;
+
+use crate::greedy::RouteRecord;
+use crate::objective::GirgObjective;
+
+/// The default `ε` in the phase boundary `γ(ε) = (1−ε)/(β−2)`; the paper
+/// only requires it to be a sufficiently small constant.
+pub const DEFAULT_EPSILON: f64 = 0.1;
+
+/// Which phase of the routing a vertex belongs to (§7.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// `V₁`: weight-increasing phase — `φ(v) ≤ w_v^{−γ(ε)}`.
+    WeightClimb,
+    /// `V₂`: objective-increasing phase — `φ(v) > w_v^{−γ(ε)}`.
+    ObjectiveDescent,
+}
+
+/// Classifies a vertex by weight and objective (§7.3).
+///
+/// # Panics
+///
+/// Panics unless `β ∈ (2, 3)`, `ε ∈ (0, 1)`, and `w ≥ 1`.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_core::trajectory::{phase_of, Phase};
+///
+/// // heavy vertex far from the target: still climbing
+/// assert_eq!(phase_of(100.0, 1e-9, 2.5, 0.1), Phase::WeightClimb);
+/// // light vertex very close to the target: descending
+/// assert_eq!(phase_of(2.0, 0.5, 2.5, 0.1), Phase::ObjectiveDescent);
+/// ```
+pub fn phase_of(w: f64, phi: f64, beta: f64, epsilon: f64) -> Phase {
+    assert!(beta > 2.0 && beta < 3.0, "beta must lie in (2, 3)");
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0, 1)");
+    assert!(w >= 1.0, "phase classification expects weights >= 1");
+    let gamma = (1.0 - epsilon) / (beta - 2.0);
+    if phi <= w.powf(-gamma) {
+        Phase::WeightClimb
+    } else {
+        Phase::ObjectiveDescent
+    }
+}
+
+/// The per-hop profile of one route on a GIRG.
+#[derive(Clone, Debug)]
+pub struct Trajectory {
+    /// Weight of each visited vertex.
+    pub weights: Vec<f64>,
+    /// Objective φ of each visited vertex (`+∞` at the target).
+    pub objectives: Vec<f64>,
+    /// Torus distance to the target from each visited vertex.
+    pub distances: Vec<f64>,
+    /// Phase of each visited vertex.
+    pub phases: Vec<Phase>,
+}
+
+impl Trajectory {
+    /// Extracts the trajectory of a route through a GIRG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record visits vertices outside the GIRG or its path is
+    /// empty.
+    pub fn extract<const D: usize>(girg: &Girg<D>, record: &RouteRecord) -> Self {
+        let target = record.last();
+        let objective = GirgObjective::new(girg);
+        let beta = girg.params().beta;
+        // rescale weights so the minimum is 1 for phase classification
+        let wmin = girg.params().wmin;
+        let mut weights = Vec::with_capacity(record.path.len());
+        let mut objectives = Vec::with_capacity(record.path.len());
+        let mut distances = Vec::with_capacity(record.path.len());
+        let mut phases = Vec::with_capacity(record.path.len());
+        for &v in &record.path {
+            let w = girg.weight(v);
+            let phi = objective.phi(v, target);
+            weights.push(w);
+            objectives.push(phi);
+            distances.push(girg.position(v).distance(&girg.position(target)));
+            phases.push(phase_of((w / wmin).max(1.0), phi, beta, DEFAULT_EPSILON));
+        }
+        Trajectory {
+            weights,
+            objectives,
+            distances,
+            phases,
+        }
+    }
+
+    /// Number of visited vertices.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the trajectory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Index of the heaviest vertex on the path (the "core" of Figure 1).
+    ///
+    /// Returns `None` for an empty trajectory.
+    pub fn peak_index(&self) -> Option<usize> {
+        self.weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+    }
+
+    /// First index in phase 2 ([`Phase::ObjectiveDescent`]), if any.
+    pub fn phase_transition(&self) -> Option<usize> {
+        self.phases.iter().position(|&p| p == Phase::ObjectiveDescent)
+    }
+
+    /// Whether the objective is strictly increasing hop by hop — true for
+    /// every plain greedy path by construction.
+    pub fn objective_monotone(&self) -> bool {
+        self.objectives.windows(2).all(|w| w[1] > w[0])
+    }
+
+    /// The vertices of the underlying record don't travel with the
+    /// trajectory; re-attach them for display purposes.
+    pub fn zip_path<'a>(
+        &'a self,
+        record: &'a RouteRecord,
+    ) -> impl Iterator<Item = (NodeId, f64, f64, Phase)> + 'a {
+        record
+            .path
+            .iter()
+            .zip(self.weights.iter())
+            .zip(self.objectives.iter().zip(self.phases.iter()))
+            .map(|((&v, &w), (&phi, &ph))| (v, w, phi, ph))
+    }
+}
+
+/// A layer of the §8.1 proof structure.
+///
+/// The proof of the main lemma partitions the vertices into layers with
+/// doubly-exponential boundaries: phase-1 layers `A_{1,j}` by weight
+/// (`y_{j+1} = y_j^{γ}`), phase-2 layers `A_{2,j}` by objective
+/// (`ψ_{j+1} = ψ_j^{γ}`), with `γ = γ(ε) = (1−ε)/(β−2)`. Lemma 8.1 proves
+/// the greedy path visits each layer at most once; [`layer_sequence`] lets
+/// experiments measure exactly that.
+///
+/// Ordering follows the paper's traversal order
+/// `A_{1,1} ≺ A_{1,2} ≺ … ≺ A_{2,j} ≺ A_{2,j−1} ≺ …`: weight layers
+/// ascending, then objective layers with *descending* index (larger index =
+/// smaller objective = earlier).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// `A_{1,j}`: weight band `[e^{γ^j}, e^{γ^{j+1}})`.
+    Weight(u32),
+    /// `A_{2,j}`: objective band `(e^{−γ^{j+1}}, e^{−γ^j}]`.
+    Objective(u32),
+}
+
+impl PartialOrd for Layer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Layer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use Layer::*;
+        match (self, other) {
+            (Weight(a), Weight(b)) => a.cmp(b),
+            (Weight(_), Objective(_)) => std::cmp::Ordering::Less,
+            (Objective(_), Weight(_)) => std::cmp::Ordering::Greater,
+            // phase-2 layers are traversed in descending index order
+            (Objective(a), Objective(b)) => b.cmp(a),
+        }
+    }
+}
+
+/// Classifies a vertex into the layer structure of §8.1, with base
+/// landmarks `y_0 = e` (weights) and `ψ_0 = e^{−1}` (objectives).
+///
+/// Phase-2 membership takes precedence (a vertex of `V₂` is classified by
+/// objective even if its weight is large), matching the definition of
+/// `V(w, φ)` in §8.1.
+///
+/// # Panics
+///
+/// Panics unless `β ∈ (2, 3)` and `w ≥ 1`.
+pub fn layer_of(w: f64, phi: f64, beta: f64) -> Layer {
+    let gamma = (1.0 - DEFAULT_EPSILON) / (beta - 2.0);
+    match phase_of(w, phi, beta, DEFAULT_EPSILON) {
+        Phase::WeightClimb => {
+            // j with e^{γ^j} <= w, i.e. γ^j <= ln w
+            let lnw = w.ln();
+            if lnw <= 1.0 {
+                Layer::Weight(0)
+            } else {
+                Layer::Weight(lnw.ln().div_euclid(gamma.ln()).max(0.0) as u32 + 1)
+            }
+        }
+        Phase::ObjectiveDescent => {
+            // j with φ <= e^{−γ^j}, i.e. γ^j <= ln(1/φ)
+            let ln_inv = -phi.ln();
+            // ln_inv may be NaN-free but -inf for phi = +inf (the target)
+            if ln_inv <= 1.0 || ln_inv.is_nan() {
+                Layer::Objective(0)
+            } else {
+                Layer::Objective(ln_inv.ln().div_euclid(gamma.ln()).max(0.0) as u32 + 1)
+            }
+        }
+    }
+}
+
+/// The layer of each visited vertex, in path order.
+///
+/// # Panics
+///
+/// Panics unless `β ∈ (2, 3)`.
+pub fn layer_sequence(trajectory: &Trajectory, wmin: f64, beta: f64) -> Vec<Layer> {
+    trajectory
+        .weights
+        .iter()
+        .zip(&trajectory.objectives)
+        .map(|(&w, &phi)| layer_of((w / wmin).max(1.0), phi, beta))
+        .collect()
+}
+
+/// How many extra visits beyond one-per-layer a path makes — Lemma 8.1
+/// predicts this is 0 for a typical greedy path. (The target itself has
+/// objective `+∞` and classifies into the innermost objective layer;
+/// exclude the final hop before calling if that matters.)
+pub fn layer_revisits(layers: &[Layer]) -> usize {
+    let mut seen = std::collections::HashMap::new();
+    for &l in layers {
+        *seen.entry(l).or_insert(0usize) += 1;
+    }
+    seen.values().map(|&c| c.saturating_sub(1)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_route;
+    use crate::objective::GirgObjective;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use smallworld_models::girg::GirgBuilder;
+
+    fn sample_girg(seed: u64) -> Girg<2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        GirgBuilder::<2>::new(3_000).beta(2.5).sample(&mut rng).unwrap()
+    }
+
+    #[test]
+    fn phase_boundary_matches_formula() {
+        // at β=2.5, ε=0.1: γ = 1.8; w=4 → threshold 4^{-1.8} ≈ 0.0824
+        let threshold = 4.0f64.powf(-1.8);
+        assert_eq!(phase_of(4.0, threshold * 0.99, 2.5, 0.1), Phase::WeightClimb);
+        assert_eq!(
+            phase_of(4.0, threshold * 1.01, 2.5, 0.1),
+            Phase::ObjectiveDescent
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn phase_rejects_bad_beta() {
+        let _ = phase_of(2.0, 0.1, 3.5, 0.1);
+    }
+
+    #[test]
+    fn trajectory_matches_route_length() {
+        let girg = sample_girg(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let obj = GirgObjective::new(&girg);
+        for _ in 0..20 {
+            let s = girg.random_vertex(&mut rng);
+            let t = girg.random_vertex(&mut rng);
+            let r = greedy_route(girg.graph(), &obj, s, t);
+            let traj = Trajectory::extract(&girg, &r);
+            assert_eq!(traj.len(), r.path.len());
+            assert!(!traj.is_empty());
+            assert_eq!(traj.zip_path(&r).count(), r.path.len());
+        }
+    }
+
+    #[test]
+    fn successful_routes_have_monotone_objective() {
+        let girg = sample_girg(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let obj = GirgObjective::new(&girg);
+        let mut checked = 0;
+        for _ in 0..60 {
+            let s = girg.random_vertex(&mut rng);
+            let t = girg.random_vertex(&mut rng);
+            let r = greedy_route(girg.graph(), &obj, s, t);
+            if r.is_success() && r.hops() >= 2 {
+                let traj = Trajectory::extract(&girg, &r);
+                assert!(traj.objective_monotone());
+                checked += 1;
+            }
+        }
+        assert!(checked > 5, "too few successful multi-hop routes");
+    }
+
+    #[test]
+    fn distances_shrink_towards_target_overall() {
+        // the final distance is 0 (target); the first is positive
+        let girg = sample_girg(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let obj = GirgObjective::new(&girg);
+        for _ in 0..40 {
+            let s = girg.random_vertex(&mut rng);
+            let t = girg.random_vertex(&mut rng);
+            if s == t {
+                continue;
+            }
+            let r = greedy_route(girg.graph(), &obj, s, t);
+            if r.is_success() {
+                let traj = Trajectory::extract(&girg, &r);
+                assert_eq!(*traj.distances.last().unwrap(), 0.0);
+                assert!(traj.distances[0] > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn phases_never_revert_on_successful_greedy_paths() {
+        // once the path enters V2 it stays there: φ increases while the
+        // boundary φ = w^{−γ} is the same test each hop. (Not a theorem for
+        // every single path, but overwhelmingly typical; count violations.)
+        let girg = sample_girg(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let obj = GirgObjective::new(&girg);
+        let mut transitions_back = 0;
+        let mut total = 0;
+        for _ in 0..80 {
+            let s = girg.random_vertex(&mut rng);
+            let t = girg.random_vertex(&mut rng);
+            let r = greedy_route(girg.graph(), &obj, s, t);
+            if !r.is_success() {
+                continue;
+            }
+            let traj = Trajectory::extract(&girg, &r);
+            total += 1;
+            let mut seen_descent = false;
+            for &p in &traj.phases {
+                match p {
+                    Phase::ObjectiveDescent => seen_descent = true,
+                    Phase::WeightClimb if seen_descent => {
+                        transitions_back += 1;
+                        break;
+                    }
+                    Phase::WeightClimb => {}
+                }
+            }
+        }
+        assert!(total > 10);
+        assert!(
+            (transitions_back as f64) < 0.2 * total as f64,
+            "{transitions_back}/{total} paths reverted phases"
+        );
+    }
+
+    #[test]
+    fn peak_index_finds_heaviest() {
+        let girg = sample_girg(9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let obj = GirgObjective::new(&girg);
+        for _ in 0..20 {
+            let s = girg.random_vertex(&mut rng);
+            let t = girg.random_vertex(&mut rng);
+            let r = greedy_route(girg.graph(), &obj, s, t);
+            let traj = Trajectory::extract(&girg, &r);
+            let peak = traj.peak_index().unwrap();
+            let max = traj.weights.iter().cloned().fold(f64::MIN, f64::max);
+            assert_eq!(traj.weights[peak], max);
+        }
+    }
+    #[test]
+    fn layer_ordering_follows_traversal() {
+        use Layer::*;
+        assert!(Weight(0) < Weight(1));
+        assert!(Weight(9) < Objective(5));
+        // phase-2 layers traversed in descending index order
+        assert!(Objective(5) < Objective(4));
+        assert!(Objective(1) < Objective(0));
+    }
+
+    #[test]
+    fn layer_of_weight_bands() {
+        // β = 2.5, ε = 0.1 -> γ = 1.8; bands [1,e), [e, e^1.8), [e^1.8, e^3.24)...
+        let phi = 1e-12; // deep in V1
+        assert_eq!(layer_of(1.0, phi, 2.5), Layer::Weight(0));
+        assert_eq!(layer_of(2.0, phi, 2.5), Layer::Weight(0));
+        assert_eq!(layer_of(3.0, phi, 2.5), Layer::Weight(1));
+        assert_eq!(layer_of(5.0, phi, 2.5), Layer::Weight(1));   // e^1.6 < e^1.8
+        assert_eq!(layer_of(7.0, phi, 2.5), Layer::Weight(2));   // e^1.95
+        let boundary = (1.8f64 * 1.8).exp(); // e^{γ^2}
+        assert_eq!(layer_of(boundary * 1.01, phi, 2.5), Layer::Weight(3));
+    }
+
+    #[test]
+    fn layer_of_objective_bands() {
+        // V2 bands by ψ_j = e^{-γ^j} with γ = 1.8; membership in V2
+        // requires φ > w^{-γ}, so pick weights accordingly
+        assert_eq!(layer_of(2.0, 0.9, 2.5), Layer::Objective(0)); // φ > 1/e
+        assert_eq!(layer_of(2.0, 0.3, 2.5), Layer::Objective(1)); // e^{-1.8} < 0.3 < 1/e
+        assert_eq!(layer_of(10.0, 0.1, 2.5), Layer::Objective(2)); // e^{-3.24} < 0.1 < e^{-1.8}
+        assert_eq!(layer_of(2.0, f64::INFINITY, 2.5), Layer::Objective(0));
+    }
+
+    #[test]
+    fn layer_revisit_counting() {
+        use Layer::*;
+        assert_eq!(layer_revisits(&[]), 0);
+        assert_eq!(layer_revisits(&[Weight(0), Weight(1), Objective(2)]), 0);
+        assert_eq!(layer_revisits(&[Weight(0), Weight(0), Weight(1), Weight(0)]), 2);
+    }
+
+    #[test]
+    fn greedy_paths_rarely_revisit_layers() {
+        // Lemma 8.1: a typical greedy path visits each layer at most once
+        let girg = sample_girg(20);
+        let mut rng = StdRng::seed_from_u64(21);
+        let obj = GirgObjective::new(&girg);
+        let mut total_hops = 0usize;
+        let mut revisits = 0usize;
+        for _ in 0..80 {
+            let s = girg.random_vertex(&mut rng);
+            let t = girg.random_vertex(&mut rng);
+            let r = greedy_route(girg.graph(), &obj, s, t);
+            if !r.is_success() || r.hops() < 2 {
+                continue;
+            }
+            let traj = Trajectory::extract(&girg, &r);
+            let layers = layer_sequence(&traj, girg.params().wmin, girg.params().beta);
+            // exclude the target hop (objective +inf)
+            revisits += layer_revisits(&layers[..layers.len() - 1]);
+            total_hops += r.hops();
+        }
+        assert!(total_hops > 50);
+        assert!(
+            (revisits as f64) < 0.25 * total_hops as f64,
+            "{revisits} layer revisits over {total_hops} hops"
+        );
+    }
+}

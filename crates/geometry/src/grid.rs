@@ -1,0 +1,410 @@
+//! Uniform dyadic grids on the torus and Morton-addressed cells.
+//!
+//! A [`Grid`] at `level ℓ` partitions `T^d` into `2^{ℓd}` congruent cubes of
+//! side `2^{-ℓ}`. A [`MortonCell`] identifies one of those cubes by its
+//! z-order prefix, which makes the cell hierarchy (children, parents,
+//! descendant ranges) trivial bit arithmetic. Both are used by the
+//! expected-linear-time GIRG sampler and by the `w`-grid constructions of the
+//! paper (Definition 7.7).
+
+use crate::morton;
+use crate::point::Point;
+
+/// A uniform grid over `T^D` with `2^level` cells per side.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_geometry::{Grid, Point};
+///
+/// let grid: Grid<2> = Grid::new(3); // 8x8 cells
+/// let cell = grid.cell_of(&Point::new([0.6, 0.1]));
+/// assert_eq!(cell.coords::<2>(), [4, 0]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Grid<const D: usize> {
+    level: u32,
+}
+
+impl<const D: usize> Grid<D> {
+    /// Creates a grid with `2^level` cells per side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `D * level > 63` (the Morton code would not fit in `u64`).
+    pub fn new(level: u32) -> Self {
+        assert!(
+            level <= morton::max_level(D),
+            "grid level {level} too deep for dimension {D}"
+        );
+        Grid { level }
+    }
+
+    /// The refinement level of this grid.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Number of cells along each axis (`2^level`).
+    pub fn cells_per_side(&self) -> u32 {
+        1u32 << self.level
+    }
+
+    /// Total number of cells (`2^{level·D}`).
+    pub fn cell_count(&self) -> u64 {
+        1u64 << (self.level as usize * D)
+    }
+
+    /// Side length of each cell (`2^{-level}`).
+    pub fn cell_side(&self) -> f64 {
+        (self.cells_per_side() as f64).recip()
+    }
+
+    /// Volume of each cell (`2^{-level·D}`).
+    pub fn cell_volume(&self) -> f64 {
+        (self.cell_count() as f64).recip()
+    }
+
+    /// Integer cell coordinates of a point.
+    pub fn cell_coords_of(&self, p: &Point<D>) -> [u32; D] {
+        let m = self.cells_per_side();
+        let mut coords = [0u32; D];
+        for (i, c) in coords.iter_mut().enumerate() {
+            // canonical coords are in [0,1), so the cast is in range, but
+            // guard against FP edge cases anyway.
+            *c = ((p.coord(i) * m as f64) as u32).min(m - 1);
+        }
+        coords
+    }
+
+    /// The Morton cell containing a point.
+    pub fn cell_of(&self, p: &Point<D>) -> MortonCell {
+        MortonCell::from_coords(self.cell_coords_of(p), self.level)
+    }
+}
+
+/// A grid cell addressed by its Morton (z-order) prefix at some level.
+///
+/// The `code` has `D * level` significant bits. The cell at level `ℓ`
+/// contains exactly the max-level cells whose codes share its prefix, see
+/// [`MortonCell::descendant_range`].
+///
+/// `MortonCell` is dimension-agnostic (the dimension enters only when
+/// converting to/from integer coordinates), which keeps the sampler's
+/// recursion bookkeeping simple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MortonCell {
+    level: u32,
+    code: u64,
+}
+
+impl MortonCell {
+    /// The single cell at level 0 covering the whole torus.
+    pub const fn root() -> Self {
+        MortonCell { level: 0, code: 0 }
+    }
+
+    /// Creates a cell from a raw Morton code at the given level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code has bits above `D·level` for every plausible `D`;
+    /// since `D` is unknown here we only check `code < 2^63`.
+    pub fn from_code(code: u64, level: u32) -> Self {
+        assert!(code < (1u64 << 63), "morton code out of range");
+        MortonCell { level, code }
+    }
+
+    /// Creates a cell from integer coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`morton::encode`].
+    pub fn from_coords<const D: usize>(coords: [u32; D], level: u32) -> Self {
+        MortonCell {
+            level,
+            code: morton::encode(coords, level),
+        }
+    }
+
+    /// The refinement level of this cell.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// The Morton code (a `D·level`-bit integer).
+    pub fn code(&self) -> u64 {
+        self.code
+    }
+
+    /// Integer coordinates of this cell.
+    pub fn coords<const D: usize>(&self) -> [u32; D] {
+        morton::decode(self.code, self.level)
+    }
+
+    /// The `2^D` children of this cell at level `level + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the children's codes would exceed 63 bits.
+    pub fn children<const D: usize>(&self) -> impl Iterator<Item = MortonCell> {
+        let child_level = self.level + 1;
+        assert!(
+            (D as u32) * child_level <= 63,
+            "cannot refine level {} cell in dimension {D}",
+            self.level
+        );
+        let base = self.code << D;
+        (0..1u64 << D).map(move |k| MortonCell {
+            level: child_level,
+            code: base | k,
+        })
+    }
+
+    /// The parent cell at level `level − 1`, or `None` for the root.
+    pub fn parent<const D: usize>(&self) -> Option<MortonCell> {
+        if self.level == 0 {
+            None
+        } else {
+            Some(MortonCell {
+                level: self.level - 1,
+                code: self.code >> D,
+            })
+        }
+    }
+
+    /// Half-open range of max-level Morton codes covered by this cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_level < self.level()`.
+    pub fn descendant_range<const D: usize>(&self, max_level: u32) -> std::ops::Range<u64> {
+        assert!(
+            max_level >= self.level,
+            "max_level {max_level} below cell level {}",
+            self.level
+        );
+        let shift = (D as u32 * (max_level - self.level)) as u64;
+        let lo = self.code << shift;
+        let hi = (self.code + 1) << shift;
+        lo..hi
+    }
+
+    /// Whether two same-level cells touch on the torus (circular Chebyshev
+    /// index distance ≤ 1 on every axis). A cell is adjacent to itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cells have different levels.
+    pub fn is_adjacent<const D: usize>(&self, other: &MortonCell) -> bool {
+        assert_eq!(self.level, other.level, "cells must share a level");
+        let m = 1u32 << self.level;
+        let a = self.coords::<D>();
+        let b = other.coords::<D>();
+        (0..D).all(|i| circular_gap(a[i], b[i], m) <= 1)
+    }
+
+    /// Minimum torus distance (max norm) between any two points of the two
+    /// same-level cells. Zero iff the cells touch or coincide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cells have different levels.
+    pub fn min_distance<const D: usize>(&self, other: &MortonCell) -> f64 {
+        assert_eq!(self.level, other.level, "cells must share a level");
+        let m = 1u32 << self.level;
+        let side = (m as f64).recip();
+        let a = self.coords::<D>();
+        let b = other.coords::<D>();
+        let mut max_axis = 0u32;
+        for i in 0..D {
+            let g = circular_gap(a[i], b[i], m);
+            let sep = g.saturating_sub(1);
+            if sep > max_axis {
+                max_axis = sep;
+            }
+        }
+        max_axis as f64 * side
+    }
+
+    /// The lower-corner point of this cell on the torus.
+    pub fn lower_corner<const D: usize>(&self) -> Point<D> {
+        let side = ((1u32 << self.level) as f64).recip();
+        let coords = self.coords::<D>();
+        let mut p = [0.0; D];
+        for i in 0..D {
+            p[i] = coords[i] as f64 * side;
+        }
+        Point::new(p)
+    }
+}
+
+/// Circular index distance on a cycle of length `m`.
+#[inline]
+fn circular_gap(a: u32, b: u32, m: u32) -> u32 {
+    let d = a.abs_diff(b);
+    d.min(m - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_basic_quantities() {
+        let g: Grid<2> = Grid::new(3);
+        assert_eq!(g.cells_per_side(), 8);
+        assert_eq!(g.cell_count(), 64);
+        assert!((g.cell_side() - 0.125).abs() < 1e-15);
+        assert!((g.cell_volume() - 1.0 / 64.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn level_zero_grid_has_one_cell() {
+        let g: Grid<3> = Grid::new(0);
+        assert_eq!(g.cell_count(), 1);
+        assert_eq!(g.cell_of(&Point::new([0.9, 0.1, 0.5])), MortonCell::root());
+    }
+
+    #[test]
+    #[should_panic(expected = "too deep")]
+    fn grid_too_deep_panics() {
+        let _: Grid<2> = Grid::new(40);
+    }
+
+    #[test]
+    fn cell_of_boundary_points() {
+        let g: Grid<1> = Grid::new(2);
+        assert_eq!(g.cell_coords_of(&Point::new([0.0])), [0]);
+        assert_eq!(g.cell_coords_of(&Point::new([0.25])), [1]);
+        assert_eq!(g.cell_coords_of(&Point::new([0.999_999_9])), [3]);
+    }
+
+    #[test]
+    fn children_partition_parent_range() {
+        let cell = MortonCell::from_coords([1u32, 2u32], 2);
+        let range = cell.descendant_range::<2>(5);
+        let child_union: u64 = cell
+            .children::<2>()
+            .map(|c| {
+                let r = c.descendant_range::<2>(5);
+                r.end - r.start
+            })
+            .sum();
+        assert_eq!(child_union, range.end - range.start);
+        for c in cell.children::<2>() {
+            assert_eq!(c.parent::<2>(), Some(cell));
+            let r = c.descendant_range::<2>(5);
+            assert!(r.start >= range.start && r.end <= range.end);
+        }
+    }
+
+    #[test]
+    fn root_has_no_parent() {
+        assert_eq!(MortonCell::root().parent::<2>(), None);
+    }
+
+    #[test]
+    fn adjacency_wraps_around() {
+        // cells 0 and 7 on an 8-cycle are adjacent
+        let a = MortonCell::from_coords([0u32], 3);
+        let b = MortonCell::from_coords([7u32], 3);
+        assert!(a.is_adjacent::<1>(&b));
+        assert_eq!(a.min_distance::<1>(&b), 0.0);
+        let c = MortonCell::from_coords([4u32], 3);
+        assert!(!a.is_adjacent::<1>(&c));
+        assert!((a.min_distance::<1>(&c) - 3.0 / 8.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn self_adjacency() {
+        let a = MortonCell::from_coords([3u32, 5u32], 3);
+        assert!(a.is_adjacent::<2>(&a));
+        assert_eq!(a.min_distance::<2>(&a), 0.0);
+    }
+
+    #[test]
+    fn min_distance_2d_uses_max_axis() {
+        // axis gaps (2, 3) cells of side 1/8 -> separations (1, 2) cells
+        let a = MortonCell::from_coords([0u32, 0u32], 3);
+        let b = MortonCell::from_coords([2u32, 3u32], 3);
+        assert!((a.min_distance::<2>(&b) - 2.0 / 8.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lower_corner_is_inside_cell() {
+        let g: Grid<2> = Grid::new(4);
+        let cell = MortonCell::from_coords([7u32, 11u32], 4);
+        assert_eq!(g.cell_of(&cell.lower_corner::<2>()), cell);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cell_roundtrip(a in 0.0..1.0f64, b in 0.0..1.0f64, level in 0u32..10) {
+            let g: Grid<2> = Grid::new(level);
+            let p = Point::new([a, b]);
+            let cell = g.cell_of(&p);
+            // the point's coordinates lie inside the cell's box
+            let corner = cell.lower_corner::<2>();
+            let side = g.cell_side();
+            for i in 0..2 {
+                let lo = corner.coord(i);
+                prop_assert!(p.coord(i) >= lo - 1e-12);
+                prop_assert!(p.coord(i) < lo + side + 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_min_distance_is_lower_bound(
+            a in prop::array::uniform2(0.0..1.0f64),
+            b in prop::array::uniform2(0.0..1.0f64),
+            level in 0u32..8,
+        ) {
+            let g: Grid<2> = Grid::new(level);
+            let (p, q) = (Point::new(a), Point::new(b));
+            let (ca, cb) = (g.cell_of(&p), g.cell_of(&q));
+            prop_assert!(ca.min_distance::<2>(&cb) <= p.distance(&q) + 1e-12);
+        }
+
+        #[test]
+        fn prop_adjacent_iff_zero_distance(x in 0u32..16, y in 0u32..16, u in 0u32..16, v in 0u32..16) {
+            let a = MortonCell::from_coords([x, y], 4);
+            let b = MortonCell::from_coords([u, v], 4);
+            prop_assert_eq!(a.is_adjacent::<2>(&b), a.min_distance::<2>(&b) == 0.0);
+        }
+
+        #[test]
+        fn prop_min_distance_symmetric(x in 0u32..32, u in 0u32..32) {
+            let a = MortonCell::from_coords([x], 5);
+            let b = MortonCell::from_coords([u], 5);
+            prop_assert!((a.min_distance::<1>(&b) - b.min_distance::<1>(&a)).abs() < 1e-15);
+        }
+
+        #[test]
+        fn prop_parent_distance_lower_bounds_child(
+            x in 0u32..16, y in 0u32..16, u in 0u32..16, v in 0u32..16,
+        ) {
+            // coarsening cells can only shrink the min distance
+            let a = MortonCell::from_coords([x, y], 4);
+            let b = MortonCell::from_coords([u, v], 4);
+            let (pa, pb) = (a.parent::<2>().unwrap(), b.parent::<2>().unwrap());
+            prop_assert!(pa.min_distance::<2>(&pb) <= a.min_distance::<2>(&b) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn random_points_fall_in_descendant_range() {
+        // consistency of cell_of with descendant_range through levels
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let fine: Grid<2> = Grid::new(10);
+        let coarse: Grid<2> = Grid::new(4);
+        for _ in 0..200 {
+            let p: Point<2> = Point::random(&mut rng);
+            let fine_code = fine.cell_of(&p).code();
+            let range = coarse.cell_of(&p).descendant_range::<2>(10);
+            assert!(range.contains(&fine_code));
+        }
+    }
+}

@@ -1,0 +1,533 @@
+//! Compressed-sparse-row adjacency with sorted neighbor lists.
+
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a vertex, a dense index in `0..node_count`.
+///
+/// GIRG experiments run at up to a few million vertices, so a `u32` index
+/// halves the adjacency footprint relative to `usize`.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_graph::NodeId;
+///
+/// let v = NodeId::new(7);
+/// assert_eq!(v.index(), 7);
+/// assert_eq!(format!("{v}"), "v7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its raw `u32` index.
+    pub const fn new(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// Creates a node id from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// The raw index as `usize`, for slice indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw index as `u32`.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+/// Error building a [`Graph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint was `>= node_count`.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: NodeId,
+        /// The number of nodes the builder was created with.
+        node_count: usize,
+    },
+    /// An edge connected a node to itself; the models in this workspace are
+    /// simple graphs.
+    SelfLoop {
+        /// The node with the loop.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// An undirected simple graph in compressed-sparse-row form.
+///
+/// Neighbor lists are sorted, so `has_edge` is a binary search and greedy
+/// routing's argmax scans are sequential over contiguous memory.
+///
+/// Build a graph with [`Graph::builder`] or [`Graph::from_edges`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v] .. offsets[v+1]` indexes `targets` for node `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbor lists.
+    targets: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Starts building a graph with a fixed number of nodes.
+    pub fn builder(node_count: usize) -> GraphBuilder {
+        GraphBuilder {
+            node_count,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// Duplicate edges are collapsed. The edge `(u, v)` and `(v, u)` are the
+    /// same edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`] on
+    /// invalid input.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use smallworld_graph::{Graph, NodeId};
+    ///
+    /// let g = Graph::from_edges(3, [(0u32, 1u32), (1, 2), (2, 1)])?;
+    /// assert_eq!(g.edge_count(), 2);
+    /// # Ok::<(), smallworld_graph::GraphError>(())
+    /// ```
+    pub fn from_edges<I, E>(node_count: usize, edges: I) -> Result<Graph, GraphError>
+    where
+        I: IntoIterator<Item = E>,
+        E: Into<(u32, u32)>,
+    {
+        let mut builder = Graph::builder(node_count);
+        for e in edges {
+            let (u, v) = e.into();
+            builder.add_edge(NodeId::new(u), NodeId::new(v))?;
+        }
+        Ok(builder.build())
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// The sorted neighbor list of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.targets[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Whether `{u, v}` is an edge (binary search over `u`'s neighbors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId::new)
+    }
+
+    /// Iterator over each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes()
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+            .filter(|(u, v)| u < v)
+    }
+
+    /// The maximum degree, or 0 for an empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Average degree `2m / n`, or 0 for an empty graph.
+    pub fn average_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            self.targets.len() as f64 / self.node_count() as f64
+        }
+    }
+}
+
+/// Returns a copy of the graph where each edge is independently kept with
+/// probability `keep`, for edge-failure (bond percolation) experiments.
+///
+/// The paper remarks (discussion of Theorem 3.5) that greedy routing is
+/// robust to failing edges — the packet simply takes the next-best
+/// neighbor; `percolate` provides the failure injection for that claim.
+///
+/// # Panics
+///
+/// Panics unless `keep ∈ [0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use smallworld_graph::{csr::percolate, Graph};
+///
+/// let g = Graph::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3)])?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// assert_eq!(percolate(&g, 1.0, &mut rng).edge_count(), 3);
+/// assert_eq!(percolate(&g, 0.0, &mut rng).edge_count(), 0);
+/// # Ok::<(), smallworld_graph::GraphError>(())
+/// ```
+pub fn percolate<R: rand::Rng + ?Sized>(graph: &Graph, keep: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&keep), "keep probability out of range");
+    let mut builder = Graph::builder(graph.node_count());
+    for (u, v) in graph.edges() {
+        if keep >= 1.0 || rng.gen::<f64>() < keep {
+            builder.add_edge(u, v).expect("edge was valid in the source graph");
+        }
+    }
+    builder.build()
+}
+
+/// Returns a copy of the graph where each *vertex* independently survives
+/// with probability `keep`; failed vertices keep their id but lose all
+/// incident edges (site percolation).
+///
+/// Ids are preserved so positions/weights arrays stay aligned — a failed
+/// router in a network doesn't renumber the survivors.
+///
+/// # Panics
+///
+/// Panics unless `keep ∈ [0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use smallworld_graph::{csr::percolate_vertices, Graph};
+///
+/// let g = Graph::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3)])?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let intact = percolate_vertices(&g, 1.0, &mut rng);
+/// assert_eq!(intact.edge_count(), 3);
+/// assert_eq!(intact.node_count(), 4);
+/// # Ok::<(), smallworld_graph::GraphError>(())
+/// ```
+pub fn percolate_vertices<R: rand::Rng + ?Sized>(graph: &Graph, keep: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&keep), "keep probability out of range");
+    let alive: Vec<bool> = (0..graph.node_count())
+        .map(|_| keep >= 1.0 || rng.gen::<f64>() < keep)
+        .collect();
+    let mut builder = Graph::builder(graph.node_count());
+    for (u, v) in graph.edges() {
+        if alive[u.index()] && alive[v.index()] {
+            builder.add_edge(u, v).expect("edge was valid in the source graph");
+        }
+    }
+    builder.build()
+}
+
+/// Incremental builder for [`Graph`]; see [`Graph::builder`].
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    node_count: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is out of range
+    /// and [`GraphError::SelfLoop`] if `u == v`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u.index() >= self.node_count {
+            return Err(GraphError::NodeOutOfRange {
+                node: u,
+                node_count: self.node_count,
+            });
+        }
+        if v.index() >= self.node_count {
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                node_count: self.node_count,
+            });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        self.edges.push((u.raw(), v.raw()));
+        Ok(())
+    }
+
+    /// Number of edges added so far (before deduplication).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the CSR structure. Duplicate edges are collapsed.
+    pub fn build(self) -> Graph {
+        let n = self.node_count;
+        // counting sort into CSR, then sort + dedup each adjacency list
+        let mut deg = vec![0usize; n + 1];
+        for &(u, v) in &self.edges {
+            deg[u as usize + 1] += 1;
+            deg[v as usize + 1] += 1;
+        }
+        let mut offsets = deg;
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut targets = vec![NodeId::default(); offsets[n]];
+        let mut cursor = offsets.clone();
+        for &(u, v) in &self.edges {
+            targets[cursor[u as usize]] = NodeId::new(v);
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize]] = NodeId::new(u);
+            cursor[v as usize] += 1;
+        }
+        // sort and dedup per node, compacting in place
+        let mut write = 0usize;
+        let mut new_offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            let (lo, hi) = (offsets[v], offsets[v + 1]);
+            targets[lo..hi].sort_unstable();
+            let mut prev: Option<NodeId> = None;
+            let start = write;
+            for i in lo..hi {
+                let t = targets[i];
+                if prev != Some(t) {
+                    targets[write] = t;
+                    write += 1;
+                    prev = Some(t);
+                }
+            }
+            new_offsets[v] = start;
+        }
+        new_offsets[n] = write;
+        targets.truncate(write);
+        Graph {
+            offsets: new_offsets,
+            targets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn path_graph(n: u32) -> Graph {
+        Graph::from_edges(n as usize, (0..n - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, Vec::<(u32, u32)>::new()).unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let g = Graph::from_edges(5, [(0u32, 1u32)]).unwrap();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.degree(NodeId::new(4)), 0);
+        assert!(g.neighbors(NodeId::new(3)).is_empty());
+    }
+
+    #[test]
+    fn degrees_and_neighbors_sorted() {
+        let g = Graph::from_edges(4, [(2u32, 0u32), (2, 3), (2, 1)]).unwrap();
+        assert_eq!(g.degree(NodeId::new(2)), 3);
+        let nbrs: Vec<u32> = g.neighbors(NodeId::new(2)).iter().map(|n| n.raw()).collect();
+        assert_eq!(nbrs, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = Graph::from_edges(3, [(0u32, 1u32), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = Graph::builder(3);
+        assert_eq!(
+            b.add_edge(NodeId::new(1), NodeId::new(1)),
+            Err(GraphError::SelfLoop { node: NodeId::new(1) })
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut b = Graph::builder(2);
+        let err = b.add_edge(NodeId::new(0), NodeId::new(5)).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: NodeId::new(5),
+                node_count: 2
+            }
+        );
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn has_edge_symmetric() {
+        let g = path_graph(4);
+        assert!(g.has_edge(NodeId::new(1), NodeId::new(2)));
+        assert!(g.has_edge(NodeId::new(2), NodeId::new(1)));
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(3)));
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let g = Graph::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.iter().all(|(u, v)| u < v));
+    }
+
+    #[test]
+    fn average_degree_of_cycle_is_two() {
+        let n = 10u32;
+        let g = Graph::from_edges(n as usize, (0..n).map(|i| (i, (i + 1) % n))).unwrap();
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn percolate_extremes_and_monotonicity() {
+        use rand::SeedableRng;
+        let g = Graph::from_edges(30, (0u32..29).map(|i| (i, i + 1))).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        assert_eq!(percolate(&g, 1.0, &mut rng).edge_count(), 29);
+        assert_eq!(percolate(&g, 0.0, &mut rng).edge_count(), 0);
+        let half = percolate(&g, 0.5, &mut rng);
+        assert!(half.edge_count() < 29);
+        // surviving edges are a subset
+        for (u, v) in half.edges() {
+            assert!(g.has_edge(u, v));
+        }
+        assert_eq!(half.node_count(), 30);
+    }
+
+    #[test]
+    fn percolate_vertices_isolates_failures() {
+        use rand::SeedableRng;
+        let g = Graph::from_edges(50, (0u32..49).map(|i| (i, i + 1))).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let survived = percolate_vertices(&g, 0.5, &mut rng);
+        assert_eq!(survived.node_count(), 50);
+        assert!(survived.edge_count() < 49);
+        for (u, v) in survived.edges() {
+            assert!(g.has_edge(u, v));
+        }
+        // extremes
+        assert_eq!(percolate_vertices(&g, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(percolate_vertices(&g, 1.0, &mut rng).edge_count(), 49);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percolate_rejects_bad_probability() {
+        use rand::SeedableRng;
+        let g = Graph::from_edges(2, [(0u32, 1u32)]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let _ = percolate(&g, 1.5, &mut rng);
+    }
+
+    #[test]
+    fn node_id_display_and_conversions() {
+        let v: NodeId = 3u32.into();
+        assert_eq!(v, NodeId::from_index(3));
+        assert_eq!(format!("{v}"), "v3");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_csr_invariants(edges in prop::collection::vec((0u32..50, 0u32..50), 0..200)) {
+            let edges: Vec<(u32, u32)> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            let g = Graph::from_edges(50, edges.clone()).unwrap();
+            // symmetry
+            for u in g.nodes() {
+                for &v in g.neighbors(u) {
+                    prop_assert!(g.has_edge(v, u));
+                }
+            }
+            // neighbor lists sorted and strictly increasing
+            for u in g.nodes() {
+                let nbrs = g.neighbors(u);
+                prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+            }
+            // every input edge present
+            for (u, v) in edges {
+                prop_assert!(g.has_edge(NodeId::new(u), NodeId::new(v)));
+            }
+            // handshake lemma
+            let total: usize = g.nodes().map(|v| g.degree(v)).sum();
+            prop_assert_eq!(total, 2 * g.edge_count());
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Compact graph substrate for the small-world reproduction.
+//!
+//! The paper's experiments need exactly four graph facilities, all provided
+//! here with no external dependencies:
+//!
+//! * a memory-compact, cache-friendly adjacency structure ([`Graph`], CSR
+//!   with sorted neighbor lists),
+//! * breadth-first search for shortest paths and stretch measurements
+//!   ([`traversal`]),
+//! * connected components, to condition routing experiments on "s and t in
+//!   the same component" as in Theorems 3.1–3.4 ([`Components`]),
+//! * degree / clustering statistics to validate sampled GIRGs against the
+//!   model's known structural properties ([`stats`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use smallworld_graph::{Graph, NodeId};
+//!
+//! let mut builder = Graph::builder(4);
+//! builder.add_edge(NodeId::new(0), NodeId::new(1))?;
+//! builder.add_edge(NodeId::new(1), NodeId::new(2))?;
+//! let g = builder.build();
+//! assert_eq!(g.degree(NodeId::new(1)), 2);
+//! assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+//! assert!(!g.has_edge(NodeId::new(0), NodeId::new(3)));
+//! # Ok::<(), smallworld_graph::GraphError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod csr;
+pub mod stats;
+pub mod traversal;
+pub mod union_find;
+
+pub use csr::{percolate, percolate_vertices, Graph, GraphBuilder, GraphError, NodeId};
+pub use traversal::{bfs_distance, bfs_distances, double_sweep_diameter, Components};
+pub use union_find::UnionFind;

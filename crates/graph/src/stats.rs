@@ -1,0 +1,224 @@
+//! Structural statistics used to validate sampled graphs against the model.
+//!
+//! The GIRG literature the paper builds on proves that these graphs are
+//! sparse, scale-free with power-law exponent β, and have constant clustering
+//! (§1.1 item (2)). The experiment `exp_structure` measures all of these on
+//! sampled graphs via this module.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::csr::{Graph, NodeId};
+
+/// Degree histogram: `hist[k]` is the number of nodes of degree `k`.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_graph::{stats, Graph};
+///
+/// let g = Graph::from_edges(4, [(0u32, 1u32), (1, 2), (1, 3)])?;
+/// assert_eq!(stats::degree_histogram(&g), vec![0, 3, 0, 1]);
+/// # Ok::<(), smallworld_graph::GraphError>(())
+/// ```
+pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; graph.max_degree() + 1];
+    for v in graph.nodes() {
+        hist[graph.degree(v)] += 1;
+    }
+    hist
+}
+
+/// The local clustering coefficient of `v`: the fraction of neighbor pairs
+/// that are themselves adjacent. Zero for nodes of degree < 2.
+///
+/// # Panics
+///
+/// Panics if `v` is out of range.
+pub fn local_clustering(graph: &Graph, v: NodeId) -> f64 {
+    let nbrs = graph.neighbors(v);
+    let k = nbrs.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if graph.has_edge(a, b) {
+                closed += 1;
+            }
+        }
+    }
+    closed as f64 / (k * (k - 1) / 2) as f64
+}
+
+/// The average local clustering coefficient over all nodes of degree ≥ 2.
+///
+/// Returns 0 if no node has degree ≥ 2. Exact but `O(Σ deg²)`; use
+/// [`sampled_average_clustering`] on large graphs.
+pub fn average_clustering(graph: &Graph) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for v in graph.nodes() {
+        if graph.degree(v) >= 2 {
+            sum += local_clustering(graph, v);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Estimates the average local clustering coefficient from a uniform sample
+/// of `samples` nodes of degree ≥ 2.
+///
+/// Returns 0 if no node has degree ≥ 2.
+pub fn sampled_average_clustering<R: Rng + ?Sized>(
+    graph: &Graph,
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    let eligible: Vec<NodeId> = graph.nodes().filter(|&v| graph.degree(v) >= 2).collect();
+    if eligible.is_empty() {
+        return 0.0;
+    }
+    let chosen: Vec<NodeId> = eligible
+        .choose_multiple(rng, samples.min(eligible.len()))
+        .copied()
+        .collect();
+    let sum: f64 = chosen.iter().map(|&v| local_clustering(graph, v)).sum();
+    sum / chosen.len() as f64
+}
+
+/// Number of triangles in the graph (exact, `O(Σ deg²)` with sorted merges).
+pub fn triangle_count(graph: &Graph) -> usize {
+    let mut count = 0usize;
+    for u in graph.nodes() {
+        for &v in graph.neighbors(u) {
+            if v <= u {
+                continue;
+            }
+            // count common neighbors w with w > v to count each triangle once
+            count += sorted_intersection_above(graph.neighbors(u), graph.neighbors(v), v);
+        }
+    }
+    count
+}
+
+/// Counts elements `> floor` present in both sorted slices.
+fn sorted_intersection_above(a: &[NodeId], b: &[NodeId], floor: NodeId) -> usize {
+    let mut i = a.partition_point(|&x| x <= floor);
+    let mut j = b.partition_point(|&x| x <= floor);
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn triangle_plus_tail() -> Graph {
+        // 0-1-2 triangle with a tail 2-3
+        Graph::from_edges(4, [(0u32, 1u32), (1, 2), (0, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let g = triangle_plus_tail();
+        // degrees: 2, 2, 3, 1
+        assert_eq!(degree_histogram(&g), vec![0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn clustering_of_triangle_nodes() {
+        let g = triangle_plus_tail();
+        assert!((local_clustering(&g, NodeId::new(0)) - 1.0).abs() < 1e-12);
+        assert!((local_clustering(&g, NodeId::new(1)) - 1.0).abs() < 1e-12);
+        // node 2 has neighbors {0,1,3}; only pair (0,1) closed: 1/3
+        assert!((local_clustering(&g, NodeId::new(2)) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local_clustering(&g, NodeId::new(3)), 0.0);
+    }
+
+    #[test]
+    fn average_clustering_skips_low_degree() {
+        let g = triangle_plus_tail();
+        let expected = (1.0 + 1.0 + 1.0 / 3.0) / 3.0;
+        assert!((average_clustering(&g) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_edgeless_graph_is_zero() {
+        let g = Graph::from_edges(3, Vec::<(u32, u32)>::new()).unwrap();
+        assert_eq!(average_clustering(&g), 0.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(sampled_average_clustering(&g, 10, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn triangle_count_examples() {
+        assert_eq!(triangle_count(&triangle_plus_tail()), 1);
+        // K4 has 4 triangles
+        let k4 = Graph::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .unwrap();
+        assert_eq!(triangle_count(&k4), 4);
+        // bipartite C4 has none
+        let c4 = Graph::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(triangle_count(&c4), 0);
+    }
+
+    #[test]
+    fn sampled_clustering_on_full_sample_matches_exact() {
+        let g = triangle_plus_tail();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let sampled = sampled_average_clustering(&g, 100, &mut rng);
+        assert!((sampled - average_clustering(&g)).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_triangles_consistent_with_clustering(
+            edges in prop::collection::vec((0u32..15, 0u32..15), 0..60),
+        ) {
+            // sum over nodes of closed pairs = 3 * triangle count
+            let edges: Vec<(u32, u32)> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            let g = Graph::from_edges(15, edges).unwrap();
+            let mut closed_pairs = 0.0;
+            for v in g.nodes() {
+                let k = g.degree(v);
+                if k >= 2 {
+                    closed_pairs += local_clustering(&g, v) * (k * (k - 1) / 2) as f64;
+                }
+            }
+            prop_assert!((closed_pairs - 3.0 * triangle_count(&g) as f64).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_histogram_sums_to_node_count(
+            edges in prop::collection::vec((0u32..20, 0u32..20), 0..50),
+        ) {
+            let edges: Vec<(u32, u32)> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            let g = Graph::from_edges(20, edges).unwrap();
+            let hist = degree_histogram(&g);
+            prop_assert_eq!(hist.iter().sum::<usize>(), 20);
+            // weighted sum = 2m
+            let stubs: usize = hist.iter().enumerate().map(|(k, c)| k * c).sum();
+            prop_assert_eq!(stubs, 2 * g.edge_count());
+        }
+    }
+}

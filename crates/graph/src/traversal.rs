@@ -1,0 +1,392 @@
+//! Breadth-first search and connected components.
+
+use std::collections::VecDeque;
+
+use crate::csr::{Graph, NodeId};
+use crate::union_find::UnionFind;
+
+/// Distance value used for unreachable nodes in [`bfs_distances`].
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances from `source`.
+///
+/// Unreachable nodes get [`UNREACHABLE`].
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_graph::{bfs_distances, Graph, NodeId};
+///
+/// let g = Graph::from_edges(4, [(0u32, 1u32), (1, 2)])?;
+/// let dist = bfs_distances(&g, NodeId::new(0));
+/// assert_eq!(&dist[..3], &[0, 1, 2]);
+/// assert_eq!(dist[3], smallworld_graph::traversal::UNREACHABLE);
+/// # Ok::<(), smallworld_graph::GraphError>(())
+/// ```
+pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; graph.node_count()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &v in graph.neighbors(u) {
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest-path distance between `s` and `t`, or `None` if disconnected.
+///
+/// Uses bidirectional BFS, which on small-world graphs explores
+/// `O(√(volume))` instead of the whole component — essential for computing
+/// stretch on million-node GIRGs.
+///
+/// # Panics
+///
+/// Panics if `s` or `t` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_graph::{bfs_distance, Graph, NodeId};
+///
+/// let g = Graph::from_edges(5, [(0u32, 1u32), (1, 2), (2, 3)])?;
+/// assert_eq!(bfs_distance(&g, NodeId::new(0), NodeId::new(3)), Some(3));
+/// assert_eq!(bfs_distance(&g, NodeId::new(0), NodeId::new(4)), None);
+/// assert_eq!(bfs_distance(&g, NodeId::new(2), NodeId::new(2)), Some(0));
+/// # Ok::<(), smallworld_graph::GraphError>(())
+/// ```
+pub fn bfs_distance(graph: &Graph, s: NodeId, t: NodeId) -> Option<u32> {
+    if s == t {
+        return Some(0);
+    }
+    let n = graph.node_count();
+    // dist entries: UNREACHABLE = unvisited; otherwise the distance from the
+    // side's source. Two separate maps keep the meeting test simple.
+    let mut dist_s = vec![UNREACHABLE; n];
+    let mut dist_t = vec![UNREACHABLE; n];
+    dist_s[s.index()] = 0;
+    dist_t[t.index()] = 0;
+    let mut frontier_s = vec![s];
+    let mut frontier_t = vec![t];
+    let mut depth_s = 0u32;
+    let mut depth_t = 0u32;
+    let mut best: Option<u32> = None;
+
+    while !frontier_s.is_empty() && !frontier_t.is_empty() {
+        // Any path not yet witnessed by a doubly-discovered vertex is longer
+        // than depth_s + depth_t, so the current best is final once it is at
+        // most that sum.
+        if let Some(b) = best {
+            if b <= depth_s + depth_t {
+                return Some(b);
+            }
+        }
+        // expand the smaller frontier
+        let expand_s = frontier_s.len() <= frontier_t.len();
+        let (frontier, dist_mine, dist_other, depth) = if expand_s {
+            (&mut frontier_s, &mut dist_s, &dist_t, &mut depth_s)
+        } else {
+            (&mut frontier_t, &mut dist_t, &dist_s, &mut depth_t)
+        };
+        let mut next = Vec::new();
+        for &u in frontier.iter() {
+            for &v in graph.neighbors(u) {
+                if dist_mine[v.index()] == UNREACHABLE {
+                    dist_mine[v.index()] = *depth + 1;
+                    if dist_other[v.index()] != UNREACHABLE {
+                        let total = *depth + 1 + dist_other[v.index()];
+                        best = Some(best.map_or(total, |b| b.min(total)));
+                    }
+                    next.push(v);
+                }
+            }
+        }
+        *depth += 1;
+        *frontier = next;
+    }
+    // One side exhausted its component: every s–t path (if any) has been
+    // witnessed, so `best` is exact.
+    best
+}
+
+/// Estimates the diameter (eccentricity of a far pair) by the classic
+/// double-sweep heuristic: BFS from `start`, then BFS from the farthest
+/// vertex found. The result is a lower bound on the true diameter and is
+/// usually tight on small-world graphs.
+///
+/// Returns 0 for graphs with fewer than two reachable vertices.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_graph::{traversal::double_sweep_diameter, Graph, NodeId};
+///
+/// let path = Graph::from_edges(5, (0u32..4).map(|i| (i, i + 1)))?;
+/// assert_eq!(double_sweep_diameter(&path, NodeId::new(2)), 4);
+/// # Ok::<(), smallworld_graph::GraphError>(())
+/// ```
+pub fn double_sweep_diameter(graph: &Graph, start: NodeId) -> u32 {
+    let first = bfs_distances(graph, start);
+    let far = first
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != UNREACHABLE)
+        .max_by_key(|&(_, &d)| d)
+        .map(|(i, _)| NodeId::from_index(i));
+    match far {
+        None => 0,
+        Some(v) => bfs_distances(graph, v)
+            .into_iter()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+            .unwrap_or(0),
+    }
+}
+
+/// Connected components of a graph.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_graph::{Components, Graph, NodeId};
+///
+/// let g = Graph::from_edges(5, [(0u32, 1u32), (1, 2), (3, 4)])?;
+/// let comps = Components::compute(&g);
+/// assert_eq!(comps.count(), 2);
+/// assert!(comps.same_component(NodeId::new(0), NodeId::new(2)));
+/// assert!(!comps.same_component(NodeId::new(0), NodeId::new(3)));
+/// assert_eq!(comps.largest_size(), 3);
+/// # Ok::<(), smallworld_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// Component label per node (dense, `0..count`).
+    label: Vec<u32>,
+    /// Size of each component, indexed by label.
+    sizes: Vec<usize>,
+    /// Label of the largest component (0 if the graph is empty).
+    largest: u32,
+}
+
+impl Components {
+    /// Computes connected components via union–find over the edge list.
+    pub fn compute(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut uf = UnionFind::new(n);
+        for u in graph.nodes() {
+            for &v in graph.neighbors(u) {
+                if u < v {
+                    uf.union(u.index(), v.index());
+                }
+            }
+        }
+        // densify representative ids into labels 0..count
+        let mut label = vec![u32::MAX; n];
+        let mut sizes = Vec::new();
+        let mut rep_label = vec![u32::MAX; n];
+        for (v, l) in label.iter_mut().enumerate() {
+            let r = uf.find(v);
+            if rep_label[r] == u32::MAX {
+                rep_label[r] = sizes.len() as u32;
+                sizes.push(0);
+            }
+            *l = rep_label[r];
+            sizes[rep_label[r] as usize] += 1;
+        }
+        let largest = sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| **s)
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0);
+        Components {
+            label,
+            sizes,
+            largest,
+        }
+    }
+
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// The component label of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn component_of(&self, v: NodeId) -> u32 {
+        self.label[v.index()]
+    }
+
+    /// Whether `u` and `v` lie in the same component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range.
+    pub fn same_component(&self, u: NodeId, v: NodeId) -> bool {
+        self.label[u.index()] == self.label[v.index()]
+    }
+
+    /// Size of the component with the given label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is out of range.
+    pub fn size(&self, label: u32) -> usize {
+        self.sizes[label as usize]
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn largest_size(&self) -> usize {
+        self.sizes.get(self.largest as usize).copied().unwrap_or(0)
+    }
+
+    /// Label of the largest component.
+    pub fn largest_label(&self) -> u32 {
+        self.largest
+    }
+
+    /// Whether `v` belongs to the largest component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn in_largest(&self, v: NodeId) -> bool {
+        self.label[v.index()] == self.largest
+    }
+
+    /// Fraction of nodes in the largest component (0 for an empty graph).
+    pub fn giant_fraction(&self) -> f64 {
+        if self.label.is_empty() {
+            0.0
+        } else {
+            self.largest_size() as f64 / self.label.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cycle(n: u32) -> Graph {
+        Graph::from_edges(n as usize, (0..n).map(|i| (i, (i + 1) % n))).unwrap()
+    }
+
+    #[test]
+    fn bfs_distances_on_cycle() {
+        let g = cycle(8);
+        let d = bfs_distances(&g, NodeId::new(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn bfs_distance_matches_single_source() {
+        let g = cycle(9);
+        let d = bfs_distances(&g, NodeId::new(2));
+        for v in g.nodes() {
+            assert_eq!(bfs_distance(&g, NodeId::new(2), v), Some(d[v.index()]));
+        }
+    }
+
+    #[test]
+    fn bfs_disconnected_returns_none() {
+        let g = Graph::from_edges(4, [(0u32, 1u32), (2, 3)]).unwrap();
+        assert_eq!(bfs_distance(&g, NodeId::new(0), NodeId::new(2)), None);
+    }
+
+    #[test]
+    fn bfs_adjacent_is_one() {
+        let g = Graph::from_edges(2, [(0u32, 1u32)]).unwrap();
+        assert_eq!(bfs_distance(&g, NodeId::new(0), NodeId::new(1)), Some(1));
+    }
+
+    #[test]
+    fn double_sweep_on_cycle_and_path() {
+        use super::double_sweep_diameter;
+        let g = cycle(10);
+        assert_eq!(double_sweep_diameter(&g, NodeId::new(3)), 5);
+        let path = Graph::from_edges(6, (0u32..5).map(|i| (i, i + 1))).unwrap();
+        assert_eq!(double_sweep_diameter(&path, NodeId::new(2)), 5);
+        // isolated start
+        let g = Graph::from_edges(3, [(1u32, 2u32)]).unwrap();
+        assert_eq!(double_sweep_diameter(&g, NodeId::new(0)), 0);
+    }
+
+    #[test]
+    fn components_of_forest() {
+        let g = Graph::from_edges(7, [(0u32, 1u32), (1, 2), (3, 4), (5, 6)]).unwrap();
+        let c = Components::compute(&g);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.largest_size(), 3);
+        assert!(c.in_largest(NodeId::new(2)));
+        assert!((c.giant_fraction() - 3.0 / 7.0).abs() < 1e-12);
+        assert_eq!(c.size(c.largest_label()), 3);
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g = Graph::from_edges(0, Vec::<(u32, u32)>::new()).unwrap();
+        let c = Components::compute(&g);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.largest_size(), 0);
+        assert_eq!(c.giant_fraction(), 0.0);
+    }
+
+    #[test]
+    fn all_isolated() {
+        let g = Graph::from_edges(3, Vec::<(u32, u32)>::new()).unwrap();
+        let c = Components::compute(&g);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.largest_size(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bidirectional_matches_unidirectional(
+            edges in prop::collection::vec((0u32..40, 0u32..40), 0..120),
+            s in 0u32..40,
+            t in 0u32..40,
+        ) {
+            let edges: Vec<(u32, u32)> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            let g = Graph::from_edges(40, edges).unwrap();
+            let d = bfs_distances(&g, NodeId::new(s));
+            let expected = if d[t as usize] == UNREACHABLE { None } else { Some(d[t as usize]) };
+            prop_assert_eq!(bfs_distance(&g, NodeId::new(s), NodeId::new(t)), expected);
+        }
+
+        #[test]
+        fn prop_components_agree_with_bfs(
+            edges in prop::collection::vec((0u32..30, 0u32..30), 0..60),
+        ) {
+            let edges: Vec<(u32, u32)> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            let g = Graph::from_edges(30, edges).unwrap();
+            let c = Components::compute(&g);
+            let d = bfs_distances(&g, NodeId::new(0));
+            for v in g.nodes() {
+                let reachable = d[v.index()] != UNREACHABLE;
+                prop_assert_eq!(reachable, c.same_component(NodeId::new(0), v));
+            }
+            // sizes sum to n
+            let total: usize = (0..c.count() as u32).map(|l| c.size(l)).sum();
+            prop_assert_eq!(total, 30);
+        }
+    }
+}

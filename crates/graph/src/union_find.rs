@@ -1,0 +1,172 @@
+//! Disjoint-set forest (union–find) with path halving and union by size.
+
+/// A disjoint-set forest over `0..len`.
+///
+/// Used for connected components of sampled graphs, where it is faster than
+/// repeated BFS because it streams over the edge list once.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_graph::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(1, 2));
+/// assert_eq!(uf.set_count(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `len` singleton sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds `u32::MAX`.
+    pub fn new(len: usize) -> Self {
+        assert!(u32::try_from(len).is_ok(), "universe too large for u32 indices");
+        UnionFind {
+            parent: (0..len as u32).collect(),
+            size: vec![1; len],
+            sets: len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// The representative of `x`'s set (with path halving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x as usize
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// The size of `x`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.set_count(), 3);
+        assert_eq!(uf.set_size(1), 1);
+        assert!(!uf.connected(0, 2));
+        assert_eq!(uf.len(), 3);
+        assert!(!uf.is_empty());
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2)); // already merged
+        assert_eq!(uf.set_count(), 3);
+        assert_eq!(uf.set_size(2), 3);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.set_count(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_naive_labels(ops in prop::collection::vec((0usize..30, 0usize..30), 0..120)) {
+            let mut uf = UnionFind::new(30);
+            // naive: label vector, relabel on union
+            let mut label: Vec<usize> = (0..30).collect();
+            for (a, b) in ops {
+                uf.union(a, b);
+                let (la, lb) = (label[a], label[b]);
+                if la != lb {
+                    for l in label.iter_mut() {
+                        if *l == lb { *l = la; }
+                    }
+                }
+            }
+            for a in 0..30 {
+                for b in 0..30 {
+                    prop_assert_eq!(uf.connected(a, b), label[a] == label[b]);
+                }
+            }
+            let distinct = {
+                let mut ls: Vec<usize> = label.clone();
+                ls.sort_unstable();
+                ls.dedup();
+                ls.len()
+            };
+            prop_assert_eq!(uf.set_count(), distinct);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Chung–Lu random graphs: the non-geometric baseline.
+//!
+//! In a Chung–Lu graph with weights `w₁, …, w_n`, each pair is independently
+//! an edge with probability `min(1, w_u w_v / Σw)`. Lemma 7.1 shows that a
+//! GIRG has exactly these *marginal* connection probabilities once positions
+//! are integrated out — so the Chung–Lu graph is the natural "GIRG without
+//! geometry" control. It has the same degree sequence but no clustering and
+//! no notion of a position to route towards.
+//!
+//! Sampling uses the Miller–Hagberg skipping algorithm over weight-sorted
+//! vertices, running in `O(n + m)` expected time.
+
+use rand::Rng;
+
+use smallworld_graph::{Graph, NodeId};
+
+use crate::weights::PowerLaw;
+use crate::{check_param, ModelError};
+
+/// A sampled Chung–Lu graph.
+#[derive(Clone, Debug)]
+pub struct ChungLu {
+    graph: Graph,
+    weights: Vec<f64>,
+}
+
+impl ChungLu {
+    /// Samples a Chung–Lu graph from explicit weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if fewer than one weight is
+    /// given or any weight is non-positive or non-finite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::SeedableRng;
+    /// use smallworld_models::chung_lu::ChungLu;
+    ///
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    /// let cl = ChungLu::from_weights(vec![1.0; 500], &mut rng)?;
+    /// // expected degree of every vertex is ~1
+    /// assert!(cl.graph().average_degree() < 3.0);
+    /// # Ok::<(), smallworld_models::ModelError>(())
+    /// ```
+    pub fn from_weights<R: Rng + ?Sized>(
+        weights: Vec<f64>,
+        rng: &mut R,
+    ) -> Result<Self, ModelError> {
+        check_param("n", weights.len() as f64, !weights.is_empty(), "need at least one weight")?;
+        for &w in &weights {
+            check_param("weight", w, w > 0.0 && w.is_finite(), "must be positive and finite")?;
+        }
+        let graph = sample_miller_hagberg(&weights, rng);
+        Ok(ChungLu { graph, weights })
+    }
+
+    /// Samples a Chung–Lu graph with `n` i.i.d. power-law weights —
+    /// the degree-matched twin of a GIRG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for invalid `β`/`w_min` or
+    /// `n == 0`.
+    pub fn power_law<R: Rng + ?Sized>(
+        n: usize,
+        beta: f64,
+        wmin: f64,
+        rng: &mut R,
+    ) -> Result<Self, ModelError> {
+        check_param("n", n as f64, n > 0, "must be positive")?;
+        let pl = PowerLaw::new(beta, wmin)?;
+        let weights: Vec<f64> = (0..n).map(|_| pl.sample(rng)).collect();
+        Self::from_weights(weights, rng)
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The vertex weights, indexed by [`NodeId::index`].
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Weight of one vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn weight(&self, v: NodeId) -> f64 {
+        self.weights[v.index()]
+    }
+}
+
+/// Miller–Hagberg sampling: vertices sorted by decreasing weight; for each
+/// `u`, candidate partners are visited with geometric jumps under the
+/// current probability bound and thinned to the exact probability.
+fn sample_miller_hagberg<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> Graph {
+    let n = weights.len();
+    let total: f64 = weights.iter().sum();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        weights[b as usize]
+            .partial_cmp(&weights[a as usize])
+            .expect("weights are finite")
+    });
+
+    let mut builder = Graph::builder(n);
+    for i in 0..n {
+        let wu = weights[order[i] as usize];
+        let mut j = i + 1;
+        while j < n {
+            // bound valid for all j' >= j because weights are sorted
+            let bound = (wu * weights[order[j] as usize] / total).min(1.0);
+            if bound <= 0.0 {
+                break;
+            }
+            if bound < 1.0 {
+                // skip over failures
+                let u: f64 = 1.0 - rng.gen::<f64>();
+                let skip = (u.ln() / (1.0 - bound).ln()).floor();
+                if skip >= (n - j) as f64 {
+                    break;
+                }
+                j += skip as usize;
+            }
+            let p = (wu * weights[order[j] as usize] / total).min(1.0);
+            if rng.gen::<f64>() * bound < p {
+                builder
+                    .add_edge(NodeId::new(order[i]), NodeId::new(order[j]))
+                    .expect("valid edge");
+            }
+            j += 1;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_weights() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(ChungLu::from_weights(vec![], &mut rng).is_err());
+        assert!(ChungLu::from_weights(vec![1.0, 0.0], &mut rng).is_err());
+        assert!(ChungLu::from_weights(vec![1.0, -2.0], &mut rng).is_err());
+        assert!(ChungLu::from_weights(vec![1.0, f64::NAN], &mut rng).is_err());
+        assert!(ChungLu::power_law(0, 2.5, 1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn expected_degrees_match_weights() {
+        // vertex of weight w has expected degree ~ w (for w << sqrt(total))
+        let mut weights = vec![1.0; 5_000];
+        weights[0] = 50.0;
+        let reps = 30;
+        let mut deg_sum = 0usize;
+        let mut avg_sum = 0.0;
+        for seed in 0..reps {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cl = ChungLu::from_weights(weights.clone(), &mut rng).unwrap();
+            deg_sum += cl.graph().degree(NodeId::new(0));
+            avg_sum += cl.graph().average_degree();
+        }
+        let hub_mean = deg_sum as f64 / reps as f64;
+        // expected degree of hub = w * (total - w)/total ≈ 49.5
+        assert!((hub_mean - 49.5).abs() < 5.0, "hub mean degree {hub_mean}");
+        let avg = avg_sum / reps as f64;
+        assert!((avg - 1.0).abs() < 0.2, "average degree {avg}");
+    }
+
+    #[test]
+    fn matches_naive_sampler_statistically() {
+        // naive O(n^2) reference on the same weights
+        let mut rng = StdRng::seed_from_u64(7);
+        let pl = PowerLaw::new(2.5, 1.0).unwrap();
+        let weights: Vec<f64> = (0..400).map(|_| pl.sample(&mut rng)).collect();
+        let total: f64 = weights.iter().sum();
+        let reps = 60;
+        let mut fast_edges = 0usize;
+        let mut naive_edges = 0usize;
+        for _ in 0..reps {
+            fast_edges += sample_miller_hagberg(&weights, &mut rng).edge_count();
+            let mut count = 0usize;
+            for u in 0..weights.len() {
+                for v in (u + 1)..weights.len() {
+                    let p = (weights[u] * weights[v] / total).min(1.0);
+                    if rng.gen::<f64>() < p {
+                        count += 1;
+                    }
+                }
+            }
+            naive_edges += count;
+        }
+        let (f, s) = (fast_edges as f64 / reps as f64, naive_edges as f64 / reps as f64);
+        let tol = 6.0 * (f.max(s) / reps as f64).sqrt().max(1.0);
+        assert!((f - s).abs() < tol, "fast={f} naive={s} tol={tol}");
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let cl = ChungLu::power_law(2_000, 2.5, 2.0, &mut rng).unwrap();
+        for v in cl.graph().nodes() {
+            let nbrs = cl.graph().neighbors(v);
+            assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+            assert!(!nbrs.contains(&v));
+        }
+    }
+
+    #[test]
+    fn heavy_pair_connects_with_probability_one() {
+        // two vertices with wu·wv >= total must always be adjacent
+        let mut weights = vec![1.0; 100];
+        weights[0] = 40.0;
+        weights[1] = 40.0; // 1600 >= 138
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cl = ChungLu::from_weights(weights.clone(), &mut rng).unwrap();
+            assert!(cl.graph().has_edge(NodeId::new(0), NodeId::new(1)));
+        }
+    }
+
+    #[test]
+    fn weight_accessors() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cl = ChungLu::from_weights(vec![3.0, 4.0], &mut rng).unwrap();
+        assert_eq!(cl.weight(NodeId::new(1)), 4.0);
+        assert_eq!(cl.weights(), &[3.0, 4.0]);
+    }
+}

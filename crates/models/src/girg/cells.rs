@@ -1,0 +1,619 @@
+//! Expected-linear-time GIRG edge sampler.
+//!
+//! Implements the weight-layer / geometric-cell technique of Bringmann,
+//! Keusch and Lengler ("Sampling Geometric Inhomogeneous Random Graphs in
+//! Linear Time", ESA 2017), generalized over a [`ConnectionKernel`]:
+//!
+//! * Vertices are bucketed into **weight layers** `i` with
+//!   `w ∈ [w₀·2^i, w₀·2^{i+1})`.
+//! * Each layer's vertices are sorted by the Morton code of their grid cell
+//!   at a maximum refinement level `L`, so "layer-i vertices inside cell C"
+//!   is one binary search (cells are Morton-prefix ranges).
+//! * For each layer pair `(i, j)` a **comparison level** `ℓ(i,j)` is chosen
+//!   so that cells at that level have volume about
+//!   `w̄_i w̄_j / (w₀ · N)` — the scale below which the connection
+//!   probability saturates.
+//! * A recursion over unordered cell pairs, descending only through
+//!   *adjacent* pairs, emits each vertex pair exactly once:
+//!   - **type I** (adjacent cells at level `ℓ(i,j)`): every pair is examined
+//!     with its exact probability;
+//!   - **type II** (the first level at which a cell pair becomes
+//!     non-adjacent): pairs are drawn by geometric jumps under the kernel's
+//!     rigorous [`upper_bound`](ConnectionKernel::upper_bound) and thinned to
+//!     the exact probability, so the output distribution is unbiased.
+//!
+//! Correctness does not depend on the choice of `ℓ(i,j)` (only efficiency
+//! does); correctness *does* depend on `upper_bound` dominating the
+//! probability on each box, which the kernel tests verify.
+
+use rand::Rng;
+
+use smallworld_geometry::{morton, Grid, MortonCell, Point};
+
+use crate::kernel::ConnectionKernel;
+
+/// Hard cap on the grid depth so `cells_per_side` fits in `u32`.
+const MAX_DEPTH: u32 = 31;
+
+/// Samples the edge set in expected linear time. See the module docs.
+pub fn sample_edges<const D: usize, K, R>(
+    positions: &[Point<D>],
+    weights: &[f64],
+    kernel: &K,
+    rng: &mut R,
+) -> Vec<(u32, u32)>
+where
+    K: ConnectionKernel,
+    R: Rng + ?Sized,
+{
+    let n = positions.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let sampler = CellSampler::new(positions, weights, kernel);
+    let mut edges = Vec::new();
+    sampler.process_pair(MortonCell::root(), MortonCell::root(), rng, &mut edges);
+    edges
+}
+
+/// One weight layer: vertex ids sorted by max-level Morton code.
+struct Layer {
+    /// Sorted `(code, vertex)` pairs.
+    entries: Vec<(u64, u32)>,
+    /// Maximum weight present in this layer (for upper bounds).
+    max_weight: f64,
+}
+
+impl Layer {
+    /// The contiguous slice of vertices inside `cell`.
+    fn slice<const D: usize>(&self, cell: &MortonCell, max_level: u32) -> &[(u64, u32)] {
+        let range = cell.descendant_range::<D>(max_level);
+        let lo = self.entries.partition_point(|&(c, _)| c < range.start);
+        let hi = self.entries.partition_point(|&(c, _)| c < range.end);
+        &self.entries[lo..hi]
+    }
+}
+
+struct CellSampler<'a, const D: usize, K> {
+    positions: &'a [Point<D>],
+    weights: &'a [f64],
+    kernel: &'a K,
+    layers: Vec<Layer>,
+    /// All vertices' max-level codes, sorted — for occupancy pruning.
+    all_codes: Vec<u64>,
+    /// Deepest grid level.
+    max_level: u32,
+    /// `pairs_at_level[ℓ]` = unordered layer pairs with comparison level ℓ.
+    pairs_at_level: Vec<Vec<(usize, usize)>>,
+    /// `pairs_from_level[ℓ]` = unordered layer pairs with comparison level ≥ ℓ.
+    pairs_from_level: Vec<Vec<(usize, usize)>>,
+}
+
+impl<'a, const D: usize, K: ConnectionKernel> CellSampler<'a, D, K> {
+    fn new(positions: &'a [Point<D>], weights: &'a [f64], kernel: &'a K) -> Self {
+        assert!(
+            (1..=3).contains(&D),
+            "cell sampler supports dimensions 1..=3"
+        );
+        let n = positions.len();
+
+        // Deepest level: about one vertex per cell on average.
+        let max_level = (((n as f64).log2() / D as f64).floor() as u32)
+            .clamp(1, morton::max_level(D).min(MAX_DEPTH));
+        let grid: Grid<D> = Grid::new(max_level);
+
+        // Weight layers relative to the smallest weight present.
+        let w0 = weights.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(w0 > 0.0, "weights must be positive");
+        let layer_of = |w: f64| -> usize {
+            // floor(log2(w / w0)), robust to w == w0
+            ((w / w0).log2().floor() as i64).max(0) as usize
+        };
+        let num_layers = weights.iter().map(|&w| layer_of(w)).max().unwrap_or(0) + 1;
+
+        let mut layers: Vec<Layer> = (0..num_layers)
+            .map(|_| Layer {
+                entries: Vec::new(),
+                max_weight: 0.0,
+            })
+            .collect();
+        let mut all_codes = Vec::with_capacity(n);
+        for v in 0..n {
+            let code = grid.cell_of(&positions[v]).code();
+            let li = layer_of(weights[v]);
+            layers[li].entries.push((code, v as u32));
+            if weights[v] > layers[li].max_weight {
+                layers[li].max_weight = weights[v];
+            }
+            all_codes.push(code);
+        }
+        for layer in &mut layers {
+            layer.entries.sort_unstable();
+        }
+        all_codes.sort_unstable();
+
+        // Comparison level per unordered layer pair: the deepest level whose
+        // cell volume is at least  w̄_i w̄_j / (w0 · N).
+        let mut pairs_at_level: Vec<Vec<(usize, usize)>> =
+            (0..=max_level).map(|_| Vec::new()).collect();
+        for i in 0..num_layers {
+            if layers[i].entries.is_empty() {
+                continue;
+            }
+            for j in i..num_layers {
+                if layers[j].entries.is_empty() {
+                    continue;
+                }
+                let vol = (layers[i].max_weight * layers[j].max_weight / (w0 * n as f64)).min(1.0);
+                // want 2^{-ℓD} >= vol  =>  ℓ <= log2(1/vol) / D
+                let level = if vol >= 1.0 {
+                    0
+                } else {
+                    (((1.0 / vol).log2() / D as f64).floor() as u32).min(max_level)
+                };
+                pairs_at_level[level as usize].push((i, j));
+            }
+        }
+        let mut pairs_from_level: Vec<Vec<(usize, usize)>> =
+            (0..=max_level).map(|_| Vec::new()).collect();
+        let mut acc: Vec<(usize, usize)> = Vec::new();
+        for level in (0..=max_level as usize).rev() {
+            acc.extend(pairs_at_level[level].iter().copied());
+            pairs_from_level[level] = acc.clone();
+        }
+
+        CellSampler {
+            positions,
+            weights,
+            kernel,
+            layers,
+            all_codes,
+            max_level,
+            pairs_at_level,
+            pairs_from_level,
+        }
+    }
+
+    fn cell_occupied(&self, cell: &MortonCell) -> bool {
+        let range = cell.descendant_range::<D>(self.max_level);
+        let lo = self.all_codes.partition_point(|&c| c < range.start);
+        lo < self.all_codes.len() && self.all_codes[lo] < range.end
+    }
+
+    /// Recursion over unordered cell pairs (including `a == b`).
+    fn process_pair<R: Rng + ?Sized>(
+        &self,
+        a: MortonCell,
+        b: MortonCell,
+        rng: &mut R,
+        edges: &mut Vec<(u32, u32)>,
+    ) {
+        if !self.cell_occupied(&a) || (a != b && !self.cell_occupied(&b)) {
+            return;
+        }
+        let level = a.level();
+        if a.is_adjacent::<D>(&b) {
+            for &(i, j) in &self.pairs_at_level[level as usize] {
+                self.type_one(a, b, i, j, rng, edges);
+            }
+            if level < self.max_level && !self.pairs_from_level[level as usize + 1].is_empty() {
+                if a == b {
+                    let children: Vec<MortonCell> = a.children::<D>().collect();
+                    for (ci, &ca) in children.iter().enumerate() {
+                        for &cb in &children[ci..] {
+                            self.process_pair(ca, cb, rng, edges);
+                        }
+                    }
+                } else {
+                    for ca in a.children::<D>() {
+                        for cb in b.children::<D>() {
+                            self.process_pair(ca, cb, rng, edges);
+                        }
+                    }
+                }
+            }
+        } else {
+            let min_dist = a.min_distance::<D>(&b);
+            for &(i, j) in &self.pairs_from_level[level as usize] {
+                self.type_two(a, b, i, j, min_dist, rng, edges);
+            }
+        }
+    }
+
+    /// Exact examination of all pairs between adjacent cells for layer pair
+    /// `(i, j)`.
+    fn type_one<R: Rng + ?Sized>(
+        &self,
+        a: MortonCell,
+        b: MortonCell,
+        i: usize,
+        j: usize,
+        rng: &mut R,
+        edges: &mut Vec<(u32, u32)>,
+    ) {
+        if a == b {
+            let ai = self.layers[i].slice::<D>(&a, self.max_level);
+            if i == j {
+                for (k, &(_, u)) in ai.iter().enumerate() {
+                    for &(_, v) in &ai[k + 1..] {
+                        self.flip_exact(u, v, rng, edges);
+                    }
+                }
+            } else {
+                let aj = self.layers[j].slice::<D>(&a, self.max_level);
+                for &(_, u) in ai {
+                    for &(_, v) in aj {
+                        self.flip_exact(u, v, rng, edges);
+                    }
+                }
+            }
+        } else {
+            self.cross_exact(&a, &b, i, j, rng, edges);
+            if i != j {
+                self.cross_exact(&a, &b, j, i, rng, edges);
+            }
+        }
+    }
+
+    /// All pairs between layer `i` of cell `a` and layer `j` of cell `b`
+    /// (disjoint vertex sets), exact probabilities.
+    fn cross_exact<R: Rng + ?Sized>(
+        &self,
+        a: &MortonCell,
+        b: &MortonCell,
+        i: usize,
+        j: usize,
+        rng: &mut R,
+        edges: &mut Vec<(u32, u32)>,
+    ) {
+        let ai = self.layers[i].slice::<D>(a, self.max_level);
+        let bj = self.layers[j].slice::<D>(b, self.max_level);
+        for &(_, u) in ai {
+            for &(_, v) in bj {
+                self.flip_exact(u, v, rng, edges);
+            }
+        }
+    }
+
+    /// Geometric-jump sampling between non-adjacent cells for layer pair
+    /// `(i, j)`: candidates under the upper bound, thinned to exact.
+    #[allow(clippy::too_many_arguments)]
+    fn type_two<R: Rng + ?Sized>(
+        &self,
+        a: MortonCell,
+        b: MortonCell,
+        i: usize,
+        j: usize,
+        min_dist: f64,
+        rng: &mut R,
+        edges: &mut Vec<(u32, u32)>,
+    ) {
+        debug_assert!(a != b);
+        self.jump_sample(&a, &b, i, j, min_dist, rng, edges);
+        if i != j {
+            self.jump_sample(&a, &b, j, i, min_dist, rng, edges);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn jump_sample<R: Rng + ?Sized>(
+        &self,
+        a: &MortonCell,
+        b: &MortonCell,
+        i: usize,
+        j: usize,
+        min_dist: f64,
+        rng: &mut R,
+        edges: &mut Vec<(u32, u32)>,
+    ) {
+        let bound = self
+            .kernel
+            .upper_bound(self.layers[i].max_weight, self.layers[j].max_weight, min_dist);
+        if bound <= 0.0 {
+            return;
+        }
+        let ai = self.layers[i].slice::<D>(a, self.max_level);
+        let bj = self.layers[j].slice::<D>(b, self.max_level);
+        if ai.is_empty() || bj.is_empty() {
+            return;
+        }
+        let total = ai.len() as u64 * bj.len() as u64;
+        if bound >= 1.0 {
+            // no skipping possible; examine all pairs exactly
+            for &(_, u) in ai {
+                for &(_, v) in bj {
+                    self.flip_exact(u, v, rng, edges);
+                }
+            }
+            return;
+        }
+        let log_one_minus = (1.0 - bound).ln();
+        let mut k = geometric_skip(rng, log_one_minus);
+        while k < total {
+            let u = ai[(k / bj.len() as u64) as usize].1;
+            let v = bj[(k % bj.len() as u64) as usize].1;
+            let dist = self.positions[u as usize].distance(&self.positions[v as usize]);
+            let p = self
+                .kernel
+                .probability(self.weights[u as usize], self.weights[v as usize], dist);
+            debug_assert!(
+                p <= bound + 1e-9,
+                "kernel upper bound violated: p={p} bound={bound}"
+            );
+            if rng.gen::<f64>() * bound < p {
+                edges.push(ordered(u, v));
+            }
+            // saturating: a skip of u64::MAX (possible for tiny bounds)
+            // must terminate the loop, not wrap around
+            k = k
+                .saturating_add(1)
+                .saturating_add(geometric_skip(rng, log_one_minus));
+        }
+    }
+
+    #[inline]
+    fn flip_exact<R: Rng + ?Sized>(
+        &self,
+        u: u32,
+        v: u32,
+        rng: &mut R,
+        edges: &mut Vec<(u32, u32)>,
+    ) {
+        let dist = self.positions[u as usize].distance(&self.positions[v as usize]);
+        let p = self
+            .kernel
+            .probability(self.weights[u as usize], self.weights[v as usize], dist);
+        if p >= 1.0 || (p > 0.0 && rng.gen::<f64>() < p) {
+            edges.push(ordered(u, v));
+        }
+    }
+}
+
+#[inline]
+fn ordered(u: u32, v: u32) -> (u32, u32) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// Number of failures before the next success of a Bernoulli(`p`) sequence,
+/// where `log_one_minus = ln(1 − p)` is precomputed.
+#[inline]
+fn geometric_skip<R: Rng + ?Sized>(rng: &mut R, log_one_minus: f64) -> u64 {
+    // U ∈ (0, 1]; skip = floor(ln U / ln(1−p))
+    let u = 1.0 - rng.gen::<f64>();
+    let skip = (u.ln() / log_one_minus).floor();
+    if skip >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        skip as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::girg::naive;
+    use crate::kernel::{Alpha, GirgKernel};
+    use crate::weights::PowerLaw;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    fn random_instance<const D: usize>(
+        n: usize,
+        beta: f64,
+        seed: u64,
+    ) -> (Vec<Point<D>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pl = PowerLaw::new(beta, 1.0).unwrap();
+        let positions = (0..n).map(|_| Point::random(&mut rng)).collect();
+        let weights = (0..n).map(|_| pl.sample(&mut rng)).collect();
+        (positions, weights)
+    }
+
+    fn edge_set(edges: &[(u32, u32)]) -> BTreeSet<(u32, u32)> {
+        edges.iter().copied().collect()
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        let k = GirgKernel::new(Alpha::Finite(2.0), 1.0, 1.0, 10.0, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(sample_edges::<2, _, _>(&[], &[], &k, &mut rng).is_empty());
+        assert!(sample_edges(&[Point::<2>::origin()], &[1.0], &k, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn no_duplicate_edges_or_self_loops() {
+        let (pos, w) = random_instance::<2>(800, 2.5, 1);
+        let k = GirgKernel::new(Alpha::Finite(2.0), 1.0, 1.0, 800.0, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let edges = sample_edges(&pos, &w, &k, &mut rng);
+        let set = edge_set(&edges);
+        assert_eq!(set.len(), edges.len(), "duplicate edges emitted");
+        assert!(edges.iter().all(|&(u, v)| u < v));
+    }
+
+    /// With the threshold kernel the edge set is a deterministic function of
+    /// positions and weights, so the cell sampler must match the naive
+    /// sampler *exactly*.
+    #[test]
+    fn threshold_kernel_matches_naive_exactly() {
+        for (dim_seed, beta) in [(10u64, 2.2), (11, 2.5), (12, 2.9)] {
+            let (pos, w) = random_instance::<2>(600, beta, dim_seed);
+            let k = GirgKernel::new(Alpha::Threshold, 1.3, 1.0, 600.0, 2).unwrap();
+            let mut rng1 = StdRng::seed_from_u64(100);
+            let mut rng2 = StdRng::seed_from_u64(200);
+            let fast = edge_set(&sample_edges(&pos, &w, &k, &mut rng1));
+            let slow = edge_set(&naive::sample_edges(&pos, &w, &k, &mut rng2));
+            assert_eq!(fast, slow, "beta={beta}");
+        }
+    }
+
+    #[test]
+    fn threshold_exact_in_one_and_three_dimensions() {
+        let (pos, w) = random_instance::<1>(500, 2.4, 21);
+        let k = GirgKernel::new(Alpha::Threshold, 1.0, 1.0, 500.0, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let fast = edge_set(&sample_edges(&pos, &w, &k, &mut rng));
+        let slow = edge_set(&naive::sample_edges(&pos, &w, &k, &mut rng));
+        assert_eq!(fast, slow);
+
+        let (pos, w) = random_instance::<3>(400, 2.6, 22);
+        let k = GirgKernel::new(Alpha::Threshold, 1.0, 1.0, 400.0, 3).unwrap();
+        let fast = edge_set(&sample_edges(&pos, &w, &k, &mut rng));
+        let slow = edge_set(&naive::sample_edges(&pos, &w, &k, &mut rng));
+        assert_eq!(fast, slow);
+    }
+
+    /// For finite α the samplers are random, so compare edge-count statistics
+    /// over repetitions of the *same* positions/weights.
+    #[test]
+    fn finite_alpha_edge_counts_match_naive() {
+        let (pos, w) = random_instance::<2>(300, 2.5, 30);
+        let k = GirgKernel::new(Alpha::Finite(2.0), 1.0, 1.0, 300.0, 2).unwrap();
+        let reps = 60;
+        let mut rng = StdRng::seed_from_u64(31);
+        let fast_mean: f64 = (0..reps)
+            .map(|_| sample_edges(&pos, &w, &k, &mut rng).len() as f64)
+            .sum::<f64>()
+            / reps as f64;
+        let slow_mean: f64 = (0..reps)
+            .map(|_| naive::sample_edges(&pos, &w, &k, &mut rng).len() as f64)
+            .sum::<f64>()
+            / reps as f64;
+        // means should agree within a few standard errors; edge count ~ few
+        // hundred with sd ~ sqrt(mean)
+        let tol = 6.0 * (fast_mean.max(slow_mean) / reps as f64).sqrt().max(1.0);
+        assert!(
+            (fast_mean - slow_mean).abs() < tol,
+            "fast={fast_mean} slow={slow_mean} tol={tol}"
+        );
+    }
+
+    #[test]
+    fn per_vertex_degree_distribution_matches() {
+        // compare the degree of one planted heavy vertex across samplers
+        let (mut pos, mut w) = random_instance::<2>(400, 2.5, 40);
+        pos.push(Point::new([0.5, 0.5]));
+        w.push(60.0);
+        let hub = (pos.len() - 1) as u32;
+        let k = GirgKernel::new(Alpha::Finite(1.5), 1.0, 1.0, 400.0, 2).unwrap();
+        let reps = 40;
+        let mut rng = StdRng::seed_from_u64(41);
+        let deg_of = |edges: &[(u32, u32)]| {
+            edges.iter().filter(|&&(u, v)| u == hub || v == hub).count() as f64
+        };
+        let fast: f64 = (0..reps)
+            .map(|_| deg_of(&sample_edges(&pos, &w, &k, &mut rng)))
+            .sum::<f64>()
+            / reps as f64;
+        let slow: f64 = (0..reps)
+            .map(|_| deg_of(&naive::sample_edges(&pos, &w, &k, &mut rng)))
+            .sum::<f64>()
+            / reps as f64;
+        let tol = 6.0 * (fast.max(slow) / reps as f64).sqrt().max(1.0);
+        assert!((fast - slow).abs() < tol, "fast={fast} slow={slow} tol={tol}");
+    }
+
+    #[test]
+    fn identical_weights_single_layer() {
+        // exercises the single-layer path (all weights equal)
+        let mut rng = StdRng::seed_from_u64(50);
+        let pos: Vec<Point<2>> = (0..500).map(|_| Point::random(&mut rng)).collect();
+        let w = vec![1.0; 500];
+        let k = GirgKernel::new(Alpha::Threshold, 2.0, 1.0, 500.0, 2).unwrap();
+        let fast = edge_set(&sample_edges(&pos, &w, &k, &mut rng));
+        let slow = edge_set(&naive::sample_edges(&pos, &w, &k, &mut rng));
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn clustered_positions_are_handled() {
+        // all points inside one tiny ball: everything is type I in one cell
+        let mut rng = StdRng::seed_from_u64(60);
+        let pos: Vec<Point<2>> = (0..200)
+            .map(|_| {
+                let p: Point<2> = Point::random(&mut rng);
+                Point::new([0.4 + 0.001 * p.coord(0), 0.4 + 0.001 * p.coord(1)])
+            })
+            .collect();
+        let w = vec![1.0; 200];
+        let k = GirgKernel::new(Alpha::Threshold, 1.0, 1.0, 200.0, 2).unwrap();
+        let fast = edge_set(&sample_edges(&pos, &w, &k, &mut rng));
+        let slow = edge_set(&naive::sample_edges(&pos, &w, &k, &mut rng));
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn extreme_weight_contrast() {
+        // one vertex of weight ~ n connects to everything; threshold kernel
+        let mut rng = StdRng::seed_from_u64(70);
+        let mut pos: Vec<Point<2>> = (0..300).map(|_| Point::random(&mut rng)).collect();
+        let mut w = vec![1.0; 300];
+        pos.push(Point::new([0.1, 0.9]));
+        w.push(4000.0);
+        let k = GirgKernel::new(Alpha::Threshold, 1.0, 1.0, 300.0, 2).unwrap();
+        let fast = edge_set(&sample_edges(&pos, &w, &k, &mut rng));
+        let slow = edge_set(&naive::sample_edges(&pos, &w, &k, &mut rng));
+        assert_eq!(fast, slow);
+        // the hub reaches every vertex: wu·wv/(wmin n) = 4000/300 > (1/2)^2
+        let hub_degree = fast.iter().filter(|&&(u, v)| u == 300 || v == 300).count();
+        assert_eq!(hub_degree, 300);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+        /// Exactness sweep: for arbitrary parameters of the *threshold*
+        /// kernel the cell sampler must reproduce the naive edge set
+        /// exactly (the graph is a deterministic function of coordinates).
+        #[test]
+        fn prop_threshold_exactness(
+            seed in 0u64..10_000,
+            beta in 2.05..2.95f64,
+            lambda in 0.05..2.0f64,
+            n in 50usize..250,
+        ) {
+            let (pos, w) = random_instance::<2>(n, beta, seed);
+            let k = GirgKernel::new(Alpha::Threshold, lambda, 1.0, n as f64, 2).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xFF);
+            let fast = edge_set(&sample_edges(&pos, &w, &k, &mut rng));
+            let slow = edge_set(&naive::sample_edges(&pos, &w, &k, &mut rng));
+            proptest::prop_assert_eq!(fast, slow);
+        }
+
+        /// The finite-α sampler never emits self-loops, duplicates, or
+        /// unordered pairs, for arbitrary α and λ.
+        #[test]
+        fn prop_output_well_formed(
+            seed in 0u64..10_000,
+            alpha in 1.05..6.0f64,
+            lambda in 0.01..1.5f64,
+        ) {
+            let (pos, w) = random_instance::<2>(150, 2.5, seed);
+            let k = GirgKernel::new(Alpha::Finite(alpha), lambda, 1.0, 150.0, 2).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let edges = sample_edges(&pos, &w, &k, &mut rng);
+            let set = edge_set(&edges);
+            proptest::prop_assert_eq!(set.len(), edges.len());
+            proptest::prop_assert!(edges.iter().all(|&(u, v)| u < v && (v as usize) < 150));
+        }
+    }
+
+    #[test]
+    fn geometric_skip_has_right_mean() {
+        // mean number of failures before success is (1-p)/p
+        let mut rng = StdRng::seed_from_u64(80);
+        let p: f64 = 0.05;
+        let reps = 50_000;
+        let sum: u64 = (0..reps)
+            .map(|_| geometric_skip(&mut rng, (1.0 - p).ln()))
+            .sum();
+        let mean = sum as f64 / reps as f64;
+        let expected = (1.0 - p) / p;
+        assert!((mean - expected).abs() < 0.3, "mean={mean} expected={expected}");
+    }
+}

@@ -1,0 +1,537 @@
+//! Hyperbolic random graphs (Definition 11.1) and their GIRG mapping (§11).
+//!
+//! Vertices live on a hyperbolic disk of radius `R = 2 ln n + C`: the angle
+//! is uniform, the radius has density `α_H sinh(α_H r) / (cosh(α_H R) − 1)`.
+//! In the threshold model (`T = 0`) two vertices are adjacent iff their
+//! hyperbolic distance is at most `R`; for temperature `T ∈ (0, 1)` the edge
+//! probability is `1 / (1 + e^{(d_H − R)/(2T)})`.
+//!
+//! Section 11 of the paper maps these graphs onto one-dimensional GIRGs via
+//!
+//! ```text
+//! w_v = n e^{−r_v / 2},     x_v = θ_v / 2π,
+//! ```
+//!
+//! under which `β = 2 α_H + 1`, `α = 1/T` and `w_min = e^{−C/2}`. We exploit
+//! the same mapping for *sampling*: the [`HyperbolicKernel`] computes the
+//! exact hyperbolic connection probability from mapped weights and torus
+//! distances, and supplies a rigorous upper bound (derived from
+//! `cosh d_H ≥ (1 − cos ν) sinh r_u sinh r_v`) so the expected-linear-time
+//! cell sampler of [`crate::girg`] applies unchanged.
+
+use rand::Rng;
+
+use smallworld_geometry::Point;
+use smallworld_graph::{Graph, NodeId};
+
+use crate::girg::{sample_edges, SamplerAlgorithm};
+use crate::kernel::ConnectionKernel;
+use crate::{check_param, ModelError};
+
+/// `sinh r ≥ SINH_LOWER_C · e^r` for all `r ≥ 1`.
+const SINH_LOWER_C: f64 = (1.0 - 1.0 / (std::f64::consts::E * std::f64::consts::E)) / 2.0;
+
+/// Hyperbolic distance between `(r₁, θ₁)` and `(r₂, θ₂)`.
+///
+/// Uses the numerically stable form
+/// `cosh d = cosh(r₁ − r₂) + (1 − cos Δθ) sinh r₁ sinh r₂` (§11).
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_models::hyperbolic::hyperbolic_distance;
+///
+/// // same point
+/// assert!(hyperbolic_distance(3.0, 1.0, 3.0, 1.0) < 1e-9);
+/// // radial alignment: distance along the ray
+/// assert!((hyperbolic_distance(2.0, 0.5, 5.0, 0.5) - 3.0).abs() < 1e-9);
+/// ```
+pub fn hyperbolic_distance(r1: f64, theta1: f64, r2: f64, theta2: f64) -> f64 {
+    let dtheta = angle_difference(theta1, theta2);
+    let cosh_d = (r1 - r2).cosh() + (1.0 - dtheta.cos()) * r1.sinh() * r2.sinh();
+    // clamp against FP noise below 1.0
+    cosh_d.max(1.0).acosh()
+}
+
+/// Absolute angular difference in `[0, π]`.
+fn angle_difference(theta1: f64, theta2: f64) -> f64 {
+    let two_pi = std::f64::consts::TAU;
+    let d = (theta1 - theta2).rem_euclid(two_pi);
+    d.min(two_pi - d)
+}
+
+/// Parameters of a hyperbolic random graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HrgParams {
+    /// Number of vertices `n`.
+    pub n: usize,
+    /// Radial dispersion `α_H`; the degree power law is `β = 2 α_H + 1`.
+    pub alpha_h: f64,
+    /// Radius offset `C` in `R = 2 ln n + C`; controls the average degree.
+    pub c: f64,
+    /// Temperature `T ∈ [0, 1)`; `0` is the threshold model.
+    pub temperature: f64,
+}
+
+impl HrgParams {
+    /// Disk radius `R = 2 ln n + C`.
+    pub fn disk_radius(&self) -> f64 {
+        2.0 * (self.n as f64).ln() + self.c
+    }
+
+    /// The power-law exponent `β = 2 α_H + 1` of the mapped GIRG.
+    pub fn girg_beta(&self) -> f64 {
+        2.0 * self.alpha_h + 1.0
+    }
+}
+
+/// A sampled hyperbolic random graph.
+#[derive(Clone, Debug)]
+pub struct Hrg {
+    graph: Graph,
+    radii: Vec<f64>,
+    angles: Vec<f64>,
+    params: HrgParams,
+}
+
+impl Hrg {
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Radial coordinates, indexed by [`NodeId::index`].
+    pub fn radii(&self) -> &[f64] {
+        &self.radii
+    }
+
+    /// Angular coordinates in `[0, 2π)`, indexed by [`NodeId::index`].
+    pub fn angles(&self) -> &[f64] {
+        &self.angles
+    }
+
+    /// Model parameters.
+    pub fn params(&self) -> &HrgParams {
+        &self.params
+    }
+
+    /// Hyperbolic distance between two vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> f64 {
+        hyperbolic_distance(
+            self.radii[u.index()],
+            self.angles[u.index()],
+            self.radii[v.index()],
+            self.angles[v.index()],
+        )
+    }
+
+    /// The GIRG weight `w_v = n e^{−r_v/2}` of a vertex under the §11 map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn girg_weight(&self, v: NodeId) -> f64 {
+        self.params.n as f64 * (-self.radii[v.index()] / 2.0).exp()
+    }
+
+    /// The GIRG position `x_v = θ_v / 2π` on `T¹` under the §11 map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn girg_position(&self, v: NodeId) -> Point<1> {
+        Point::new([self.angles[v.index()] / std::f64::consts::TAU])
+    }
+
+    /// A uniformly random vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty.
+    pub fn random_vertex<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        assert!(self.graph.node_count() > 0, "empty hyperbolic random graph");
+        NodeId::from_index(rng.gen_range(0..self.graph.node_count()))
+    }
+}
+
+/// Builder for [`Hrg`].
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use smallworld_models::HrgBuilder;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let hrg = HrgBuilder::new(2_000).alpha_h(0.75).sample(&mut rng)?;
+/// assert_eq!(hrg.graph().node_count(), 2_000);
+/// // β = 2·0.75 + 1 = 2.5
+/// assert!((hrg.params().girg_beta() - 2.5).abs() < 1e-12);
+/// # Ok::<(), smallworld_models::ModelError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct HrgBuilder {
+    n: usize,
+    alpha_h: f64,
+    c: f64,
+    temperature: f64,
+    algorithm: SamplerAlgorithm,
+}
+
+impl HrgBuilder {
+    /// Starts a builder for an `n`-vertex hyperbolic random graph.
+    ///
+    /// Defaults: `α_H = 0.75` (β = 2.5), `C = 0`, `T = 0` (threshold),
+    /// automatic sampler selection.
+    pub fn new(n: usize) -> Self {
+        HrgBuilder {
+            n,
+            alpha_h: 0.75,
+            c: 0.0,
+            temperature: 0.0,
+            algorithm: SamplerAlgorithm::Auto,
+        }
+    }
+
+    /// Sets the radial dispersion `α_H > 1/2` (power law `β = 2α_H + 1`).
+    pub fn alpha_h(mut self, alpha_h: f64) -> Self {
+        self.alpha_h = alpha_h;
+        self
+    }
+
+    /// Sets the radius offset `C` (`R = 2 ln n + C`).
+    pub fn radius_offset(mut self, c: f64) -> Self {
+        self.c = c;
+        self
+    }
+
+    /// Sets the temperature `T ∈ [0, 1)`; `0` is the threshold model.
+    pub fn temperature(mut self, t: f64) -> Self {
+        self.temperature = t;
+        self
+    }
+
+    /// Selects the edge-sampling algorithm.
+    pub fn algorithm(mut self, algorithm: SamplerAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Samples a hyperbolic random graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `n == 0`, `α_H ≤ 1/2`,
+    /// `T ∉ [0, 1)`, or the disk radius `2 ln n + C` is not positive.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Hrg, ModelError> {
+        check_param("n", self.n as f64, self.n > 0, "must be positive")?;
+        check_param(
+            "alpha_h",
+            self.alpha_h,
+            self.alpha_h > 0.5 && self.alpha_h.is_finite(),
+            "must be > 1/2",
+        )?;
+        check_param(
+            "temperature",
+            self.temperature,
+            (0.0..1.0).contains(&self.temperature),
+            "must lie in [0, 1)",
+        )?;
+        let params = HrgParams {
+            n: self.n,
+            alpha_h: self.alpha_h,
+            c: self.c,
+            temperature: self.temperature,
+        };
+        let r_disk = params.disk_radius();
+        check_param("C", self.c, r_disk > 0.0, "disk radius 2 ln n + C must be positive")?;
+
+        // radial inverse-transform: F(r) = (cosh(α r) − 1)/(cosh(α R) − 1)
+        let denom = (self.alpha_h * r_disk).cosh() - 1.0;
+        let mut radii = Vec::with_capacity(self.n);
+        let mut angles = Vec::with_capacity(self.n);
+        for _ in 0..self.n {
+            let u: f64 = rng.gen();
+            radii.push((1.0 + u * denom).acosh() / self.alpha_h);
+            angles.push(rng.gen::<f64>() * std::f64::consts::TAU);
+        }
+
+        // map to 1-d GIRG coordinates and reuse the generic samplers
+        let nf = self.n as f64;
+        let positions: Vec<Point<1>> = angles
+            .iter()
+            .map(|&t| Point::new([t / std::f64::consts::TAU]))
+            .collect();
+        let weights: Vec<f64> = radii.iter().map(|&r| nf * (-r / 2.0).exp()).collect();
+        let kernel = HyperbolicKernel::new(params);
+        let edges = sample_edges(&positions, &weights, &kernel, self.algorithm, rng);
+        let graph = Graph::from_edges(self.n, edges).expect("sampler produces valid simple edges");
+
+        Ok(Hrg {
+            graph,
+            radii,
+            angles,
+            params,
+        })
+    }
+}
+
+/// The hyperbolic connection probability expressed over mapped GIRG
+/// coordinates, with a rigorous box upper bound for the cell sampler.
+///
+/// Probabilities are *exact* (the §11 map is a bijection; radii and angular
+/// differences are recovered exactly from weights and torus distances); only
+/// the upper bound uses inequalities.
+#[derive(Clone, Copy, Debug)]
+pub struct HyperbolicKernel {
+    n: f64,
+    r_disk: f64,
+    temperature: f64,
+    /// Pre-computed constant `e^C π² / (2 c²)` of the bound
+    /// `e^{R − d_H} ≤ K (w_u w_v / (ν n))²`.
+    bound_constant: f64,
+    /// Weights above this correspond to radius < 1, where the `sinh` lower
+    /// bound fails; the upper bound falls back to 1 there.
+    core_weight: f64,
+}
+
+impl HyperbolicKernel {
+    /// Creates the kernel for the given parameters.
+    pub fn new(params: HrgParams) -> Self {
+        let n = params.n as f64;
+        let r_disk = params.disk_radius();
+        let pi = std::f64::consts::PI;
+        HyperbolicKernel {
+            n,
+            r_disk,
+            temperature: params.temperature,
+            bound_constant: params.c.exp() * pi * pi / (2.0 * SINH_LOWER_C * SINH_LOWER_C),
+            core_weight: n * (-0.5f64).exp(),
+        }
+    }
+
+    /// Radius recovered from a mapped weight (`w = n e^{−r/2}`).
+    #[inline]
+    fn radius_of(&self, w: f64) -> f64 {
+        (2.0 * (self.n / w).ln()).max(0.0)
+    }
+}
+
+impl ConnectionKernel for HyperbolicKernel {
+    fn probability(&self, wu: f64, wv: f64, dist: f64) -> f64 {
+        let (ru, rv) = (self.radius_of(wu), self.radius_of(wv));
+        let nu = std::f64::consts::TAU * dist; // angular difference in [0, π]
+        let cosh_d = (ru - rv).cosh() + (1.0 - nu.cos()) * ru.sinh() * rv.sinh();
+        let d = cosh_d.max(1.0).acosh();
+        if self.temperature == 0.0 {
+            if d <= self.r_disk {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            let exponent = (d - self.r_disk) / (2.0 * self.temperature);
+            if exponent > 700.0 {
+                0.0
+            } else {
+                1.0 / (1.0 + exponent.exp())
+            }
+        }
+    }
+
+    fn upper_bound(&self, wu_max: f64, wv_max: f64, min_dist: f64) -> f64 {
+        if min_dist <= 0.0 || wu_max >= self.core_weight || wv_max >= self.core_weight {
+            return 1.0;
+        }
+        let nu_min = std::f64::consts::TAU * min_dist;
+        let ratio = wu_max * wv_max / (nu_min * self.n);
+        // e^{R − d} ≤ bound_exp over the whole box
+        let bound_exp = self.bound_constant * ratio * ratio;
+        if self.temperature == 0.0 {
+            if bound_exp >= 1.0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            bound_exp.powf(1.0 / (2.0 * self.temperature)).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn builder_rejects_invalid_parameters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(HrgBuilder::new(0).sample(&mut rng).is_err());
+        assert!(HrgBuilder::new(10).alpha_h(0.5).sample(&mut rng).is_err());
+        assert!(HrgBuilder::new(10).temperature(1.0).sample(&mut rng).is_err());
+        assert!(HrgBuilder::new(10).temperature(-0.1).sample(&mut rng).is_err());
+        // C so negative the disk radius is negative
+        assert!(HrgBuilder::new(2).radius_offset(-100.0).sample(&mut rng).is_err());
+    }
+
+    #[test]
+    fn distance_symmetry_and_identity() {
+        assert!(hyperbolic_distance(4.0, 2.0, 4.0, 2.0) < 1e-9);
+        let d1 = hyperbolic_distance(3.0, 0.5, 5.0, 2.5);
+        let d2 = hyperbolic_distance(5.0, 2.5, 3.0, 0.5);
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn angle_difference_wraps() {
+        let eps = 1e-9;
+        assert!((angle_difference(0.1, std::f64::consts::TAU - 0.1) - 0.2).abs() < eps);
+        assert!((angle_difference(1.0, 4.0) - 3.0).abs() < eps);
+    }
+
+    #[test]
+    fn radii_lie_in_disk() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hrg = HrgBuilder::new(500).sample(&mut rng).unwrap();
+        let r_disk = hrg.params().disk_radius();
+        assert!(hrg.radii().iter().all(|&r| (0.0..=r_disk).contains(&r)));
+        assert!(hrg
+            .angles()
+            .iter()
+            .all(|&t| (0.0..std::f64::consts::TAU).contains(&t)));
+    }
+
+    #[test]
+    fn threshold_edges_match_distance_rule_exactly() {
+        // the sampled edge set must equal {d_H(u,v) <= R} computed from the
+        // raw hyperbolic coordinates
+        let mut rng = StdRng::seed_from_u64(2);
+        let hrg = HrgBuilder::new(400).radius_offset(1.0).sample(&mut rng).unwrap();
+        let r_disk = hrg.params().disk_radius();
+        let mut expected = BTreeSet::new();
+        for u in 0..400u32 {
+            for v in (u + 1)..400 {
+                if hrg.distance(NodeId::new(u), NodeId::new(v)) <= r_disk {
+                    expected.insert((u, v));
+                }
+            }
+        }
+        let actual: BTreeSet<(u32, u32)> = hrg
+            .graph()
+            .edges()
+            .map(|(u, v)| (u.raw(), v.raw()))
+            .collect();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn cell_sampler_matches_naive_threshold() {
+        // same coordinates, both samplers: threshold model is deterministic
+        for seed in [3u64, 4] {
+            let mut rng1 = StdRng::seed_from_u64(seed);
+            let mut rng2 = StdRng::seed_from_u64(seed);
+            let a = HrgBuilder::new(600)
+                .algorithm(SamplerAlgorithm::CellBased)
+                .sample(&mut rng1)
+                .unwrap();
+            let b = HrgBuilder::new(600)
+                .algorithm(SamplerAlgorithm::Naive)
+                .sample(&mut rng2)
+                .unwrap();
+            // identical rng consumption order for coordinates: radii/angles equal
+            assert_eq!(a.radii(), b.radii());
+            let ea: BTreeSet<_> = a.graph().edges().collect();
+            let eb: BTreeSet<_> = b.graph().edges().collect();
+            assert_eq!(ea, eb, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn girg_mapping_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hrg = HrgBuilder::new(100).sample(&mut rng).unwrap();
+        let nf = 100.0f64;
+        for v in hrg.graph().nodes() {
+            let w = hrg.girg_weight(v);
+            // r = 2 ln(n / w) recovers the radius
+            let r = 2.0 * (nf / w).ln();
+            assert!((r - hrg.radii()[v.index()]).abs() < 1e-9);
+            let x = hrg.girg_position(v);
+            assert!((x.coord(0) * std::f64::consts::TAU - hrg.angles()[v.index()]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn temperature_model_produces_some_long_edges() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cold = HrgBuilder::new(800).sample(&mut rng).unwrap();
+        let warm = HrgBuilder::new(800)
+            .temperature(0.7)
+            .sample(&mut rng)
+            .unwrap();
+        // with positive temperature some edges exceed the disk radius
+        let r_disk = warm.params().disk_radius();
+        let long_edges = warm
+            .graph()
+            .edges()
+            .filter(|&(u, v)| warm.distance(u, v) > r_disk)
+            .count();
+        assert!(long_edges > 0, "temperature model produced no long edges");
+        // and the threshold model has none
+        let cold_long = cold
+            .graph()
+            .edges()
+            .filter(|&(u, v)| cold.distance(u, v) > cold.params().disk_radius())
+            .count();
+        assert_eq!(cold_long, 0);
+    }
+
+    #[test]
+    fn average_degree_grows_with_radius_offset() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let sparse = HrgBuilder::new(1_000).radius_offset(2.0).sample(&mut rng).unwrap();
+        let dense = HrgBuilder::new(1_000).radius_offset(-2.0).sample(&mut rng).unwrap();
+        assert!(
+            dense.graph().average_degree() > sparse.graph().average_degree(),
+            "dense={} sparse={}",
+            dense.graph().average_degree(),
+            sparse.graph().average_degree()
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_kernel_upper_bound_dominates(
+            ru in 1.0..14.0f64, rv in 1.0..14.0f64, dist in 1e-4..0.5f64, t in 0.0..0.9f64,
+        ) {
+            let params = HrgParams { n: 1_000, alpha_h: 0.75, c: 0.5, temperature: t };
+            let k = HyperbolicKernel::new(params);
+            let wu = 1_000.0 * (-ru / 2.0f64).exp();
+            let wv = 1_000.0 * (-rv / 2.0f64).exp();
+            let p = k.probability(wu, wv, dist);
+            // bound over a box containing the point
+            let bound = k.upper_bound(wu * 1.5, wv * 1.5, dist * 0.5);
+            prop_assert!(p <= bound + 1e-12, "p={p} bound={bound}");
+        }
+
+        #[test]
+        fn prop_probability_decreasing_in_angle(
+            ru in 1.0..10.0f64, rv in 1.0..10.0f64, d1 in 1e-4..0.5f64, d2 in 1e-4..0.5f64,
+        ) {
+            let params = HrgParams { n: 500, alpha_h: 0.8, c: 0.0, temperature: 0.3 };
+            let k = HyperbolicKernel::new(params);
+            let wu = 500.0 * (-ru / 2.0f64).exp();
+            let wv = 500.0 * (-rv / 2.0f64).exp();
+            let (lo, hi) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+            prop_assert!(k.probability(wu, wv, lo) >= k.probability(wu, wv, hi) - 1e-12);
+        }
+    }
+}

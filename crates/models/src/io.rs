@@ -1,0 +1,367 @@
+//! Plain-text persistence for sampled GIRGs.
+//!
+//! Sampling a million-vertex GIRG takes tens of seconds; analyses often
+//! want to reuse the same instance across processes or hand it to external
+//! tooling. The format is a deliberately simple line protocol (no binary
+//! deps):
+//!
+//! ```text
+//! smallworld-girg v1 d=2
+//! params intensity=<f> beta=<f> wmin=<f> alpha=<f|inf> lambda=<f> planted=<u>
+//! nodes <count>
+//! v <x_0> … <x_{d-1}> <weight>        (count lines)
+//! edges <count>
+//! e <u> <v>                           (count lines)
+//! ```
+//!
+//! Floating point values round-trip exactly (written with `{:?}`, Rust's
+//! shortest-exact formatting).
+
+use std::io::{BufRead, Write};
+
+use smallworld_geometry::Point;
+use smallworld_graph::Graph;
+
+use crate::girg::{Girg, GirgParams};
+use crate::kernel::Alpha;
+
+/// Error reading or writing a saved GIRG.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input did not match the format; the message names the line.
+    Parse(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse(msg) => write!(f, "malformed girg file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Parse(_) => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes a GIRG in the line format of the [module docs](self).
+///
+/// Accepts any [`Write`]r by value; pass `&mut writer` to keep ownership.
+///
+/// # Errors
+///
+/// Returns [`IoError::Io`] if the writer fails.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use smallworld_models::girg::GirgBuilder;
+/// use smallworld_models::io::{read_girg, write_girg};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let girg = GirgBuilder::<2>::new(100).sample(&mut rng)?;
+/// let mut buffer = Vec::new();
+/// write_girg(&girg, &mut buffer)?;
+/// let restored = read_girg::<2, _>(buffer.as_slice())?;
+/// assert_eq!(restored.graph(), girg.graph());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_girg<const D: usize, W: Write>(girg: &Girg<D>, mut writer: W) -> Result<(), IoError> {
+    let p = girg.params();
+    writeln!(writer, "smallworld-girg v1 d={D}")?;
+    let alpha = match p.alpha {
+        Alpha::Finite(a) => format!("{a:?}"),
+        Alpha::Threshold => "inf".to_string(),
+    };
+    writeln!(
+        writer,
+        "params intensity={:?} beta={:?} wmin={:?} alpha={} lambda={:?} planted={}",
+        p.intensity,
+        p.beta,
+        p.wmin,
+        alpha,
+        p.lambda,
+        girg.planted_count(),
+    )?;
+    writeln!(writer, "nodes {}", girg.node_count())?;
+    for (pos, w) in girg.positions().iter().zip(girg.weights()) {
+        write!(writer, "v")?;
+        for i in 0..D {
+            write!(writer, " {:?}", pos.coord(i))?;
+        }
+        writeln!(writer, " {w:?}")?;
+    }
+    writeln!(writer, "edges {}", girg.graph().edge_count())?;
+    for (u, v) in girg.graph().edges() {
+        writeln!(writer, "e {} {}", u.raw(), v.raw())?;
+    }
+    Ok(())
+}
+
+/// Reads a GIRG written by [`write_girg`].
+///
+/// Accepts any [`BufRead`]er by value; pass `&mut reader` to keep
+/// ownership.
+///
+/// # Errors
+///
+/// Returns [`IoError::Io`] on reader failure and [`IoError::Parse`] if the
+/// contents don't match the format or the declared dimension differs from
+/// `D`.
+pub fn read_girg<const D: usize, R: BufRead>(reader: R) -> Result<Girg<D>, IoError> {
+    let mut lines = reader.lines();
+    let mut next_line = || -> Result<String, IoError> {
+        lines
+            .next()
+            .ok_or_else(|| IoError::Parse("unexpected end of file".into()))?
+            .map_err(IoError::Io)
+    };
+
+    // header
+    let header = next_line()?;
+    let dim: usize = header
+        .strip_prefix("smallworld-girg v1 d=")
+        .and_then(|d| d.parse().ok())
+        .ok_or_else(|| IoError::Parse(format!("bad header: {header}")))?;
+    if dim != D {
+        return Err(IoError::Parse(format!(
+            "file has dimension {dim}, expected {D}"
+        )));
+    }
+
+    // params
+    let params_line = next_line()?;
+    let fields = parse_fields(
+        &params_line,
+        "params",
+        &["intensity", "beta", "wmin", "alpha", "lambda", "planted"],
+    )?;
+    let alpha = if fields[3] == "inf" {
+        Alpha::Threshold
+    } else {
+        Alpha::Finite(parse_f64(&fields[3])?)
+    };
+    let params = GirgParams {
+        intensity: parse_f64(&fields[0])?,
+        beta: parse_f64(&fields[1])?,
+        wmin: parse_f64(&fields[2])?,
+        alpha,
+        lambda: parse_f64(&fields[4])?,
+    };
+    let planted: usize = fields[5]
+        .parse()
+        .map_err(|_| IoError::Parse(format!("bad planted count: {}", fields[5])))?;
+
+    // nodes
+    let nodes_line = next_line()?;
+    let count: usize = nodes_line
+        .strip_prefix("nodes ")
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| IoError::Parse(format!("bad nodes line: {nodes_line}")))?;
+    let mut positions = Vec::with_capacity(count);
+    let mut weights = Vec::with_capacity(count);
+    for _ in 0..count {
+        let line = next_line()?;
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("v") {
+            return Err(IoError::Parse(format!("expected vertex line, got: {line}")));
+        }
+        let mut coords = [0.0; D];
+        for c in &mut coords {
+            *c = parse_f64(
+                parts
+                    .next()
+                    .ok_or_else(|| IoError::Parse(format!("short vertex line: {line}")))?,
+            )?;
+        }
+        let w = parse_f64(
+            parts
+                .next()
+                .ok_or_else(|| IoError::Parse(format!("missing weight: {line}")))?,
+        )?;
+        positions.push(Point::new(coords));
+        weights.push(w);
+    }
+
+    // edges
+    let edges_line = next_line()?;
+    let edge_count: usize = edges_line
+        .strip_prefix("edges ")
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| IoError::Parse(format!("bad edges line: {edges_line}")))?;
+    let mut edges = Vec::with_capacity(edge_count);
+    for _ in 0..edge_count {
+        let line = next_line()?;
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("e") {
+            return Err(IoError::Parse(format!("expected edge line, got: {line}")));
+        }
+        let u: u32 = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| IoError::Parse(format!("bad edge line: {line}")))?;
+        let v: u32 = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| IoError::Parse(format!("bad edge line: {line}")))?;
+        edges.push((u, v));
+    }
+    let graph = Graph::from_edges(count, edges)
+        .map_err(|e| IoError::Parse(format!("invalid edge list: {e}")))?;
+
+    if planted > count {
+        return Err(IoError::Parse(format!(
+            "planted count {planted} exceeds {count} vertices"
+        )));
+    }
+    Ok(Girg::from_parts(graph, positions, weights, params, planted))
+}
+
+/// Parses `key=value` fields in declared order from a `prefix k=v k=v …`
+/// line.
+fn parse_fields(line: &str, prefix: &str, keys: &[&str]) -> Result<Vec<String>, IoError> {
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some(prefix) {
+        return Err(IoError::Parse(format!("expected '{prefix}' line: {line}")));
+    }
+    let mut out = Vec::with_capacity(keys.len());
+    for key in keys {
+        let field = parts
+            .next()
+            .ok_or_else(|| IoError::Parse(format!("missing field {key}: {line}")))?;
+        let value = field
+            .strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix('='))
+            .ok_or_else(|| IoError::Parse(format!("expected {key}=…, got {field}")))?;
+        out.push(value.to_string());
+    }
+    Ok(out)
+}
+
+fn parse_f64(s: &str) -> Result<f64, IoError> {
+    s.parse()
+        .map_err(|_| IoError::Parse(format!("bad float: {s}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::girg::GirgBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(seed: u64) -> Girg<2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        GirgBuilder::<2>::new(200)
+            .beta(2.6)
+            .alpha(2.5)
+            .lambda(0.1)
+            .plant(Point::new([0.5, 0.5]), 7.0)
+            .sample(&mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let girg = sample(1);
+        let mut buf = Vec::new();
+        write_girg(&girg, &mut buf).unwrap();
+        let restored: Girg<2> = read_girg(buf.as_slice()).unwrap();
+        assert_eq!(restored.graph(), girg.graph());
+        assert_eq!(restored.weights(), girg.weights());
+        assert_eq!(restored.params(), girg.params());
+        assert_eq!(restored.planted_count(), girg.planted_count());
+        for (a, b) in restored.positions().iter().zip(girg.positions()) {
+            assert_eq!(a.coords(), b.coords());
+        }
+    }
+
+    #[test]
+    fn threshold_alpha_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let girg = GirgBuilder::<1>::new(100)
+            .alpha(f64::INFINITY)
+            .sample(&mut rng)
+            .unwrap();
+        let mut buf = Vec::new();
+        write_girg(&girg, &mut buf).unwrap();
+        let restored: Girg<1> = read_girg(buf.as_slice()).unwrap();
+        assert!(restored.params().alpha.is_threshold());
+        assert_eq!(restored.graph(), girg.graph());
+    }
+
+    #[test]
+    fn three_dimensional_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let girg = GirgBuilder::<3>::new(150)
+            .beta(2.4)
+            .lambda(0.05)
+            .sample(&mut rng)
+            .unwrap();
+        let mut buf = Vec::new();
+        write_girg(&girg, &mut buf).unwrap();
+        let restored: Girg<3> = read_girg(buf.as_slice()).unwrap();
+        assert_eq!(restored.graph(), girg.graph());
+        for (a, b) in restored.positions().iter().zip(girg.positions()) {
+            assert_eq!(a.coords(), b.coords());
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let girg = sample(3);
+        let mut buf = Vec::new();
+        write_girg(&girg, &mut buf).unwrap();
+        let err = read_girg::<3, _>(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, IoError::Parse(_)), "{err}");
+        assert!(err.to_string().contains("dimension"));
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let girg = sample(4);
+        let mut buf = Vec::new();
+        write_girg(&girg, &mut buf).unwrap();
+        let truncated = &buf[..buf.len() / 2];
+        // cutting mid-file must produce a parse error, never a panic
+        assert!(read_girg::<2, _>(truncated).is_err());
+    }
+
+    #[test]
+    fn garbage_inputs_are_rejected() {
+        for garbage in [
+            "",
+            "not a girg file",
+            "smallworld-girg v1 d=two",
+            "smallworld-girg v1 d=2\nparams nope",
+            "smallworld-girg v1 d=2\nparams intensity=1 beta=2.5 wmin=1 alpha=2 lambda=1 planted=0\nnodes x",
+        ] {
+            assert!(
+                read_girg::<2, _>(garbage.as_bytes()).is_err(),
+                "accepted: {garbage:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = read_girg::<2, _>("bogus".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("malformed"));
+    }
+}

@@ -1,0 +1,573 @@
+//! Kleinberg's small-world model and its "noisy positions" variant (§1.1).
+//!
+//! [`KleinbergLattice`] is the classical model: an `m × m` lattice (we use
+//! the torus lattice for symmetry, matching the paper's own torus
+//! convention) where every node additionally receives `q` long-range
+//! contacts, the contact at lattice distance `k` chosen with probability
+//! proportional to `k^{−r}`. Greedy routing needs `O(log² m²)` steps exactly
+//! at `r = 2` and `m^{Ω(1)}` steps otherwise — the fragile-exponent
+//! shortcoming the paper discusses.
+//!
+//! [`ContinuumKleinberg`] replaces the perfect lattice by uniformly random
+//! positions on `T²` ("in a more realistic model each vertex might choose a
+//! random position", §1.1): local edges connect vertices within a small
+//! radius and long-range edges follow the same `distance^{−αd}` law. The
+//! paper observes that greedy (distance-only) routing then fails with high
+//! probability — experiment `exp_kleinberg` reproduces this.
+
+use rand::Rng;
+
+use smallworld_geometry::{Grid, Point};
+use smallworld_graph::{Graph, NodeId};
+
+use crate::poisson::sample_poisson;
+use crate::{check_param, ModelError};
+
+/// Kleinberg's lattice small-world model on the torus lattice `Z_m × Z_m`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use smallworld_models::KleinbergLattice;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let kl = KleinbergLattice::sample(20, 2.0, 1, &mut rng)?;
+/// assert_eq!(kl.graph().node_count(), 400);
+/// // every node has its 4 lattice neighbors
+/// assert!(kl.graph().nodes().all(|v| kl.graph().degree(v) >= 4));
+/// # Ok::<(), smallworld_models::ModelError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct KleinbergLattice {
+    side: u32,
+    exponent: f64,
+    contacts_per_node: usize,
+    graph: Graph,
+}
+
+impl KleinbergLattice {
+    /// Samples the model: `side × side` torus lattice, long-range exponent
+    /// `r` (Kleinberg's navigable point is `r = d = 2`), `q` long-range
+    /// contacts per node.
+    ///
+    /// Long-range edges are made undirected, following common experimental
+    /// practice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `side < 4` or `r < 0` or
+    /// `r` is not finite.
+    pub fn sample<R: Rng + ?Sized>(
+        side: u32,
+        exponent: f64,
+        contacts_per_node: usize,
+        rng: &mut R,
+    ) -> Result<Self, ModelError> {
+        check_param("side", side as f64, side >= 4, "must be at least 4")?;
+        check_param(
+            "exponent",
+            exponent,
+            exponent >= 0.0 && exponent.is_finite(),
+            "must be finite and non-negative",
+        )?;
+        let n = side as usize * side as usize;
+        let mut builder = Graph::builder(n);
+
+        // lattice edges (torus)
+        for x in 0..side {
+            for y in 0..side {
+                let u = Self::id(side, x, y);
+                let right = Self::id(side, (x + 1) % side, y);
+                let down = Self::id(side, x, (y + 1) % side);
+                builder.add_edge(u, right).expect("valid lattice edge");
+                builder.add_edge(u, down).expect("valid lattice edge");
+            }
+        }
+
+        // long-range contacts: distance k chosen ∝ (number of nodes at
+        // distance k) · k^{−r} = 4k·k^{−r}, for k = 1 .. side/2 − 1 (where
+        // the torus shell size is exactly 4k)
+        let kmax = (side / 2).saturating_sub(1).max(1);
+        let mut cumulative = Vec::with_capacity(kmax as usize);
+        let mut total = 0.0;
+        for k in 1..=kmax {
+            total += 4.0 * (k as f64).powf(1.0 - exponent);
+            cumulative.push(total);
+        }
+        for x in 0..side {
+            for y in 0..side {
+                let u = Self::id(side, x, y);
+                for _ in 0..contacts_per_node {
+                    let target = total * rng.gen::<f64>();
+                    let k = cumulative.partition_point(|&c| c < target) as u32 + 1;
+                    let (dx, dy) = random_shell_offset(k, rng);
+                    let vx = (x as i64 + dx).rem_euclid(side as i64) as u32;
+                    let vy = (y as i64 + dy).rem_euclid(side as i64) as u32;
+                    let v = Self::id(side, vx, vy);
+                    if u != v {
+                        builder.add_edge(u, v).expect("valid long-range edge");
+                    }
+                }
+            }
+        }
+
+        Ok(KleinbergLattice {
+            side,
+            exponent,
+            contacts_per_node,
+            graph: builder.build(),
+        })
+    }
+
+    fn id(side: u32, x: u32, y: u32) -> NodeId {
+        NodeId::new(x * side + y)
+    }
+
+    /// Lattice side length `m`.
+    pub fn side(&self) -> u32 {
+        self.side
+    }
+
+    /// The long-range exponent `r`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Long-range contacts per node `q`.
+    pub fn contacts_per_node(&self) -> usize {
+        self.contacts_per_node
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Lattice coordinates of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn coords(&self, v: NodeId) -> (u32, u32) {
+        let raw = v.raw();
+        assert!(raw < self.side * self.side, "node {v} out of range");
+        (raw / self.side, raw % self.side)
+    }
+
+    /// The node at lattice coordinates `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coordinate is out of range.
+    pub fn node_at(&self, x: u32, y: u32) -> NodeId {
+        assert!(x < self.side && y < self.side, "coordinate out of range");
+        Self::id(self.side, x, y)
+    }
+
+    /// Torus Manhattan distance between two nodes — the quantity greedy
+    /// routing minimizes in Kleinberg's model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range.
+    pub fn lattice_distance(&self, u: NodeId, v: NodeId) -> u32 {
+        let (ux, uy) = self.coords(u);
+        let (vx, vy) = self.coords(v);
+        circ(ux, vx, self.side) + circ(uy, vy, self.side)
+    }
+
+    /// A uniformly random node.
+    pub fn random_vertex<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        NodeId::from_index(rng.gen_range(0..self.graph.node_count()))
+    }
+}
+
+/// Circular axis distance on `Z_m`.
+fn circ(a: u32, b: u32, m: u32) -> u32 {
+    let d = a.abs_diff(b);
+    d.min(m - d)
+}
+
+/// Uniform offset among the `4k` lattice points at Manhattan distance `k`.
+fn random_shell_offset<R: Rng + ?Sized>(k: u32, rng: &mut R) -> (i64, i64) {
+    let idx = rng.gen_range(0..4 * i64::from(k));
+    // parametrize the diamond: walk its perimeter
+    let k = i64::from(k);
+    let (side, off) = (idx / k, idx % k);
+    match side {
+        0 => (off, k - off),        // east-north edge: (0,k) -> (k,0)
+        1 => (k - off, -off),       // north-.. : (k,0) -> (0,-k)
+        2 => (-off, -(k - off)),    // (0,-k) -> (-k,0)
+        _ => (-(k - off), off),     // (-k,0) -> (0,k)
+    }
+}
+
+/// The "noisy positions" Kleinberg variant: random positions on `T²`, local
+/// edges within a radius, long-range edges with a `distance^{−2α}` law.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use smallworld_models::ContinuumKleinberg;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let ck = ContinuumKleinberg::sample(1_000, 1.0, 1, 2.0, &mut rng)?;
+/// assert!(ck.graph().node_count() > 800);
+/// # Ok::<(), smallworld_models::ModelError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ContinuumKleinberg {
+    graph: Graph,
+    positions: Vec<Point<2>>,
+    local_radius: f64,
+}
+
+impl ContinuumKleinberg {
+    /// Samples the continuum model with intensity `n` (Poisson vertex
+    /// count), long-range probability `∝ dist^{−2α·…}` parametrized so that
+    /// `alpha = 1` matches Kleinberg's navigable exponent `r = d`, `q`
+    /// long-range contacts per node, and local edges within max-norm radius
+    /// `(local_degree / (4n))^{1/2}`-ish — concretely radius
+    /// `0.5 · (local_degree / n)^{1/2}` so the expected number of local
+    /// neighbors is `local_degree`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `n == 0`, `alpha ≤ 0`, or
+    /// `local_degree ≤ 0`.
+    pub fn sample<R: Rng + ?Sized>(
+        n: u64,
+        alpha: f64,
+        contacts_per_node: usize,
+        local_degree: f64,
+        rng: &mut R,
+    ) -> Result<Self, ModelError> {
+        check_param("n", n as f64, n > 0, "must be positive")?;
+        check_param("alpha", alpha, alpha > 0.0 && alpha.is_finite(), "must be > 0")?;
+        check_param(
+            "local_degree",
+            local_degree,
+            local_degree > 0.0 && local_degree.is_finite(),
+            "must be > 0",
+        )?;
+
+        let count = sample_poisson(rng, n as f64) as usize;
+        let positions: Vec<Point<2>> = (0..count).map(|_| Point::random(rng)).collect();
+        // expected local degree = n · (2·radius)² (max-norm ball area)
+        let local_radius = 0.5 * (local_degree / n as f64).sqrt();
+
+        // spatial index: grid with cell side >= local_radius
+        let level = ((1.0 / local_radius).log2().floor() as u32).clamp(1, 15);
+        let grid: Grid<2> = Grid::new(level);
+        let cells_per_side = grid.cells_per_side();
+        let mut buckets: Vec<Vec<u32>> =
+            vec![Vec::new(); (cells_per_side as usize) * (cells_per_side as usize)];
+        let bucket_of = |p: &Point<2>| -> usize {
+            let c = grid.cell_coords_of(p);
+            (c[0] as usize) * cells_per_side as usize + c[1] as usize
+        };
+        for (v, p) in positions.iter().enumerate() {
+            buckets[bucket_of(p)].push(v as u32);
+        }
+
+        let mut builder = Graph::builder(count);
+
+        // local edges: scan the 3x3 cell neighborhood
+        for (v, p) in positions.iter().enumerate() {
+            let c = grid.cell_coords_of(p);
+            for dx in -1i64..=1 {
+                for dy in -1i64..=1 {
+                    let bx = (c[0] as i64 + dx).rem_euclid(cells_per_side as i64) as usize;
+                    let by = (c[1] as i64 + dy).rem_euclid(cells_per_side as i64) as usize;
+                    for &u in &buckets[bx * cells_per_side as usize + by] {
+                        if (u as usize) > v && positions[v].distance(&positions[u as usize]) <= local_radius
+                        {
+                            builder
+                                .add_edge(NodeId::from_index(v), NodeId::new(u))
+                                .expect("valid local edge");
+                        }
+                    }
+                }
+            }
+        }
+
+        // long-range edges: radial inverse transform of density ∝ ρ^{1−2α}
+        // on [local_radius, 1/2], uniform direction, partner = nearest vertex
+        for v in 0..count {
+            for _ in 0..contacts_per_node {
+                let rho = sample_radial(local_radius, 0.5, alpha, rng);
+                let phi = rng.gen::<f64>() * std::f64::consts::TAU;
+                let target = positions[v].translate(&[rho * phi.cos(), rho * phi.sin()]);
+                if let Some(u) = nearest_vertex(&target, &positions, &buckets, &grid, v as u32) {
+                    builder
+                        .add_edge(NodeId::from_index(v), NodeId::new(u))
+                        .expect("valid long-range edge");
+                }
+            }
+        }
+
+        Ok(ContinuumKleinberg {
+            graph: builder.build(),
+            positions,
+            local_radius,
+        })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Vertex positions on `T²`.
+    pub fn positions(&self) -> &[Point<2>] {
+        &self.positions
+    }
+
+    /// The local connection radius.
+    pub fn local_radius(&self) -> f64 {
+        self.local_radius
+    }
+
+    /// Position of one vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn position(&self, v: NodeId) -> Point<2> {
+        self.positions[v.index()]
+    }
+
+    /// A uniformly random vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty.
+    pub fn random_vertex<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        assert!(self.graph.node_count() > 0, "empty graph");
+        NodeId::from_index(rng.gen_range(0..self.graph.node_count()))
+    }
+}
+
+/// Inverse-transform sample of density `∝ ρ^{1−2α}` on `[lo, hi]`.
+fn sample_radial<R: Rng + ?Sized>(lo: f64, hi: f64, alpha: f64, rng: &mut R) -> f64 {
+    let u: f64 = rng.gen();
+    let e = 2.0 - 2.0 * alpha; // exponent of the antiderivative ρ^e
+    if e.abs() < 1e-9 {
+        // density ∝ 1/ρ: log-uniform
+        (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+    } else {
+        let (a, b) = (lo.powf(e), hi.powf(e));
+        (a + u * (b - a)).powf(1.0 / e)
+    }
+}
+
+/// Nearest vertex to `target` (excluding `exclude`), via expanding grid rings.
+fn nearest_vertex(
+    target: &Point<2>,
+    positions: &[Point<2>],
+    buckets: &[Vec<u32>],
+    grid: &Grid<2>,
+    exclude: u32,
+) -> Option<u32> {
+    let m = grid.cells_per_side() as i64;
+    let c = grid.cell_coords_of(target);
+    let side = grid.cell_side();
+    let mut best: Option<(f64, u32)> = None;
+    let max_ring = m / 2;
+    for ring in 0..=max_ring {
+        // cells at Chebyshev ring distance `ring`
+        for dx in -ring..=ring {
+            for dy in -ring..=ring {
+                if dx.abs().max(dy.abs()) != ring {
+                    continue;
+                }
+                let bx = (c[0] as i64 + dx).rem_euclid(m) as usize;
+                let by = (c[1] as i64 + dy).rem_euclid(m) as usize;
+                for &u in &buckets[bx * m as usize + by] {
+                    if u == exclude {
+                        continue;
+                    }
+                    let d = target.distance(&positions[u as usize]);
+                    if best.is_none_or(|(bd, _)| d < bd) {
+                        best = Some((d, u));
+                    }
+                }
+            }
+        }
+        // any point in a farther ring is at distance > (ring)·side
+        if let Some((bd, u)) = best {
+            if bd <= ring as f64 * side {
+                return Some(u);
+            }
+        }
+    }
+    best.map(|(_, u)| u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lattice_rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(KleinbergLattice::sample(3, 2.0, 1, &mut rng).is_err());
+        assert!(KleinbergLattice::sample(10, -1.0, 1, &mut rng).is_err());
+        assert!(KleinbergLattice::sample(10, f64::NAN, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn lattice_structure() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kl = KleinbergLattice::sample(8, 2.0, 0, &mut rng).unwrap();
+        // no long-range contacts: pure torus lattice, all degrees exactly 4
+        assert_eq!(kl.graph().node_count(), 64);
+        assert!(kl.graph().nodes().all(|v| kl.graph().degree(v) == 4));
+        assert_eq!(kl.graph().edge_count(), 128);
+    }
+
+    #[test]
+    fn long_range_contacts_add_edges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let kl = KleinbergLattice::sample(16, 2.0, 2, &mut rng).unwrap();
+        // 2 contacts per node beyond the lattice's 512 edges (some dedup)
+        assert!(kl.graph().edge_count() > 512 + 300);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let kl = KleinbergLattice::sample(9, 2.0, 0, &mut rng).unwrap();
+        for x in 0..9 {
+            for y in 0..9 {
+                let v = kl.node_at(x, y);
+                assert_eq!(kl.coords(v), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_distance_is_torus_manhattan() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let kl = KleinbergLattice::sample(10, 2.0, 0, &mut rng).unwrap();
+        let a = kl.node_at(0, 0);
+        let b = kl.node_at(9, 9);
+        // wraps: distance 1+1
+        assert_eq!(kl.lattice_distance(a, b), 2);
+        let c = kl.node_at(5, 5);
+        assert_eq!(kl.lattice_distance(a, c), 10);
+        assert_eq!(kl.lattice_distance(a, a), 0);
+    }
+
+    #[test]
+    fn lattice_neighbors_at_distance_one() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let kl = KleinbergLattice::sample(12, 2.0, 0, &mut rng).unwrap();
+        let v = kl.node_at(3, 3);
+        for &u in kl.graph().neighbors(v) {
+            assert_eq!(kl.lattice_distance(u, v), 1);
+        }
+    }
+
+    #[test]
+    fn shell_offsets_have_right_distance() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for k in 1..8u32 {
+            for _ in 0..100 {
+                let (dx, dy) = random_shell_offset(k, &mut rng);
+                assert_eq!(dx.abs() + dy.abs(), k as i64, "k={k} dx={dx} dy={dy}");
+            }
+        }
+    }
+
+    #[test]
+    fn shell_offsets_cover_all_points() {
+        // for k=2 the 8 shell points should all appear
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            seen.insert(random_shell_offset(2, &mut rng));
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn continuum_rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(ContinuumKleinberg::sample(0, 1.0, 1, 2.0, &mut rng).is_err());
+        assert!(ContinuumKleinberg::sample(100, 0.0, 1, 2.0, &mut rng).is_err());
+        assert!(ContinuumKleinberg::sample(100, 1.0, 1, 0.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn continuum_local_degree_close_to_target() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let ck = ContinuumKleinberg::sample(4_000, 1.0, 0, 6.0, &mut rng).unwrap();
+        let avg = ck.graph().average_degree();
+        assert!((avg - 6.0).abs() < 1.0, "avg={avg}");
+    }
+
+    #[test]
+    fn continuum_local_edges_within_radius() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let ck = ContinuumKleinberg::sample(1_000, 1.0, 0, 4.0, &mut rng).unwrap();
+        for (u, v) in ck.graph().edges() {
+            let d = ck.position(u).distance(&ck.position(v));
+            assert!(d <= ck.local_radius() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn continuum_long_range_edges_exist() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let ck = ContinuumKleinberg::sample(2_000, 1.0, 1, 4.0, &mut rng).unwrap();
+        let long = ck
+            .graph()
+            .edges()
+            .filter(|&(u, v)| ck.position(u).distance(&ck.position(v)) > ck.local_radius())
+            .count();
+        assert!(long > 500, "only {long} long-range edges");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_radial_sample_in_range(alpha in 0.5..3.0f64, seed in 0u64..200) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rho = sample_radial(0.01, 0.5, alpha, &mut rng);
+            prop_assert!((0.01..=0.5).contains(&rho));
+        }
+
+        #[test]
+        fn prop_circ_distance(a in 0u32..20, b in 0u32..20) {
+            let d = circ(a, b, 20);
+            prop_assert!(d <= 10);
+            prop_assert_eq!(d, circ(b, a, 20));
+        }
+    }
+
+    #[test]
+    fn nearest_vertex_finds_the_nearest() {
+        let positions = vec![
+            Point::new([0.1, 0.1]),
+            Point::new([0.9, 0.9]),
+            Point::new([0.5, 0.5]),
+        ];
+        let grid: Grid<2> = Grid::new(3);
+        let m = grid.cells_per_side() as usize;
+        let mut buckets = vec![Vec::new(); m * m];
+        for (v, p) in positions.iter().enumerate() {
+            let c = grid.cell_coords_of(p);
+            buckets[c[0] as usize * m + c[1] as usize].push(v as u32);
+        }
+        let target = Point::new([0.52, 0.52]);
+        assert_eq!(nearest_vertex(&target, &positions, &buckets, &grid, 99), Some(2));
+        // excluding the nearest falls back to the next one (wrap-aware)
+        let near_origin = Point::new([0.95, 0.95]);
+        assert_eq!(nearest_vertex(&near_origin, &positions, &buckets, &grid, 1), Some(0));
+    }
+}

@@ -1,0 +1,141 @@
+//! Exact Poisson sampling.
+//!
+//! The GIRG vertex set is a Poisson point process of intensity `n` on the
+//! torus (§2.1), realized as `N ~ Pois(n)` i.i.d. uniform points. We sample
+//! `N` *exactly* (no normal approximation): the layer arguments of the paper
+//! lean on independence of disjoint regions, which only holds for the true
+//! Poisson distribution.
+
+use rand::Rng;
+
+/// Largest chunk mean for Knuth's product method; `e^{-CHUNK}` is still
+/// comfortably inside `f64` range and the loop stays short.
+const CHUNK: f64 = 16.0;
+
+/// Samples `Pois(lambda)` exactly.
+///
+/// Uses Knuth's product-of-uniforms method on chunks of mean ≤ 16 and sums
+/// the chunks (a sum of independent Poissons is Poisson). Runs in `O(λ)`
+/// expected time, which is fine for the one draw per sampled graph.
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or not finite.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use smallworld_models::poisson::sample_poisson;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let n = sample_poisson(&mut rng, 1000.0);
+/// assert!((700..1300).contains(&(n as i64)));
+/// assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+/// ```
+pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "Poisson rate must be finite and non-negative, got {lambda}"
+    );
+    let mut remaining = lambda;
+    let mut total = 0u64;
+    while remaining > CHUNK {
+        total += knuth(rng, CHUNK);
+        remaining -= CHUNK;
+    }
+    total + knuth(rng, remaining)
+}
+
+/// Knuth's method for small means: count uniforms until their product drops
+/// below `e^{-λ}`.
+fn knuth<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let threshold = (-lambda).exp();
+    let mut product = 1.0f64;
+    let mut count = 0u64;
+    loop {
+        product *= rng.gen::<f64>();
+        if product <= threshold {
+            return count;
+        }
+        count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn moments(lambda: f64, reps: usize, seed: u64) -> (f64, f64) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let samples: Vec<f64> = (0..reps)
+            .map(|_| sample_poisson(&mut rng, lambda) as f64)
+            .collect();
+        let mean = samples.iter().sum::<f64>() / reps as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (reps - 1) as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn zero_rate_gives_zero() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_panics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let _ = sample_poisson(&mut rng, -1.0);
+    }
+
+    #[test]
+    fn small_mean_matches_moments() {
+        let (mean, var) = moments(3.0, 60_000, 1);
+        assert!((mean - 3.0).abs() < 0.05, "mean={mean}");
+        assert!((var - 3.0).abs() < 0.15, "var={var}");
+    }
+
+    #[test]
+    fn chunked_mean_matches_moments() {
+        // exercises the chunking path (λ > 16)
+        let (mean, var) = moments(100.0, 20_000, 2);
+        assert!((mean - 100.0).abs() < 0.5, "mean={mean}");
+        assert!((var - 100.0).abs() < 5.0, "var={var}");
+    }
+
+    #[test]
+    fn large_mean_is_concentrated() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let x = sample_poisson(&mut rng, 1e5) as f64;
+            // 10 standard deviations
+            assert!((x - 1e5).abs() < 10.0 * (1e5f64).sqrt());
+        }
+    }
+
+    #[test]
+    fn pmf_at_zero_matches() {
+        // Pr[Pois(2) = 0] = e^{-2} ≈ 0.1353
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let reps = 100_000;
+        let zeros = (0..reps)
+            .filter(|_| sample_poisson(&mut rng, 2.0) == 0)
+            .count();
+        let f = zeros as f64 / reps as f64;
+        assert!((f - (-2.0f64).exp()).abs() < 0.005, "f={f}");
+    }
+
+    #[test]
+    fn boundary_chunk_rate() {
+        // λ exactly at the chunk size
+        let (mean, _) = moments(16.0, 40_000, 5);
+        assert!((mean - 16.0).abs() < 0.15, "mean={mean}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Power-law weight distributions (§2.1, "Weights").
+//!
+//! Each GIRG vertex draws an i.i.d. weight with density
+//! `f(w) = (β−1) w_min^{β−1} w^{−β}` for `w ≥ w_min`, so that
+//! `Pr[W ≥ w] = (w / w_min)^{1−β}`. The weight of a vertex is (up to
+//! constants) its expected degree, see Lemma 7.2.
+
+use rand::Rng;
+
+use crate::{check_param, ModelError};
+
+/// A Pareto (pure power-law) distribution with tail exponent `β` and minimum
+/// `w_min`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use smallworld_models::PowerLaw;
+///
+/// let pl = PowerLaw::new(2.5, 1.0)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let w = pl.sample(&mut rng);
+/// assert!(w >= 1.0);
+/// // mean is w_min (β−1)/(β−2) = 3 for β = 2.5
+/// assert_eq!(pl.mean(), Some(3.0));
+/// # Ok::<(), smallworld_models::ModelError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerLaw {
+    beta: f64,
+    wmin: f64,
+}
+
+impl PowerLaw {
+    /// Creates a power law with tail exponent `beta` and minimum `wmin`.
+    ///
+    /// The GIRG model restricts `β ∈ (2, 3)`; that restriction is enforced by
+    /// the GIRG builder, not here, so that baselines (e.g. Chung–Lu with
+    /// other exponents) can reuse this type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] unless `beta > 1` (otherwise
+    /// the density is not normalizable) and `wmin > 0`.
+    pub fn new(beta: f64, wmin: f64) -> Result<Self, ModelError> {
+        check_param("beta", beta, beta > 1.0 && beta.is_finite(), "must be > 1")?;
+        check_param("wmin", wmin, wmin > 0.0 && wmin.is_finite(), "must be > 0")?;
+        Ok(PowerLaw { beta, wmin })
+    }
+
+    /// The tail exponent β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The minimum weight `w_min`.
+    pub fn wmin(&self) -> f64 {
+        self.wmin
+    }
+
+    /// Draws one weight by inverse-transform sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // U ∈ (0, 1]; using 1−gen::<f64>() avoids U = 0 (infinite weight)
+        let u = 1.0 - rng.gen::<f64>();
+        self.quantile(1.0 - u)
+    }
+
+    /// The complementary CDF `Pr[W ≥ w] = (w / w_min)^{1−β}` (1 for
+    /// `w ≤ w_min`).
+    pub fn ccdf(&self, w: f64) -> f64 {
+        if w <= self.wmin {
+            1.0
+        } else {
+            (w / self.wmin).powf(1.0 - self.beta)
+        }
+    }
+
+    /// The quantile function: the `q`-quantile of the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1)`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..1.0).contains(&q), "quantile order {q} not in [0,1)");
+        self.wmin * (1.0 - q).powf(-1.0 / (self.beta - 1.0))
+    }
+
+    /// The mean `w_min (β−1)/(β−2)`, or `None` if `β ≤ 2` (infinite mean).
+    pub fn mean(&self) -> Option<f64> {
+        if self.beta > 2.0 {
+            Some(self.wmin * (self.beta - 1.0) / (self.beta - 2.0))
+        } else {
+            None
+        }
+    }
+
+    /// Expected number of weights `≥ w` among `n` i.i.d. draws.
+    pub fn expected_count_above(&self, n: f64, w: f64) -> f64 {
+        n * self.ccdf(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(PowerLaw::new(1.0, 1.0).is_err());
+        assert!(PowerLaw::new(0.5, 1.0).is_err());
+        assert!(PowerLaw::new(2.5, 0.0).is_err());
+        assert!(PowerLaw::new(2.5, -1.0).is_err());
+        assert!(PowerLaw::new(f64::NAN, 1.0).is_err());
+        assert!(PowerLaw::new(2.5, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let pl = PowerLaw::new(2.7, 1.5).unwrap();
+        assert_eq!(pl.beta(), 2.7);
+        assert_eq!(pl.wmin(), 1.5);
+    }
+
+    #[test]
+    fn samples_at_least_wmin() {
+        let pl = PowerLaw::new(2.5, 2.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            assert!(pl.sample(&mut rng) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn ccdf_values() {
+        let pl = PowerLaw::new(3.0, 1.0).unwrap();
+        assert_eq!(pl.ccdf(0.5), 1.0);
+        assert_eq!(pl.ccdf(1.0), 1.0);
+        assert!((pl.ccdf(2.0) - 0.25).abs() < 1e-12);
+        assert!((pl.ccdf(10.0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_finite_iff_beta_above_two() {
+        assert_eq!(PowerLaw::new(1.5, 1.0).unwrap().mean(), None);
+        assert_eq!(PowerLaw::new(2.0, 1.0).unwrap().mean(), None);
+        let m = PowerLaw::new(2.5, 1.0).unwrap().mean().unwrap();
+        assert!((m - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_tail_matches_ccdf() {
+        // fraction of samples above w should track the ccdf
+        let pl = PowerLaw::new(2.5, 1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let n = 200_000;
+        let mut above2 = 0usize;
+        let mut above8 = 0usize;
+        for _ in 0..n {
+            let w = pl.sample(&mut rng);
+            if w >= 2.0 {
+                above2 += 1;
+            }
+            if w >= 8.0 {
+                above8 += 1;
+            }
+        }
+        let f2 = above2 as f64 / n as f64;
+        let f8 = above8 as f64 / n as f64;
+        assert!((f2 - pl.ccdf(2.0)).abs() < 0.01, "f2={f2}");
+        assert!((f8 - pl.ccdf(8.0)).abs() < 0.005, "f8={f8}");
+    }
+
+    #[test]
+    fn empirical_mean_matches() {
+        let pl = PowerLaw::new(2.8, 1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let n = 400_000;
+        let sum: f64 = (0..n).map(|_| pl.sample(&mut rng)).sum();
+        let mean = sum / n as f64;
+        let expected = pl.mean().unwrap();
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "mean={mean}, expected={expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0,1)")]
+    fn quantile_panics_out_of_range() {
+        let _ = PowerLaw::new(2.5, 1.0).unwrap().quantile(1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quantile_inverts_ccdf(beta in 2.01..2.99f64, q in 0.0..0.999f64) {
+            let pl = PowerLaw::new(beta, 1.0).unwrap();
+            let w = pl.quantile(q);
+            // ccdf(quantile(q)) == 1 - q
+            prop_assert!((pl.ccdf(w) - (1.0 - q)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_ccdf_monotone(beta in 1.5..4.0f64, a in 1.0..100.0f64, b in 1.0..100.0f64) {
+            let pl = PowerLaw::new(beta, 1.0).unwrap();
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(pl.ccdf(lo) >= pl.ccdf(hi));
+        }
+
+        #[test]
+        fn prop_sample_finite_and_bounded_below(beta in 2.01..2.99f64, wmin in 0.1..10.0f64, seed in 0u64..1000) {
+            let pl = PowerLaw::new(beta, wmin).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let w = pl.sample(&mut rng);
+            prop_assert!(w.is_finite());
+            prop_assert!(w >= wmin);
+        }
+    }
+}

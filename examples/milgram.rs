@@ -1,0 +1,87 @@
+//! A digital Milgram experiment: six degrees of separation on a GIRG.
+//!
+//! Milgram's 1967 letter-forwarding study found chains of average length
+//! about six among the ~20% of letters that arrived. This example replays
+//! the experiment on a sampled GIRG: random "people" forward a letter to
+//! the acquaintance most likely to know the target (the paper's φ), and we
+//! report arrival rate and chain lengths — plus what happens when lost
+//! letters are rescued by the paper's Algorithm 2.
+//!
+//! Run with: `cargo run --release --example milgram`
+
+use rand::SeedableRng;
+use smallworld::analysis::Summary;
+use smallworld::core::{greedy_route, GirgObjective, PhiDfsRouter, Router};
+use smallworld::graph::Components;
+use smallworld::models::girg::GirgBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1967);
+    let population = 200_000;
+    let letters = 500;
+
+    println!("sampling a small world of {population} people...");
+    let girg = GirgBuilder::<2>::new(population)
+        .beta(2.5) // realistic scale-free acquaintance counts
+        .alpha(2.0)
+        .lambda(0.02) // ~10 acquaintances per person on average
+        .sample(&mut rng)?;
+    let components = Components::compute(girg.graph());
+    let objective = GirgObjective::new(&girg);
+
+    let mut arrived = 0usize;
+    let mut reachable = 0usize;
+    let mut chain = Summary::new();
+    let mut rescued_chain = Summary::new();
+    let rescue = PhiDfsRouter::new();
+
+    for _ in 0..letters {
+        let s = girg.random_vertex(&mut rng);
+        let t = girg.random_vertex(&mut rng);
+        if s == t || !components.same_component(s, t) {
+            continue;
+        }
+        reachable += 1;
+        let record = greedy_route(girg.graph(), &objective, s, t);
+        if record.is_success() {
+            arrived += 1;
+            chain.push(record.hops() as f64);
+        } else {
+            // the paper's patching: a lost letter backtracks (Algorithm 2)
+            let patched = rescue.route(girg.graph(), &objective, s, t);
+            assert!(patched.is_success(), "Theorem 3.4: rescue always succeeds");
+            rescued_chain.push(patched.hops() as f64);
+        }
+    }
+
+    println!("letters with reachable targets: {reachable}");
+    println!(
+        "arrived greedily: {arrived} ({:.0}%), mean chain length {:.1} (Milgram reported ~6)",
+        100.0 * arrived as f64 / reachable as f64,
+        chain.mean()
+    );
+    println!(
+        "lost letters rescued by Algorithm 2: {} (mean {:.1} steps incl. backtracking)",
+        rescued_chain.count(),
+        rescued_chain.mean()
+    );
+    println!(
+        "theory (Thm 3.3): (2/|ln(beta-2)|)·lnln n = {:.1} steps",
+        smallworld::core::theory::ultra_small_distance(2.5, population as f64)
+    );
+
+    // Milgram's observed ~21-29% completion is largely *attrition*: each
+    // participant independently gives up with some probability. With the
+    // ultra-small chains above, even 25% per-hop attrition leaves a
+    // realistic completion rate — long chains are what attrition kills.
+    let attrition: f64 = 0.25;
+    let expected_completion =
+        (1.0 - attrition).powf(chain.mean()) * (arrived as f64 / reachable as f64);
+    println!(
+        "with {:.0}% per-hop attrition the expected completion rate is {:.0}% \
+         (Milgram observed 21-29%)",
+        100.0 * attrition,
+        100.0 * expected_completion
+    );
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Watch the paper's patching protocols rescue a stuck packet.
+//!
+//! Finds a source/target pair where plain greedy routing dies in a local
+//! optimum, then routes the same pair with the three patching protocols —
+//! the paper's Algorithm 2 (Φ-DFS), the message-history protocol, and the
+//! gravity–pressure heuristic — printing each walk. Theorem 3.4 guarantees
+//! the (P1)–(P3) protocols deliver whenever the pair shares a component.
+//!
+//! Run with: `cargo run --release --example patching_rescue`
+
+use rand::SeedableRng;
+use smallworld::core::{
+    greedy_route, GirgObjective, GravityPressureRouter, HistoryRouter, PhiDfsRouter, RouteRecord,
+    Router,
+};
+use smallworld::graph::Components;
+use smallworld::models::girg::GirgBuilder;
+
+fn describe(name: &str, record: &RouteRecord) {
+    let walk: Vec<String> = record.path.iter().take(14).map(|v| v.to_string()).collect();
+    let ellipsis = if record.path.len() > 14 { " ..." } else { "" };
+    println!(
+        "{name:>16}: {:?} in {} steps\n{:>16}  {}{}",
+        record.outcome,
+        record.hops(),
+        "",
+        walk.join(" -> "),
+        ellipsis
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    // sparse enough that greedy dead ends are easy to find
+    let girg = GirgBuilder::<2>::new(30_000)
+        .beta(2.5)
+        .alpha(2.0)
+        .lambda(0.01)
+        .sample(&mut rng)?;
+    let components = Components::compute(girg.graph());
+    let objective = GirgObjective::new(&girg);
+
+    // find a same-component pair where greedy fails
+    let (s, t, failed) = loop {
+        let s = girg.random_vertex(&mut rng);
+        let t = girg.random_vertex(&mut rng);
+        if s == t || !components.same_component(s, t) {
+            continue;
+        }
+        let record = greedy_route(girg.graph(), &objective, s, t);
+        if !record.is_success() {
+            break (s, t, record);
+        }
+    };
+
+    println!(
+        "routing {s} -> {t} (same component, shortest path exists)\n"
+    );
+    describe("plain greedy", &failed);
+    println!(
+        "{:>16}  stuck at {} — no neighbor has a better objective\n",
+        "",
+        failed.last()
+    );
+
+    for record in [
+        ("phi-dfs (Alg. 2)", PhiDfsRouter::new().route(girg.graph(), &objective, s, t)),
+        ("history", HistoryRouter::new().route(girg.graph(), &objective, s, t)),
+        (
+            "gravity-pressure",
+            GravityPressureRouter::new().route(girg.graph(), &objective, s, t),
+        ),
+    ] {
+        describe(record.0, &record.1);
+        assert!(record.1.is_success());
+        println!();
+    }
+    println!("all three patchers delivered; (P1)-(P3) protocols are guaranteed to (Thm 3.4).");
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Persist a sampled GIRG and route on the reloaded instance.
+//!
+//! Large GIRGs take a while to sample; the plain-text format of
+//! `smallworld::models::io` lets a study sample once and reuse the instance
+//! across processes (or generate it with the `girg_gen` CLI:
+//! `cargo run --release -p smallworld-bench --bin girg_gen -- --n 100000 --out girg.txt`).
+//!
+//! Run with: `cargo run --release --example save_and_reload`
+
+use std::io::BufReader;
+
+use rand::SeedableRng;
+use smallworld::core::{greedy_route, GirgObjective};
+use smallworld::models::girg::{Girg, GirgBuilder};
+use smallworld::models::io::{read_girg, write_girg};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let girg = GirgBuilder::<2>::new(50_000)
+        .beta(2.5)
+        .lambda(0.02)
+        .sample(&mut rng)?;
+
+    let path = std::env::temp_dir().join("smallworld_demo_girg.txt");
+    write_girg(&girg, std::io::BufWriter::new(std::fs::File::create(&path)?))?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!(
+        "saved {} vertices / {} edges to {} ({:.1} MiB)",
+        girg.node_count(),
+        girg.graph().edge_count(),
+        path.display(),
+        bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    let restored: Girg<2> = read_girg(BufReader::new(std::fs::File::open(&path)?))?;
+    assert_eq!(restored.graph(), girg.graph());
+    println!("reloaded; graphs are identical");
+
+    // route on the reloaded instance
+    let objective = GirgObjective::new(&restored);
+    let mut delivered = 0;
+    for _ in 0..100 {
+        let s = restored.random_vertex(&mut rng);
+        let t = restored.random_vertex(&mut rng);
+        if greedy_route(restored.graph(), &objective, s, t).is_success() {
+            delivered += 1;
+        }
+    }
+    println!("routed 100 random pairs on the reloaded graph: {delivered} delivered");
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

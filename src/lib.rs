@@ -1,0 +1,69 @@
+//! # smallworld
+//!
+//! A reproduction of *Greedy Routing and the Algorithmic Small-World
+//! Phenomenon* (Bringmann, Keusch, Lengler, Maus, Molla; PODC 2017).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`geometry`] — the torus `T^d`, grids and Morton codes,
+//! * [`graph`] — the CSR graph substrate with BFS and components,
+//! * [`models`] — GIRG / hyperbolic / Kleinberg / Chung–Lu generators,
+//! * [`core`] — greedy routing, patching protocols and trajectory analysis,
+//! * [`analysis`] — statistics used by the experiment harness.
+//!
+//! # Quickstart
+//!
+//! Sample a geometric inhomogeneous random graph and route greedily between
+//! two random vertices:
+//!
+//! ```
+//! use smallworld::models::girg::GirgBuilder;
+//! use smallworld::core::{greedy_route, GirgObjective, RouteOutcome};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let girg = GirgBuilder::<2>::new(2_000).beta(2.5).alpha(2.0).sample(&mut rng)?;
+//! let objective = GirgObjective::new(&girg);
+//! let (s, t) = (girg.random_vertex(&mut rng), girg.random_vertex(&mut rng));
+//! let record = greedy_route(girg.graph(), &objective, s, t);
+//! match record.outcome {
+//!     RouteOutcome::Delivered => println!("delivered in {} hops", record.hops()),
+//!     other => println!("routing stopped: {other:?}"),
+//! }
+//! # Ok::<(), smallworld::models::ModelError>(())
+//! ```
+
+pub use smallworld_analysis as analysis;
+pub use smallworld_core as core;
+pub use smallworld_geometry as geometry;
+pub use smallworld_graph as graph;
+pub use smallworld_models as models;
+
+/// Convenience re-exports for the common workflow: sample a model, route,
+/// measure.
+///
+/// ```
+/// use smallworld::prelude::*;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let girg = GirgBuilder::<2>::new(500).sample(&mut rng)?;
+/// let record = greedy_route(
+///     girg.graph(),
+///     &GirgObjective::new(&girg),
+///     girg.random_vertex(&mut rng),
+///     girg.random_vertex(&mut rng),
+/// );
+/// let _ = record.is_success();
+/// # Ok::<(), smallworld::models::ModelError>(())
+/// ```
+pub mod prelude {
+    pub use smallworld_core::{
+        greedy_route, stretch, DistanceObjective, GirgObjective, GreedyRouter,
+        HistoryRouter, HyperbolicObjective, Objective, PhiDfsRouter, RouteOutcome,
+        RouteRecord, Router,
+    };
+    pub use smallworld_graph::{Components, Graph, NodeId};
+    pub use smallworld_models::girg::GirgBuilder;
+    pub use smallworld_models::{HrgBuilder, KleinbergLattice};
+}

@@ -1,0 +1,180 @@
+//! End-to-end integration: the paper's headline claims on sampled GIRGs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use smallworld::analysis::{Proportion, Summary};
+use smallworld::core::theory::ultra_small_distance;
+use smallworld::core::{greedy_route, stretch, GirgObjective, Objective, RouteOutcome};
+use smallworld::graph::Components;
+use smallworld::models::girg::{Girg, GirgBuilder};
+
+fn standard_girg(n: u64, seed: u64) -> Girg<2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    GirgBuilder::<2>::new(n)
+        .beta(2.5)
+        .alpha(2.0)
+        .lambda(0.02)
+        .sample(&mut rng)
+        .expect("valid parameters")
+}
+
+/// Theorem 3.1: the success probability is bounded away from zero.
+#[test]
+fn theorem_3_1_success_probability_is_constant() {
+    let girg = standard_girg(20_000, 1);
+    let comps = Components::compute(girg.graph());
+    let obj = GirgObjective::new(&girg);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut success = Proportion::default();
+    for _ in 0..400 {
+        let s = girg.random_vertex(&mut rng);
+        let t = girg.random_vertex(&mut rng);
+        if s == t || !comps.same_component(s, t) {
+            continue;
+        }
+        success.push(greedy_route(girg.graph(), &obj, s, t).is_success());
+    }
+    assert!(success.trials() > 200, "too few connected pairs");
+    assert!(
+        success.rate() > 0.5,
+        "success rate {} too low for this density",
+        success.rate()
+    );
+}
+
+/// Theorem 3.3: successful paths are ultra-small and nearly shortest.
+#[test]
+fn theorem_3_3_paths_are_ultra_small_with_low_stretch() {
+    let girg = standard_girg(50_000, 3);
+    let obj = GirgObjective::new(&girg);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut hops = Summary::new();
+    let mut stretches = Summary::new();
+    for _ in 0..300 {
+        let s = girg.random_vertex(&mut rng);
+        let t = girg.random_vertex(&mut rng);
+        if s == t {
+            continue;
+        }
+        let record = greedy_route(girg.graph(), &obj, s, t);
+        if record.is_success() {
+            hops.push(record.hops() as f64);
+            if let Some(x) = stretch(girg.graph(), &record) {
+                stretches.push(x);
+            }
+        }
+    }
+    assert!(hops.count() > 100);
+    // mean length within the theory scale (generous factor: the o(1)
+    // corrections are large at laptop n)
+    let theory = ultra_small_distance(2.5, 50_000.0);
+    assert!(
+        hops.mean() < 1.5 * theory,
+        "mean hops {} vs theory {theory}",
+        hops.mean()
+    );
+    // stretch is near 1
+    assert!(
+        stretches.mean() < 1.25,
+        "mean stretch {} too large",
+        stretches.mean()
+    );
+    assert!(stretches.min() >= 1.0);
+}
+
+/// Greedy paths strictly improve the objective and never revisit vertices.
+#[test]
+fn greedy_paths_are_simple_and_improving() {
+    let girg = standard_girg(10_000, 5);
+    let obj = GirgObjective::new(&girg);
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..200 {
+        let s = girg.random_vertex(&mut rng);
+        let t = girg.random_vertex(&mut rng);
+        let record = greedy_route(girg.graph(), &obj, s, t);
+        let mut seen = std::collections::BTreeSet::new();
+        for &v in &record.path {
+            assert!(seen.insert(v), "greedy revisited {v}");
+        }
+        for w in record.path.windows(2) {
+            assert!(girg.graph().has_edge(w[0], w[1]));
+            assert!(obj.score(w[1], t) > obj.score(w[0], t));
+        }
+        if record.outcome == RouteOutcome::Delivered {
+            assert_eq!(record.last(), t);
+        }
+    }
+}
+
+/// A planted low-weight target far from everything is a frequent failure
+/// cause; a planted heavy target is almost always reached (Theorem 3.2(ii)
+/// in spirit).
+#[test]
+fn heavy_targets_are_easier() {
+    use smallworld::geometry::Point;
+    use smallworld::graph::NodeId;
+    let mut light_fail = 0;
+    let mut heavy_fail = 0;
+    let reps = 40;
+    for seed in 0..reps {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let girg = GirgBuilder::<2>::new(8_000)
+            .beta(2.5)
+            .lambda(0.02)
+            .plant(Point::new([0.2, 0.2]), 1.0) // s
+            .plant(Point::new([0.7, 0.7]), 1.0) // light t
+            .plant(Point::new([0.7, 0.2]), 50.0) // heavy t
+            .sample(&mut rng)
+            .expect("valid");
+        let comps = Components::compute(girg.graph());
+        let obj = GirgObjective::new(&girg);
+        let s = NodeId::new(0);
+        for (tid, counter) in [(1u32, &mut light_fail), (2u32, &mut heavy_fail)] {
+            let t = NodeId::new(tid);
+            if comps.same_component(s, t)
+                && !greedy_route(girg.graph(), &obj, s, t).is_success()
+            {
+                *counter += 1;
+            }
+        }
+    }
+    assert!(
+        heavy_fail <= light_fail,
+        "heavy target failed more often ({heavy_fail} vs {light_fail})"
+    );
+}
+
+/// Edge-failure robustness (the Theorem 3.5 discussion): removing a random
+/// 20% of edges degrades greedy success only mildly — the packet takes the
+/// next-best surviving neighbor.
+#[test]
+fn greedy_survives_edge_failures() {
+    use smallworld::graph::percolate;
+    let mut rng = StdRng::seed_from_u64(7);
+    let girg = standard_girg(20_000, 8);
+    let obj = GirgObjective::new(&girg);
+
+    let rate = |graph: &smallworld::graph::Graph, rng: &mut StdRng| {
+        let comps = Components::compute(graph);
+        let mut success = Proportion::default();
+        for _ in 0..300 {
+            let s = girg.random_vertex(rng);
+            let t = girg.random_vertex(rng);
+            if s == t || !comps.same_component(s, t) {
+                continue;
+            }
+            success.push(greedy_route(graph, &obj, s, t).is_success());
+        }
+        success.rate()
+    };
+
+    let intact = rate(girg.graph(), &mut rng);
+    let failed = percolate(girg.graph(), 0.8, &mut rng);
+    let degraded = rate(&failed, &mut rng);
+    assert!(
+        degraded > intact - 0.25,
+        "20% edge failures collapsed success: {intact:.2} -> {degraded:.2}"
+    );
+    assert!(degraded > 0.5, "degraded rate {degraded:.2} too low");
+}

@@ -1,0 +1,129 @@
+//! Integration contracts for the §1.1 baselines: the fragile exponent of
+//! Kleinberg's model and the perfect-lattice shortcoming.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use smallworld::analysis::{Proportion, Summary};
+use smallworld::core::{
+    greedy_route, DistanceObjective, GirgObjective, KleinbergObjective, Objective,
+};
+use smallworld::graph::{Components, Graph, NodeId};
+use smallworld::models::girg::GirgBuilder;
+use smallworld::models::{ContinuumKleinberg, KleinbergLattice};
+
+fn route_many<O: Objective>(
+    graph: &Graph,
+    objective: &O,
+    comps: &Components,
+    pairs: usize,
+    rng: &mut StdRng,
+) -> (Proportion, Summary) {
+    let mut success = Proportion::default();
+    let mut hops = Summary::new();
+    let n = graph.node_count();
+    for _ in 0..pairs {
+        let s = NodeId::from_index(rand::Rng::gen_range(rng, 0..n));
+        let t = NodeId::from_index(rand::Rng::gen_range(rng, 0..n));
+        if s == t || !comps.same_component(s, t) {
+            continue;
+        }
+        let record = greedy_route(graph, objective, s, t);
+        success.push(record.is_success());
+        if record.is_success() {
+            hops.push(record.hops() as f64);
+        }
+    }
+    (success, hops)
+}
+
+/// On the torus lattice, greedy always delivers (the lattice edges ensure a
+/// distance-decreasing move exists), and r = 2 is markedly faster than both
+/// a too-flat and a too-steep long-range exponent.
+#[test]
+fn kleinberg_lattice_navigable_only_at_magic_exponent() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut means = Vec::new();
+    for &r in &[0.5f64, 2.0, 3.5] {
+        let lattice = KleinbergLattice::sample(120, r, 1, &mut rng).expect("valid");
+        let comps = Components::compute(lattice.graph());
+        let obj = KleinbergObjective::new(&lattice);
+        let (succ, hops) = route_many(lattice.graph(), &obj, &comps, 300, &mut rng);
+        assert_eq!(
+            succ.rate(),
+            1.0,
+            "lattice greedy should always deliver (r={r})"
+        );
+        means.push(hops.mean());
+    }
+    let (flat, magic, steep) = (means[0], means[1], means[2]);
+    // The steep side separates decisively at this size (long links are
+    // lattice-local, so routing degenerates to Θ(m) lattice walking). The
+    // flat side's n^{(2-r)/3} lower bound is ≈ log²n at n = 14 400, so only
+    // a weak ordering is asserted there.
+    assert!(
+        magic < 0.5 * steep,
+        "r=2 ({magic:.1}) should beat r=3.5 ({steep:.1}) clearly"
+    );
+    assert!(
+        magic < 1.5 * flat,
+        "r=2 ({magic:.1}) should be comparable-or-better vs r=0.5 ({flat:.1})"
+    );
+}
+
+/// Kleinberg's own scaling: at r = 2 the mean steps grow like log² n, so
+/// steps/ln²n stays roughly flat while quadrupling the node count.
+#[test]
+fn kleinberg_magic_exponent_scales_polylogarithmically() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut normalized = Vec::new();
+    for &side in &[60u32, 120, 240] {
+        let lattice = KleinbergLattice::sample(side, 2.0, 1, &mut rng).expect("valid");
+        let comps = Components::compute(lattice.graph());
+        let obj = KleinbergObjective::new(&lattice);
+        let (_, hops) = route_many(lattice.graph(), &obj, &comps, 250, &mut rng);
+        let n = (side as f64).powi(2);
+        normalized.push(hops.mean() / n.ln().powi(2));
+    }
+    let (min, max) = (
+        normalized.iter().cloned().fold(f64::MAX, f64::min),
+        normalized.iter().cloned().fold(f64::MIN, f64::max),
+    );
+    assert!(
+        max / min < 1.6,
+        "steps/ln²n not flat at r=2: {normalized:?}"
+    );
+}
+
+/// §1.1: with noisy positions, distance-greedy routing fails with high
+/// probability, while a GIRG at the same scale keeps a high success rate.
+#[test]
+fn noisy_positions_break_greedy_but_girgs_do_not() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 20_000u64;
+
+    let ck = ContinuumKleinberg::sample(n, 1.0, 1, 4.0, &mut rng).expect("valid");
+    let comps = Components::compute(ck.graph());
+    let obj = DistanceObjective::for_continuum(&ck);
+    let (noisy_succ, _) = route_many(ck.graph(), &obj, &comps, 300, &mut rng);
+
+    let girg = GirgBuilder::<2>::new(n)
+        .beta(2.5)
+        .lambda(0.02)
+        .sample(&mut rng)
+        .expect("valid");
+    let comps = Components::compute(girg.graph());
+    let obj = GirgObjective::new(&girg);
+    let (girg_succ, girg_hops) = route_many(girg.graph(), &obj, &comps, 300, &mut rng);
+
+    assert!(
+        noisy_succ.rate() < 0.35,
+        "noisy-Kleinberg greedy should mostly fail, got {noisy_succ}"
+    );
+    assert!(
+        girg_succ.rate() > 0.75,
+        "GIRG greedy should mostly succeed, got {girg_succ}"
+    );
+    // and the GIRG routes are ultra-small
+    assert!(girg_hops.mean() < 8.0, "mean hops {}", girg_hops.mean());
+}

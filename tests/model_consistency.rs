@@ -1,0 +1,163 @@
+//! Cross-model integration: the §11 hyperbolic mapping, the Chung–Lu
+//! marginal of Lemma 7.1, and sampler agreement at the workspace level.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use smallworld::analysis::{hill_estimator, Summary};
+use smallworld::graph::stats;
+use smallworld::models::chung_lu::ChungLu;
+use smallworld::models::girg::{GirgBuilder, SamplerAlgorithm};
+use smallworld::models::HrgBuilder;
+
+/// §11: the mapped GIRG weights of a hyperbolic random graph follow a power
+/// law with exponent `β = 2 α_H + 1`.
+#[test]
+fn hyperbolic_mapping_produces_power_law_weights() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for &alpha_h in &[0.65, 0.8] {
+        let hrg = HrgBuilder::new(30_000)
+            .alpha_h(alpha_h)
+            .sample(&mut rng)
+            .expect("valid");
+        let weights: Vec<f64> = hrg
+            .graph()
+            .nodes()
+            .map(|v| hrg.girg_weight(v))
+            .collect();
+        let expected_beta = 2.0 * alpha_h + 1.0;
+        let wmin = (-hrg.params().c / 2.0f64).exp();
+        let beta_hat = hill_estimator(&weights, wmin * 4.0, 100).expect("enough tail");
+        assert!(
+            (beta_hat - expected_beta).abs() < 0.15,
+            "alpha_h={alpha_h}: beta_hat={beta_hat} expected={expected_beta}"
+        );
+    }
+}
+
+/// Lemma 7.1: a GIRG and a Chung–Lu graph with the *same weights* have
+/// comparable degree sequences (the marginal connection probabilities
+/// agree up to Θ-constants), but very different clustering — the geometry
+/// is what creates triangles.
+#[test]
+fn girg_vs_chung_lu_degrees_and_clustering() {
+    let mut rng = StdRng::seed_from_u64(2);
+    // λ chosen so the GIRG marginal constant is 1 at α=2, d=2:
+    // c = 8√λ = 1 -> λ = 1/64; then GIRG marginal ≈ Chung–Lu's wuwv/S scale
+    let girg = GirgBuilder::<2>::new(30_000)
+        .beta(2.5)
+        .alpha(2.0)
+        .lambda(1.0 / 64.0)
+        .sample(&mut rng)
+        .expect("valid");
+    let cl = ChungLu::from_weights(girg.weights().to_vec(), &mut rng).expect("valid weights");
+
+    let girg_deg = girg.graph().average_degree();
+    let cl_deg = cl.graph().average_degree();
+    // same Θ scale (CL normalizes by ΣW = n·E[W] instead of n·w_min, so a
+    // factor of E[W] ≈ 3 separates them; allow a generous band)
+    let ratio = girg_deg / cl_deg;
+    assert!(
+        (0.5..=8.0).contains(&ratio),
+        "degree scales diverged: girg {girg_deg:.2}, cl {cl_deg:.2}"
+    );
+
+    let girg_clust = stats::sampled_average_clustering(girg.graph(), 1_500, &mut rng);
+    let cl_clust = stats::sampled_average_clustering(cl.graph(), 1_500, &mut rng);
+    assert!(
+        girg_clust > 3.0 * cl_clust,
+        "geometry should create clustering: girg {girg_clust:.3} vs cl {cl_clust:.3}"
+    );
+}
+
+/// The naive and cell-based samplers agree on aggregate statistics at
+/// integration scale (threshold case is checked for exact equality in unit
+/// tests; here the random finite-α case).
+#[test]
+fn samplers_agree_on_aggregates() {
+    let mut edge_counts = (Summary::new(), Summary::new());
+    for seed in 0..12 {
+        for (algo, summary) in [
+            (SamplerAlgorithm::Naive, &mut edge_counts.0),
+            (SamplerAlgorithm::CellBased, &mut edge_counts.1),
+        ] {
+            let mut rng = StdRng::seed_from_u64(1_000 + seed);
+            let girg = GirgBuilder::<2>::new(1_500)
+                .beta(2.5)
+                .alpha(2.0)
+                .lambda(0.05)
+                .vertex_count(1_500) // fixed count: same vertices per seed
+                .algorithm(algo)
+                .sample(&mut rng)
+                .expect("valid");
+            summary.push(girg.graph().edge_count() as f64);
+        }
+    }
+    let (naive, cells) = edge_counts;
+    let diff = (naive.mean() - cells.mean()).abs();
+    let tol = 4.0 * (naive.std_err() + cells.std_err()).max(naive.mean() * 0.02);
+    assert!(
+        diff < tol,
+        "edge counts diverged: naive {} vs cells {} (tol {tol})",
+        naive.mean(),
+        cells.mean()
+    );
+}
+
+/// Degrees scale linearly with weights (Lemma 7.2): binned deg/w ratios are
+/// flat across two decades of weight.
+#[test]
+fn degree_proportional_to_weight() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let girg = GirgBuilder::<2>::new(60_000)
+        .beta(2.5)
+        .alpha(2.0)
+        .lambda(0.02)
+        .sample(&mut rng)
+        .expect("valid");
+    // bins: w in [1,2), [4,8), [16,32)
+    let mut ratios = Vec::new();
+    for (lo, hi) in [(1.0, 2.0), (4.0, 8.0), (16.0, 32.0)] {
+        let mut s = Summary::new();
+        for v in girg.graph().nodes() {
+            let w = girg.weight(v);
+            if (lo..hi).contains(&w) {
+                s.push(girg.graph().degree(v) as f64 / w);
+            }
+        }
+        assert!(s.count() > 30, "bin [{lo},{hi}) too thin: {}", s.count());
+        ratios.push(s.mean());
+    }
+    let (min, max) = (
+        ratios.iter().cloned().fold(f64::MAX, f64::min),
+        ratios.iter().cloned().fold(f64::MIN, f64::max),
+    );
+    assert!(
+        max / min < 1.6,
+        "deg/w not flat across weight bins: {ratios:?}"
+    );
+}
+
+/// The Poisson vertex count concentrates and the positions fill the torus
+/// uniformly (chi-square-ish check over a coarse grid).
+#[test]
+fn vertex_process_is_uniform() {
+    use smallworld::geometry::Grid;
+    let mut rng = StdRng::seed_from_u64(4);
+    let girg = GirgBuilder::<2>::new(40_000)
+        .beta(2.5)
+        .lambda(0.02)
+        .sample(&mut rng)
+        .expect("valid");
+    let grid: Grid<2> = Grid::new(3); // 64 cells
+    let mut counts = vec![0usize; 64];
+    for p in girg.positions() {
+        let c = grid.cell_coords_of(p);
+        counts[(c[0] * 8 + c[1]) as usize] += 1;
+    }
+    let expected = girg.node_count() as f64 / 64.0;
+    for (i, &c) in counts.iter().enumerate() {
+        let dev = (c as f64 - expected).abs() / expected.sqrt();
+        assert!(dev < 6.0, "cell {i} count {c} deviates {dev:.1} sigmas");
+    }
+}

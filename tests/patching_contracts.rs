@@ -1,0 +1,180 @@
+//! Integration contracts for the patching protocols (Theorem 3.4, §5).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use smallworld::core::{
+    greedy_route, GirgObjective, GravityPressureRouter, GreedyRouter, HistoryRouter,
+    HyperbolicObjective, PhiDfsRouter, RelaxedObjective, RouteOutcome, Router, RouterKind,
+};
+use smallworld::graph::Components;
+use smallworld::models::girg::GirgBuilder;
+use smallworld::models::HrgBuilder;
+
+fn patchers() -> Vec<RouterKind> {
+    vec![
+        RouterKind::PhiDfs(PhiDfsRouter::new()),
+        RouterKind::History(HistoryRouter::new()),
+    ]
+}
+
+/// Theorem 3.4: (P1)-(P3) patchers deliver iff s and t share a component —
+/// checked on a sparse GIRG where greedy fails often.
+#[test]
+fn patchers_deliver_iff_connected_on_girg() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let girg = GirgBuilder::<2>::new(5_000)
+        .beta(2.5)
+        .lambda(0.008) // very sparse: plenty of dead ends and fragments
+        .sample(&mut rng)
+        .expect("valid");
+    let comps = Components::compute(girg.graph());
+    let obj = GirgObjective::new(&girg);
+    for router in patchers() {
+        let mut greedy_failures_rescued = 0;
+        for _ in 0..150 {
+            let s = girg.random_vertex(&mut rng);
+            let t = girg.random_vertex(&mut rng);
+            if s == t {
+                continue;
+            }
+            let record = router.route(girg.graph(), &obj, s, t);
+            assert_eq!(
+                record.is_success(),
+                comps.same_component(s, t),
+                "{} violated the Theorem 3.4 contract for {s}->{t}",
+                router.name()
+            );
+            if record.is_success() && !greedy_route(girg.graph(), &obj, s, t).is_success() {
+                greedy_failures_rescued += 1;
+            }
+        }
+        assert!(
+            greedy_failures_rescued > 0,
+            "{}: test graph produced no greedy failures to rescue",
+            router.name()
+        );
+    }
+}
+
+/// Corollary 3.6: the same contract holds for geometric routing on
+/// hyperbolic random graphs.
+#[test]
+fn patchers_deliver_iff_connected_on_hrg() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let hrg = HrgBuilder::new(4_000)
+        .alpha_h(0.75)
+        .radius_offset(1.5) // sparse
+        .sample(&mut rng)
+        .expect("valid");
+    let comps = Components::compute(hrg.graph());
+    let obj = HyperbolicObjective::new(&hrg);
+    for router in patchers() {
+        for _ in 0..100 {
+            let s = hrg.random_vertex(&mut rng);
+            let t = hrg.random_vertex(&mut rng);
+            if s == t {
+                continue;
+            }
+            let record = router.route(hrg.graph(), &obj, s, t);
+            assert_eq!(
+                record.is_success(),
+                comps.same_component(s, t),
+                "{}: {s}->{t}",
+                router.name()
+            );
+        }
+    }
+}
+
+/// (P1): whenever plain greedy succeeds, every patcher (including
+/// gravity–pressure, which is greedy until stuck) walks the same path.
+#[test]
+fn patchers_match_greedy_on_success() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let girg = GirgBuilder::<2>::new(10_000)
+        .beta(2.5)
+        .lambda(0.02)
+        .sample(&mut rng)
+        .expect("valid");
+    let obj = GirgObjective::new(&girg);
+    let all: Vec<RouterKind> = vec![
+        RouterKind::Greedy(GreedyRouter::new()),
+        RouterKind::PhiDfs(PhiDfsRouter::new()),
+        RouterKind::History(HistoryRouter::new()),
+        RouterKind::GravityPressure(GravityPressureRouter::new()),
+    ];
+    let mut compared = 0;
+    for _ in 0..120 {
+        let s = girg.random_vertex(&mut rng);
+        let t = girg.random_vertex(&mut rng);
+        let greedy = greedy_route(girg.graph(), &obj, s, t);
+        if greedy.outcome != RouteOutcome::Delivered {
+            continue;
+        }
+        compared += 1;
+        for router in &all {
+            let record = router.route(girg.graph(), &obj, s, t);
+            assert_eq!(record.path, greedy.path, "{} diverged on {s}->{t}", router.name());
+        }
+    }
+    assert!(compared > 40);
+}
+
+/// Theorem 3.5 + 3.4: patching keeps its guarantee under relaxed objectives.
+#[test]
+fn patching_survives_relaxed_objectives() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let girg = GirgBuilder::<2>::new(5_000)
+        .beta(2.5)
+        .lambda(0.015)
+        .sample(&mut rng)
+        .expect("valid");
+    let comps = Components::compute(girg.graph());
+    let obj = RelaxedObjective::new(GirgObjective::new(&girg), 0.5, 77);
+    let router = PhiDfsRouter::new();
+    for _ in 0..100 {
+        let s = girg.random_vertex(&mut rng);
+        let t = girg.random_vertex(&mut rng);
+        if s == t {
+            continue;
+        }
+        let record = router.route(girg.graph(), &obj, s, t);
+        assert_eq!(record.is_success(), comps.same_component(s, t));
+    }
+}
+
+/// Patched walks are valid graph walks ending at the target.
+#[test]
+fn patched_walks_are_valid() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let girg = GirgBuilder::<2>::new(4_000)
+        .beta(2.5)
+        .lambda(0.01)
+        .sample(&mut rng)
+        .expect("valid");
+    let comps = Components::compute(girg.graph());
+    let obj = GirgObjective::new(&girg);
+    for router in patchers() {
+        for _ in 0..60 {
+            let s = girg.random_vertex(&mut rng);
+            let t = girg.random_vertex(&mut rng);
+            if s == t || !comps.same_component(s, t) {
+                continue;
+            }
+            let record = router.route(girg.graph(), &obj, s, t);
+            assert!(record.is_success());
+            assert_eq!(record.source(), s);
+            assert_eq!(record.last(), t);
+            for w in record.path.windows(2) {
+                assert!(
+                    girg.graph().has_edge(w[0], w[1]),
+                    "{}: {} {} is not an edge",
+                    router.name(),
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+}
