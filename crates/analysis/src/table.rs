@@ -69,6 +69,21 @@ impl Table {
     pub fn row_count(&self) -> usize {
         self.rows.len()
     }
+
+    /// The column headers, in order.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The title, if one was set with [`Table::title`].
+    pub fn title_text(&self) -> Option<&str> {
+        self.title.as_deref()
+    }
 }
 
 /// Formats a float compactly for a table cell.
@@ -163,5 +178,15 @@ mod tests {
         assert_eq!(t.row_count(), 0);
         t.row(["1"]).row(["2"]);
         assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn accessors_expose_contents() {
+        let mut t = Table::new(["a", "b"]).title("T");
+        t.row(["1", "2"]);
+        assert_eq!(t.headers(), ["a", "b"]);
+        assert_eq!(t.rows(), [vec!["1".to_string(), "2".to_string()]]);
+        assert_eq!(t.title_text(), Some("T"));
+        assert_eq!(Table::new(["x"]).title_text(), None);
     }
 }

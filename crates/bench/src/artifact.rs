@@ -1,0 +1,182 @@
+//! Machine-readable experiment artifacts.
+//!
+//! [`Artifact`] wraps one binary invocation's JSONL output: it opens the
+//! sink selected by `--json <path>` / `SMALLWORLD_JSON` (doing nothing at
+//! all when neither is given), stamps a `meta` record, and then records
+//! each experiment suite — its tables, wall-clock time, and the metrics
+//! and span deltas it produced — followed by a final `summary` with total
+//! runtime and peak RSS. The schema is documented in `EXPERIMENTS.md` and
+//! validated by the `artifact_check` binary.
+
+use std::time::Instant;
+
+use smallworld_analysis::Table;
+use smallworld_obs::metrics::Registry;
+use smallworld_obs::sink::{meta_record, suite_record, summary_record, table_record};
+use smallworld_obs::{peak_rss_bytes, JsonlSink};
+
+use crate::harness::Scale;
+
+fn scale_name(scale: Scale) -> &'static str {
+    scale.pick("quick", "full")
+}
+
+/// One binary invocation's artifact session.
+///
+/// Construct with [`Artifact::open`], funnel every suite through
+/// [`Artifact::run_suite`], and end with [`Artifact::finish`]. All sink
+/// I/O errors are reported to stderr and otherwise ignored: artifact
+/// trouble must never abort an hour-long experiment run.
+#[derive(Debug)]
+pub struct Artifact {
+    sink: Option<JsonlSink>,
+    started: Instant,
+}
+
+impl Artifact {
+    /// Opens the artifact selected by the invocation (if any) and writes
+    /// the `meta` record. Also resets the global metrics registry and span
+    /// table so the artifact accounts only for this run.
+    pub fn open(binary: &str, scale: Scale) -> Artifact {
+        Registry::global().reset();
+        smallworld_obs::span::reset();
+        let sink = match JsonlSink::from_invocation() {
+            Ok(sink) => sink,
+            Err(err) => {
+                eprintln!("warning: cannot open JSON artifact: {err}");
+                None
+            }
+        };
+        let artifact = Artifact {
+            sink,
+            started: Instant::now(),
+        };
+        artifact.write(&meta_record(binary, scale_name(scale)));
+        artifact
+    }
+
+    /// Where the artifact is written, when one was requested.
+    pub fn path(&self) -> Option<&std::path::Path> {
+        self.sink.as_ref().map(JsonlSink::path)
+    }
+
+    /// Runs one experiment suite and records it: one `table` record per
+    /// returned table, then a `suite` record with the wall-clock seconds
+    /// and the metric/span activity the suite generated. Returns the
+    /// tables and the elapsed seconds.
+    pub fn run_suite(
+        &self,
+        name: &str,
+        scale: Scale,
+        run: impl FnOnce(Scale) -> Vec<Table>,
+    ) -> (Vec<Table>, f64) {
+        smallworld_obs::span::reset();
+        let before = Registry::global().snapshot();
+        let start = Instant::now();
+        let tables = run(scale);
+        let wall_secs = start.elapsed().as_secs_f64();
+        let delta = Registry::global().snapshot().since(&before);
+        let spans = smallworld_obs::span::snapshot();
+        for table in &tables {
+            self.write(&table_record(name, table));
+        }
+        self.write(&suite_record(name, wall_secs, &delta, &spans));
+        (tables, wall_secs)
+    }
+
+    /// Writes the final `summary` record: total wall-clock, peak RSS, and
+    /// the merged registry snapshot for the whole run.
+    pub fn finish(self) {
+        let wall_secs = self.started.elapsed().as_secs_f64();
+        let metrics = Registry::global().snapshot();
+        self.write(&summary_record(wall_secs, peak_rss_bytes(), &metrics));
+    }
+
+    fn write(&self, record: &smallworld_obs::JsonValue) {
+        if let Some(sink) = &self.sink {
+            if let Err(err) = sink.write(record) {
+                eprintln!("warning: cannot write JSON artifact record: {err}");
+            }
+        }
+    }
+}
+
+/// Runs a single-suite binary (the `exp_*` wrappers) end to end: open the
+/// artifact, run the suite, summarize. This keeps every wrapper to one
+/// line while giving it the same `--json` support as `run_all`.
+pub fn run_single_suite(
+    binary: &str,
+    suite: &str,
+    run: impl FnOnce(Scale) -> Vec<Table>,
+) -> Vec<Table> {
+    let scale = Scale::from_env();
+    let artifact = Artifact::open(binary, scale);
+    let (tables, _) = artifact.run_suite(suite, scale, run);
+    artifact.finish();
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smallworld_obs::JsonValue;
+
+    /// Artifact with no sink configured is inert (and must not panic).
+    #[test]
+    fn artifact_without_sink_is_silent() {
+        // from_invocation sees the test binary's args, which have no
+        // --json flag; SMALLWORLD_JSON is not set in the test environment
+        let artifact = Artifact {
+            sink: None,
+            started: Instant::now(),
+        };
+        let (tables, wall) = artifact.run_suite("S", Scale::Quick, |_| {
+            vec![Table::new(["a"]).title("t")]
+        });
+        assert_eq!(tables.len(), 1);
+        assert!(wall >= 0.0);
+        artifact.finish();
+    }
+
+    /// A full session against an explicit file produces the documented
+    /// record sequence, every line parseable.
+    #[test]
+    fn artifact_emits_meta_tables_suite_summary() {
+        let path = std::env::temp_dir().join("smallworld-bench-artifact-test.jsonl");
+        let artifact = Artifact {
+            sink: Some(JsonlSink::create(&path).unwrap()),
+            started: Instant::now(),
+        };
+        artifact.write(&meta_record("test", "quick"));
+        let (_, _) = artifact.run_suite("E0", Scale::Quick, |_| {
+            smallworld_obs::metrics::counter("artifact.test.marker").inc();
+            let mut t = Table::new(["x", "y"]).title("demo");
+            t.row(["1", "2"]);
+            vec![t]
+        });
+        artifact.finish();
+
+        let contents = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let records: Vec<JsonValue> = contents
+            .lines()
+            .map(|l| JsonValue::parse(l).expect("line parses"))
+            .collect();
+        let types: Vec<&str> = records
+            .iter()
+            .map(|r| r.get("type").and_then(JsonValue::as_str).unwrap())
+            .collect();
+        assert_eq!(types, ["meta", "table", "suite", "summary"]);
+        // the suite delta picked up the counter bumped inside the suite
+        let suite_counters = records[2]
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .expect("suite metrics");
+        assert_eq!(
+            suite_counters
+                .get("artifact.test.marker")
+                .and_then(JsonValue::as_f64),
+            Some(1.0)
+        );
+    }
+}

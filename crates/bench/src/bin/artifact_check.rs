@@ -1,0 +1,173 @@
+//! Validates a JSONL experiment artifact produced by `run_all` or any
+//! `exp_*` binary.
+//!
+//! Usage: `cargo run -p smallworld-bench --bin artifact_check -- <path>`
+//!
+//! Checks that every line parses as JSON, that the record sequence is
+//! well-formed (a `meta` record first, at least one `table` and one
+//! `suite` record, exactly one `summary` record last), and that the
+//! summary carries total wall-clock, peak RSS, and a metrics snapshot
+//! with routing counters. Exits non-zero with a message on the first
+//! violation, so CI can gate on it.
+
+use std::process::ExitCode;
+
+use smallworld_obs::JsonValue;
+
+fn check(contents: &str) -> Result<String, String> {
+    let mut records = Vec::new();
+    for (i, line) in contents.lines().enumerate() {
+        let record = JsonValue::parse(line)
+            .map_err(|e| format!("line {}: does not parse as JSON: {e:?}", i + 1))?;
+        let kind = record
+            .get("type")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("line {}: record has no \"type\" string", i + 1))?
+            .to_string();
+        records.push((kind, record));
+    }
+    if records.is_empty() {
+        return Err("artifact is empty".into());
+    }
+    if records[0].0 != "meta" {
+        return Err(format!(
+            "first record must be \"meta\", found {:?}",
+            records[0].0
+        ));
+    }
+    let (last_kind, last) = &records[records.len() - 1];
+    if last_kind != "summary" {
+        return Err(format!("last record must be \"summary\", found {last_kind:?}"));
+    }
+
+    let mut tables = 0usize;
+    let mut suites = 0usize;
+    let mut summaries = 0usize;
+    for (i, (kind, record)) in records.iter().enumerate() {
+        let line = i + 1;
+        match kind.as_str() {
+            "meta" => {
+                for key in ["binary", "scale"] {
+                    if record.get(key).and_then(JsonValue::as_str).is_none() {
+                        return Err(format!("line {line}: meta record missing {key:?}"));
+                    }
+                }
+            }
+            "table" => {
+                tables += 1;
+                for key in ["suite", "headers", "rows"] {
+                    if record.get(key).is_none() {
+                        return Err(format!("line {line}: table record missing {key:?}"));
+                    }
+                }
+                let headers = record
+                    .get("headers")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| format!("line {line}: table headers is not an array"))?;
+                let rows = record
+                    .get("rows")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| format!("line {line}: table rows is not an array"))?;
+                for row in rows {
+                    let row = row
+                        .as_array()
+                        .ok_or_else(|| format!("line {line}: table row is not an array"))?;
+                    if row.len() != headers.len() {
+                        return Err(format!(
+                            "line {line}: row has {} cells but table has {} headers",
+                            row.len(),
+                            headers.len()
+                        ));
+                    }
+                }
+            }
+            "suite" => {
+                suites += 1;
+                if record.get("suite").and_then(JsonValue::as_str).is_none() {
+                    return Err(format!("line {line}: suite record missing \"suite\""));
+                }
+                if record.get("wall_secs").and_then(JsonValue::as_f64).is_none() {
+                    return Err(format!("line {line}: suite record missing \"wall_secs\""));
+                }
+                for key in ["metrics", "spans"] {
+                    if record.get(key).is_none() {
+                        return Err(format!("line {line}: suite record missing {key:?}"));
+                    }
+                }
+            }
+            "summary" => summaries += 1,
+            other => return Err(format!("line {line}: unknown record type {other:?}")),
+        }
+    }
+    if tables == 0 {
+        return Err("artifact has no table records".into());
+    }
+    if suites == 0 {
+        return Err("artifact has no suite records".into());
+    }
+    if summaries != 1 {
+        return Err(format!("expected exactly one summary record, found {summaries}"));
+    }
+
+    if last.get("wall_secs").and_then(JsonValue::as_f64).is_none() {
+        return Err("summary record missing \"wall_secs\"".into());
+    }
+    // peak_rss_bytes may legitimately be null off-Linux, but the key must
+    // exist; on Linux (the CI platform) it must be a positive number
+    let rss = last
+        .get("peak_rss_bytes")
+        .ok_or("summary record missing \"peak_rss_bytes\"")?;
+    if cfg!(target_os = "linux") && rss.as_f64().map(|v| v > 0.0) != Some(true) {
+        return Err(format!("summary peak_rss_bytes not positive: {rss}"));
+    }
+    let counters = last
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .ok_or("summary record missing metrics.counters")?;
+    // the full battery must have routed packets; a single-suite artifact
+    // may legitimately do no routing (e.g. pure structure measurements)
+    let is_battery = records[0]
+        .1
+        .get("binary")
+        .and_then(JsonValue::as_str)
+        .map(|b| b == "run_all")
+        .unwrap_or(false);
+    if is_battery {
+        for key in ["route.started", "route.hops"] {
+            if counters.get(key).and_then(JsonValue::as_f64).map(|v| v > 0.0) != Some(true) {
+                return Err(format!("summary counter {key:?} missing or zero"));
+            }
+        }
+    }
+
+    Ok(format!(
+        "ok: {} records ({} tables, {} suites)",
+        records.len(),
+        tables,
+        suites
+    ))
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: artifact_check <artifact.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let contents = match std::fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&contents) {
+        Ok(report) => {
+            println!("{path}: {report}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {path}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,10 +1,10 @@
 //! Regenerates the `failure_wmin` experiment tables (see DESIGN.md's index).
 //!
-//! Usage: `cargo run --release -p smallworld-bench --bin exp_failure_wmin [--quick|--full]`
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_failure_wmin [--quick|--full] [--json <path>]`
 
+use smallworld_bench::artifact::run_single_suite;
 use smallworld_bench::experiments::failure_wmin;
-use smallworld_bench::Scale;
 
 fn main() {
-    let _ = failure_wmin::run(Scale::from_env());
+    let _ = run_single_suite("exp_failure_wmin", "failure_wmin", failure_wmin::run);
 }

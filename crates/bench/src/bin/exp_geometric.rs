@@ -1,10 +1,10 @@
 //! Regenerates the `geometric` experiment tables (see DESIGN.md's index).
 //!
-//! Usage: `cargo run --release -p smallworld-bench --bin exp_geometric [--quick|--full]`
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_geometric [--quick|--full] [--json <path>]`
 
+use smallworld_bench::artifact::run_single_suite;
 use smallworld_bench::experiments::geometric;
-use smallworld_bench::Scale;
 
 fn main() {
-    let _ = geometric::run(Scale::from_env());
+    let _ = run_single_suite("exp_geometric", "geometric", geometric::run);
 }

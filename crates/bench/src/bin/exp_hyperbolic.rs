@@ -1,10 +1,10 @@
 //! Regenerates the `hyperbolic` experiment tables (see DESIGN.md's index).
 //!
-//! Usage: `cargo run --release -p smallworld-bench --bin exp_hyperbolic [--quick|--full]`
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_hyperbolic [--quick|--full] [--json <path>]`
 
+use smallworld_bench::artifact::run_single_suite;
 use smallworld_bench::experiments::hyperbolic;
-use smallworld_bench::Scale;
 
 fn main() {
-    let _ = hyperbolic::run(Scale::from_env());
+    let _ = run_single_suite("exp_hyperbolic", "hyperbolic", hyperbolic::run);
 }

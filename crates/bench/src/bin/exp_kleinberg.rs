@@ -1,10 +1,10 @@
 //! Regenerates the `kleinberg` experiment tables (see DESIGN.md's index).
 //!
-//! Usage: `cargo run --release -p smallworld-bench --bin exp_kleinberg [--quick|--full]`
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_kleinberg [--quick|--full] [--json <path>]`
 
+use smallworld_bench::artifact::run_single_suite;
 use smallworld_bench::experiments::kleinberg;
-use smallworld_bench::Scale;
 
 fn main() {
-    let _ = kleinberg::run(Scale::from_env());
+    let _ = run_single_suite("exp_kleinberg", "kleinberg", kleinberg::run);
 }

@@ -1,10 +1,10 @@
 //! Regenerates the `patching` experiment tables (see DESIGN.md's index).
 //!
-//! Usage: `cargo run --release -p smallworld-bench --bin exp_patching [--quick|--full]`
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_patching [--quick|--full] [--json <path>]`
 
+use smallworld_bench::artifact::run_single_suite;
 use smallworld_bench::experiments::patching;
-use smallworld_bench::Scale;
 
 fn main() {
-    let _ = patching::run(Scale::from_env());
+    let _ = run_single_suite("exp_patching", "patching", patching::run);
 }

@@ -1,10 +1,10 @@
 //! Regenerates the `path_length` experiment tables (see DESIGN.md's index).
 //!
-//! Usage: `cargo run --release -p smallworld-bench --bin exp_path_length [--quick|--full]`
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_path_length [--quick|--full] [--json <path>]`
 
+use smallworld_bench::artifact::run_single_suite;
 use smallworld_bench::experiments::path_length;
-use smallworld_bench::Scale;
 
 fn main() {
-    let _ = path_length::run(Scale::from_env());
+    let _ = run_single_suite("exp_path_length", "path_length", path_length::run);
 }

@@ -1,10 +1,10 @@
 //! Regenerates the `relaxation` experiment tables (see DESIGN.md's index).
 //!
-//! Usage: `cargo run --release -p smallworld-bench --bin exp_relaxation [--quick|--full]`
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_relaxation [--quick|--full] [--json <path>]`
 
+use smallworld_bench::artifact::run_single_suite;
 use smallworld_bench::experiments::relaxation;
-use smallworld_bench::Scale;
 
 fn main() {
-    let _ = relaxation::run(Scale::from_env());
+    let _ = run_single_suite("exp_relaxation", "relaxation", relaxation::run);
 }

@@ -1,10 +1,10 @@
 //! Regenerates the `robustness` experiment tables (see DESIGN.md's index).
 //!
-//! Usage: `cargo run --release -p smallworld-bench --bin exp_robustness [--quick|--full]`
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_robustness [--quick|--full] [--json <path>]`
 
+use smallworld_bench::artifact::run_single_suite;
 use smallworld_bench::experiments::robustness;
-use smallworld_bench::Scale;
 
 fn main() {
-    let _ = robustness::run(Scale::from_env());
+    let _ = run_single_suite("exp_robustness", "robustness", robustness::run);
 }

@@ -1,10 +1,10 @@
 //! Regenerates the `stretch` experiment tables (see DESIGN.md's index).
 //!
-//! Usage: `cargo run --release -p smallworld-bench --bin exp_stretch [--quick|--full]`
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_stretch [--quick|--full] [--json <path>]`
 
+use smallworld_bench::artifact::run_single_suite;
 use smallworld_bench::experiments::stretch;
-use smallworld_bench::Scale;
 
 fn main() {
-    let _ = stretch::run(Scale::from_env());
+    let _ = run_single_suite("exp_stretch", "stretch", stretch::run);
 }

@@ -1,10 +1,10 @@
 //! Regenerates the `structure` experiment tables (see DESIGN.md's index).
 //!
-//! Usage: `cargo run --release -p smallworld-bench --bin exp_structure [--quick|--full]`
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_structure [--quick|--full] [--json <path>]`
 
+use smallworld_bench::artifact::run_single_suite;
 use smallworld_bench::experiments::structure;
-use smallworld_bench::Scale;
 
 fn main() {
-    let _ = structure::run(Scale::from_env());
+    let _ = run_single_suite("exp_structure", "structure", structure::run);
 }

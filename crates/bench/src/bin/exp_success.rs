@@ -1,10 +1,10 @@
 //! Regenerates the `success` experiment tables (see DESIGN.md's index).
 //!
-//! Usage: `cargo run --release -p smallworld-bench --bin exp_success [--quick|--full]`
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_success [--quick|--full] [--json <path>]`
 
+use smallworld_bench::artifact::run_single_suite;
 use smallworld_bench::experiments::success;
-use smallworld_bench::Scale;
 
 fn main() {
-    let _ = success::run(Scale::from_env());
+    let _ = run_single_suite("exp_success", "success", success::run);
 }

@@ -1,10 +1,10 @@
 //! Regenerates the `trajectory` experiment tables (see DESIGN.md's index).
 //!
-//! Usage: `cargo run --release -p smallworld-bench --bin exp_trajectory [--quick|--full]`
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_trajectory [--quick|--full] [--json <path>]`
 
+use smallworld_bench::artifact::run_single_suite;
 use smallworld_bench::experiments::trajectory;
-use smallworld_bench::Scale;
 
 fn main() {
-    let _ = trajectory::run(Scale::from_env());
+    let _ = run_single_suite("exp_trajectory", "trajectory", trajectory::run);
 }

@@ -15,11 +15,14 @@ use std::process::ExitCode;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use smallworld_analysis::Table;
+use smallworld_bench::{Artifact, Scale};
 use smallworld_core::theory::lambda_for_average_degree;
 use smallworld_graph::Components;
 use smallworld_models::girg::GirgBuilder;
 use smallworld_models::io::write_girg;
 use smallworld_models::Alpha;
+use smallworld_obs::Span;
 
 struct Options {
     n: u64,
@@ -50,6 +53,11 @@ fn parse_args() -> Result<Options, String> {
         if flag == "--help" || flag == "-h" {
             return Err(String::new());
         }
+        if flag.starts_with("--json=") {
+            // consumed by the artifact sink (smallworld_obs::sink)
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("missing value for {flag}"))?;
@@ -69,6 +77,7 @@ fn parse_args() -> Result<Options, String> {
             "--wmin" => opts.wmin = value.parse().map_err(|_| bad(value))?,
             "--seed" => opts.seed = value.parse().map_err(|_| bad(value))?,
             "--out" => opts.out = Some(value.clone()),
+            "--json" => {} // consumed by the artifact sink (smallworld_obs::sink)
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
@@ -83,7 +92,8 @@ fn usage() {
     eprintln!(
         "girg_gen: sample a 2-dimensional GIRG\n\
          flags: --n <u64> --beta <f64 in (2,3)> --alpha <f64 or inf> \
-         [--lambda <f64> | --degree <f64>] [--wmin <f64>] [--seed <u64>] [--out <path>]"
+         [--lambda <f64> | --degree <f64>] [--wmin <f64>] [--seed <u64>] [--out <path>] \
+         [--json <path>]"
     );
 }
 
@@ -104,44 +114,74 @@ fn main() -> ExitCode {
         lambda_for_average_degree(degree, opts.alpha, 2, opts.beta, opts.wmin)
     });
 
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let start = std::time::Instant::now();
-    let girg = match GirgBuilder::<2>::new(opts.n)
-        .beta(opts.beta)
-        .alpha(Alpha::from(opts.alpha))
-        .wmin(opts.wmin)
-        .lambda(lambda)
-        .sample(&mut rng)
-    {
-        Ok(g) => g,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let elapsed = start.elapsed().as_secs_f64();
-    let comps = Components::compute(girg.graph());
-    eprintln!(
-        "sampled {} vertices, {} edges in {elapsed:.2}s (avg degree {:.2}, giant {:.1}%)",
-        girg.node_count(),
-        girg.graph().edge_count(),
-        girg.graph().average_degree(),
-        100.0 * comps.giant_fraction()
-    );
-
-    if let Some(path) = opts.out {
-        let file = match std::fs::File::create(&path) {
-            Ok(f) => f,
+    let artifact = Artifact::open("girg_gen", Scale::Full);
+    let mut exit = ExitCode::SUCCESS;
+    let (_, _) = artifact.run_suite("girg_gen", Scale::Full, |_| {
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let start = std::time::Instant::now();
+        let girg = {
+            let _span = Span::enter("sample_girg");
+            GirgBuilder::<2>::new(opts.n)
+                .beta(opts.beta)
+                .alpha(Alpha::from(opts.alpha))
+                .wmin(opts.wmin)
+                .lambda(lambda)
+                .sample(&mut rng)
+        };
+        let girg = match girg {
+            Ok(g) => g,
             Err(e) => {
-                eprintln!("error: cannot create {path}: {e}");
-                return ExitCode::FAILURE;
+                eprintln!("error: {e}");
+                exit = ExitCode::FAILURE;
+                return Vec::new();
             }
         };
-        if let Err(e) = write_girg(&girg, BufWriter::new(file)) {
-            eprintln!("error: writing {path}: {e}");
-            return ExitCode::FAILURE;
+        let elapsed = start.elapsed().as_secs_f64();
+        let comps = Components::compute(girg.graph());
+        eprintln!(
+            "sampled {} vertices, {} edges in {elapsed:.2}s (avg degree {:.2}, giant {:.1}%)",
+            girg.node_count(),
+            girg.graph().edge_count(),
+            girg.graph().average_degree(),
+            100.0 * comps.giant_fraction()
+        );
+        let mut table = Table::new([
+            "n", "beta", "alpha", "lambda", "seed", "vertices", "edges", "avg degree",
+            "giant frac", "sample secs",
+        ])
+        .title("girg_gen: sampled graph");
+        table.row([
+            opts.n.to_string(),
+            format!("{}", opts.beta),
+            format!("{}", opts.alpha),
+            format!("{lambda}"),
+            opts.seed.to_string(),
+            girg.node_count().to_string(),
+            girg.graph().edge_count().to_string(),
+            format!("{:.3}", girg.graph().average_degree()),
+            format!("{:.4}", comps.giant_fraction()),
+            format!("{elapsed:.3}"),
+        ]);
+
+        if let Some(path) = &opts.out {
+            let _span = Span::enter("write_girg");
+            let file = match std::fs::File::create(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("error: cannot create {path}: {e}");
+                    exit = ExitCode::FAILURE;
+                    return vec![table];
+                }
+            };
+            if let Err(e) = write_girg(&girg, BufWriter::new(file)) {
+                eprintln!("error: writing {path}: {e}");
+                exit = ExitCode::FAILURE;
+                return vec![table];
+            }
+            eprintln!("wrote {path}");
         }
-        eprintln!("wrote {path}");
-    }
-    ExitCode::SUCCESS
+        vec![table]
+    });
+    artifact.finish();
+    exit
 }

@@ -1,15 +1,25 @@
 //! Runs every experiment in the DESIGN.md index (E1–E14) in sequence.
 //!
-//! Usage: `cargo run --release -p smallworld-bench --bin run_all [--quick|--full]`
+//! Usage:
+//! `cargo run --release -p smallworld-bench --bin run_all [--quick|--full] [--json <path>]`
+//!
+//! With `--json <path>` (or `SMALLWORLD_JSON=<path>`) the battery also
+//! writes a JSONL artifact: every suite's tables, wall-clock seconds,
+//! metric deltas (routing hops, dead ends, …) and span timings, plus a
+//! final summary with total runtime and peak RSS.
 
 use smallworld_bench::experiments;
-use smallworld_bench::Scale;
+use smallworld_bench::{Artifact, Scale};
 
 type Suite = (&'static str, fn(Scale) -> Vec<smallworld_analysis::Table>);
 
 fn main() {
     let scale = Scale::from_env();
     println!("=== smallworld experiment battery ({scale:?}) ===\n");
+    let artifact = Artifact::open("run_all", scale);
+    if let Some(path) = artifact.path() {
+        println!("writing JSONL artifact to {}\n", path.display());
+    }
     let suites: [Suite; 12] = [
         ("E1  success probability", experiments::success::run),
         ("E2/E3 failure decay", experiments::failure_wmin::run),
@@ -26,12 +36,8 @@ fn main() {
     ];
     for (name, run) in suites {
         println!(">>> {name}");
-        let start = std::time::Instant::now();
-        let tables = run(scale);
-        println!(
-            "<<< {name}: {} table(s) in {:.1}s\n",
-            tables.len(),
-            start.elapsed().as_secs_f64()
-        );
+        let (tables, wall_secs) = artifact.run_suite(name, scale, run);
+        println!("<<< {name}: {} table(s) in {wall_secs:.1}s\n", tables.len());
     }
+    artifact.finish();
 }

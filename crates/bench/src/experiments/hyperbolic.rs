@@ -16,7 +16,10 @@ use smallworld_core::{GreedyRouter, HyperbolicObjective, PhiDfsRouter};
 use smallworld_graph::Components;
 use smallworld_models::HrgBuilder;
 
-use crate::harness::{parallel_map, route_random_connected_pairs, route_random_pairs, RoutingAggregate, Scale};
+use crate::harness::{
+    parallel_map, route_random_connected_pairs_observed, route_random_pairs_observed,
+    RoutingAggregate, Scale,
+};
 
 /// Runs E10 and prints/returns its table.
 pub fn run(scale: Scale) -> Vec<Table> {
@@ -35,15 +38,20 @@ pub fn run(scale: Scale) -> Vec<Table> {
             for &t in &temps {
                 let outcomes = parallel_map(reps, 0xE10 ^ n as u64 ^ t.to_bits(), |_, seed| {
                     let mut rng = StdRng::seed_from_u64(seed ^ (alpha_h * 100.0) as u64);
-                    let hrg = HrgBuilder::new(n)
-                        .alpha_h(alpha_h)
-                        .temperature(t)
-                        .radius_offset(-1.0) // denser disk: average degree ~10
-                        .sample(&mut rng)
-                        .expect("valid HRG parameters");
+                    let hrg = {
+                        let _span = smallworld_obs::Span::enter("sample_hrg");
+                        HrgBuilder::new(n)
+                            .alpha_h(alpha_h)
+                            .temperature(t)
+                            .radius_offset(-1.0) // denser disk: average degree ~10
+                            .sample(&mut rng)
+                            .expect("valid HRG parameters")
+                    };
                     let comps = Components::compute(hrg.graph());
                     let obj = HyperbolicObjective::new(&hrg);
-                    let greedy = route_random_pairs(
+                    let _span = smallworld_obs::Span::enter("route_pairs");
+                    let mut obs = smallworld_obs::MetricsRouteObserver::new();
+                    let greedy = route_random_pairs_observed(
                         hrg.graph(),
                         &obj,
                         &GreedyRouter::new(),
@@ -51,10 +59,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
                         pairs,
                         true,
                         &mut rng,
+                        &mut obs,
                     );
                     // connected pairs only: Φ-DFS would otherwise exhaust the
                     // giant on every cross-component pair
-                    let patched = route_random_connected_pairs(
+                    let patched = route_random_connected_pairs_observed(
                         hrg.graph(),
                         &obj,
                         &PhiDfsRouter::new(),
@@ -62,6 +71,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
                         pairs / 4,
                         false,
                         &mut rng,
+                        &mut obs,
                     );
                     (greedy, patched)
                 });

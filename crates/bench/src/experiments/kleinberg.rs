@@ -22,7 +22,7 @@ use smallworld_graph::Components;
 use smallworld_models::{ContinuumKleinberg, KleinbergLattice};
 
 use crate::experiments::{run_girg_trials, GirgConfig, ObjectiveChoice};
-use crate::harness::{parallel_map, route_random_pairs, RoutingAggregate, Scale};
+use crate::harness::{parallel_map, route_random_pairs_observed, RoutingAggregate, Scale};
 
 /// Runs E12 (parts A and B); prints/returns both tables.
 pub fn run(scale: Scale) -> Vec<Table> {
@@ -42,10 +42,14 @@ fn part_a(scale: Scale) -> Table {
             let n = side as usize * side as usize;
             let outcomes = parallel_map(reps, 0xE12 ^ side as u64 ^ (r * 10.0) as u64, |_, seed| {
                 let mut rng = StdRng::seed_from_u64(seed);
-                let kl = KleinbergLattice::sample(side, r, 1, &mut rng).expect("valid lattice");
+                let kl = {
+                    let _span = smallworld_obs::Span::enter("sample_kleinberg");
+                    KleinbergLattice::sample(side, r, 1, &mut rng).expect("valid lattice")
+                };
                 let comps = Components::compute(kl.graph());
                 let obj = KleinbergObjective::new(&kl);
-                route_random_pairs(
+                let _span = smallworld_obs::Span::enter("route_pairs");
+                route_random_pairs_observed(
                     kl.graph(),
                     &obj,
                     &GreedyRouter::new(),
@@ -53,6 +57,7 @@ fn part_a(scale: Scale) -> Table {
                     pairs,
                     false,
                     &mut rng,
+                    &mut smallworld_obs::MetricsRouteObserver::new(),
                 )
             });
             let trials: Vec<_> = outcomes.into_iter().flatten().collect();
@@ -87,10 +92,14 @@ fn part_b(scale: Scale) -> Table {
         // continuum Kleinberg with distance-only greedy
         let outcomes = parallel_map(reps, 0xB12 ^ n, |_, seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            let ck = ContinuumKleinberg::sample(n, 1.0, 1, 4.0, &mut rng).expect("valid model");
+            let ck = {
+                let _span = smallworld_obs::Span::enter("sample_kleinberg");
+                ContinuumKleinberg::sample(n, 1.0, 1, 4.0, &mut rng).expect("valid model")
+            };
             let comps = Components::compute(ck.graph());
             let obj = DistanceObjective::for_continuum(&ck);
-            route_random_pairs(
+            let _span = smallworld_obs::Span::enter("route_pairs");
+            route_random_pairs_observed(
                 ck.graph(),
                 &obj,
                 &GreedyRouter::new(),
@@ -98,6 +107,7 @@ fn part_b(scale: Scale) -> Table {
                 pairs,
                 false,
                 &mut rng,
+                &mut smallworld_obs::MetricsRouteObserver::new(),
             )
         });
         let noisy: Vec<_> = outcomes.into_iter().flatten().collect();

@@ -21,12 +21,15 @@ pub mod trajectory;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use smallworld_core::{DistanceObjective, GirgObjective, QuantizedObjective, RelaxedObjective, Router};
+use smallworld_core::{
+    DistanceObjective, GirgObjective, QuantizedObjective, RelaxedObjective, RouteObserver, Router,
+};
 use smallworld_graph::Components;
 use smallworld_models::girg::{Girg, GirgBuilder};
 use smallworld_models::Alpha;
+use smallworld_obs::MetricsRouteObserver;
 
-use crate::harness::{parallel_map, route_random_pairs, TrialOutcome};
+use crate::harness::{parallel_map, route_random_pairs_observed, TrialOutcome};
 
 /// Parameters of one GIRG sampling configuration (dimension fixed to 2;
 /// [`robustness`] instantiates other dimensions explicitly).
@@ -112,6 +115,12 @@ pub enum ObjectiveChoice {
 
 /// Samples `reps` independent GIRGs in parallel and routes `pairs` random
 /// source/target pairs on each; returns all trial outcomes.
+///
+/// Every route reports to a fresh [`MetricsRouteObserver`], so the global
+/// metrics registry (`route.hops`, `route.dead_ends`, …) reflects all
+/// routing done by the experiments. The trial outcomes themselves are
+/// independent of the observer — see
+/// [`run_girg_trials_observed`] and the neutrality test.
 pub fn run_girg_trials<R>(
     config: GirgConfig,
     objective: ObjectiveChoice,
@@ -124,29 +133,80 @@ pub fn run_girg_trials<R>(
 where
     R: Router + Sync,
 {
+    run_girg_trials_observed(
+        config,
+        objective,
+        router,
+        reps,
+        pairs,
+        measure_stretch,
+        master_seed,
+        MetricsRouteObserver::new,
+    )
+}
+
+/// Like [`run_girg_trials`], but each repetition observes its routes with a
+/// fresh observer produced by `make_obs` (one observer per rep, called on
+/// the worker thread).
+///
+/// Observers must not influence the trials: for any two factories, the
+/// returned outcomes are identical given the same `master_seed`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_girg_trials_observed<R, Obs, F>(
+    config: GirgConfig,
+    objective: ObjectiveChoice,
+    router: &R,
+    reps: usize,
+    pairs: usize,
+    measure_stretch: bool,
+    master_seed: u64,
+    make_obs: F,
+) -> Vec<TrialOutcome>
+where
+    R: Router + Sync,
+    Obs: RouteObserver,
+    F: Fn() -> Obs + Sync,
+{
     let per_rep = parallel_map(reps, master_seed, |_, seed| {
         let mut rng = StdRng::seed_from_u64(seed);
-        let girg = config.sample(&mut rng);
+        let girg = {
+            let _span = smallworld_obs::Span::enter("sample_girg");
+            config.sample(&mut rng)
+        };
         if girg.node_count() < 2 {
             return Vec::new();
         }
-        let comps = Components::compute(girg.graph());
+        let comps = {
+            let _span = smallworld_obs::Span::enter("components");
+            Components::compute(girg.graph())
+        };
+        let mut obs = make_obs();
+        let o = &mut obs;
+        let _span = smallworld_obs::Span::enter("route_pairs");
         match objective {
             ObjectiveChoice::Girg => {
                 let obj = GirgObjective::new(&girg);
-                route_random_pairs(girg.graph(), &obj, router, &comps, pairs, measure_stretch, &mut rng)
+                route_random_pairs_observed(
+                    girg.graph(), &obj, router, &comps, pairs, measure_stretch, &mut rng, o,
+                )
             }
             ObjectiveChoice::Distance => {
                 let obj = DistanceObjective::for_girg(&girg);
-                route_random_pairs(girg.graph(), &obj, router, &comps, pairs, measure_stretch, &mut rng)
+                route_random_pairs_observed(
+                    girg.graph(), &obj, router, &comps, pairs, measure_stretch, &mut rng, o,
+                )
             }
             ObjectiveChoice::Relaxed(eps) => {
                 let obj = RelaxedObjective::new(GirgObjective::new(&girg), eps, seed);
-                route_random_pairs(girg.graph(), &obj, router, &comps, pairs, measure_stretch, &mut rng)
+                route_random_pairs_observed(
+                    girg.graph(), &obj, router, &comps, pairs, measure_stretch, &mut rng, o,
+                )
             }
             ObjectiveChoice::Quantized(levels) => {
                 let obj = QuantizedObjective::new(GirgObjective::new(&girg), levels);
-                route_random_pairs(girg.graph(), &obj, router, &comps, pairs, measure_stretch, &mut rng)
+                route_random_pairs_observed(
+                    girg.graph(), &obj, router, &comps, pairs, measure_stretch, &mut rng, o,
+                )
             }
         }
     });
@@ -187,5 +247,43 @@ mod tests {
         let a = run_girg_trials(config, ObjectiveChoice::Girg, &router, 2, 40, false, 7);
         let b = run_girg_trials(config, ObjectiveChoice::Girg, &router, 2, 40, false, 7);
         assert_eq!(a, b);
+    }
+
+    /// Instrumentation must be invisible to the science: the same seed
+    /// yields bitwise-identical trial outcomes whether routes run with the
+    /// no-op observer, an event-counting observer, or the metrics-registry
+    /// observer used by the experiment battery.
+    #[test]
+    fn observers_do_not_change_trial_outcomes() {
+        let config = GirgConfig {
+            n: 1_200,
+            ..GirgConfig::default()
+        };
+        let router = smallworld_core::HistoryRouter::new();
+        let objective = ObjectiveChoice::Girg;
+        let baseline = run_girg_trials_observed(
+            config,
+            objective,
+            &router,
+            2,
+            30,
+            true,
+            13,
+            || smallworld_core::NoopObserver,
+        );
+        let counted = run_girg_trials_observed(
+            config,
+            objective,
+            &router,
+            2,
+            30,
+            true,
+            13,
+            smallworld_obs::CountingObserver::default,
+        );
+        let metered = run_girg_trials(config, objective, &router, 2, 30, true, 13);
+        assert_eq!(baseline, counted);
+        assert_eq!(baseline, metered);
+        assert!(!baseline.is_empty());
     }
 }

@@ -23,7 +23,9 @@ use smallworld_graph::Components;
 use smallworld_core::GirgObjective;
 
 use crate::experiments::GirgConfig;
-use crate::harness::{parallel_map, route_random_connected_pairs, RoutingAggregate, Scale, TrialOutcome};
+use crate::harness::{
+    parallel_map, route_random_connected_pairs_observed, RoutingAggregate, Scale, TrialOutcome,
+};
 
 fn routers() -> Vec<RouterKind> {
     vec![
@@ -49,9 +51,13 @@ fn compare_routers(
     let kinds = routers();
     let per_rep: Vec<Vec<Vec<TrialOutcome>>> = parallel_map(reps, seed, |_, seed| {
         let mut rng = StdRng::seed_from_u64(seed);
-        let girg = config.sample(&mut rng);
+        let girg = {
+            let _span = smallworld_obs::Span::enter("sample_girg");
+            config.sample(&mut rng)
+        };
         let comps = Components::compute(girg.graph());
         let obj = GirgObjective::new(&girg);
+        let _span = smallworld_obs::Span::enter("route_pairs");
         kinds
             .iter()
             .map(|router| {
@@ -60,7 +66,10 @@ fn compare_routers(
                 // shared component, and backtrackers would otherwise spend
                 // the whole budget exhaustively failing cross-component pairs
                 let mut pair_rng = StdRng::seed_from_u64(seed ^ 0xABCD);
-                route_random_connected_pairs(girg.graph(), &obj, router, &comps, pairs, false, &mut pair_rng)
+                let mut obs = smallworld_obs::MetricsRouteObserver::new();
+                route_random_connected_pairs_observed(
+                    girg.graph(), &obj, router, &comps, pairs, false, &mut pair_rng, &mut obs,
+                )
             })
             .collect()
     });

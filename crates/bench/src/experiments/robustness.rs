@@ -15,7 +15,7 @@ use smallworld_graph::Components;
 use smallworld_models::girg::GirgBuilder;
 use smallworld_models::Alpha;
 
-use crate::harness::{parallel_map, route_random_pairs, RoutingAggregate, Scale};
+use crate::harness::{parallel_map, route_random_pairs_observed, RoutingAggregate, Scale};
 
 /// Samples and routes in dimension `D`.
 fn run_cell<const D: usize>(
@@ -31,18 +31,22 @@ fn run_cell<const D: usize>(
         smallworld_core::theory::lambda_for_average_degree(10.0, alpha, D as u32, beta, 1.0);
     let outcomes = parallel_map(reps, seed, |_, seed| {
         let mut rng = StdRng::seed_from_u64(seed);
-        let girg = GirgBuilder::<D>::new(n)
-            .beta(beta)
-            .alpha(Alpha::from(alpha))
-            .lambda(lambda)
-            .sample(&mut rng)
-            .expect("valid parameters");
+        let girg = {
+            let _span = smallworld_obs::Span::enter("sample_girg");
+            GirgBuilder::<D>::new(n)
+                .beta(beta)
+                .alpha(Alpha::from(alpha))
+                .lambda(lambda)
+                .sample(&mut rng)
+                .expect("valid parameters")
+        };
         if girg.node_count() < 2 {
             return Vec::new();
         }
         let comps = Components::compute(girg.graph());
         let obj = GirgObjective::new(&girg);
-        route_random_pairs(
+        let _span = smallworld_obs::Span::enter("route_pairs");
+        route_random_pairs_observed(
             girg.graph(),
             &obj,
             &GreedyRouter::new(),
@@ -50,6 +54,7 @@ fn run_cell<const D: usize>(
             pairs,
             false,
             &mut rng,
+            &mut smallworld_obs::MetricsRouteObserver::new(),
         )
     });
     let trials: Vec<_> = outcomes.into_iter().flatten().collect();
@@ -117,15 +122,28 @@ fn edge_failures(scale: Scale) -> Table {
     for &keep in &keeps {
         let outcomes = parallel_map(reps, 0xB13 ^ (keep * 100.0) as u64, |_, seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            let girg = GirgBuilder::<2>::new(n)
-                .beta(2.5)
-                .lambda(0.02)
-                .sample(&mut rng)
-                .expect("valid");
+            let girg = {
+                let _span = smallworld_obs::Span::enter("sample_girg");
+                GirgBuilder::<2>::new(n)
+                    .beta(2.5)
+                    .lambda(0.02)
+                    .sample(&mut rng)
+                    .expect("valid")
+            };
             let failed = percolate(girg.graph(), keep, &mut rng);
             let comps = Components::compute(&failed);
             let obj = GirgObjective::new(&girg);
-            route_random_pairs(&failed, &obj, &GreedyRouter::new(), &comps, pairs, false, &mut rng)
+            let _span = smallworld_obs::Span::enter("route_pairs");
+            route_random_pairs_observed(
+                &failed,
+                &obj,
+                &GreedyRouter::new(),
+                &comps,
+                pairs,
+                false,
+                &mut rng,
+                &mut smallworld_obs::MetricsRouteObserver::new(),
+            )
         });
         let trials: Vec<_> = outcomes.into_iter().flatten().collect();
         let agg = RoutingAggregate::from_trials(&trials);

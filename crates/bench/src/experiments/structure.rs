@@ -56,9 +56,13 @@ pub fn run(scale: Scale) -> Vec<Table> {
             beta,
             ..GirgConfig::default()
         };
-        let girg = config.sample(&mut rng);
+        let girg = {
+            let _span = smallworld_obs::Span::enter("sample_girg");
+            config.sample(&mut rng)
+        };
         let graph = girg.graph();
         let comps = Components::compute(graph);
+        let _span = smallworld_obs::Span::enter("structure_stats");
 
         // degree power law
         let degrees: Vec<f64> = graph.nodes().map(|v| graph.degree(v) as f64).collect();

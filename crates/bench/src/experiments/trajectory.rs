@@ -15,7 +15,8 @@ use rand::{Rng, SeedableRng};
 use smallworld_analysis::table::fmt_f64;
 use smallworld_analysis::{Summary, Table};
 use smallworld_core::trajectory::{layer_revisits, layer_sequence, Phase};
-use smallworld_core::{greedy_route, GirgObjective, Trajectory};
+use smallworld_core::greedy::DEFAULT_MAX_STEPS;
+use smallworld_core::{greedy_route_observed, GirgObjective, Trajectory};
 use smallworld_graph::NodeId;
 
 use crate::experiments::GirgConfig;
@@ -59,8 +60,12 @@ pub fn run(scale: Scale) -> Vec<Table> {
 
     let results = parallel_map(reps, 0xE6, |_, seed| {
         let mut rng = StdRng::seed_from_u64(seed);
-        let girg = config.sample(&mut rng);
+        let girg = {
+            let _span = smallworld_obs::Span::enter("sample_girg");
+            config.sample(&mut rng)
+        };
         let obj = GirgObjective::new(&girg);
+        let _span = smallworld_obs::Span::enter("route_pairs");
         let mut partial = Partial::default();
         let nverts = girg.node_count();
         for _ in 0..routes_per_rep {
@@ -69,7 +74,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
             if s == t {
                 continue;
             }
-            let record = greedy_route(girg.graph(), &obj, s, t);
+            let record = greedy_route_observed(
+                girg.graph(),
+                &obj,
+                s,
+                t,
+                DEFAULT_MAX_STEPS,
+                &mut smallworld_obs::MetricsRouteObserver::new(),
+            );
             if !record.is_success() || record.hops() < min_hops {
                 continue;
             }

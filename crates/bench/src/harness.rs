@@ -6,7 +6,7 @@ use rand::Rng;
 use rand::SeedableRng;
 
 use smallworld_analysis::{Proportion, Summary};
-use smallworld_core::{stretch, Objective, Router};
+use smallworld_core::{stretch, NoopObserver, Objective, RouteObserver, Router};
 use smallworld_graph::{Components, Graph};
 
 /// Experiment size: `Quick` for smoke tests / CI, `Full` for the numbers
@@ -21,8 +21,21 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// Parses a scale name, case-insensitively: `"quick"` or `"full"`.
+    pub fn parse(value: &str) -> Option<Scale> {
+        match value.to_ascii_lowercase().as_str() {
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
     /// Reads the scale from the process environment and CLI arguments
     /// (`--quick` / `--full` take precedence over `SMALLWORLD_SCALE`).
+    ///
+    /// An unrecognized `SMALLWORLD_SCALE` value falls back to
+    /// [`Scale::Full`] with a warning on stderr, instead of being silently
+    /// treated as the full battery.
     pub fn from_env() -> Scale {
         let args: Vec<String> = std::env::args().collect();
         if args.iter().any(|a| a == "--quick") {
@@ -31,9 +44,15 @@ impl Scale {
         if args.iter().any(|a| a == "--full") {
             return Scale::Full;
         }
-        match std::env::var("SMALLWORLD_SCALE").as_deref() {
-            Ok("quick") => Scale::Quick,
-            _ => Scale::Full,
+        match std::env::var("SMALLWORLD_SCALE") {
+            Ok(value) => Scale::parse(&value).unwrap_or_else(|| {
+                eprintln!(
+                    "warning: unrecognized SMALLWORLD_SCALE={value:?} \
+                     (expected \"quick\" or \"full\"); running at full scale"
+                );
+                Scale::Full
+            }),
+            Err(_) => Scale::Full,
         }
     }
 
@@ -71,6 +90,10 @@ pub fn split_seed(master: u64, stream: u64) -> u64 {
 /// results in task order. Each job receives its index and a seed derived
 /// deterministically from `master_seed`, so runs are reproducible regardless
 /// of thread scheduling.
+///
+/// Each task's wall-clock time is recorded in the `harness.task_ns` metrics
+/// histogram (with a matching `harness.tasks` counter), so artifacts show
+/// the Monte-Carlo load distribution for free.
 pub fn parallel_map<T, F>(tasks: usize, master_seed: u64, f: F) -> Vec<T>
 where
     T: Send,
@@ -82,6 +105,8 @@ where
         .min(tasks.max(1));
     let mut results: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
+    let task_counter = smallworld_obs::metrics::counter("harness.tasks");
+    let task_timings = smallworld_obs::metrics::histogram("harness.task_ns");
     let f = &f;
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -93,7 +118,10 @@ where
                     if i >= tasks {
                         break;
                     }
+                    let started = std::time::Instant::now();
                     out.push((i, f(i, split_seed(master_seed, i as u64))));
+                    task_counter.inc();
+                    task_timings.record_duration(started.elapsed());
                 }
                 out
             }));
@@ -141,7 +169,40 @@ where
     R: Router,
     O: Objective,
 {
-    route_pairs_impl(graph, objective, router, components, pairs, measure_stretch, false, rng)
+    route_random_pairs_observed(
+        graph,
+        objective,
+        router,
+        components,
+        pairs,
+        measure_stretch,
+        rng,
+        &mut NoopObserver,
+    )
+}
+
+/// Like [`route_random_pairs`], but reports every routing event to `obs`.
+///
+/// The observer receives the concatenated event streams of all `pairs`
+/// routes, in trial order. Trial outcomes are bitwise-identical to the
+/// unobserved variant for the same `rng` state.
+#[allow(clippy::too_many_arguments)]
+pub fn route_random_pairs_observed<R, O, Obs>(
+    graph: &Graph,
+    objective: &O,
+    router: &R,
+    components: &Components,
+    pairs: usize,
+    measure_stretch: bool,
+    rng: &mut StdRng,
+    obs: &mut Obs,
+) -> Vec<TrialOutcome>
+where
+    R: Router,
+    O: Objective,
+    Obs: RouteObserver,
+{
+    route_pairs_impl(graph, objective, router, components, pairs, measure_stretch, false, rng, obs)
 }
 
 /// Like [`route_random_pairs`], but only pairs within one component are
@@ -168,15 +229,49 @@ where
     R: Router,
     O: Objective,
 {
+    route_random_connected_pairs_observed(
+        graph,
+        objective,
+        router,
+        components,
+        pairs,
+        measure_stretch,
+        rng,
+        &mut NoopObserver,
+    )
+}
+
+/// Like [`route_random_connected_pairs`], but reports every routing event
+/// to `obs`.
+///
+/// # Panics
+///
+/// Panics if no two vertices share a component.
+#[allow(clippy::too_many_arguments)]
+pub fn route_random_connected_pairs_observed<R, O, Obs>(
+    graph: &Graph,
+    objective: &O,
+    router: &R,
+    components: &Components,
+    pairs: usize,
+    measure_stretch: bool,
+    rng: &mut StdRng,
+    obs: &mut Obs,
+) -> Vec<TrialOutcome>
+where
+    R: Router,
+    O: Objective,
+    Obs: RouteObserver,
+{
     assert!(
         components.largest_size() >= 2,
         "no two vertices share a component"
     );
-    route_pairs_impl(graph, objective, router, components, pairs, measure_stretch, true, rng)
+    route_pairs_impl(graph, objective, router, components, pairs, measure_stretch, true, rng, obs)
 }
 
 #[allow(clippy::too_many_arguments)]
-fn route_pairs_impl<R, O>(
+fn route_pairs_impl<R, O, Obs>(
     graph: &Graph,
     objective: &O,
     router: &R,
@@ -185,10 +280,12 @@ fn route_pairs_impl<R, O>(
     measure_stretch: bool,
     connected_only: bool,
     rng: &mut StdRng,
+    obs: &mut Obs,
 ) -> Vec<TrialOutcome>
 where
     R: Router,
     O: Objective,
+    Obs: RouteObserver,
 {
     let n = graph.node_count();
     assert!(n >= 2, "need at least two vertices to route");
@@ -205,7 +302,7 @@ where
             }
             break (s, t);
         };
-        let record = router.route(graph, objective, s, t);
+        let record = router.route_observed(graph, objective, s, t, obs);
         let st = if measure_stretch {
             stretch(graph, &record)
         } else {
@@ -288,6 +385,39 @@ mod tests {
     fn scale_pick() {
         assert_eq!(Scale::Quick.pick(1, 2), 1);
         assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn scale_parse_accepts_both_names_case_insensitively() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("QUICK"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("Full"), Some(Scale::Full));
+    }
+
+    #[test]
+    fn scale_parse_rejects_junk() {
+        assert_eq!(Scale::parse(""), None);
+        assert_eq!(Scale::parse("fast"), None);
+        assert_eq!(Scale::parse("quick "), None);
+        assert_eq!(Scale::parse("1"), None);
+    }
+
+    #[test]
+    fn parallel_map_workers_share_metric_counters() {
+        // every worker thread increments the same interned counter; the
+        // sharded registry must not lose any increment
+        let counter = smallworld_obs::metrics::counter("harness.test.parallel_incs");
+        let before = counter.value();
+        let tasks = 64;
+        let per_task = 100u64;
+        let c = &counter;
+        parallel_map(tasks, 9, |_, _| {
+            for _ in 0..per_task {
+                c.inc();
+            }
+        });
+        assert_eq!(counter.value() - before, tasks as u64 * per_task);
     }
 
     #[test]

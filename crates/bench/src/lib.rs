@@ -10,8 +10,15 @@
 //! (`quick` or `full`) or a `--quick`/`--full` CLI flag; `quick` keeps every
 //! experiment under a few seconds for CI, `full` reproduces the numbers
 //! recorded in `EXPERIMENTS.md`.
+//!
+//! Passing `--json <path>` (or setting `SMALLWORLD_JSON`) to `run_all` or
+//! any `exp_*` binary additionally writes a machine-readable JSONL
+//! artifact — tables, per-suite timings, routing metrics, spans, and peak
+//! RSS — via [`artifact::Artifact`].
 
+pub mod artifact;
 pub mod experiments;
 pub mod harness;
 
+pub use artifact::Artifact;
 pub use harness::{parallel_map, split_seed, RoutingAggregate, Scale, TrialOutcome};

@@ -11,6 +11,7 @@
 use smallworld_graph::{Graph, NodeId};
 
 use crate::objective::Objective;
+use crate::observe::{NoopObserver, RouteObserver};
 
 /// Default cap on routing steps; greedy paths are `Θ(log log n)` so this is
 /// effectively unlimited while still preventing runaway loops with
@@ -122,17 +123,38 @@ pub fn greedy_route_with_limit<O: Objective>(
     t: NodeId,
     max_steps: usize,
 ) -> RouteRecord {
+    greedy_route_observed(graph, objective, s, t, max_steps, &mut NoopObserver)
+}
+
+/// Routes greedily from `s` to `t`, reporting each hop to `obs`.
+///
+/// With [`NoopObserver`] this monomorphizes to the uninstrumented protocol.
+///
+/// # Panics
+///
+/// Panics if `s` or `t` is out of range for `graph`.
+pub fn greedy_route_observed<O: Objective, Obs: RouteObserver>(
+    graph: &Graph,
+    objective: &O,
+    s: NodeId,
+    t: NodeId,
+    max_steps: usize,
+    obs: &mut Obs,
+) -> RouteRecord {
+    obs.on_start(s, t);
     let mut path = vec![s];
     let mut current = s;
     let mut current_score = objective.score(s, t);
     loop {
         if current == t {
+            obs.on_finish(RouteOutcome::Delivered, path.len() - 1);
             return RouteRecord {
                 outcome: RouteOutcome::Delivered,
                 path,
             };
         }
         if path.len() > max_steps {
+            obs.on_finish(RouteOutcome::MaxStepsExceeded, path.len() - 1);
             return RouteRecord {
                 outcome: RouteOutcome::MaxStepsExceeded,
                 path,
@@ -148,11 +170,14 @@ pub fn greedy_route_with_limit<O: Objective>(
         }
         match best {
             Some((score, u)) if score > current_score => {
+                obs.on_hop(u, score);
                 path.push(u);
                 current = u;
                 current_score = score;
             }
             _ => {
+                obs.on_dead_end(current);
+                obs.on_finish(RouteOutcome::DeadEnd, path.len() - 1);
                 return RouteRecord {
                     outcome: RouteOutcome::DeadEnd,
                     path,
@@ -193,8 +218,15 @@ impl crate::patching::Router for GreedyRouter {
         "greedy"
     }
 
-    fn route<O: Objective>(&self, graph: &Graph, objective: &O, s: NodeId, t: NodeId) -> RouteRecord {
-        greedy_route_with_limit(graph, objective, s, t, self.max_steps)
+    fn route_observed<O: Objective, Obs: RouteObserver>(
+        &self,
+        graph: &Graph,
+        objective: &O,
+        s: NodeId,
+        t: NodeId,
+        obs: &mut Obs,
+    ) -> RouteRecord {
+        greedy_route_observed(graph, objective, s, t, self.max_steps, obs)
     }
 }
 

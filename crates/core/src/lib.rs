@@ -13,6 +13,9 @@
 //!   awake at a time" claim, made structural.
 //! * [`lookahead`] — the one-hop "know thy neighbor's neighbor" variant
 //!   cited among the Kleinberg-model refinements.
+//! * [`observe`] — per-hop routing probes: every router reports hops,
+//!   objective values, backtracks and dead ends to a [`RouteObserver`];
+//!   the no-op default monomorphizes to zero cost.
 //! * [`patching`] — routing protocols that never give up: the paper's
 //!   Algorithm 2 (distributed Φ-DFS, satisfies (P1)–(P3)), a message-history
 //!   protocol (the other §5 example), and the gravity–pressure heuristic the
@@ -49,14 +52,19 @@ pub mod distributed;
 pub mod greedy;
 pub mod lookahead;
 pub mod objective;
+pub mod observe;
 pub mod patching;
 pub mod stretch;
 pub mod theory;
 pub mod trajectory;
 
 pub use distributed::{DistributedGreedy, Simulator};
-pub use greedy::{greedy_route, greedy_route_with_limit, GreedyRouter, RouteOutcome, RouteRecord};
+pub use greedy::{
+    greedy_route, greedy_route_observed, greedy_route_with_limit, GreedyRouter, RouteOutcome,
+    RouteRecord,
+};
 pub use lookahead::LookaheadRouter;
+pub use observe::{NoopObserver, RouteObserver};
 pub use objective::{
     DistanceObjective, GirgObjective, HyperbolicObjective, KleinbergObjective, Objective,
     QuantizedObjective, RelaxedObjective,

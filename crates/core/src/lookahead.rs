@@ -20,6 +20,7 @@ use smallworld_graph::{Graph, NodeId};
 
 use crate::greedy::{RouteOutcome, RouteRecord, DEFAULT_MAX_STEPS};
 use crate::objective::Objective;
+use crate::observe::RouteObserver;
 use crate::patching::Router;
 
 /// Greedy routing that ranks neighbors by the best objective within one
@@ -75,23 +76,27 @@ impl Router for LookaheadRouter {
         "lookahead"
     }
 
-    fn route<O: Objective>(
+    fn route_observed<O: Objective, Obs: RouteObserver>(
         &self,
         graph: &Graph,
         objective: &O,
         s: NodeId,
         t: NodeId,
+        obs: &mut Obs,
     ) -> RouteRecord {
+        obs.on_start(s, t);
         let mut path = vec![s];
         let mut current = s;
         loop {
             if current == t {
+                obs.on_finish(RouteOutcome::Delivered, path.len() - 1);
                 return RouteRecord {
                     outcome: RouteOutcome::Delivered,
                     path,
                 };
             }
             if path.len() > self.max_steps {
+                obs.on_finish(RouteOutcome::MaxStepsExceeded, path.len() - 1);
                 return RouteRecord {
                     outcome: RouteOutcome::MaxStepsExceeded,
                     path,
@@ -126,11 +131,14 @@ impl Router for LookaheadRouter {
                 // reachable level is non-decreasing along the walk and
                 // strictly increases within two hops (the witness vertex is
                 // adjacent to wherever we move), so the walk terminates.
-                Some((reachable, _, u)) if reachable > current_score => {
+                Some((reachable, own, u)) if reachable > current_score => {
+                    obs.on_hop(u, own);
                     path.push(u);
                     current = u;
                 }
                 _ => {
+                    obs.on_dead_end(current);
+                    obs.on_finish(RouteOutcome::DeadEnd, path.len() - 1);
                     return RouteRecord {
                         outcome: RouteOutcome::DeadEnd,
                         path,

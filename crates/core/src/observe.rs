@@ -1,0 +1,160 @@
+//! Per-hop routing probes.
+//!
+//! Every router in this crate reports its progress to a [`RouteObserver`]:
+//! each hop physically taken (with the objective value at the new vertex),
+//! each backtracking move, dead ends, and the final outcome. The default
+//! observer is [`NoopObserver`], a zero-sized type whose callbacks are empty
+//! — routers are generic over the observer, so the unobserved path
+//! monomorphizes to exactly the code that existed before instrumentation
+//! and costs nothing.
+//!
+//! Observer *implementations* that aggregate into global metrics live in
+//! the `smallworld-obs` crate; this module only defines the protocol so
+//! that `smallworld-core` keeps zero extra dependencies.
+
+use smallworld_graph::NodeId;
+
+use crate::greedy::RouteOutcome;
+
+/// A sink for per-hop routing events.
+///
+/// All methods have empty default bodies, so an implementation only
+/// overrides the events it cares about. Methods take `&mut self`: routers
+/// hold the observer exclusively for the duration of one `route` call.
+///
+/// # Event contract
+///
+/// * [`on_start`](RouteObserver::on_start) fires exactly once, before any
+///   other event.
+/// * [`on_hop`](RouteObserver::on_hop) fires once per edge the packet
+///   traverses towards *new* territory; the score is the objective value of
+///   the vertex hopped to.
+/// * [`on_backtrack`](RouteObserver::on_backtrack) fires once per edge the
+///   packet traverses *backwards* through already-visited territory
+///   (patching protocols only). Backtrack edges still count towards
+///   [`RouteRecord::hops`](crate::RouteRecord::hops).
+/// * [`on_dead_end`](RouteObserver::on_dead_end) fires at most once, when
+///   routing *fails* at a vertex: a local optimum for plain greedy, an
+///   exhausted component for the patching protocols. Local optima a
+///   patching protocol recovers from surface as backtrack events instead.
+/// * [`on_finish`](RouteObserver::on_finish) fires exactly once, last.
+pub trait RouteObserver {
+    /// Routing begins at `source` towards `target`.
+    #[inline]
+    fn on_start(&mut self, source: NodeId, target: NodeId) {
+        let _ = (source, target);
+    }
+
+    /// The packet moved forward to `vertex`, whose objective value is
+    /// `score`.
+    #[inline]
+    fn on_hop(&mut self, vertex: NodeId, score: f64) {
+        let _ = (vertex, score);
+    }
+
+    /// The packet moved backwards to the already-visited `vertex`.
+    #[inline]
+    fn on_backtrack(&mut self, vertex: NodeId) {
+        let _ = vertex;
+    }
+
+    /// The packet is stuck at `vertex` with no way to make progress.
+    #[inline]
+    fn on_dead_end(&mut self, vertex: NodeId) {
+        let _ = vertex;
+    }
+
+    /// Routing ended with `outcome` after `hops` traversed edges.
+    #[inline]
+    fn on_finish(&mut self, outcome: RouteOutcome, hops: usize) {
+        let _ = (outcome, hops);
+    }
+}
+
+/// The do-nothing observer; `route` without instrumentation uses this.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoopObserver;
+
+impl RouteObserver for NoopObserver {}
+
+/// Forwarding impl so call sites can pass `&mut observer` down a call chain
+/// without consuming it.
+impl<T: RouteObserver + ?Sized> RouteObserver for &mut T {
+    #[inline]
+    fn on_start(&mut self, source: NodeId, target: NodeId) {
+        (**self).on_start(source, target);
+    }
+
+    #[inline]
+    fn on_hop(&mut self, vertex: NodeId, score: f64) {
+        (**self).on_hop(vertex, score);
+    }
+
+    #[inline]
+    fn on_backtrack(&mut self, vertex: NodeId) {
+        (**self).on_backtrack(vertex);
+    }
+
+    #[inline]
+    fn on_dead_end(&mut self, vertex: NodeId) {
+        (**self).on_dead_end(vertex);
+    }
+
+    #[inline]
+    fn on_finish(&mut self, outcome: RouteOutcome, hops: usize) {
+        (**self).on_finish(outcome, hops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An observer that logs every event, for asserting router emissions.
+    #[derive(Debug, Default, PartialEq)]
+    pub(crate) struct EventLog {
+        pub events: Vec<String>,
+    }
+
+    impl RouteObserver for EventLog {
+        fn on_start(&mut self, source: NodeId, target: NodeId) {
+            self.events.push(format!("start {source}->{target}"));
+        }
+        fn on_hop(&mut self, vertex: NodeId, score: f64) {
+            self.events.push(format!("hop {vertex} {score}"));
+        }
+        fn on_backtrack(&mut self, vertex: NodeId) {
+            self.events.push(format!("back {vertex}"));
+        }
+        fn on_dead_end(&mut self, vertex: NodeId) {
+            self.events.push(format!("dead {vertex}"));
+        }
+        fn on_finish(&mut self, outcome: RouteOutcome, hops: usize) {
+            self.events.push(format!("finish {outcome:?} {hops}"));
+        }
+    }
+
+    #[test]
+    fn noop_observer_ignores_everything() {
+        let mut obs = NoopObserver;
+        obs.on_start(NodeId::new(0), NodeId::new(1));
+        obs.on_hop(NodeId::new(1), 0.5);
+        obs.on_backtrack(NodeId::new(0));
+        obs.on_dead_end(NodeId::new(0));
+        obs.on_finish(RouteOutcome::DeadEnd, 2);
+        assert_eq!(obs, NoopObserver);
+    }
+
+    #[test]
+    fn mut_ref_forwards_events() {
+        // drive through a generic fn taking the observer by value, so the
+        // `&mut T` forwarding impl is what gets monomorphized
+        fn drive<O: RouteObserver>(mut obs: O) {
+            obs.on_hop(NodeId::new(3), 1.0);
+            obs.on_finish(RouteOutcome::Delivered, 1);
+        }
+        let mut log = EventLog::default();
+        drive(&mut log);
+        assert_eq!(log.events, vec!["hop v3 1", "finish Delivered 1"]);
+    }
+}

@@ -24,6 +24,7 @@ use smallworld_graph::{Graph, NodeId};
 
 use crate::greedy::{RouteOutcome, RouteRecord, DEFAULT_MAX_STEPS};
 use crate::objective::Objective;
+use crate::observe::RouteObserver;
 use crate::patching::Router;
 
 /// The gravity–pressure heuristic as a [`Router`].
@@ -57,15 +58,17 @@ impl Router for GravityPressureRouter {
         "gravity-pressure"
     }
 
-    fn route<O: Objective>(
+    fn route_observed<O: Objective, Obs: RouteObserver>(
         &self,
         graph: &Graph,
         objective: &O,
         s: NodeId,
         t: NodeId,
+        obs: &mut Obs,
     ) -> RouteRecord {
         let phi = |v: NodeId| objective.score(v, t);
 
+        obs.on_start(s, t);
         let mut path = vec![s];
         let mut current = s;
         let mut visits: HashMap<NodeId, u32> = HashMap::new();
@@ -74,12 +77,14 @@ impl Router for GravityPressureRouter {
 
         loop {
             if current == t {
+                obs.on_finish(RouteOutcome::Delivered, path.len() - 1);
                 return RouteRecord {
                     outcome: RouteOutcome::Delivered,
                     path,
                 };
             }
             if path.len() > self.max_steps {
+                obs.on_finish(RouteOutcome::MaxStepsExceeded, path.len() - 1);
                 return RouteRecord {
                     outcome: RouteOutcome::MaxStepsExceeded,
                     path,
@@ -87,6 +92,8 @@ impl Router for GravityPressureRouter {
             }
             let neighbors = graph.neighbors(current);
             if neighbors.is_empty() {
+                obs.on_dead_end(current);
+                obs.on_finish(RouteOutcome::DeadEnd, path.len() - 1);
                 return RouteRecord {
                     outcome: RouteOutcome::DeadEnd,
                     path,
@@ -103,6 +110,7 @@ impl Router for GravityPressureRouter {
                         .max_by(|a, b| a.0.total_cmp(&b.0))
                         .expect("non-empty neighborhood");
                     if best_phi > current_phi {
+                        obs.on_hop(best, best_phi);
                         path.push(best);
                         current = best;
                     } else {
@@ -113,11 +121,18 @@ impl Router for GravityPressureRouter {
                 }
                 Some(threshold) => {
                     // pressure mode: fewest visits, ties by objective
-                    let (_, _, next) = neighbors
+                    let (_, next_phi, next) = neighbors
                         .iter()
                         .map(|&u| (visits.get(&u).copied().unwrap_or(0), phi(u), u))
                         .min_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.total_cmp(&a.1)))
                         .expect("non-empty neighborhood");
+                    // pressure moves may revisit vertices: count them as
+                    // backtracks unless they make greedy progress
+                    if next_phi > current_phi {
+                        obs.on_hop(next, next_phi);
+                    } else {
+                        obs.on_backtrack(next);
+                    }
                     *visits.entry(next).or_insert(0) += 1;
                     path.push(next);
                     current = next;

@@ -16,6 +16,7 @@ use smallworld_graph::{Graph, NodeId};
 
 use crate::greedy::{RouteOutcome, RouteRecord, DEFAULT_MAX_STEPS};
 use crate::objective::Objective;
+use crate::observe::RouteObserver;
 use crate::patching::Router;
 
 /// Max-heap entry ordered by objective score.
@@ -132,15 +133,17 @@ impl Router for HistoryRouter {
         "history"
     }
 
-    fn route<O: Objective>(
+    fn route_observed<O: Objective, Obs: RouteObserver>(
         &self,
         graph: &Graph,
         objective: &O,
         s: NodeId,
         t: NodeId,
+        obs: &mut Obs,
     ) -> RouteRecord {
         let phi = |v: NodeId| objective.score(v, t);
 
+        obs.on_start(s, t);
         let mut tree = Tree::new(s);
         let mut frontier: BinaryHeap<Candidate> = BinaryHeap::new();
         let mut path = vec![s];
@@ -148,12 +151,14 @@ impl Router for HistoryRouter {
 
         loop {
             if current == t {
+                obs.on_finish(RouteOutcome::Delivered, path.len() - 1);
                 return RouteRecord {
                     outcome: RouteOutcome::Delivered,
                     path,
                 };
             }
             if path.len() > self.max_steps {
+                obs.on_finish(RouteOutcome::MaxStepsExceeded, path.len() - 1);
                 return RouteRecord {
                     outcome: RouteOutcome::MaxStepsExceeded,
                     path,
@@ -181,6 +186,7 @@ impl Router for HistoryRouter {
                 .max_by(|a, b| a.0.total_cmp(&b.0));
             if let Some((score, u)) = local_best {
                 if score > phi(current) {
+                    obs.on_hop(u, score);
                     tree.insert(u, current);
                     path.push(u);
                     current = u;
@@ -198,6 +204,8 @@ impl Router for HistoryRouter {
             };
             let Some(c) = candidate else {
                 // component exhausted
+                obs.on_dead_end(current);
+                obs.on_finish(RouteOutcome::DeadEnd, path.len() - 1);
                 return RouteRecord {
                     outcome: RouteOutcome::DeadEnd,
                     path,
@@ -205,7 +213,11 @@ impl Router for HistoryRouter {
             };
             // physically walk back to the owner, then step to the new vertex
             let walk = tree.walk(current, c.owner);
+            for &v in walk.iter().skip(1) {
+                obs.on_backtrack(v);
+            }
             path.extend(walk.into_iter().skip(1));
+            obs.on_hop(c.node, c.score);
             tree.insert(c.node, c.owner);
             path.push(c.node);
             current = c.node;

@@ -32,19 +32,44 @@ use smallworld_graph::{Graph, NodeId};
 
 use crate::greedy::{GreedyRouter, RouteRecord};
 use crate::objective::Objective;
+use crate::observe::{NoopObserver, RouteObserver};
 
 /// A routing protocol: plain greedy or one of the patching variants.
 pub trait Router {
     /// A short identifier for tables and logs (e.g. `"phi-dfs"`).
     fn name(&self) -> &'static str;
 
-    /// Routes a packet from `s` to `t`.
+    /// Routes a packet from `s` to `t`, reporting per-hop events to `obs`.
+    ///
+    /// This is the single implementation point; [`Router::route`] delegates
+    /// here with [`NoopObserver`], which monomorphizes the probes away.
     ///
     /// # Panics
     ///
     /// Implementations panic if `s` or `t` is out of range for `graph`.
-    fn route<O: Objective>(&self, graph: &Graph, objective: &O, s: NodeId, t: NodeId)
-        -> RouteRecord;
+    fn route_observed<O: Objective, Obs: RouteObserver>(
+        &self,
+        graph: &Graph,
+        objective: &O,
+        s: NodeId,
+        t: NodeId,
+        obs: &mut Obs,
+    ) -> RouteRecord;
+
+    /// Routes a packet from `s` to `t` without instrumentation.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `s` or `t` is out of range for `graph`.
+    fn route<O: Objective>(
+        &self,
+        graph: &Graph,
+        objective: &O,
+        s: NodeId,
+        t: NodeId,
+    ) -> RouteRecord {
+        self.route_observed(graph, objective, s, t, &mut NoopObserver)
+    }
 }
 
 /// A heterogeneous router, for harnesses that compare several protocols.
@@ -70,18 +95,19 @@ impl Router for RouterKind {
         }
     }
 
-    fn route<O: Objective>(
+    fn route_observed<O: Objective, Obs: RouteObserver>(
         &self,
         graph: &Graph,
         objective: &O,
         s: NodeId,
         t: NodeId,
+        obs: &mut Obs,
     ) -> RouteRecord {
         match self {
-            RouterKind::Greedy(r) => r.route(graph, objective, s, t),
-            RouterKind::PhiDfs(r) => r.route(graph, objective, s, t),
-            RouterKind::History(r) => r.route(graph, objective, s, t),
-            RouterKind::GravityPressure(r) => r.route(graph, objective, s, t),
+            RouterKind::Greedy(r) => r.route_observed(graph, objective, s, t, obs),
+            RouterKind::PhiDfs(r) => r.route_observed(graph, objective, s, t, obs),
+            RouterKind::History(r) => r.route_observed(graph, objective, s, t, obs),
+            RouterKind::GravityPressure(r) => r.route_observed(graph, objective, s, t, obs),
         }
     }
 }

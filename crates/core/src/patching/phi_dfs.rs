@@ -26,6 +26,7 @@ use smallworld_graph::{Graph, NodeId};
 
 use crate::greedy::{RouteOutcome, RouteRecord, DEFAULT_MAX_STEPS};
 use crate::objective::Objective;
+use crate::observe::RouteObserver;
 use crate::patching::Router;
 
 /// Per-vertex state of Algorithm 2 — a constant number of values, as the
@@ -114,14 +115,16 @@ impl Router for PhiDfsRouter {
         "phi-dfs"
     }
 
-    fn route<O: Objective>(
+    fn route_observed<O: Objective, Obs: RouteObserver>(
         &self,
         graph: &Graph,
         objective: &O,
         s: NodeId,
         t: NodeId,
+        obs: &mut Obs,
     ) -> RouteRecord {
         let phi = |v: NodeId| objective.score(v, t);
+        obs.on_start(s, t);
         // Total order on vertices by (objective, id). The paper's pseudocode
         // assumes "no vertex has two neighbors of equal objective"; breaking
         // ties by id restores that assumption for arbitrary objectives while
@@ -152,6 +155,7 @@ impl Router for PhiDfsRouter {
 
         loop {
             if path.len() > self.max_steps {
+                obs.on_finish(RouteOutcome::MaxStepsExceeded, path.len() - 1);
                 return RouteRecord {
                     outcome: RouteOutcome::MaxStepsExceeded,
                     path,
@@ -161,9 +165,11 @@ impl Router for PhiDfsRouter {
                 Op::Explore(v) => {
                     if at != v {
                         at = v;
+                        obs.on_hop(v, phi(v));
                         path.push(v);
                     }
                     if v == t {
+                        obs.on_finish(RouteOutcome::Delivered, path.len() - 1);
                         return RouteRecord {
                             outcome: RouteOutcome::Delivered,
                             path,
@@ -214,6 +220,7 @@ impl Router for PhiDfsRouter {
                 Op::BacktrackTo(v) => {
                     if at != v {
                         at = v;
+                        obs.on_backtrack(v);
                         path.push(v);
                     }
                     let (parent, started) = {
@@ -255,6 +262,8 @@ impl Router for PhiDfsRouter {
                         op = Op::Explore(v);
                     } else if parent == v {
                         // the root has nothing left: component exhausted
+                        obs.on_dead_end(v);
+                        obs.on_finish(RouteOutcome::DeadEnd, path.len() - 1);
                         return RouteRecord {
                             outcome: RouteOutcome::DeadEnd,
                             path,

@@ -1,0 +1,46 @@
+//! Std-only observability for the smallworld workspace.
+//!
+//! Everything here is built on the standard library alone — the workspace
+//! has no crates.io access, so there is no tracing/metrics/serde stack to
+//! lean on. Four pieces:
+//!
+//! * [`metrics`] — a global, thread-sharded registry of atomic counters
+//!   and fixed-bucket log₂ histograms, merged only at report time.
+//! * [`span`] — scoped [`Span`] guards with monotonic timing and
+//!   hierarchical (path-keyed) aggregation.
+//! * [`observe`] — [`RouteObserver`](smallworld_core::RouteObserver)
+//!   implementations that stream per-hop routing events into the registry.
+//! * [`sink`] + [`json`] — a hand-rolled JSON tree and the JSONL artifact
+//!   writer the experiment binaries use for machine-readable results
+//!   (tables, per-suite timings, metric snapshots, peak RSS from
+//!   [`rss::peak_rss_bytes`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use smallworld_obs::{metrics, Span};
+//!
+//! {
+//!     let _span = Span::enter("doc-example");
+//!     metrics::counter("doc.example").add(3);
+//! }
+//! assert!(metrics::Registry::global().snapshot().counters["doc.example"] >= 3);
+//! assert!(smallworld_obs::span::snapshot().contains_key("doc-example"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod json;
+pub mod metrics;
+pub mod observe;
+pub mod rss;
+pub mod sink;
+pub mod span;
+
+pub use json::JsonValue;
+pub use metrics::{Counter, Histogram, MetricsSnapshot, Registry};
+pub use observe::{CountingObserver, MetricsRouteObserver};
+pub use rss::peak_rss_bytes;
+pub use sink::JsonlSink;
+pub use span::{Span, SpanStats};

@@ -1,0 +1,52 @@
+//! Best-effort peak resident set size.
+
+/// Peak RSS of this process in bytes, if the platform exposes it.
+///
+/// On Linux this reads `VmHWM` from `/proc/self/status`; elsewhere it
+/// returns `None` (artifacts then record `null`).
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        parse_vmhwm(&status)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Parses the `VmHWM:` line of `/proc/self/status` (kB units) into bytes.
+#[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+fn parse_vmhwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .strip_prefix("VmHWM:")?
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_vmhwm_line() {
+        let status = "Name:\ttest\nVmPeak:\t  123 kB\nVmHWM:\t   2048 kB\nThreads:\t4\n";
+        assert_eq!(parse_vmhwm(status), Some(2048 * 1024));
+        assert_eq!(parse_vmhwm("Name: x\n"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn linux_reports_a_plausible_peak() {
+        let peak = peak_rss_bytes().expect("/proc/self/status has VmHWM");
+        // a running test binary surely holds more than 1 MiB and less than 1 TiB
+        assert!(peak > 1 << 20, "{peak}");
+        assert!(peak < 1 << 40, "{peak}");
+    }
+}

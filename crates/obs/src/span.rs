@@ -1,0 +1,161 @@
+//! Scoped spans with monotonic timing and hierarchical aggregation.
+//!
+//! `Span::enter("sample_girg")` returns a guard; when it drops, the
+//! elapsed wall-clock time is folded into a global table keyed by the
+//! span *path* — the `/`-joined chain of the spans enclosing it on this
+//! thread, e.g. `run_all/exp_success/sample_girg`. Aggregation is a
+//! count + total + self-time per path, cheap enough to leave enabled.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+thread_local! {
+    /// The enclosing span names on this thread.
+    static STACK: RefCell<Vec<(&'static str, Duration)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregated timing for one span path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of completed spans at this path.
+    pub count: u64,
+    /// Total wall-clock nanoseconds, including child spans.
+    pub total_ns: u64,
+    /// Wall-clock nanoseconds not attributed to child spans.
+    pub self_ns: u64,
+}
+
+fn table() -> &'static Mutex<BTreeMap<String, SpanStats>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<String, SpanStats>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// A scoped timing guard. See the module docs.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    started: Instant,
+}
+
+impl Span {
+    /// Opens a span; closes (and records) when the guard drops.
+    pub fn enter(name: &'static str) -> Span {
+        STACK.with(|stack| stack.borrow_mut().push((name, Duration::ZERO)));
+        Span {
+            name,
+            started: Instant::now(),
+        }
+    }
+
+    /// The span's own name (the last path segment).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.started.elapsed();
+        let (path, child_time) = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // pop self (defensively scan in case of leaked guards)
+            let mut child_time = Duration::ZERO;
+            while let Some((name, children)) = stack.pop() {
+                if name == self.name {
+                    child_time = children;
+                    break;
+                }
+            }
+            // charge our elapsed time to the parent's child-time tally
+            if let Some((_, parent_children)) = stack.last_mut() {
+                *parent_children += elapsed;
+            }
+            let mut path = String::new();
+            for (name, _) in stack.iter() {
+                path.push_str(name);
+                path.push('/');
+            }
+            path.push_str(self.name);
+            (path, child_time)
+        });
+        let mut table = table().lock().expect("span table poisoned");
+        let entry = table.entry(path).or_default();
+        entry.count += 1;
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let self_ns =
+            u64::try_from(elapsed.saturating_sub(child_time).as_nanos()).unwrap_or(u64::MAX);
+        entry.total_ns += ns;
+        entry.self_ns += self_ns;
+    }
+}
+
+/// A point-in-time copy of the span table.
+pub fn snapshot() -> BTreeMap<String, SpanStats> {
+    table().lock().expect("span table poisoned").clone()
+}
+
+/// Clears the span table (used between experiment suites and in tests).
+pub fn reset() {
+    table().lock().expect("span table poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The span table is process-global; serialize the tests that reset it.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let _guard = lock();
+        reset();
+        {
+            let _outer = Span::enter("outer-test");
+            for _ in 0..3 {
+                let _inner = Span::enter("inner-test");
+                std::hint::black_box(());
+            }
+        }
+        let snap = snapshot();
+        assert_eq!(snap.get("outer-test").map(|s| s.count), Some(1));
+        assert_eq!(snap.get("outer-test/inner-test").map(|s| s.count), Some(3));
+    }
+
+    #[test]
+    fn elapsed_time_is_recorded() {
+        let _guard = lock();
+        reset();
+        {
+            let _s = Span::enter("sleep-test");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let snap = snapshot();
+        let stats = snap.get("sleep-test").expect("span recorded");
+        assert!(stats.total_ns >= 4_000_000, "{stats:?}");
+    }
+
+    #[test]
+    fn sibling_threads_do_not_share_stacks() {
+        let _guard = lock();
+        reset();
+        let t = std::thread::spawn(|| {
+            let _a = Span::enter("thread-a-test");
+            std::hint::black_box(());
+        });
+        {
+            let _b = Span::enter("thread-b-test");
+            std::hint::black_box(());
+        }
+        t.join().unwrap();
+        let snap = snapshot();
+        assert!(snap.contains_key("thread-a-test"));
+        assert!(snap.contains_key("thread-b-test"));
+        assert!(!snap.keys().any(|k| k.contains("thread-b-test/thread-a-test")));
+    }
+}

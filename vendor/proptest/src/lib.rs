@@ -1,0 +1,654 @@
+//! Vendored, std-only subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so this workspace ships
+//! the slice of `proptest` it actually uses as a path dependency: the
+//! [`proptest!`] test macro, [`prop_assert!`]/[`prop_assert_eq!`]/
+//! [`prop_assume!`], [`prop_oneof!`], range/tuple/array strategies, and
+//! `collection::{vec, btree_set}`.
+//!
+//! Semantics differ from upstream in one deliberate way: there is **no
+//! shrinking**. A failing case panics immediately with its generated
+//! arguments (cases are produced from a seed derived from the test's module
+//! path and name, so failures reproduce deterministically).
+
+pub mod strategy {
+    //! The strategy trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// Produces values of `Self::Value` from a random source.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among equally-weighted alternatives, the engine of
+    /// [`crate::prop_oneof!`].
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> std::fmt::Debug for Union<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Union({} options)", self.options.len())
+        }
+    }
+
+    impl<T> Union<T> {
+        /// Builds the union. Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs an option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            use rand::Rng;
+            let i = rng.rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    impl<S: Strategy, const N: usize> Strategy for [S; N] {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|i| self[i].generate(rng))
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The per-case random source, configuration, and error signalling.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The random source handed to strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        pub(crate) rng: StdRng,
+    }
+
+    impl TestRng {
+        /// Derives a deterministic per-case generator from the test's
+        /// identifier and the case index, so failures reproduce.
+        pub fn for_case(test_id: &str, case: u32) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_id.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                rng: StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64)),
+            }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed: the whole test fails.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs: the case is skipped.
+        Reject(String),
+    }
+
+    /// Per-test configuration.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of accepted cases to run.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive-exclusive size bracket for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(self, rng: &mut TestRng) -> usize {
+            use rand::Rng;
+            rng.rng.gen_range(self.lo..self.hi)
+        }
+    }
+
+    /// Generates `Vec`s whose length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec()`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `BTreeSet`s whose size lies in `size` (best-effort: gives
+    /// up growing after a bounded number of duplicate draws).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let want = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < want && attempts < want * 10 + 100 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies (upstream's `prop::array::uniformN`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Generates `[S::Value; N]`, each element drawn independently from
+    /// the same element strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct UniformArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    macro_rules! uniform_fns {
+        ($($name:ident => $n:literal),+ $(,)?) => {$(
+            /// An array of values drawn from `element`.
+            pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+                UniformArrayStrategy { element }
+            }
+        )+};
+    }
+    uniform_fns!(uniform1 => 1, uniform2 => 2, uniform3 => 3, uniform4 => 4);
+}
+
+pub mod bool {
+    //! Strategies for `bool`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Generates `true` and `false` with equal probability.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical instance of [`Any`].
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            use rand::Rng;
+            rng.rng.gen::<bool>()
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric whole-domain strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    macro_rules! impl_any_mod {
+        ($($m:ident: $t:ty),*) => {$(
+            /// Whole-domain strategy for the primitive of the same name.
+            pub mod $m {
+                use super::*;
+
+                /// Generates any value of the type.
+                #[derive(Clone, Copy, Debug)]
+                pub struct Any;
+
+                /// The canonical instance of [`Any`].
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $t;
+
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        use rand::Rng;
+                        rng.rng.gen::<$t>()
+                    }
+                }
+            }
+        )*};
+    }
+    impl_any_mod!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize,
+                  i8: i8, i16: i16, i32: i32, i64: i64, isize: isize,
+                  f32: f32, f64: f64);
+}
+
+/// `any::<T>()` support, dispatched through a trait so the vendored subset
+/// can keep the upstream call syntax.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: strategy::Strategy<Value = Self>;
+
+    /// The whole-domain strategy for `Self`.
+    fn arbitrary() -> Self::Strategy;
+}
+
+macro_rules! impl_arbitrary {
+    ($($m:ident: $t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = crate::num::$m::Any;
+
+            fn arbitrary() -> Self::Strategy {
+                crate::num::$m::ANY
+            }
+        }
+    )*};
+}
+impl_arbitrary!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize,
+                i8: i8, i16: i16, i32: i32, i64: i64, isize: isize,
+                f32: f32, f64: f64);
+
+impl Arbitrary for bool {
+    type Strategy = bool::Any;
+
+    fn arbitrary() -> Self::Strategy {
+        bool::ANY
+    }
+}
+
+/// Returns the whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*` surface.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, Arbitrary};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Namespaced access to the strategy modules, as upstream's
+    /// `prelude::prop`.
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::strategy;
+    }
+}
+
+/// Declares property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+///
+/// Each declared function runs `cases` generated inputs (default 256, or
+/// the count from a leading `#![proptest_config(..)]`). A failing
+/// assertion panics immediately with the generated arguments; there is no
+/// shrinking in this vendored subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+     $($(#[$attr:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let config: $crate::test_runner::Config = $cfg;
+                let mut accepted: u32 = 0;
+                let mut attempt: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(20).max(1_000);
+                while accepted < config.cases {
+                    assert!(
+                        attempt < max_attempts,
+                        "proptest: too many rejected cases ({} accepted of {} wanted)",
+                        accepted,
+                        config.cases
+                    );
+                    attempt += 1;
+                    let mut case_rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        attempt,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut case_rng);)+
+                    // render inputs up front: the body takes them by value
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}  ",)+),
+                        $(&$arg,)+
+                    );
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match result {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case {} failed: {}\n  inputs: {}",
+                                attempt, msg, inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config (<$crate::test_runner::Config as ::core::default::Default>::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{:?}` == `{:?}`",
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: `{:?}` != `{:?}`",
+            a,
+            b
+        );
+    }};
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_land_in_range(x in 0u32..10, y in -5.0..5.0f64) {
+            prop_assert!(x < 10);
+            prop_assert!((-5.0..5.0).contains(&y));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[test]
+        fn config_and_collections(v in prop::collection::vec((0u32..5, 0u32..5), 0..20),
+                                  s in prop::collection::btree_set(0i32..100, 2..10),
+                                  b in crate::bool::ANY) {
+            prop_assert!(v.len() < 20);
+            prop_assert!(s.len() >= 2 && s.len() < 10);
+            for (a, c) in v {
+                prop_assert!(a < 5 && c < 5);
+            }
+            let _ = b;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_arrays_and_assume(pair in [0.0..1.0f64, 2.0..3.0f64],
+                                   pick in prop_oneof![0u32..5, 100u32..105]) {
+            prop_assume!(pair[0] > 0.1);
+            prop_assert!((0.0..1.0).contains(&pair[0]));
+            prop_assert!((2.0..3.0).contains(&pair[1]));
+            prop_assert!(pick < 5 || (100..105).contains(&pick));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_panics_with_inputs() {
+        proptest! {
+            #[allow(unused)]
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

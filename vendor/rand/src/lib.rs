@@ -1,0 +1,454 @@
+//! Vendored, std-only subset of the `rand` 0.8 API.
+//!
+//! The build environment has no crates.io access, so this workspace ships
+//! the slice of `rand` it actually uses as a path dependency: the
+//! [`Rng`]/[`RngCore`]/[`SeedableRng`] traits, [`rngs::StdRng`] (backed by
+//! xoshiro256++ seeded via SplitMix64), the [`distributions::Standard`]
+//! uniform distribution, and [`seq::SliceRandom`]. Streams are
+//! deterministic for a fixed seed, which is all the experiment harness
+//! relies on; they do **not** bit-match upstream `rand`.
+
+/// The core of a random number generator: a source of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value via the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range`. Panics on an empty range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0 <= p <= 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        self.gen::<f64>() < p
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D>(&mut self, distr: D) -> T
+    where
+        D: distributions::Distribution<T>,
+    {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator seedable from a fixed-size byte seed or a `u64`.
+pub trait SeedableRng: Sized {
+    /// The byte-seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 and constructs the
+    /// generator from it.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            x = splitmix64(x);
+            let bytes = x.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub(crate) fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Deterministic for a fixed seed; not bit-compatible with upstream
+    /// `rand::rngs::StdRng` (which is ChaCha12), but every consumer in this
+    /// repository only requires seeded determinism.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            if s == [0; 4] {
+                // xoshiro must not start at the all-zero state
+                s = [
+                    splitmix64(1),
+                    splitmix64(2),
+                    splitmix64(3),
+                    splitmix64(4),
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+pub mod distributions {
+    //! The `Standard` uniform distribution and the sampling traits.
+
+    use super::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Samples one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" uniform distribution: `[0, 1)` for floats, the full
+    /// domain for integers and `bool`.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 uniform mantissa bits in [0, 1)
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                #[inline]
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+            (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+        }
+    }
+
+    pub mod uniform {
+        //! Range sampling, the machinery behind `Rng::gen_range`.
+
+        use crate::RngCore;
+
+        /// A range that can produce uniform samples of `T`.
+        pub trait SampleRange<T> {
+            /// Samples one value from the range. Panics if empty.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        /// Uniform `u64` in `[0, span)` by 128-bit widening multiply.
+        /// The modulo bias is at most `span / 2^64`, far below anything the
+        /// Monte-Carlo experiments can resolve.
+        #[inline]
+        pub(crate) fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+            ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+        }
+
+        macro_rules! impl_int_range {
+            ($($t:ty => $wide:ty),*) => {$(
+                impl SampleRange<$t> for core::ops::Range<$t> {
+                    #[inline]
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                        (self.start as $wide).wrapping_add(below(rng, span) as $wide) as $t
+                    }
+                }
+                impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                    #[inline]
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "cannot sample empty range");
+                        let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                        if span == u64::MAX {
+                            return rng.next_u64() as $t;
+                        }
+                        (lo as $wide).wrapping_add(below(rng, span + 1) as $wide) as $t
+                    }
+                }
+            )*};
+        }
+        impl_int_range!(
+            u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+            i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+        );
+
+        macro_rules! impl_float_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for core::ops::Range<$t> {
+                    #[inline]
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let unit = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                        self.start + (self.end - self.start) * unit
+                    }
+                }
+                impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                    #[inline]
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "cannot sample empty range");
+                        // a closed float interval; hitting `hi` exactly has
+                        // measure zero anyway, so sample the half-open one
+                        let unit = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                        lo + (hi - lo) * unit
+                    }
+                }
+            )*};
+        }
+        impl_float_range!(f32, f64);
+    }
+}
+
+pub mod seq {
+    //! Sequence-related extensions.
+
+    use super::distributions::uniform::below;
+    use super::RngCore;
+
+    /// Random selections from slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Chooses `amount` distinct elements uniformly, in random order.
+        /// If the slice has fewer than `amount` elements, all of them are
+        /// returned.
+        fn choose_multiple<R>(&self, rng: &mut R, amount: usize) -> std::vec::IntoIter<&Self::Item>
+        where
+            R: RngCore + ?Sized;
+
+        /// Chooses one element uniformly, or `None` if the slice is empty.
+        fn choose<R>(&self, rng: &mut R) -> Option<&Self::Item>
+        where
+            R: RngCore + ?Sized;
+
+        /// Shuffles the slice in place (Fisher-Yates).
+        fn shuffle<R>(&mut self, rng: &mut R)
+        where
+            R: RngCore + ?Sized;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose_multiple<R>(&self, rng: &mut R, amount: usize) -> std::vec::IntoIter<&T>
+        where
+            R: RngCore + ?Sized,
+        {
+            let amount = amount.min(self.len());
+            // partial Fisher-Yates over an index vector
+            let mut indices: Vec<usize> = (0..self.len()).collect();
+            for i in 0..amount {
+                let j = i + below(rng, (indices.len() - i) as u64) as usize;
+                indices.swap(i, j);
+            }
+            indices
+                .into_iter()
+                .take(amount)
+                .map(|i| &self[i])
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+
+        fn choose<R>(&self, rng: &mut R) -> Option<&T>
+        where
+            R: RngCore + ?Sized,
+        {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[below(rng, self.len() as u64) as usize])
+            }
+        }
+
+        fn shuffle<R>(&mut self, rng: &mut R)
+        where
+            R: RngCore + ?Sized,
+        {
+            for i in (1..self.len()).rev() {
+                let j = below(rng, (i + 1) as u64) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.gen::<u64>()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.gen::<u64>()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_floats_are_in_range_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_covers_domain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let i = rng.gen_range(0..10usize);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        for _ in 0..1_000 {
+            let x = rng.gen_range(-3.0..7.0f64);
+            assert!((-3.0..7.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = rng.gen_range(5..5usize);
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let items: Vec<u32> = (0..100).collect();
+        let picked: Vec<u32> = items.choose_multiple(&mut rng, 30).copied().collect();
+        assert_eq!(picked.len(), 30);
+        let unique: std::collections::BTreeSet<_> = picked.iter().collect();
+        assert_eq!(unique.len(), 30);
+        // amount larger than the slice returns everything
+        let all: Vec<u32> = items.choose_multiple(&mut rng, 1_000).copied().collect();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn works_through_unsized_references() {
+        fn take<R: super::Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen::<f64>()
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = take(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+}
