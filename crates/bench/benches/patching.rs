@@ -36,7 +36,7 @@ fn bench_patching(c: &mut Criterion) {
         b.iter(|| {
             let (s, t) = queries[i % queries.len()];
             i += 1;
-            router.route(girg.graph(), &obj, s, t)
+            router.route_quiet(girg.graph(), &obj, s, t)
         });
     });
     group.bench_function("phi_dfs", |b| {
@@ -45,7 +45,7 @@ fn bench_patching(c: &mut Criterion) {
         b.iter(|| {
             let (s, t) = queries[i % queries.len()];
             i += 1;
-            router.route(girg.graph(), &obj, s, t)
+            router.route_quiet(girg.graph(), &obj, s, t)
         });
     });
     group.bench_function("history", |b| {
@@ -54,7 +54,7 @@ fn bench_patching(c: &mut Criterion) {
         b.iter(|| {
             let (s, t) = queries[i % queries.len()];
             i += 1;
-            router.route(girg.graph(), &obj, s, t)
+            router.route_quiet(girg.graph(), &obj, s, t)
         });
     });
     group.bench_function("gravity_pressure", |b| {
@@ -63,7 +63,7 @@ fn bench_patching(c: &mut Criterion) {
         b.iter(|| {
             let (s, t) = queries[i % queries.len()];
             i += 1;
-            router.route(girg.graph(), &obj, s, t)
+            router.route_quiet(girg.graph(), &obj, s, t)
         });
     });
     group.finish();

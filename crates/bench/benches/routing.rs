@@ -5,9 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use smallworld_core::{
-    greedy_route, DistanceObjective, GirgObjective, RelaxedObjective,
-};
+use smallworld_core::{DistanceObjective, GirgObjective, GreedyRouter, RelaxedObjective, Router};
 use smallworld_graph::{bfs_distance, NodeId};
 use smallworld_models::girg::{Girg, GirgBuilder};
 
@@ -39,7 +37,7 @@ fn bench_routing(c: &mut Criterion) {
         b.iter(|| {
             let (s, t) = queries[i % queries.len()];
             i += 1;
-            greedy_route(girg.graph(), &obj, s, t)
+            GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t)
         });
     });
 
@@ -49,7 +47,7 @@ fn bench_routing(c: &mut Criterion) {
         b.iter(|| {
             let (s, t) = queries[i % queries.len()];
             i += 1;
-            greedy_route(girg.graph(), &obj, s, t)
+            GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t)
         });
     });
 
@@ -59,7 +57,7 @@ fn bench_routing(c: &mut Criterion) {
         b.iter(|| {
             let (s, t) = queries[i % queries.len()];
             i += 1;
-            greedy_route(girg.graph(), &obj, s, t)
+            GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t)
         });
     });
 

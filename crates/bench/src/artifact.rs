@@ -51,7 +51,8 @@ impl Artifact {
             sink,
             started: Instant::now(),
         };
-        artifact.write(&meta_record(binary, scale_name(scale)));
+        let threads = smallworld_par::thread_count() as u64;
+        artifact.write(&meta_record(binary, scale_name(scale), threads));
         artifact
     }
 
@@ -147,7 +148,7 @@ mod tests {
             sink: Some(JsonlSink::create(&path).unwrap()),
             started: Instant::now(),
         };
-        artifact.write(&meta_record("test", "quick"));
+        artifact.write(&meta_record("test", "quick", 1));
         let (_, _) = artifact.run_suite("E0", Scale::Quick, |_| {
             smallworld_obs::metrics::counter("artifact.test.marker").inc();
             let mut t = Table::new(["x", "y"]).title("demo");

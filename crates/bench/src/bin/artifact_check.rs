@@ -52,6 +52,9 @@ fn check(contents: &str) -> Result<String, String> {
                         return Err(format!("line {line}: meta record missing {key:?}"));
                     }
                 }
+                if record.get("threads").and_then(JsonValue::as_f64).is_none() {
+                    return Err(format!("line {line}: meta record missing numeric \"threads\""));
+                }
             }
             "table" => {
                 tables += 1;

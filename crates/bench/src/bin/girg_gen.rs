@@ -1,30 +1,41 @@
-//! Command-line GIRG generator: sample a graph and save it in the
-//! `smallworld-models::io` text format (or print summary statistics).
+//! Command-line graph generator: sample any model behind
+//! [`smallworld_models::GraphModel`] and print summary statistics, with
+//! optional greedy-routing trials and (for GIRGs) a saved text-format graph.
 //!
 //! ```console
 //! cargo run --release -p smallworld-bench --bin girg_gen -- \
 //!     --n 100000 --beta 2.5 --alpha 2.0 --degree 10 --seed 42 --out girg.txt
+//! cargo run --release -p smallworld-bench --bin girg_gen -- \
+//!     --model hrg --n 50000 --route 200 --json hrg.json
 //! ```
 //!
-//! Omit `--out` to print statistics only. `--degree` calibrates λ via the
-//! Lemma 7.1 marginal; pass `--lambda` instead for a raw kernel constant.
+//! `--model` picks the generator (`girg`, `hrg`, `kleinberg`, `chung-lu`);
+//! every model is driven through the same `GraphModel::sample_seeded` entry
+//! point, so adding a model here is one match arm. `--route <pairs>` runs
+//! that many greedy Monte-Carlo trials on the shared thread pool
+//! (`SMALLWORLD_THREADS` workers) — deterministic in `--seed` at any thread
+//! count. Omit `--out` to print statistics only. `--degree` calibrates λ via
+//! the Lemma 7.1 marginal; pass `--lambda` instead for a raw kernel constant.
 
 use std::io::BufWriter;
 use std::process::ExitCode;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use smallworld_analysis::Table;
-use smallworld_bench::{Artifact, Scale};
+use smallworld_bench::{Artifact, RoutingAggregate, Scale, TrialBatch};
 use smallworld_core::theory::lambda_for_average_degree;
-use smallworld_graph::Components;
+use smallworld_core::{
+    GirgObjective, GreedyRouter, HyperbolicObjective, KleinbergObjective, Objective,
+};
+use smallworld_graph::{Components, Graph};
 use smallworld_models::girg::GirgBuilder;
+use smallworld_models::hyperbolic::HrgBuilder;
 use smallworld_models::io::write_girg;
-use smallworld_models::Alpha;
+use smallworld_models::{Alpha, ChungLuBuilder, GraphInstance, GraphModel, KleinbergLatticeBuilder};
 use smallworld_obs::Span;
+use smallworld_par::Pool;
 
 struct Options {
+    model: String,
     n: u64,
     beta: f64,
     alpha: f64,
@@ -32,11 +43,13 @@ struct Options {
     degree: Option<f64>,
     wmin: f64,
     seed: u64,
+    route: usize,
     out: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
+        model: "girg".into(),
         n: 10_000,
         beta: 2.5,
         alpha: 2.0,
@@ -44,6 +57,7 @@ fn parse_args() -> Result<Options, String> {
         degree: None,
         wmin: 1.0,
         seed: 1,
+        route: 0,
         out: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,6 +77,7 @@ fn parse_args() -> Result<Options, String> {
             .ok_or_else(|| format!("missing value for {flag}"))?;
         let bad = |e: &str| format!("bad value for {flag}: {e}");
         match flag {
+            "--model" => opts.model = value.clone(),
             "--n" => opts.n = value.parse().map_err(|_| bad(value))?,
             "--beta" => opts.beta = value.parse().map_err(|_| bad(value))?,
             "--alpha" => {
@@ -76,6 +91,7 @@ fn parse_args() -> Result<Options, String> {
             "--degree" => opts.degree = Some(value.parse().map_err(|_| bad(value))?),
             "--wmin" => opts.wmin = value.parse().map_err(|_| bad(value))?,
             "--seed" => opts.seed = value.parse().map_err(|_| bad(value))?,
+            "--route" => opts.route = value.parse().map_err(|_| bad(value))?,
             "--out" => opts.out = Some(value.clone()),
             "--json" => {} // consumed by the artifact sink (smallworld_obs::sink)
             other => return Err(format!("unknown flag {other}")),
@@ -85,16 +101,115 @@ fn parse_args() -> Result<Options, String> {
     if opts.lambda.is_some() && opts.degree.is_some() {
         return Err("--lambda and --degree are mutually exclusive".into());
     }
+    if !matches!(opts.model.as_str(), "girg" | "hrg" | "kleinberg" | "chung-lu") {
+        return Err(format!(
+            "unknown model {:?} (choose girg, hrg, kleinberg, chung-lu)",
+            opts.model
+        ));
+    }
+    if opts.out.is_some() && opts.model != "girg" {
+        return Err("--out is only supported for --model girg".into());
+    }
+    if opts.route > 0 && opts.model == "chung-lu" {
+        return Err("--route needs a geometric objective; chung-lu has none".into());
+    }
     Ok(opts)
 }
 
 fn usage() {
     eprintln!(
-        "girg_gen: sample a 2-dimensional GIRG\n\
-         flags: --n <u64> --beta <f64 in (2,3)> --alpha <f64 or inf> \
-         [--lambda <f64> | --degree <f64>] [--wmin <f64>] [--seed <u64>] [--out <path>] \
-         [--json <path>]"
+        "girg_gen: sample a random graph model and report statistics\n\
+         flags: [--model girg|hrg|kleinberg|chung-lu] --n <u64> \
+         --beta <f64 in (2,3)> --alpha <f64 or inf> \
+         [--lambda <f64> | --degree <f64>] [--wmin <f64>] [--seed <u64>] \
+         [--route <pairs>] [--out <path>] [--json <path>]"
     );
+}
+
+/// Samples `model` through the [`GraphModel`] trait and builds the
+/// model-agnostic statistics table every generator shares.
+fn sample_and_summarize<M: GraphModel>(
+    model: &M,
+    params: &str,
+    seed: u64,
+) -> Result<(M::Instance, Components, Table), smallworld_models::ModelError> {
+    let start = std::time::Instant::now();
+    let instance = {
+        let _span = Span::enter("sample_graph");
+        model.sample_seeded(seed)?
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+    let graph = instance.graph();
+    let comps = Components::compute(graph);
+    eprintln!(
+        "sampled {} ({params}): {} vertices, {} edges in {elapsed:.2}s \
+         (avg degree {:.2}, giant {:.1}%)",
+        model.name(),
+        graph.node_count(),
+        graph.edge_count(),
+        graph.average_degree(),
+        100.0 * comps.giant_fraction()
+    );
+    let mut table = Table::new([
+        "model",
+        "params",
+        "seed",
+        "vertices",
+        "edges",
+        "avg degree",
+        "giant frac",
+        "sample secs",
+    ])
+    .title("girg_gen: sampled graph");
+    table.row([
+        model.name().to_string(),
+        params.to_string(),
+        seed.to_string(),
+        graph.node_count().to_string(),
+        graph.edge_count().to_string(),
+        format!("{:.3}", graph.average_degree()),
+        format!("{:.4}", comps.giant_fraction()),
+        format!("{elapsed:.3}"),
+    ]);
+    Ok((instance, comps, table))
+}
+
+/// Runs `pairs` greedy trials on the shared pool and tabulates the result;
+/// deterministic in `seed` regardless of `SMALLWORLD_THREADS`.
+fn route_phase<O: Objective + Sync>(
+    graph: &Graph,
+    comps: &Components,
+    objective: &O,
+    pairs: usize,
+    seed: u64,
+) -> Table {
+    let pool = Pool::from_env();
+    let start = std::time::Instant::now();
+    let trials = {
+        let _span = Span::enter("route_pairs");
+        TrialBatch::new(graph, comps, pairs)
+            .connected_only(true)
+            .run(&GreedyRouter::new(), objective, seed, &pool)
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+    let agg = RoutingAggregate::from_trials(&trials);
+    eprintln!(
+        "routed {pairs} connected pairs on {} thread(s) in {elapsed:.2}s \
+         (success {:.1}%, mean hops {:.2})",
+        pool.threads(),
+        100.0 * agg.success.rate(),
+        agg.hops.mean()
+    );
+    let mut table = Table::new(["pairs", "threads", "success rate", "mean hops", "route secs"])
+        .title("girg_gen: greedy routing trials");
+    table.row([
+        pairs.to_string(),
+        pool.threads().to_string(),
+        format!("{:.4}", agg.success.rate()),
+        format!("{:.3}", agg.hops.mean()),
+        format!("{elapsed:.3}"),
+    ]);
+    table
 }
 
 fn main() -> ExitCode {
@@ -117,70 +232,94 @@ fn main() -> ExitCode {
     let artifact = Artifact::open("girg_gen", Scale::Full);
     let mut exit = ExitCode::SUCCESS;
     let (_, _) = artifact.run_suite("girg_gen", Scale::Full, |_| {
-        let mut rng = StdRng::seed_from_u64(opts.seed);
-        let start = std::time::Instant::now();
-        let girg = {
-            let _span = Span::enter("sample_girg");
-            GirgBuilder::<2>::new(opts.n)
-                .beta(opts.beta)
-                .alpha(Alpha::from(opts.alpha))
-                .wmin(opts.wmin)
-                .lambda(lambda)
-                .sample(&mut rng)
-        };
-        let girg = match girg {
-            Ok(g) => g,
-            Err(e) => {
-                eprintln!("error: {e}");
-                exit = ExitCode::FAILURE;
-                return Vec::new();
-            }
-        };
-        let elapsed = start.elapsed().as_secs_f64();
-        let comps = Components::compute(girg.graph());
-        eprintln!(
-            "sampled {} vertices, {} edges in {elapsed:.2}s (avg degree {:.2}, giant {:.1}%)",
-            girg.node_count(),
-            girg.graph().edge_count(),
-            girg.graph().average_degree(),
-            100.0 * comps.giant_fraction()
-        );
-        let mut table = Table::new([
-            "n", "beta", "alpha", "lambda", "seed", "vertices", "edges", "avg degree",
-            "giant frac", "sample secs",
-        ])
-        .title("girg_gen: sampled graph");
-        table.row([
-            opts.n.to_string(),
-            format!("{}", opts.beta),
-            format!("{}", opts.alpha),
-            format!("{lambda}"),
-            opts.seed.to_string(),
-            girg.node_count().to_string(),
-            girg.graph().edge_count().to_string(),
-            format!("{:.3}", girg.graph().average_degree()),
-            format!("{:.4}", comps.giant_fraction()),
-            format!("{elapsed:.3}"),
-        ]);
-
-        if let Some(path) = &opts.out {
-            let _span = Span::enter("write_girg");
-            let file = match std::fs::File::create(path) {
-                Ok(f) => f,
-                Err(e) => {
-                    eprintln!("error: cannot create {path}: {e}");
-                    exit = ExitCode::FAILURE;
-                    return vec![table];
+        macro_rules! try_sample {
+            ($model:expr, $params:expr) => {
+                match sample_and_summarize(&$model, &$params, opts.seed) {
+                    Ok(parts) => parts,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        exit = ExitCode::FAILURE;
+                        return Vec::new();
+                    }
                 }
             };
-            if let Err(e) = write_girg(&girg, BufWriter::new(file)) {
-                eprintln!("error: writing {path}: {e}");
-                exit = ExitCode::FAILURE;
-                return vec![table];
-            }
-            eprintln!("wrote {path}");
         }
-        vec![table]
+        match opts.model.as_str() {
+            "girg" => {
+                let model = GirgBuilder::<2>::new(opts.n)
+                    .beta(opts.beta)
+                    .alpha(Alpha::from(opts.alpha))
+                    .wmin(opts.wmin)
+                    .lambda(lambda);
+                let params = format!(
+                    "n={} beta={} alpha={} lambda={lambda}",
+                    opts.n, opts.beta, opts.alpha
+                );
+                let (girg, comps, table) = try_sample!(model, params);
+                let mut tables = vec![table];
+                if opts.route > 0 {
+                    let obj = GirgObjective::new(&girg);
+                    tables.push(route_phase(girg.graph(), &comps, &obj, opts.route, opts.seed));
+                }
+                if let Some(path) = &opts.out {
+                    let _span = Span::enter("write_girg");
+                    let file = match std::fs::File::create(path) {
+                        Ok(f) => f,
+                        Err(e) => {
+                            eprintln!("error: cannot create {path}: {e}");
+                            exit = ExitCode::FAILURE;
+                            return tables;
+                        }
+                    };
+                    if let Err(e) = write_girg(&girg, BufWriter::new(file)) {
+                        eprintln!("error: writing {path}: {e}");
+                        exit = ExitCode::FAILURE;
+                        return tables;
+                    }
+                    eprintln!("wrote {path}");
+                }
+                tables
+            }
+            "hrg" => {
+                let model = HrgBuilder::new(opts.n as usize);
+                let params = format!("n={}", opts.n);
+                let (hrg, comps, table) = try_sample!(model, params);
+                let mut tables = vec![table];
+                if opts.route > 0 {
+                    let obj = HyperbolicObjective::new(&hrg);
+                    tables.push(route_phase(hrg.graph(), &comps, &obj, opts.route, opts.seed));
+                }
+                tables
+            }
+            "kleinberg" => {
+                // --n means vertices for every model; the lattice is square
+                let side = (opts.n as f64).sqrt().ceil().max(3.0) as u32;
+                let model = KleinbergLatticeBuilder::new(side);
+                let params = format!("side={side} r=2");
+                let (lattice, comps, table) = try_sample!(model, params);
+                let mut tables = vec![table];
+                if opts.route > 0 {
+                    let obj = KleinbergObjective::new(&lattice);
+                    tables.push(route_phase(
+                        lattice.graph(),
+                        &comps,
+                        &obj,
+                        opts.route,
+                        opts.seed,
+                    ));
+                }
+                tables
+            }
+            "chung-lu" => {
+                let model = ChungLuBuilder::new(opts.n as usize)
+                    .beta(opts.beta)
+                    .wmin(opts.wmin);
+                let params = format!("n={} beta={} wmin={}", opts.n, opts.beta, opts.wmin);
+                let (_cl, _comps, table) = try_sample!(model, params);
+                vec![table]
+            }
+            _ => unreachable!("parse_args validates the model name"),
+        }
     });
     artifact.finish();
     exit

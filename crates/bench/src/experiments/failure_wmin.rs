@@ -15,7 +15,7 @@ use rand::SeedableRng;
 
 use smallworld_analysis::table::fmt_f64;
 use smallworld_analysis::{LinearFit, Table};
-use smallworld_core::{greedy_route, GirgObjective, GreedyRouter};
+use smallworld_core::{GirgObjective, GreedyRouter, Router};
 use smallworld_geometry::Point;
 use smallworld_graph::{Components, NodeId};
 use smallworld_models::girg::GirgBuilder;
@@ -113,7 +113,7 @@ fn part_b(scale: Scale) -> Table {
                 return None;
             }
             let obj = GirgObjective::new(&girg);
-            Some(greedy_route(girg.graph(), &obj, s, t).is_success())
+            Some(GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t).is_success())
         });
         let connected: Vec<bool> = outcomes.into_iter().flatten().collect();
         let trials = connected.len();

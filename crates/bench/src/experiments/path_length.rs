@@ -13,7 +13,7 @@ use rand::SeedableRng;
 use smallworld_analysis::table::fmt_f64;
 use smallworld_analysis::{Summary, Table};
 use smallworld_core::theory::{predicted_hops, ultra_small_distance};
-use smallworld_core::{greedy_route, GirgObjective, GreedyRouter};
+use smallworld_core::{GirgObjective, GreedyRouter, Router};
 use smallworld_geometry::Point;
 use smallworld_graph::NodeId;
 use smallworld_models::girg::GirgBuilder;
@@ -106,7 +106,7 @@ fn planted_endpoints(scale: Scale) -> Table {
                 .sample(&mut rng)
                 .expect("valid config");
             let obj = GirgObjective::new(&girg);
-            let record = greedy_route(girg.graph(), &obj, NodeId::new(0), NodeId::new(1));
+            let record = GreedyRouter::new().route_quiet(girg.graph(), &obj, NodeId::new(0), NodeId::new(1));
             record.is_success().then(|| record.hops() as f64)
         });
         let hops: Summary = outcomes.into_iter().flatten().collect();

@@ -15,8 +15,7 @@ use rand::{Rng, SeedableRng};
 use smallworld_analysis::table::fmt_f64;
 use smallworld_analysis::{Summary, Table};
 use smallworld_core::trajectory::{layer_revisits, layer_sequence, Phase};
-use smallworld_core::greedy::DEFAULT_MAX_STEPS;
-use smallworld_core::{greedy_route_observed, GirgObjective, Trajectory};
+use smallworld_core::{GirgObjective, GreedyRouter, Router, Trajectory};
 use smallworld_graph::NodeId;
 
 use crate::experiments::GirgConfig;
@@ -74,12 +73,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
             if s == t {
                 continue;
             }
-            let record = greedy_route_observed(
+            let record = GreedyRouter::new().route(
                 girg.graph(),
                 &obj,
                 s,
                 t,
-                DEFAULT_MAX_STEPS,
                 &mut smallworld_obs::MetricsRouteObserver::new(),
             );
             if !record.is_success() || record.hops() < min_hops {

@@ -1,13 +1,12 @@
 //! Deterministic seeding, parallel Monte-Carlo, and routing aggregates.
 
 use rand::rngs::StdRng;
-use rand::Rng;
-#[cfg(test)]
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use smallworld_analysis::{Proportion, Summary};
-use smallworld_core::{stretch, NoopObserver, Objective, RouteObserver, Router};
-use smallworld_graph::{Components, Graph};
+use smallworld_core::{stretch, NoopObserver, Objective, RouteObserver, RouteRecord, Router};
+use smallworld_graph::{Components, Graph, NodeId};
+use smallworld_par::Pool;
 
 /// Experiment size: `Quick` for smoke tests / CI, `Full` for the numbers
 /// recorded in `EXPERIMENTS.md`.
@@ -65,31 +64,14 @@ impl Scale {
     }
 }
 
-/// SplitMix64: derives independent per-task seeds from a master seed.
-///
-/// # Examples
-///
-/// ```
-/// use smallworld_bench::split_seed;
-///
-/// let a = split_seed(42, 0);
-/// let b = split_seed(42, 1);
-/// assert_ne!(a, b);
-/// assert_eq!(a, split_seed(42, 0)); // deterministic
-/// ```
-pub fn split_seed(master: u64, stream: u64) -> u64 {
-    let mut z = master
-        .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        .wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+pub use smallworld_par::split_seed;
 
-/// Runs `tasks` independent jobs across available cores and collects the
-/// results in task order. Each job receives its index and a seed derived
-/// deterministically from `master_seed`, so runs are reproducible regardless
-/// of thread scheduling.
+/// Runs `tasks` independent jobs on the ambient thread pool and collects
+/// the results in task order. Each job receives its index and a seed
+/// derived deterministically from `master_seed` via [`split_seed`], so runs
+/// are bitwise-reproducible regardless of thread scheduling — and of the
+/// thread count: `SMALLWORLD_THREADS=1` produces the same results as the
+/// default pool (see [`smallworld_par::Pool`]).
 ///
 /// Each task's wall-clock time is recorded in the `harness.task_ns` metrics
 /// histogram (with a matching `harness.tasks` counter), so artifacts show
@@ -99,43 +81,15 @@ where
     T: Send,
     F: Fn(usize, u64) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(tasks.max(1));
-    let mut results: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
     let task_counter = smallworld_obs::metrics::counter("harness.tasks");
     let task_timings = smallworld_obs::metrics::histogram("harness.task_ns");
-    let f = &f;
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..threads {
-            handles.push(scope.spawn(|| {
-                let mut out = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= tasks {
-                        break;
-                    }
-                    let started = std::time::Instant::now();
-                    out.push((i, f(i, split_seed(master_seed, i as u64))));
-                    task_counter.inc();
-                    task_timings.record_duration(started.elapsed());
-                }
-                out
-            }));
-        }
-        for handle in handles {
-            for (i, value) in handle.join().expect("worker panicked") {
-                results[i] = Some(value);
-            }
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("all tasks completed"))
-        .collect()
+    Pool::from_env().map_seeded(tasks, master_seed, |i, seed| {
+        let started = std::time::Instant::now();
+        let out = f(i, seed);
+        task_counter.inc();
+        task_timings.record_duration(started.elapsed());
+        out
+    })
 }
 
 /// The outcome of one routing trial.
@@ -302,7 +256,7 @@ where
             }
             break (s, t);
         };
-        let record = router.route_observed(graph, objective, s, t, obs);
+        let record = router.route(graph, objective, s, t, obs);
         let st = if measure_stretch {
             stretch(graph, &record)
         } else {
@@ -316,6 +270,154 @@ where
         });
     }
     out
+}
+
+/// A batched Monte-Carlo routing experiment fanned out over a thread pool.
+///
+/// Where [`route_random_pairs`] walks one RNG through all trials
+/// sequentially, a batch derives an independent RNG per trial from the
+/// master seed via [`split_seed`]: the drawn pair and the routing outcome of
+/// trial `i` are a pure function of `(configuration, master_seed, i)`. The
+/// result vector is therefore **bitwise-identical at any thread count** —
+/// `SMALLWORLD_THREADS=1` reproduces the default pool exactly.
+///
+/// Per-hop probe counters land in the sharded global metrics registry
+/// ([`smallworld_obs::metrics`]), so worker threads never contend on a
+/// shared observer.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use smallworld_bench::TrialBatch;
+/// use smallworld_core::{GirgObjective, GreedyRouter};
+/// use smallworld_graph::Components;
+/// use smallworld_models::girg::GirgBuilder;
+/// use smallworld_par::Pool;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let girg = GirgBuilder::<2>::new(500).sample(&mut rng)?;
+/// let comps = Components::compute(girg.graph());
+/// let trials = TrialBatch::new(girg.graph(), &comps, 50)
+///     .run(&GreedyRouter::new(), &GirgObjective::new(&girg), 7, &Pool::from_env());
+/// assert_eq!(trials.len(), 50);
+/// # Ok::<(), smallworld_models::ModelError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct TrialBatch<'a> {
+    graph: &'a Graph,
+    components: &'a Components,
+    pairs: usize,
+    measure_stretch: bool,
+    connected_only: bool,
+}
+
+impl<'a> TrialBatch<'a> {
+    /// Configures a batch of `pairs` routing trials on `graph`.
+    pub fn new(graph: &'a Graph, components: &'a Components, pairs: usize) -> Self {
+        TrialBatch {
+            graph,
+            components,
+            pairs,
+            measure_stretch: false,
+            connected_only: false,
+        }
+    }
+
+    /// Also measure stretch (runs a BFS per successful route).
+    pub fn measure_stretch(mut self, yes: bool) -> Self {
+        self.measure_stretch = yes;
+        self
+    }
+
+    /// Only draw pairs that share a connected component.
+    pub fn connected_only(mut self, yes: bool) -> Self {
+        self.connected_only = yes;
+        self
+    }
+
+    /// Runs the batch on `pool`, collecting outcomes in trial order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has fewer than two vertices, or if
+    /// `connected_only` is set and no two vertices share a component.
+    pub fn run<R, O>(
+        &self,
+        router: &R,
+        objective: &O,
+        master_seed: u64,
+        pool: &Pool,
+    ) -> Vec<TrialOutcome>
+    where
+        R: Router + Sync,
+        O: Objective + Sync,
+    {
+        self.run_recorded(router, objective, master_seed, pool)
+            .into_iter()
+            .map(|(outcome, _)| outcome)
+            .collect()
+    }
+
+    /// Like [`TrialBatch::run`], but also returns every full
+    /// [`RouteRecord`] — the basis of the thread-count determinism tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`TrialBatch::run`] does.
+    pub fn run_recorded<R, O>(
+        &self,
+        router: &R,
+        objective: &O,
+        master_seed: u64,
+        pool: &Pool,
+    ) -> Vec<(TrialOutcome, RouteRecord)>
+    where
+        R: Router + Sync,
+        O: Objective + Sync,
+    {
+        let n = self.graph.node_count();
+        assert!(n >= 2, "need at least two vertices to route");
+        if self.connected_only {
+            assert!(
+                self.components.largest_size() >= 2,
+                "no two vertices share a component"
+            );
+        }
+        pool.map_seeded(self.pairs, master_seed, |_, seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (s, t) = loop {
+                let s = NodeId::from_index(rng.gen_range(0..n));
+                let t = NodeId::from_index(rng.gen_range(0..n));
+                if t == s {
+                    continue;
+                }
+                if self.connected_only && !self.components.same_component(s, t) {
+                    continue;
+                }
+                break (s, t);
+            };
+            let record = router.route(
+                self.graph,
+                objective,
+                s,
+                t,
+                &mut smallworld_obs::MetricsRouteObserver::new(),
+            );
+            let st = if self.measure_stretch {
+                stretch(self.graph, &record)
+            } else {
+                None
+            };
+            let outcome = TrialOutcome {
+                success: record.is_success(),
+                hops: record.hops(),
+                stretch: st,
+                same_component: self.components.same_component(s, t),
+            };
+            (outcome, record)
+        })
+    }
 }
 
 /// Aggregate statistics over a set of [`TrialOutcome`]s.
@@ -441,5 +543,50 @@ mod tests {
         assert!(agg.success_connected.trials() <= 100);
         // any successful multi-hop route has stretch >= 1
         assert!(agg.stretch.is_empty() || agg.stretch.min() >= 1.0);
+    }
+
+    /// The tentpole determinism guarantee: one master seed produces
+    /// bitwise-identical `RouteRecord`s at 1 thread and at N threads.
+    #[test]
+    fn trial_batch_is_thread_count_invariant() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let girg = GirgBuilder::<2>::new(1_000).sample(&mut rng).unwrap();
+        let comps = Components::compute(girg.graph());
+        let obj = GirgObjective::new(&girg);
+        let batch = TrialBatch::new(girg.graph(), &comps, 120)
+            .measure_stretch(true)
+            .connected_only(true);
+        let router = GreedyRouter::new();
+        let sequential = batch.run_recorded(&router, &obj, 0xD15C, &Pool::with_threads(1));
+        let parallel = batch.run_recorded(&router, &obj, 0xD15C, &Pool::with_threads(4));
+        assert_eq!(sequential.len(), 120);
+        assert_eq!(sequential, parallel);
+        // and a different master seed gives a different trial sequence
+        let other = batch.run_recorded(&router, &obj, 0xD15D, &Pool::with_threads(4));
+        assert_ne!(sequential, other);
+    }
+
+    #[test]
+    fn trial_batch_matches_its_recorded_variant() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let girg = GirgBuilder::<2>::new(500).sample(&mut rng).unwrap();
+        let comps = Components::compute(girg.graph());
+        let obj = GirgObjective::new(&girg);
+        let batch = TrialBatch::new(girg.graph(), &comps, 40);
+        let router = GreedyRouter::new();
+        let pool = Pool::with_threads(3);
+        let outcomes = batch.run(&router, &obj, 9, &pool);
+        let recorded = batch.run_recorded(&router, &obj, 9, &pool);
+        assert_eq!(
+            outcomes,
+            recorded.iter().map(|(o, _)| *o).collect::<Vec<_>>()
+        );
+        for (outcome, record) in &recorded {
+            assert_eq!(outcome.success, record.is_success());
+            assert_eq!(outcome.hops, record.hops());
+            assert!(outcome.same_component || !outcome.success);
+        }
+        let agg = RoutingAggregate::from_trials(outcomes.iter());
+        assert_eq!(agg.success.trials(), 40);
     }
 }

@@ -21,4 +21,4 @@ pub mod experiments;
 pub mod harness;
 
 pub use artifact::Artifact;
-pub use harness::{parallel_map, split_seed, RoutingAggregate, Scale, TrialOutcome};
+pub use harness::{parallel_map, split_seed, RoutingAggregate, Scale, TrialBatch, TrialOutcome};

@@ -15,7 +15,7 @@
 //! against this interface, and the [`Simulator`] additionally rejects
 //! forwarding to a non-neighbor. [`DistributedGreedy`] re-implements
 //! Algorithm 1 against the interface; a test asserts its routes are
-//! identical to [`crate::greedy::greedy_route`]'s.
+//! identical to [`crate::greedy::GreedyRouter`]'s.
 
 use smallworld_geometry::Point;
 use smallworld_graph::{Graph, NodeId};
@@ -276,8 +276,9 @@ impl Default for Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::greedy::greedy_route;
+    use crate::greedy::GreedyRouter;
     use crate::objective::GirgObjective;
+    use crate::router::Router;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use smallworld_models::girg::GirgBuilder;
@@ -304,7 +305,7 @@ mod tests {
         for _ in 0..200 {
             let s = girg.random_vertex(&mut rng);
             let t = girg.random_vertex(&mut rng);
-            let central = greedy_route(girg.graph(), &objective, s, t);
+            let central = GreedyRouter::new().route_quiet(girg.graph(), &objective, s, t);
             let (distributed, _) = sim.route(girg.graph(), &addressing, &DistributedGreedy, s, t);
             assert_eq!(distributed.path, central.path, "{s}->{t}");
             assert_eq!(distributed.outcome, central.outcome);

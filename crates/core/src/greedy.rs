@@ -11,7 +11,7 @@
 use smallworld_graph::{Graph, NodeId};
 
 use crate::objective::Objective;
-use crate::observe::{NoopObserver, RouteObserver};
+use crate::observe::RouteObserver;
 
 /// Default cap on routing steps; greedy paths are `Θ(log log n)` so this is
 /// effectively unlimited while still preventing runaway loops with
@@ -77,16 +77,12 @@ impl RouteRecord {
     }
 }
 
-/// Routes greedily from `s` to `t` (Algorithm 1) with the default step cap.
-///
-/// # Panics
-///
-/// Panics if `s` or `t` is out of range for `graph`.
+/// The plain greedy protocol (Algorithm 1) as a [`crate::router::Router`].
 ///
 /// # Examples
 ///
 /// ```
-/// use smallworld_core::{greedy_route, Objective, RouteOutcome};
+/// use smallworld_core::{GreedyRouter, Objective, RouteOutcome, Router};
 /// use smallworld_graph::{Graph, NodeId};
 ///
 /// // a path graph with scores increasing towards the target
@@ -97,97 +93,11 @@ impl RouteRecord {
 ///     }
 /// }
 /// let g = Graph::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3)])?;
-/// let r = greedy_route(&g, &Line, NodeId::new(0), NodeId::new(3));
+/// let r = GreedyRouter::new().route_quiet(&g, &Line, NodeId::new(0), NodeId::new(3));
 /// assert_eq!(r.outcome, RouteOutcome::Delivered);
 /// assert_eq!(r.hops(), 3);
 /// # Ok::<(), smallworld_graph::GraphError>(())
 /// ```
-pub fn greedy_route<O: Objective>(
-    graph: &Graph,
-    objective: &O,
-    s: NodeId,
-    t: NodeId,
-) -> RouteRecord {
-    greedy_route_with_limit(graph, objective, s, t, DEFAULT_MAX_STEPS)
-}
-
-/// Routes greedily from `s` to `t` with an explicit step cap.
-///
-/// # Panics
-///
-/// Panics if `s` or `t` is out of range for `graph`.
-pub fn greedy_route_with_limit<O: Objective>(
-    graph: &Graph,
-    objective: &O,
-    s: NodeId,
-    t: NodeId,
-    max_steps: usize,
-) -> RouteRecord {
-    greedy_route_observed(graph, objective, s, t, max_steps, &mut NoopObserver)
-}
-
-/// Routes greedily from `s` to `t`, reporting each hop to `obs`.
-///
-/// With [`NoopObserver`] this monomorphizes to the uninstrumented protocol.
-///
-/// # Panics
-///
-/// Panics if `s` or `t` is out of range for `graph`.
-pub fn greedy_route_observed<O: Objective, Obs: RouteObserver>(
-    graph: &Graph,
-    objective: &O,
-    s: NodeId,
-    t: NodeId,
-    max_steps: usize,
-    obs: &mut Obs,
-) -> RouteRecord {
-    obs.on_start(s, t);
-    let mut path = vec![s];
-    let mut current = s;
-    let mut current_score = objective.score(s, t);
-    loop {
-        if current == t {
-            obs.on_finish(RouteOutcome::Delivered, path.len() - 1);
-            return RouteRecord {
-                outcome: RouteOutcome::Delivered,
-                path,
-            };
-        }
-        if path.len() > max_steps {
-            obs.on_finish(RouteOutcome::MaxStepsExceeded, path.len() - 1);
-            return RouteRecord {
-                outcome: RouteOutcome::MaxStepsExceeded,
-                path,
-            };
-        }
-        // argmax over neighbors; first-best wins ties deterministically
-        let mut best: Option<(f64, NodeId)> = None;
-        for &u in graph.neighbors(current) {
-            let score = objective.score(u, t);
-            if best.is_none_or(|(b, _)| score > b) {
-                best = Some((score, u));
-            }
-        }
-        match best {
-            Some((score, u)) if score > current_score => {
-                obs.on_hop(u, score);
-                path.push(u);
-                current = u;
-                current_score = score;
-            }
-            _ => {
-                obs.on_dead_end(current);
-                obs.on_finish(RouteOutcome::DeadEnd, path.len() - 1);
-                return RouteRecord {
-                    outcome: RouteOutcome::DeadEnd,
-                    path,
-                };
-            }
-        }
-    }
-}
-
-/// The plain greedy protocol as a [`crate::patching::Router`].
 #[derive(Clone, Copy, Debug)]
 pub struct GreedyRouter {
     max_steps: usize,
@@ -213,12 +123,12 @@ impl Default for GreedyRouter {
     }
 }
 
-impl crate::patching::Router for GreedyRouter {
+impl crate::router::Router for GreedyRouter {
     fn name(&self) -> &'static str {
         "greedy"
     }
 
-    fn route_observed<O: Objective, Obs: RouteObserver>(
+    fn route<O: Objective, Obs: RouteObserver>(
         &self,
         graph: &Graph,
         objective: &O,
@@ -226,7 +136,50 @@ impl crate::patching::Router for GreedyRouter {
         t: NodeId,
         obs: &mut Obs,
     ) -> RouteRecord {
-        greedy_route_observed(graph, objective, s, t, self.max_steps, obs)
+        obs.on_start(s, t);
+        let mut path = vec![s];
+        let mut current = s;
+        let mut current_score = objective.score(s, t);
+        loop {
+            if current == t {
+                obs.on_finish(RouteOutcome::Delivered, path.len() - 1);
+                return RouteRecord {
+                    outcome: RouteOutcome::Delivered,
+                    path,
+                };
+            }
+            if path.len() > self.max_steps {
+                obs.on_finish(RouteOutcome::MaxStepsExceeded, path.len() - 1);
+                return RouteRecord {
+                    outcome: RouteOutcome::MaxStepsExceeded,
+                    path,
+                };
+            }
+            // argmax over neighbors; first-best wins ties deterministically
+            let mut best: Option<(f64, NodeId)> = None;
+            for &u in graph.neighbors(current) {
+                let score = objective.score(u, t);
+                if best.is_none_or(|(b, _)| score > b) {
+                    best = Some((score, u));
+                }
+            }
+            match best {
+                Some((score, u)) if score > current_score => {
+                    obs.on_hop(u, score);
+                    path.push(u);
+                    current = u;
+                    current_score = score;
+                }
+                _ => {
+                    obs.on_dead_end(current);
+                    obs.on_finish(RouteOutcome::DeadEnd, path.len() - 1);
+                    return RouteRecord {
+                        outcome: RouteOutcome::DeadEnd,
+                        path,
+                    };
+                }
+            }
+        }
     }
 }
 
@@ -236,6 +189,7 @@ mod tests {
     use crate::objective::GirgObjective;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use crate::router::Router;
     use smallworld_geometry::Point;
     use smallworld_graph::Graph;
     use smallworld_models::girg::GirgBuilder;
@@ -255,7 +209,7 @@ mod tests {
     #[test]
     fn source_equals_target() {
         let g = Graph::from_edges(2, [(0u32, 1u32)]).unwrap();
-        let r = greedy_route(&g, &ById, NodeId::new(1), NodeId::new(1));
+        let r = GreedyRouter::new().route_quiet(&g, &ById, NodeId::new(1), NodeId::new(1));
         assert_eq!(r.outcome, RouteOutcome::Delivered);
         assert_eq!(r.hops(), 0);
         assert_eq!(r.path, vec![NodeId::new(1)]);
@@ -267,7 +221,7 @@ mod tests {
     fn direct_edge_to_target_is_taken() {
         // t maximizes the objective, so an adjacent source sends directly
         let g = Graph::from_edges(3, [(0u32, 2u32), (0, 1)]).unwrap();
-        let r = greedy_route(&g, &ById, NodeId::new(0), NodeId::new(2));
+        let r = GreedyRouter::new().route_quiet(&g, &ById, NodeId::new(0), NodeId::new(2));
         assert_eq!(r.outcome, RouteOutcome::Delivered);
         assert_eq!(r.hops(), 1);
     }
@@ -275,7 +229,7 @@ mod tests {
     #[test]
     fn isolated_source_is_dead_end() {
         let g = Graph::from_edges(3, [(1u32, 2u32)]).unwrap();
-        let r = greedy_route(&g, &ById, NodeId::new(0), NodeId::new(2));
+        let r = GreedyRouter::new().route_quiet(&g, &ById, NodeId::new(0), NodeId::new(2));
         assert_eq!(r.outcome, RouteOutcome::DeadEnd);
         assert_eq!(r.hops(), 0);
     }
@@ -285,7 +239,7 @@ mod tests {
         // star around 3 (high id), target 4 is not adjacent to 3 via better ids
         // 0-3, 3-1, 1-4: from 0 greedy goes to 3; 3's best neighbor is 1 < 3
         let g = Graph::from_edges(5, [(0u32, 3u32), (3, 1), (1, 4)]).unwrap();
-        let r = greedy_route(&g, &ById, NodeId::new(0), NodeId::new(4));
+        let r = GreedyRouter::new().route_quiet(&g, &ById, NodeId::new(0), NodeId::new(4));
         assert_eq!(r.outcome, RouteOutcome::DeadEnd);
         assert_eq!(r.last(), NodeId::new(3));
     }
@@ -294,7 +248,7 @@ mod tests {
     fn max_steps_is_respected() {
         // long path, tight budget
         let g = Graph::from_edges(10, (0u32..9).map(|i| (i, i + 1))).unwrap();
-        let r = greedy_route_with_limit(&g, &ById, NodeId::new(0), NodeId::new(9), 3);
+        let r = GreedyRouter::with_max_steps(3).route_quiet(&g, &ById, NodeId::new(0), NodeId::new(9));
         assert_eq!(r.outcome, RouteOutcome::MaxStepsExceeded);
         assert!(r.hops() <= 4);
     }
@@ -307,7 +261,7 @@ mod tests {
         for _ in 0..30 {
             let s = girg.random_vertex(&mut rng);
             let t = girg.random_vertex(&mut rng);
-            let r = greedy_route(girg.graph(), &obj, s, t);
+            let r = GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t);
             for w in r.path.windows(2) {
                 assert!(obj.score(w[1], t) > obj.score(w[0], t));
                 assert!(girg.graph().has_edge(w[0], w[1]));
@@ -326,7 +280,7 @@ mod tests {
             .sample(&mut rng)
             .unwrap();
         let obj = GirgObjective::new(&girg);
-        let r = greedy_route(girg.graph(), &obj, NodeId::new(0), NodeId::new(1));
+        let r = GreedyRouter::new().route_quiet(girg.graph(), &obj, NodeId::new(0), NodeId::new(1));
         assert_eq!(r.outcome, RouteOutcome::Delivered);
         assert_eq!(r.hops(), 1);
     }
@@ -344,7 +298,7 @@ mod tests {
         ) {
             let edges: Vec<(u32, u32)> = edges.into_iter().filter(|(u, v)| u != v).collect();
             let g = Graph::from_edges(25, edges).unwrap();
-            let r = greedy_route(&g, &ById, NodeId::new(s), NodeId::new(t));
+            let r = GreedyRouter::new().route_quiet(&g, &ById, NodeId::new(s), NodeId::new(t));
             // simple & strictly improving
             let mut seen = std::collections::BTreeSet::new();
             for &v in &r.path {
@@ -372,12 +326,12 @@ mod tests {
     }
 
     #[test]
-    fn greedy_router_trait_matches_function() {
-        use crate::patching::Router;
+    fn observed_route_matches_quiet_route() {
+        use crate::observe::NoopObserver;
         let g = Graph::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3)]).unwrap();
         let router = GreedyRouter::new();
-        let a = router.route(&g, &ById, NodeId::new(0), NodeId::new(3));
-        let b = greedy_route(&g, &ById, NodeId::new(0), NodeId::new(3));
+        let a = router.route(&g, &ById, NodeId::new(0), NodeId::new(3), &mut NoopObserver);
+        let b = router.route_quiet(&g, &ById, NodeId::new(0), NodeId::new(3));
         assert_eq!(a, b);
         assert_eq!(router.name(), "greedy");
     }

@@ -8,6 +8,8 @@
 //!   objective, and the relaxed/approximate objectives of Theorem 3.5.
 //! * [`greedy`] — Algorithm 1: forward the packet to the neighbor with the
 //!   best objective, fail in local optima.
+//! * [`router`] — the [`Router`] trait every protocol implements, plus
+//!   [`RouterKind`] for heterogeneous harnesses.
 //! * [`distributed`] — the same protocol run as per-node programs against
 //!   a locality-enforcing interface: the §3 "purely distributed, one node
 //!   awake at a time" claim, made structural.
@@ -30,7 +32,7 @@
 //!
 //! ```
 //! use rand::SeedableRng;
-//! use smallworld_core::{greedy_route, GirgObjective, RouteOutcome};
+//! use smallworld_core::{GirgObjective, GreedyRouter, RouteOutcome, Router};
 //! use smallworld_models::girg::GirgBuilder;
 //!
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
@@ -38,7 +40,7 @@
 //! let objective = GirgObjective::new(&girg);
 //! let s = girg.random_vertex(&mut rng);
 //! let t = girg.random_vertex(&mut rng);
-//! let record = greedy_route(girg.graph(), &objective, s, t);
+//! let record = GreedyRouter::new().route_quiet(girg.graph(), &objective, s, t);
 //! if record.outcome == RouteOutcome::Delivered {
 //!     println!("{} hops", record.hops());
 //! }
@@ -54,21 +56,20 @@ pub mod lookahead;
 pub mod objective;
 pub mod observe;
 pub mod patching;
+pub mod router;
 pub mod stretch;
 pub mod theory;
 pub mod trajectory;
 
 pub use distributed::{DistributedGreedy, Simulator};
-pub use greedy::{
-    greedy_route, greedy_route_observed, greedy_route_with_limit, GreedyRouter, RouteOutcome,
-    RouteRecord,
-};
+pub use greedy::{GreedyRouter, RouteOutcome, RouteRecord};
 pub use lookahead::LookaheadRouter;
 pub use observe::{NoopObserver, RouteObserver};
 pub use objective::{
     DistanceObjective, GirgObjective, HyperbolicObjective, KleinbergObjective, Objective,
     QuantizedObjective, RelaxedObjective,
 };
-pub use patching::{GravityPressureRouter, HistoryRouter, PhiDfsRouter, Router, RouterKind};
+pub use patching::{GravityPressureRouter, HistoryRouter, PhiDfsRouter};
+pub use router::{Router, RouterKind};
 pub use stretch::stretch;
 pub use trajectory::{Layer, Phase, Trajectory};

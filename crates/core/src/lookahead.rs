@@ -21,7 +21,7 @@ use smallworld_graph::{Graph, NodeId};
 use crate::greedy::{RouteOutcome, RouteRecord, DEFAULT_MAX_STEPS};
 use crate::objective::Objective;
 use crate::observe::RouteObserver;
-use crate::patching::Router;
+use crate::router::Router;
 
 /// Greedy routing that ranks neighbors by the best objective within one
 /// extra hop.
@@ -41,7 +41,7 @@ use crate::patching::Router;
 ///     }
 /// }
 /// let g = Graph::from_edges(10, [(0u32, 5u32), (0, 1), (1, 9)])?;
-/// let r = LookaheadRouter::new().route(&g, &ById, NodeId::new(0), NodeId::new(9));
+/// let r = LookaheadRouter::new().route_quiet(&g, &ById, NodeId::new(0), NodeId::new(9));
 /// assert!(r.is_success());
 /// assert_eq!(r.hops(), 2);
 /// # Ok::<(), smallworld_graph::GraphError>(())
@@ -76,7 +76,7 @@ impl Router for LookaheadRouter {
         "lookahead"
     }
 
-    fn route_observed<O: Objective, Obs: RouteObserver>(
+    fn route<O: Objective, Obs: RouteObserver>(
         &self,
         graph: &Graph,
         objective: &O,
@@ -152,7 +152,7 @@ impl Router for LookaheadRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::greedy::greedy_route;
+    use crate::greedy::GreedyRouter;
     use crate::objective::{DistanceObjective, GirgObjective};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -174,9 +174,9 @@ mod tests {
     fn trivial_cases() {
         let g = Graph::from_edges(3, [(0u32, 1u32)]).unwrap();
         let router = LookaheadRouter::new();
-        let r = router.route(&g, &ById, NodeId::new(1), NodeId::new(1));
+        let r = router.route_quiet(&g, &ById, NodeId::new(1), NodeId::new(1));
         assert_eq!(r.outcome, RouteOutcome::Delivered);
-        let r = router.route(&g, &ById, NodeId::new(0), NodeId::new(2));
+        let r = router.route_quiet(&g, &ById, NodeId::new(0), NodeId::new(2));
         assert_eq!(r.outcome, RouteOutcome::DeadEnd);
     }
 
@@ -185,9 +185,9 @@ mod tests {
         // 0 - 3 - 1 - 9: plain greedy stops at 3 (next hop 1 is worse);
         // lookahead sees 9 behind 1
         let g = Graph::from_edges(10, [(0u32, 3u32), (3, 1), (1, 9)]).unwrap();
-        let greedy = greedy_route(&g, &ById, NodeId::new(0), NodeId::new(9));
+        let greedy = GreedyRouter::new().route_quiet(&g, &ById, NodeId::new(0), NodeId::new(9));
         assert_eq!(greedy.outcome, RouteOutcome::DeadEnd);
-        let r = LookaheadRouter::new().route(&g, &ById, NodeId::new(0), NodeId::new(9));
+        let r = LookaheadRouter::new().route_quiet(&g, &ById, NodeId::new(0), NodeId::new(9));
         assert_eq!(r.outcome, RouteOutcome::Delivered);
         assert_eq!(r.hops(), 3);
     }
@@ -197,7 +197,7 @@ mod tests {
         // 0 - 5 - 1 - 2 - 9: the target is two bad hops away from 5; one-hop
         // lookahead at 5 sees max(1, 2) < 5 and stops
         let g = Graph::from_edges(10, [(0u32, 5u32), (5, 1), (1, 2), (2, 9)]).unwrap();
-        let r = LookaheadRouter::new().route(&g, &ById, NodeId::new(0), NodeId::new(9));
+        let r = LookaheadRouter::new().route_quiet(&g, &ById, NodeId::new(0), NodeId::new(9));
         assert_eq!(r.outcome, RouteOutcome::DeadEnd);
     }
 
@@ -222,10 +222,10 @@ mod tests {
                 continue;
             }
             pairs += 1;
-            if greedy_route(girg.graph(), &obj, s, t).is_success() {
+            if GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t).is_success() {
                 plain_ok += 1;
             }
-            if router.route(girg.graph(), &obj, s, t).is_success() {
+            if router.route_quiet(girg.graph(), &obj, s, t).is_success() {
                 lookahead_ok += 1;
             }
         }
@@ -259,10 +259,10 @@ mod tests {
                 continue;
             }
             pairs += 1;
-            if greedy_route(girg.graph(), &obj, s, t).is_success() {
+            if GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t).is_success() {
                 plain_ok += 1;
             }
-            if router.route(girg.graph(), &obj, s, t).is_success() {
+            if router.route_quiet(girg.graph(), &obj, s, t).is_success() {
                 lookahead_ok += 1;
             }
         }
@@ -285,7 +285,7 @@ mod tests {
         for _ in 0..40 {
             let s = girg.random_vertex(&mut rng);
             let t = girg.random_vertex(&mut rng);
-            let r = router.route(girg.graph(), &obj, s, t);
+            let r = router.route_quiet(girg.graph(), &obj, s, t);
             for w in r.path.windows(2) {
                 assert!(girg.graph().has_edge(w[0], w[1]));
             }
@@ -295,7 +295,7 @@ mod tests {
     #[test]
     fn respects_step_cap() {
         let g = Graph::from_edges(6, [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
-        let r = LookaheadRouter::with_max_steps(2).route(&g, &ById, NodeId::new(0), NodeId::new(5));
+        let r = LookaheadRouter::with_max_steps(2).route_quiet(&g, &ById, NodeId::new(0), NodeId::new(5));
         assert_eq!(r.outcome, RouteOutcome::MaxStepsExceeded);
     }
 }

@@ -25,7 +25,7 @@ use smallworld_graph::{Graph, NodeId};
 use crate::greedy::{RouteOutcome, RouteRecord, DEFAULT_MAX_STEPS};
 use crate::objective::Objective;
 use crate::observe::RouteObserver;
-use crate::patching::Router;
+use crate::router::Router;
 
 /// The gravity–pressure heuristic as a [`Router`].
 #[derive(Clone, Copy, Debug)]
@@ -58,7 +58,7 @@ impl Router for GravityPressureRouter {
         "gravity-pressure"
     }
 
-    fn route_observed<O: Objective, Obs: RouteObserver>(
+    fn route<O: Objective, Obs: RouteObserver>(
         &self,
         graph: &Graph,
         objective: &O,
@@ -149,7 +149,7 @@ impl Router for GravityPressureRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::greedy::greedy_route;
+    use crate::greedy::GreedyRouter;
     use crate::objective::GirgObjective;
     use crate::patching::test_support::IdObjective;
     use rand::rngs::StdRng;
@@ -161,10 +161,10 @@ mod tests {
     fn trivial_cases() {
         let g = Graph::from_edges(3, [(0u32, 1u32)]).unwrap();
         let router = GravityPressureRouter::new();
-        let r = router.route(&g, &IdObjective, NodeId::new(2), NodeId::new(2));
+        let r = router.route_quiet(&g, &IdObjective, NodeId::new(2), NodeId::new(2));
         assert_eq!(r.outcome, RouteOutcome::Delivered);
         // isolated source: no neighbor to move to at all
-        let r = router.route(&g, &IdObjective, NodeId::new(2), NodeId::new(0));
+        let r = router.route_quiet(&g, &IdObjective, NodeId::new(2), NodeId::new(0));
         assert_eq!(r.outcome, RouteOutcome::DeadEnd);
     }
 
@@ -174,17 +174,17 @@ mod tests {
         // until the budget runs out (exactly the (P3) violation)
         let g = Graph::from_edges(4, [(0u32, 1u32), (2, 3)]).unwrap();
         let router = GravityPressureRouter::with_max_steps(100);
-        let r = router.route(&g, &IdObjective, NodeId::new(0), NodeId::new(3));
+        let r = router.route_quiet(&g, &IdObjective, NodeId::new(0), NodeId::new(3));
         assert_eq!(r.outcome, RouteOutcome::MaxStepsExceeded);
     }
 
     #[test]
     fn escapes_local_optimum() {
         let g = Graph::from_edges(10, [(0u32, 5u32), (5, 1), (1, 2), (2, 9)]).unwrap();
-        let greedy = greedy_route(&g, &IdObjective, NodeId::new(0), NodeId::new(9));
+        let greedy = GreedyRouter::new().route_quiet(&g, &IdObjective, NodeId::new(0), NodeId::new(9));
         assert_eq!(greedy.outcome, RouteOutcome::DeadEnd);
         let r =
-            GravityPressureRouter::new().route(&g, &IdObjective, NodeId::new(0), NodeId::new(9));
+            GravityPressureRouter::new().route_quiet(&g, &IdObjective, NodeId::new(0), NodeId::new(9));
         assert_eq!(r.outcome, RouteOutcome::Delivered);
     }
 
@@ -197,9 +197,9 @@ mod tests {
         for _ in 0..30 {
             let s = girg.random_vertex(&mut rng);
             let t = girg.random_vertex(&mut rng);
-            let g = greedy_route(girg.graph(), &obj, s, t);
+            let g = GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t);
             if g.is_success() {
-                let r = router.route(girg.graph(), &obj, s, t);
+                let r = router.route_quiet(girg.graph(), &obj, s, t);
                 assert!(r.is_success());
                 assert_eq!(r.path, g.path);
             }
@@ -222,7 +222,7 @@ mod tests {
                 continue;
             }
             attempts += 1;
-            if router.route(girg.graph(), &obj, s, t).is_success() {
+            if router.route_quiet(girg.graph(), &obj, s, t).is_success() {
                 delivered += 1;
             }
         }
@@ -236,7 +236,7 @@ mod tests {
     fn path_is_a_walk() {
         let g = Graph::from_edges(8, [(0u32, 6u32), (6, 1), (1, 2), (6, 3), (3, 4), (4, 7)])
             .unwrap();
-        let r = GravityPressureRouter::new().route(&g, &IdObjective, NodeId::new(0), NodeId::new(7));
+        let r = GravityPressureRouter::new().route_quiet(&g, &IdObjective, NodeId::new(0), NodeId::new(7));
         assert_eq!(r.outcome, RouteOutcome::Delivered);
         for w in r.path.windows(2) {
             assert!(g.has_edge(w[0], w[1]));

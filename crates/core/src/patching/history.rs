@@ -17,7 +17,7 @@ use smallworld_graph::{Graph, NodeId};
 use crate::greedy::{RouteOutcome, RouteRecord, DEFAULT_MAX_STEPS};
 use crate::objective::Objective;
 use crate::observe::RouteObserver;
-use crate::patching::Router;
+use crate::router::Router;
 
 /// Max-heap entry ordered by objective score.
 #[derive(PartialEq)]
@@ -133,7 +133,7 @@ impl Router for HistoryRouter {
         "history"
     }
 
-    fn route_observed<O: Objective, Obs: RouteObserver>(
+    fn route<O: Objective, Obs: RouteObserver>(
         &self,
         graph: &Graph,
         objective: &O,
@@ -228,7 +228,7 @@ impl Router for HistoryRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::greedy::greedy_route;
+    use crate::greedy::GreedyRouter;
     use crate::objective::GirgObjective;
     use crate::patching::test_support::{check_delivery_iff_connected, IdObjective};
     use rand::rngs::StdRng;
@@ -240,9 +240,9 @@ mod tests {
     fn trivial_cases() {
         let g = Graph::from_edges(3, [(0u32, 1u32)]).unwrap();
         let router = HistoryRouter::new();
-        let r = router.route(&g, &IdObjective, NodeId::new(0), NodeId::new(0));
+        let r = router.route_quiet(&g, &IdObjective, NodeId::new(0), NodeId::new(0));
         assert_eq!(r.outcome, RouteOutcome::Delivered);
-        let r = router.route(&g, &IdObjective, NodeId::new(0), NodeId::new(2));
+        let r = router.route_quiet(&g, &IdObjective, NodeId::new(0), NodeId::new(2));
         assert_eq!(r.outcome, RouteOutcome::DeadEnd);
     }
 
@@ -255,9 +255,9 @@ mod tests {
         for _ in 0..40 {
             let s = girg.random_vertex(&mut rng);
             let t = girg.random_vertex(&mut rng);
-            let g = greedy_route(girg.graph(), &obj, s, t);
+            let g = GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t);
             if g.is_success() {
-                let h = router.route(girg.graph(), &obj, s, t);
+                let h = router.route_quiet(girg.graph(), &obj, s, t);
                 assert!(h.is_success());
                 assert_eq!(h.path, g.path);
             }
@@ -291,7 +291,7 @@ mod tests {
         // best neighbor of 4 is 5 (-4): 5's only other neighbor is 9: deliver.
         // Construct a forced backtrack: 0-6, 6-7, 0-2, 2-9; target 9.
         let g = Graph::from_edges(10, [(0u32, 6u32), (6, 7), (0, 2), (2, 9)]).unwrap();
-        let r = HistoryRouter::new().route(&g, &IdObjective, NodeId::new(0), NodeId::new(9));
+        let r = HistoryRouter::new().route_quiet(&g, &IdObjective, NodeId::new(0), NodeId::new(9));
         assert_eq!(r.outcome, RouteOutcome::Delivered);
         // path must be a contiguous walk
         for w in r.path.windows(2) {
@@ -312,7 +312,7 @@ mod tests {
         for _ in 0..60 {
             let s = girg.random_vertex(&mut rng);
             let t = girg.random_vertex(&mut rng);
-            let r = router.route(girg.graph(), &obj, s, t);
+            let r = router.route_quiet(girg.graph(), &obj, s, t);
             assert_eq!(r.is_success(), comps.same_component(s, t));
         }
     }

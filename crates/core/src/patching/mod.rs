@@ -28,95 +28,12 @@ pub use gravity_pressure::GravityPressureRouter;
 pub use history::HistoryRouter;
 pub use phi_dfs::PhiDfsRouter;
 
-use smallworld_graph::{Graph, NodeId};
-
-use crate::greedy::{GreedyRouter, RouteRecord};
-use crate::objective::Objective;
-use crate::observe::{NoopObserver, RouteObserver};
-
-/// A routing protocol: plain greedy or one of the patching variants.
-pub trait Router {
-    /// A short identifier for tables and logs (e.g. `"phi-dfs"`).
-    fn name(&self) -> &'static str;
-
-    /// Routes a packet from `s` to `t`, reporting per-hop events to `obs`.
-    ///
-    /// This is the single implementation point; [`Router::route`] delegates
-    /// here with [`NoopObserver`], which monomorphizes the probes away.
-    ///
-    /// # Panics
-    ///
-    /// Implementations panic if `s` or `t` is out of range for `graph`.
-    fn route_observed<O: Objective, Obs: RouteObserver>(
-        &self,
-        graph: &Graph,
-        objective: &O,
-        s: NodeId,
-        t: NodeId,
-        obs: &mut Obs,
-    ) -> RouteRecord;
-
-    /// Routes a packet from `s` to `t` without instrumentation.
-    ///
-    /// # Panics
-    ///
-    /// Implementations panic if `s` or `t` is out of range for `graph`.
-    fn route<O: Objective>(
-        &self,
-        graph: &Graph,
-        objective: &O,
-        s: NodeId,
-        t: NodeId,
-    ) -> RouteRecord {
-        self.route_observed(graph, objective, s, t, &mut NoopObserver)
-    }
-}
-
-/// A heterogeneous router, for harnesses that compare several protocols.
-#[derive(Clone, Copy, Debug)]
-pub enum RouterKind {
-    /// Plain greedy (Algorithm 1).
-    Greedy(GreedyRouter),
-    /// The paper's Algorithm 2.
-    PhiDfs(PhiDfsRouter),
-    /// Message-history backtracking.
-    History(HistoryRouter),
-    /// The gravity–pressure baseline.
-    GravityPressure(GravityPressureRouter),
-}
-
-impl Router for RouterKind {
-    fn name(&self) -> &'static str {
-        match self {
-            RouterKind::Greedy(r) => r.name(),
-            RouterKind::PhiDfs(r) => r.name(),
-            RouterKind::History(r) => r.name(),
-            RouterKind::GravityPressure(r) => r.name(),
-        }
-    }
-
-    fn route_observed<O: Objective, Obs: RouteObserver>(
-        &self,
-        graph: &Graph,
-        objective: &O,
-        s: NodeId,
-        t: NodeId,
-        obs: &mut Obs,
-    ) -> RouteRecord {
-        match self {
-            RouterKind::Greedy(r) => r.route_observed(graph, objective, s, t, obs),
-            RouterKind::PhiDfs(r) => r.route_observed(graph, objective, s, t, obs),
-            RouterKind::History(r) => r.route_observed(graph, objective, s, t, obs),
-            RouterKind::GravityPressure(r) => r.route_observed(graph, objective, s, t, obs),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
-    use super::test_support::{check_delivery_iff_connected, IdObjective};
+    use super::test_support::IdObjective;
     use super::*;
-    use crate::greedy::GreedyRouter;
+    use crate::objective::Objective;
+    use crate::router::{Router, RouterKind};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use smallworld_graph::{Components, Graph, NodeId};
@@ -167,8 +84,8 @@ mod tests {
                     let should = comps.same_component(s, t);
                     for router in &routers {
                         for record in [
-                            router.route(&graph, &IdObjective, s, t),
-                            router.route(&graph, &ScrambledObjective, s, t),
+                            router.route_quiet(&graph, &IdObjective, s, t),
+                            router.route_quiet(&graph, &ScrambledObjective, s, t),
                         ] {
                             assert_eq!(
                                 record.is_success(),
@@ -189,40 +106,14 @@ mod tests {
         }
     }
 
-    #[test]
-    fn router_kind_dispatches_names() {
-        assert_eq!(RouterKind::Greedy(GreedyRouter::new()).name(), "greedy");
-        assert_eq!(RouterKind::PhiDfs(PhiDfsRouter::new()).name(), "phi-dfs");
-        assert_eq!(RouterKind::History(HistoryRouter::new()).name(), "history");
-        assert_eq!(
-            RouterKind::GravityPressure(GravityPressureRouter::new()).name(),
-            "gravity-pressure"
-        );
-    }
-
-    #[test]
-    fn router_kind_routes_like_inner() {
-        let mut rng = StdRng::seed_from_u64(5);
-        let graph = random_graph(&mut rng, 14, 0.2);
-        let inner = PhiDfsRouter::new();
-        let kind = RouterKind::PhiDfs(inner);
-        for s in 0..14u32 {
-            for t in 0..14u32 {
-                let (s, t) = (NodeId::new(s), NodeId::new(t));
-                assert_eq!(
-                    kind.route(&graph, &IdObjective, s, t),
-                    inner.route(&graph, &IdObjective, s, t)
-                );
-            }
-        }
-        let _ = check_delivery_iff_connected::<RouterKind>; // referenced helper
-    }
 }
 
 #[cfg(test)]
 pub(crate) mod test_support {
-    use super::*;
     use crate::greedy::RouteOutcome;
+    use crate::objective::Objective;
+    use crate::router::Router;
+    use smallworld_graph::{Graph, NodeId};
     use smallworld_graph::Components;
 
     /// Score = φ-like: inverse id-distance to the target with a weight twist;
@@ -246,7 +137,7 @@ pub(crate) mod test_support {
         for s in 0..n {
             for t in 0..n {
                 let (s, t) = (NodeId::new(s), NodeId::new(t));
-                let r = router.route(graph, &IdObjective, s, t);
+                let r = router.route_quiet(graph, &IdObjective, s, t);
                 if comps.same_component(s, t) {
                     assert_eq!(
                         r.outcome,

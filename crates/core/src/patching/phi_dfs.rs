@@ -27,7 +27,7 @@ use smallworld_graph::{Graph, NodeId};
 use crate::greedy::{RouteOutcome, RouteRecord, DEFAULT_MAX_STEPS};
 use crate::objective::Objective;
 use crate::observe::RouteObserver;
-use crate::patching::Router;
+use crate::router::Router;
 
 /// Per-vertex state of Algorithm 2 — a constant number of values, as the
 /// paper requires for a distributed protocol.
@@ -73,7 +73,7 @@ impl VertexState {
 /// let obj = GirgObjective::new(&girg);
 /// let router = PhiDfsRouter::new();
 /// let (s, t) = (girg.random_vertex(&mut rng), girg.random_vertex(&mut rng));
-/// let record = router.route(girg.graph(), &obj, s, t);
+/// let record = router.route_quiet(girg.graph(), &obj, s, t);
 /// // Theorem 3.4: delivery is guaranteed within a component
 /// assert_eq!(record.is_success(), comps.same_component(s, t));
 /// # Ok::<(), smallworld_models::ModelError>(())
@@ -115,7 +115,7 @@ impl Router for PhiDfsRouter {
         "phi-dfs"
     }
 
-    fn route_observed<O: Objective, Obs: RouteObserver>(
+    fn route<O: Objective, Obs: RouteObserver>(
         &self,
         graph: &Graph,
         objective: &O,
@@ -282,7 +282,7 @@ impl Router for PhiDfsRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::greedy::greedy_route;
+    use crate::greedy::GreedyRouter;
     use crate::objective::GirgObjective;
     use crate::patching::test_support::{check_delivery_iff_connected, IdObjective};
     use rand::rngs::StdRng;
@@ -295,14 +295,14 @@ mod tests {
         let g = Graph::from_edges(3, [(0u32, 1u32)]).unwrap();
         let router = PhiDfsRouter::new();
         // s == t
-        let r = router.route(&g, &IdObjective, NodeId::new(1), NodeId::new(1));
+        let r = router.route_quiet(&g, &IdObjective, NodeId::new(1), NodeId::new(1));
         assert_eq!(r.outcome, RouteOutcome::Delivered);
         assert_eq!(r.hops(), 0);
         // isolated target
-        let r = router.route(&g, &IdObjective, NodeId::new(0), NodeId::new(2));
+        let r = router.route_quiet(&g, &IdObjective, NodeId::new(0), NodeId::new(2));
         assert_eq!(r.outcome, RouteOutcome::DeadEnd);
         // isolated source
-        let r = router.route(&g, &IdObjective, NodeId::new(2), NodeId::new(0));
+        let r = router.route_quiet(&g, &IdObjective, NodeId::new(2), NodeId::new(0));
         assert_eq!(r.outcome, RouteOutcome::DeadEnd);
     }
 
@@ -312,9 +312,9 @@ mod tests {
         // from 0, greedy goes to 5 (score -4); 5's other neighbor is 1
         // (score -8 < -4): plain greedy dies, Φ-DFS must deliver
         let g = Graph::from_edges(10, [(0u32, 5u32), (5, 1), (1, 2), (2, 9)]).unwrap();
-        let greedy = greedy_route(&g, &IdObjective, NodeId::new(0), NodeId::new(9));
+        let greedy = GreedyRouter::new().route_quiet(&g, &IdObjective, NodeId::new(0), NodeId::new(9));
         assert_eq!(greedy.outcome, RouteOutcome::DeadEnd);
-        let r = PhiDfsRouter::new().route(&g, &IdObjective, NodeId::new(0), NodeId::new(9));
+        let r = PhiDfsRouter::new().route_quiet(&g, &IdObjective, NodeId::new(0), NodeId::new(9));
         assert_eq!(r.outcome, RouteOutcome::Delivered);
         assert_eq!(r.last(), NodeId::new(9));
     }
@@ -352,7 +352,7 @@ mod tests {
         for _ in 0..60 {
             let s = girg.random_vertex(&mut rng);
             let t = girg.random_vertex(&mut rng);
-            let r = router.route(girg.graph(), &obj, s, t);
+            let r = router.route_quiet(girg.graph(), &obj, s, t);
             assert_eq!(r.is_success(), comps.same_component(s, t));
             if r.is_success() {
                 delivered += 1;
@@ -373,9 +373,9 @@ mod tests {
         for _ in 0..40 {
             let s = girg.random_vertex(&mut rng);
             let t = girg.random_vertex(&mut rng);
-            let g = greedy_route(girg.graph(), &obj, s, t);
+            let g = GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t);
             if g.is_success() {
-                let p = router.route(girg.graph(), &obj, s, t);
+                let p = router.route_quiet(girg.graph(), &obj, s, t);
                 assert!(p.is_success());
                 assert_eq!(p.path, g.path, "s={s} t={t}");
             }
@@ -386,7 +386,7 @@ mod tests {
     fn max_steps_respected() {
         let g = Graph::from_edges(6, [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
         let router = PhiDfsRouter::with_max_steps(2);
-        let r = router.route(&g, &IdObjective, NodeId::new(0), NodeId::new(5));
+        let r = router.route_quiet(&g, &IdObjective, NodeId::new(0), NodeId::new(5));
         assert_eq!(r.outcome, RouteOutcome::MaxStepsExceeded);
     }
 
@@ -399,7 +399,7 @@ mod tests {
             [(0u32, 6u32), (6, 1), (1, 2), (6, 3), (3, 4), (4, 7)],
         )
         .unwrap();
-        let r = PhiDfsRouter::new().route(&g, &IdObjective, NodeId::new(0), NodeId::new(7));
+        let r = PhiDfsRouter::new().route_quiet(&g, &IdObjective, NodeId::new(0), NodeId::new(7));
         assert_eq!(r.outcome, RouteOutcome::Delivered);
         for w in r.path.windows(2) {
             assert!(g.has_edge(w[0], w[1]), "non-edge {} {}", w[0], w[1]);

@@ -1,0 +1,178 @@
+//! The routing-protocol abstraction shared by every router in this crate.
+//!
+//! The paper studies one *protocol family*: move the packet according to
+//! local information and an objective function. Plain greedy (Algorithm 1),
+//! one-hop lookahead, and the §5 patching protocols all fit one signature,
+//! captured here as the [`Router`] trait. Harnesses that compare protocols
+//! (the `exp_*` binaries, the contract tests) program against the trait and
+//! never name a concrete router in their routing loops.
+//!
+//! The single required method is [`Router::route`], which reports per-hop
+//! events to a [`RouteObserver`]; [`Router::route_quiet`] is a provided
+//! convenience that plugs in [`NoopObserver`], monomorphizing every probe
+//! away so the uninstrumented protocol pays nothing for the indirection.
+
+use smallworld_graph::{Graph, NodeId};
+
+use crate::greedy::{GreedyRouter, RouteRecord};
+use crate::lookahead::LookaheadRouter;
+use crate::objective::Objective;
+use crate::observe::{NoopObserver, RouteObserver};
+use crate::patching::{GravityPressureRouter, HistoryRouter, PhiDfsRouter};
+
+/// A routing protocol: plain greedy, lookahead, or a patching variant.
+pub trait Router {
+    /// A short identifier for tables and logs (e.g. `"phi-dfs"`).
+    fn name(&self) -> &'static str;
+
+    /// Routes a packet from `s` to `t`, reporting per-hop events to `obs`.
+    ///
+    /// This is the single implementation point; [`Router::route_quiet`]
+    /// delegates here with [`NoopObserver`], which monomorphizes the probes
+    /// away.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `s` or `t` is out of range for `graph`.
+    fn route<O: Objective, Obs: RouteObserver>(
+        &self,
+        graph: &Graph,
+        objective: &O,
+        s: NodeId,
+        t: NodeId,
+        obs: &mut Obs,
+    ) -> RouteRecord;
+
+    /// Routes a packet from `s` to `t` without instrumentation.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `s` or `t` is out of range for `graph`.
+    fn route_quiet<O: Objective>(
+        &self,
+        graph: &Graph,
+        objective: &O,
+        s: NodeId,
+        t: NodeId,
+    ) -> RouteRecord {
+        self.route(graph, objective, s, t, &mut NoopObserver)
+    }
+}
+
+/// A heterogeneous router, for harnesses that compare several protocols.
+#[derive(Clone, Copy, Debug)]
+pub enum RouterKind {
+    /// Plain greedy (Algorithm 1).
+    Greedy(GreedyRouter),
+    /// One-hop lookahead.
+    Lookahead(LookaheadRouter),
+    /// The paper's Algorithm 2.
+    PhiDfs(PhiDfsRouter),
+    /// Message-history backtracking.
+    History(HistoryRouter),
+    /// The gravity–pressure baseline.
+    GravityPressure(GravityPressureRouter),
+}
+
+impl Router for RouterKind {
+    fn name(&self) -> &'static str {
+        match self {
+            RouterKind::Greedy(r) => r.name(),
+            RouterKind::Lookahead(r) => r.name(),
+            RouterKind::PhiDfs(r) => r.name(),
+            RouterKind::History(r) => r.name(),
+            RouterKind::GravityPressure(r) => r.name(),
+        }
+    }
+
+    fn route<O: Objective, Obs: RouteObserver>(
+        &self,
+        graph: &Graph,
+        objective: &O,
+        s: NodeId,
+        t: NodeId,
+        obs: &mut Obs,
+    ) -> RouteRecord {
+        match self {
+            RouterKind::Greedy(r) => r.route(graph, objective, s, t, obs),
+            RouterKind::Lookahead(r) => r.route(graph, objective, s, t, obs),
+            RouterKind::PhiDfs(r) => r.route(graph, objective, s, t, obs),
+            RouterKind::History(r) => r.route(graph, objective, s, t, obs),
+            RouterKind::GravityPressure(r) => r.route(graph, objective, s, t, obs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patching::test_support::IdObjective;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_graph(rng: &mut StdRng, n: usize, p: f64) -> Graph {
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen::<f64>() < p {
+                    edges.push((u, v));
+                }
+            }
+        }
+        Graph::from_edges(n, edges).expect("valid")
+    }
+
+    #[test]
+    fn router_kind_dispatches_names() {
+        assert_eq!(RouterKind::Greedy(GreedyRouter::new()).name(), "greedy");
+        assert_eq!(
+            RouterKind::Lookahead(LookaheadRouter::new()).name(),
+            "lookahead"
+        );
+        assert_eq!(RouterKind::PhiDfs(PhiDfsRouter::new()).name(), "phi-dfs");
+        assert_eq!(RouterKind::History(HistoryRouter::new()).name(), "history");
+        assert_eq!(
+            RouterKind::GravityPressure(GravityPressureRouter::new()).name(),
+            "gravity-pressure"
+        );
+    }
+
+    #[test]
+    fn router_kind_routes_like_inner() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let graph = random_graph(&mut rng, 14, 0.2);
+        let inner = PhiDfsRouter::new();
+        let kind = RouterKind::PhiDfs(inner);
+        for s in 0..14u32 {
+            for t in 0..14u32 {
+                let (s, t) = (NodeId::new(s), NodeId::new(t));
+                assert_eq!(
+                    kind.route_quiet(&graph, &IdObjective, s, t),
+                    inner.route_quiet(&graph, &IdObjective, s, t)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn route_quiet_matches_route_with_noop() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let graph = random_graph(&mut rng, 12, 0.25);
+        for kind in [
+            RouterKind::Greedy(GreedyRouter::new()),
+            RouterKind::Lookahead(LookaheadRouter::new()),
+            RouterKind::PhiDfs(PhiDfsRouter::new()),
+            RouterKind::History(HistoryRouter::new()),
+            RouterKind::GravityPressure(GravityPressureRouter::new()),
+        ] {
+            for s in 0..12u32 {
+                for t in 0..12u32 {
+                    let (s, t) = (NodeId::new(s), NodeId::new(t));
+                    let quiet = kind.route_quiet(&graph, &IdObjective, s, t);
+                    let observed = kind.route(&graph, &IdObjective, s, t, &mut NoopObserver);
+                    assert_eq!(quiet, observed, "{}: {s}->{t}", kind.name());
+                }
+            }
+        }
+    }
+}

@@ -20,7 +20,7 @@ use crate::greedy::RouteRecord;
 /// # Examples
 ///
 /// ```
-/// use smallworld_core::{greedy_route, stretch, Objective};
+/// use smallworld_core::{stretch, GreedyRouter, Objective, Router};
 /// use smallworld_graph::{Graph, NodeId};
 ///
 /// struct ById;
@@ -32,7 +32,7 @@ use crate::greedy::RouteRecord;
 /// // greedy prefers the high-id corridor 0→2→3→4 (3 hops) over the
 /// // shortest path 0→1→4 (2 hops): stretch 1.5
 /// let g = Graph::from_edges(5, [(0u32, 2u32), (2, 3), (3, 4), (0, 1), (1, 4)])?;
-/// let r = greedy_route(&g, &ById, NodeId::new(0), NodeId::new(4));
+/// let r = GreedyRouter::new().route_quiet(&g, &ById, NodeId::new(0), NodeId::new(4));
 /// assert_eq!(stretch(&g, &r), Some(1.5));
 /// # Ok::<(), smallworld_graph::GraphError>(())
 /// ```
@@ -48,7 +48,8 @@ pub fn stretch(graph: &Graph, record: &RouteRecord) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::greedy::{greedy_route, RouteOutcome};
+    use crate::greedy::{GreedyRouter, RouteOutcome};
+    use crate::router::Router;
     use crate::objective::{GirgObjective, Objective};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -69,7 +70,7 @@ mod tests {
     #[test]
     fn failed_route_has_no_stretch() {
         let g = Graph::from_edges(3, [(1u32, 2u32)]).unwrap();
-        let r = greedy_route(&g, &ById, NodeId::new(0), NodeId::new(2));
+        let r = GreedyRouter::new().route_quiet(&g, &ById, NodeId::new(0), NodeId::new(2));
         assert_eq!(r.outcome, RouteOutcome::DeadEnd);
         assert_eq!(stretch(&g, &r), None);
     }
@@ -77,14 +78,14 @@ mod tests {
     #[test]
     fn zero_hop_route_has_no_stretch() {
         let g = Graph::from_edges(1, Vec::<(u32, u32)>::new()).unwrap();
-        let r = greedy_route(&g, &ById, NodeId::new(0), NodeId::new(0));
+        let r = GreedyRouter::new().route_quiet(&g, &ById, NodeId::new(0), NodeId::new(0));
         assert_eq!(stretch(&g, &r), None);
     }
 
     #[test]
     fn optimal_route_has_stretch_one() {
         let g = Graph::from_edges(3, [(0u32, 1u32), (1, 2)]).unwrap();
-        let r = greedy_route(&g, &ById, NodeId::new(0), NodeId::new(2));
+        let r = GreedyRouter::new().route_quiet(&g, &ById, NodeId::new(0), NodeId::new(2));
         assert_eq!(stretch(&g, &r), Some(1.0));
     }
 
@@ -97,7 +98,7 @@ mod tests {
         for _ in 0..50 {
             let s = girg.random_vertex(&mut rng);
             let t = girg.random_vertex(&mut rng);
-            let r = greedy_route(girg.graph(), &obj, s, t);
+            let r = GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t);
             if let Some(x) = stretch(girg.graph(), &r) {
                 assert!(x >= 1.0, "stretch below 1: {x}");
                 measured += 1;

@@ -254,8 +254,9 @@ pub fn layer_revisits(layers: &[Layer]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::greedy::greedy_route;
+    use crate::greedy::GreedyRouter;
     use crate::objective::GirgObjective;
+    use crate::router::Router;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use smallworld_models::girg::GirgBuilder;
@@ -290,7 +291,7 @@ mod tests {
         for _ in 0..20 {
             let s = girg.random_vertex(&mut rng);
             let t = girg.random_vertex(&mut rng);
-            let r = greedy_route(girg.graph(), &obj, s, t);
+            let r = GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t);
             let traj = Trajectory::extract(&girg, &r);
             assert_eq!(traj.len(), r.path.len());
             assert!(!traj.is_empty());
@@ -307,7 +308,7 @@ mod tests {
         for _ in 0..60 {
             let s = girg.random_vertex(&mut rng);
             let t = girg.random_vertex(&mut rng);
-            let r = greedy_route(girg.graph(), &obj, s, t);
+            let r = GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t);
             if r.is_success() && r.hops() >= 2 {
                 let traj = Trajectory::extract(&girg, &r);
                 assert!(traj.objective_monotone());
@@ -329,7 +330,7 @@ mod tests {
             if s == t {
                 continue;
             }
-            let r = greedy_route(girg.graph(), &obj, s, t);
+            let r = GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t);
             if r.is_success() {
                 let traj = Trajectory::extract(&girg, &r);
                 assert_eq!(*traj.distances.last().unwrap(), 0.0);
@@ -351,7 +352,7 @@ mod tests {
         for _ in 0..80 {
             let s = girg.random_vertex(&mut rng);
             let t = girg.random_vertex(&mut rng);
-            let r = greedy_route(girg.graph(), &obj, s, t);
+            let r = GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t);
             if !r.is_success() {
                 continue;
             }
@@ -384,7 +385,7 @@ mod tests {
         for _ in 0..20 {
             let s = girg.random_vertex(&mut rng);
             let t = girg.random_vertex(&mut rng);
-            let r = greedy_route(girg.graph(), &obj, s, t);
+            let r = GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t);
             let traj = Trajectory::extract(&girg, &r);
             let peak = traj.peak_index().unwrap();
             let max = traj.weights.iter().cloned().fold(f64::MIN, f64::max);
@@ -443,7 +444,7 @@ mod tests {
         for _ in 0..80 {
             let s = girg.random_vertex(&mut rng);
             let t = girg.random_vertex(&mut rng);
-            let r = greedy_route(girg.graph(), &obj, s, t);
+            let r = GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t);
             if !r.is_success() || r.hops() < 2 {
                 continue;
             }

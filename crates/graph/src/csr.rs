@@ -2,6 +2,10 @@
 
 use std::error::Error;
 use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+use smallworld_par::{chunk_ranges, Pool};
 
 /// Identifier of a vertex, a dense index in `0..node_count`.
 ///
@@ -142,6 +146,135 @@ impl Graph {
             builder.add_edge(NodeId::new(u), NodeId::new(v))?;
         }
         Ok(builder.build())
+    }
+
+    /// Builds a graph from an edge list using the given thread pool:
+    /// validation, degree counting, adjacency scatter, and per-node
+    /// sort/dedup all run across the pool's workers.
+    ///
+    /// The result is **identical** to [`Graph::from_edges`] on the same
+    /// input for any thread count: the scatter order is nondeterministic,
+    /// but every neighbor list is subsequently sorted and deduplicated, so
+    /// the final CSR is a pure function of the edge multiset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`]
+    /// for the first offending edge (in input order) on invalid input.
+    pub fn from_edges_parallel(
+        node_count: usize,
+        edges: &[(u32, u32)],
+        pool: &Pool,
+    ) -> Result<Graph, GraphError> {
+        // Small inputs: the parallel machinery (atomics, extra passes) costs
+        // more than it saves; defer to the sequential builder.
+        if pool.threads() <= 1 || edges.len() < (1 << 15) {
+            validate_edges(node_count, edges)?;
+            return Ok(build_csr(node_count, edges));
+        }
+
+        let edge_chunks = chunk_ranges(edges.len(), pool.threads() * 4);
+
+        // Validate all chunks, reporting the first bad edge in input order.
+        let first_bad = pool
+            .map(edge_chunks.len(), |c| {
+                let range = edge_chunks[c].clone();
+                for i in range {
+                    if let Err(e) = validate_edge(node_count, edges[i]) {
+                        return Some((i, e));
+                    }
+                }
+                None
+            })
+            .into_iter()
+            .flatten()
+            .min_by_key(|&(i, _)| i);
+        if let Some((_, err)) = first_bad {
+            return Err(err);
+        }
+
+        let n = node_count;
+        // Degree counting with relaxed atomics: the sum is order-independent.
+        let degrees: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let deg_ref = &degrees;
+        pool.map(edge_chunks.len(), |c| {
+            for &(u, v) in &edges[edge_chunks[c].clone()] {
+                deg_ref[u as usize].fetch_add(1, Ordering::Relaxed);
+                deg_ref[v as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degrees[v].load(Ordering::Relaxed) as usize;
+        }
+
+        // Scatter both directions of every edge through per-node cursors.
+        let cursors: Vec<AtomicUsize> =
+            offsets[..n].iter().map(|&o| AtomicUsize::new(o)).collect();
+        let raw: Vec<AtomicU32> = (0..offsets[n]).map(|_| AtomicU32::new(0)).collect();
+        let (cur_ref, raw_ref) = (&cursors, &raw);
+        pool.map(edge_chunks.len(), |c| {
+            for &(u, v) in &edges[edge_chunks[c].clone()] {
+                let iu = cur_ref[u as usize].fetch_add(1, Ordering::Relaxed);
+                raw_ref[iu].store(v, Ordering::Relaxed);
+                let iv = cur_ref[v as usize].fetch_add(1, Ordering::Relaxed);
+                raw_ref[iv].store(u, Ordering::Relaxed);
+            }
+        });
+        let mut targets: Vec<u32> = raw.into_iter().map(AtomicU32::into_inner).collect();
+
+        // Sort + dedup each adjacency list, parallel over node ranges of
+        // near-equal adjacency mass (degree skew is severe in power-law
+        // graphs, so splitting by node count alone would imbalance badly).
+        let node_ranges = balanced_node_ranges(&offsets, pool.threads() * 4);
+        let mut slices: Vec<(Range<usize>, &mut [u32])> = Vec::with_capacity(node_ranges.len());
+        let mut rest: &mut [u32] = &mut targets;
+        let mut consumed = 0usize;
+        for r in &node_ranges {
+            let hi = offsets[r.end];
+            let (head, tail) = rest.split_at_mut(hi - consumed);
+            slices.push((r.clone(), head));
+            rest = tail;
+            consumed = hi;
+        }
+        let offsets_ref = &offsets;
+        let new_lens: Vec<Vec<u32>> = pool.map_items(slices, |_, (nodes, slice)| {
+            let base = offsets_ref[nodes.start];
+            let mut lens = Vec::with_capacity(nodes.len());
+            for v in nodes {
+                let window = &mut slice[offsets_ref[v] - base..offsets_ref[v + 1] - base];
+                window.sort_unstable();
+                let mut keep = 0usize;
+                for i in 0..window.len() {
+                    if i == 0 || window[i] != window[i - 1] {
+                        window[keep] = window[i];
+                        keep += 1;
+                    }
+                }
+                lens.push(keep as u32);
+            }
+            lens
+        });
+
+        // Compact the deduplicated lists (sequential: pure memmove).
+        let mut new_offsets = vec![0usize; n + 1];
+        let mut write = 0usize;
+        let mut lens = new_lens.into_iter().flatten();
+        for v in 0..n {
+            let lo = offsets[v];
+            let len = lens.next().expect("one length per node") as usize;
+            new_offsets[v] = write;
+            if write != lo {
+                targets.copy_within(lo..lo + len, write);
+            }
+            write += len;
+        }
+        new_offsets[n] = write;
+        targets.truncate(write);
+        Ok(Graph {
+            offsets: new_offsets,
+            targets: targets.into_iter().map(NodeId::new).collect(),
+        })
     }
 
     /// Number of nodes.
@@ -323,50 +456,106 @@ impl GraphBuilder {
 
     /// Finalizes the CSR structure. Duplicate edges are collapsed.
     pub fn build(self) -> Graph {
-        let n = self.node_count;
-        // counting sort into CSR, then sort + dedup each adjacency list
-        let mut deg = vec![0usize; n + 1];
-        for &(u, v) in &self.edges {
-            deg[u as usize + 1] += 1;
-            deg[v as usize + 1] += 1;
-        }
-        let mut offsets = deg;
-        for i in 1..=n {
-            offsets[i] += offsets[i - 1];
-        }
-        let mut targets = vec![NodeId::default(); offsets[n]];
-        let mut cursor = offsets.clone();
-        for &(u, v) in &self.edges {
-            targets[cursor[u as usize]] = NodeId::new(v);
-            cursor[u as usize] += 1;
-            targets[cursor[v as usize]] = NodeId::new(u);
-            cursor[v as usize] += 1;
-        }
-        // sort and dedup per node, compacting in place
-        let mut write = 0usize;
-        let mut new_offsets = vec![0usize; n + 1];
-        for v in 0..n {
-            let (lo, hi) = (offsets[v], offsets[v + 1]);
-            targets[lo..hi].sort_unstable();
-            let mut prev: Option<NodeId> = None;
-            let start = write;
-            for i in lo..hi {
-                let t = targets[i];
-                if prev != Some(t) {
-                    targets[write] = t;
-                    write += 1;
-                    prev = Some(t);
-                }
-            }
-            new_offsets[v] = start;
-        }
-        new_offsets[n] = write;
-        targets.truncate(write);
-        Graph {
-            offsets: new_offsets,
-            targets,
-        }
+        build_csr(self.node_count, &self.edges)
     }
+}
+
+#[inline]
+fn validate_edge(node_count: usize, (u, v): (u32, u32)) -> Result<(), GraphError> {
+    if u as usize >= node_count {
+        return Err(GraphError::NodeOutOfRange {
+            node: NodeId::new(u),
+            node_count,
+        });
+    }
+    if v as usize >= node_count {
+        return Err(GraphError::NodeOutOfRange {
+            node: NodeId::new(v),
+            node_count,
+        });
+    }
+    if u == v {
+        return Err(GraphError::SelfLoop { node: NodeId::new(u) });
+    }
+    Ok(())
+}
+
+fn validate_edges(node_count: usize, edges: &[(u32, u32)]) -> Result<(), GraphError> {
+    for &e in edges {
+        validate_edge(node_count, e)?;
+    }
+    Ok(())
+}
+
+/// The sequential CSR construction core shared by [`GraphBuilder::build`]
+/// and the small-input path of [`Graph::from_edges_parallel`]: counting
+/// sort into CSR, then sort + dedup each adjacency list. Assumes validated
+/// edges.
+fn build_csr(n: usize, edges: &[(u32, u32)]) -> Graph {
+    let mut deg = vec![0usize; n + 1];
+    for &(u, v) in edges {
+        deg[u as usize + 1] += 1;
+        deg[v as usize + 1] += 1;
+    }
+    let mut offsets = deg;
+    for i in 1..=n {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut targets = vec![NodeId::default(); offsets[n]];
+    let mut cursor = offsets.clone();
+    for &(u, v) in edges {
+        targets[cursor[u as usize]] = NodeId::new(v);
+        cursor[u as usize] += 1;
+        targets[cursor[v as usize]] = NodeId::new(u);
+        cursor[v as usize] += 1;
+    }
+    // sort and dedup per node, compacting in place
+    let mut write = 0usize;
+    let mut new_offsets = vec![0usize; n + 1];
+    for v in 0..n {
+        let (lo, hi) = (offsets[v], offsets[v + 1]);
+        targets[lo..hi].sort_unstable();
+        let mut prev: Option<NodeId> = None;
+        let start = write;
+        for i in lo..hi {
+            let t = targets[i];
+            if prev != Some(t) {
+                targets[write] = t;
+                write += 1;
+                prev = Some(t);
+            }
+        }
+        new_offsets[v] = start;
+    }
+    new_offsets[n] = write;
+    targets.truncate(write);
+    Graph {
+        offsets: new_offsets,
+        targets,
+    }
+}
+
+/// Splits `0..n` nodes into at most `parts` contiguous ranges whose total
+/// adjacency mass (by `offsets`) is near-equal, so sort/dedup workers get
+/// balanced work despite power-law degree skew.
+fn balanced_node_ranges(offsets: &[usize], parts: usize) -> Vec<Range<usize>> {
+    let n = offsets.len() - 1;
+    let total = offsets[n];
+    if n == 0 {
+        return Vec::new();
+    }
+    let target = (total / parts.max(1)).max(1);
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        let mut end = start + 1;
+        while end < n && offsets[end] - offsets[start] < target {
+            end += 1;
+        }
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
 }
 
 #[cfg(test)]
@@ -505,7 +694,62 @@ mod tests {
         assert_eq!(format!("{v}"), "v3");
     }
 
+    #[test]
+    fn parallel_build_matches_sequential_above_threshold() {
+        // deterministic pseudo-random edge list big enough to take the
+        // genuinely parallel path (>= 1 << 15 edges)
+        let n = 3_000usize;
+        let mut state = 0x9E37_79B9u64;
+        let mut step = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let edges: Vec<(u32, u32)> = (0..40_000)
+            .map(|_| {
+                let u = (step() % n as u64) as u32;
+                let v = (step() % n as u64) as u32;
+                if u == v {
+                    (u, (v + 1) % n as u32)
+                } else {
+                    (u, v)
+                }
+            })
+            .collect();
+        let sequential = Graph::from_edges(n, edges.iter().copied()).unwrap();
+        for threads in [2, 4, 7] {
+            let pool = Pool::with_threads(threads);
+            let parallel = Graph::from_edges_parallel(n, &edges, &pool).unwrap();
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_reports_first_bad_edge() {
+        let mut edges: Vec<(u32, u32)> = (0..40_000u32).map(|i| (i % 100, (i + 1) % 100)).collect();
+        edges[20_000] = (5, 5); // self-loop
+        edges[30_000] = (500, 1); // out of range (later: must not win)
+        let err = Graph::from_edges_parallel(100, &edges, &Pool::with_threads(4)).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: NodeId::new(5) });
+    }
+
     proptest! {
+        /// Parallel and sequential construction agree on arbitrary inputs
+        /// (small inputs exercise the sequential fallback; the dedicated
+        /// test above covers the scatter path).
+        #[test]
+        fn prop_parallel_build_equals_sequential(
+            edges in prop::collection::vec((0u32..40, 0u32..40), 0..150),
+            threads in 1usize..6,
+        ) {
+            let edges: Vec<(u32, u32)> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            let sequential = Graph::from_edges(40, edges.iter().copied()).unwrap();
+            let parallel =
+                Graph::from_edges_parallel(40, &edges, &Pool::with_threads(threads)).unwrap();
+            prop_assert_eq!(sequential, parallel);
+        }
+
         #[test]
         fn prop_csr_invariants(edges in prop::collection::vec((0u32..50, 0u32..50), 0..200)) {
             let edges: Vec<(u32, u32)> = edges.into_iter().filter(|(u, v)| u != v).collect();

@@ -95,6 +95,62 @@ impl ChungLu {
     }
 }
 
+/// A reusable power-law [`ChungLu`] configuration, for harnesses that drive
+/// models through [`crate::GraphModel`].
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use smallworld_models::ChungLuBuilder;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let cl = ChungLuBuilder::new(1_000).beta(2.5).wmin(1.0).sample(&mut rng)?;
+/// assert_eq!(cl.graph().node_count(), 1_000);
+/// # Ok::<(), smallworld_models::ModelError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ChungLuBuilder {
+    n: usize,
+    beta: f64,
+    wmin: f64,
+}
+
+impl ChungLuBuilder {
+    /// Starts a configuration for an `n`-vertex power-law Chung–Lu graph.
+    ///
+    /// Defaults: `β = 2.5`, `w_min = 1`.
+    pub fn new(n: usize) -> Self {
+        ChungLuBuilder {
+            n,
+            beta: 2.5,
+            wmin: 1.0,
+        }
+    }
+
+    /// Sets the power-law exponent `β`.
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Sets the minimum weight `w_min`.
+    pub fn wmin(mut self, wmin: f64) -> Self {
+        self.wmin = wmin;
+        self
+    }
+
+    /// Samples the configured graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] exactly as
+    /// [`ChungLu::power_law`] does.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<ChungLu, ModelError> {
+        ChungLu::power_law(self.n, self.beta, self.wmin, rng)
+    }
+}
+
 /// Miller–Hagberg sampling: vertices sorted by decreasing weight; for each
 /// `u`, candidate partners are visited with geometric jumps under the
 /// current probability bound and thinned to the exact probability.

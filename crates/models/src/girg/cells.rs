@@ -26,16 +26,29 @@
 //! does); correctness *does* depend on `upper_bound` dominating the
 //! probability on each box, which the kernel tests verify.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use smallworld_geometry::{morton, Grid, MortonCell, Point};
+use smallworld_par::Pool;
 
 use crate::kernel::ConnectionKernel;
 
 /// Hard cap on the grid depth so `cells_per_side` fits in `u32`.
 const MAX_DEPTH: u32 = 31;
 
+/// Target cell count of the parallel task decomposition: the recursion is
+/// split at the level with about this many cells per axis^D, giving a few
+/// hundred independent tasks regardless of the machine — the decomposition
+/// must NOT depend on the thread count, or per-task seeds (and therefore
+/// the sampled edges) would differ between pool sizes.
+const SPLIT_TARGET_CELLS_LOG2: u32 = 6;
+
 /// Samples the edge set in expected linear time. See the module docs.
+///
+/// Internally draws one master seed from `rng` and runs the deterministic
+/// parallel engine with the ambient pool (`SMALLWORLD_THREADS`); see
+/// [`sample_edges_pooled`] for the thread-count-invariance contract.
 pub fn sample_edges<const D: usize, K, R>(
     positions: &[Point<D>],
     weights: &[f64],
@@ -43,17 +56,62 @@ pub fn sample_edges<const D: usize, K, R>(
     rng: &mut R,
 ) -> Vec<(u32, u32)>
 where
-    K: ConnectionKernel,
+    K: ConnectionKernel + Sync,
     R: Rng + ?Sized,
+{
+    sample_edges_pooled(positions, weights, kernel, rng.next_u64(), &Pool::from_env())
+}
+
+/// Samples the edge set with an explicit master seed and thread pool.
+///
+/// The recursion over cell pairs is decomposed into an ordered task list
+/// whose shape depends only on the input; task `i` samples with its own
+/// RNG seeded by `split_seed(master_seed, i)` and results are concatenated
+/// in task order. The returned edge list is therefore **bitwise-identical
+/// for any pool size**, including a single thread.
+pub fn sample_edges_pooled<const D: usize, K>(
+    positions: &[Point<D>],
+    weights: &[f64],
+    kernel: &K,
+    master_seed: u64,
+    pool: &Pool,
+) -> Vec<(u32, u32)>
+where
+    K: ConnectionKernel + Sync,
 {
     let n = positions.len();
     if n < 2 {
         return Vec::new();
     }
     let sampler = CellSampler::new(positions, weights, kernel);
-    let mut edges = Vec::new();
-    sampler.process_pair(MortonCell::root(), MortonCell::root(), rng, &mut edges);
-    edges
+    let split_level = sampler.split_level();
+    let mut tasks = Vec::new();
+    sampler.collect_tasks(MortonCell::root(), MortonCell::root(), split_level, &mut tasks);
+    let per_task = pool.map_seeded(tasks.len(), master_seed, |i, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        sampler.run_task(&tasks[i], &mut rng, &mut edges);
+        edges
+    });
+    per_task.concat()
+}
+
+/// One unit of parallel sampling work over a cell pair.
+#[derive(Clone, Copy, Debug)]
+struct Task {
+    a: MortonCell,
+    b: MortonCell,
+    kind: TaskKind,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum TaskKind {
+    /// Run the full recursion rooted at `(a, b)` (type I + type II + all
+    /// descendants).
+    Full,
+    /// Run only the type-I comparisons of `(a, b)` at its own level; the
+    /// descendants were split into separate tasks.
+    Local,
 }
 
 /// One weight layer: vertex ids sorted by max-level Morton code.
@@ -178,6 +236,74 @@ impl<'a, const D: usize, K: ConnectionKernel> CellSampler<'a, D, K> {
         let range = cell.descendant_range::<D>(self.max_level);
         let lo = self.all_codes.partition_point(|&c| c < range.start);
         lo < self.all_codes.len() && self.all_codes[lo] < range.end
+    }
+
+    /// The grid level at which the recursion is cut into parallel tasks:
+    /// about `2^SPLIT_TARGET_CELLS_LOG2` cells total, independent of the
+    /// machine (see [`SPLIT_TARGET_CELLS_LOG2`]).
+    fn split_level(&self) -> u32 {
+        SPLIT_TARGET_CELLS_LOG2.div_ceil(D as u32).min(self.max_level)
+    }
+
+    /// Decomposes the recursion rooted at `(a, b)` into an ordered task
+    /// list. The decomposition mirrors [`CellSampler::process_pair`]: a
+    /// non-adjacent pair is one self-contained type-II task; an adjacent
+    /// pair above the split level contributes a [`TaskKind::Local`] task
+    /// for its own type-I comparisons and recurses into its children; at
+    /// (or below) the split level the whole subtree becomes one
+    /// [`TaskKind::Full`] task.
+    fn collect_tasks(
+        &self,
+        a: MortonCell,
+        b: MortonCell,
+        split_level: u32,
+        out: &mut Vec<Task>,
+    ) {
+        if !self.cell_occupied(&a) || (a != b && !self.cell_occupied(&b)) {
+            return;
+        }
+        let level = a.level();
+        if !a.is_adjacent::<D>(&b) {
+            if !self.pairs_from_level[level as usize].is_empty() {
+                out.push(Task { a, b, kind: TaskKind::Full });
+            }
+            return;
+        }
+        let deeper =
+            level < self.max_level && !self.pairs_from_level[level as usize + 1].is_empty();
+        if level >= split_level || !deeper {
+            out.push(Task { a, b, kind: TaskKind::Full });
+            return;
+        }
+        if !self.pairs_at_level[level as usize].is_empty() {
+            out.push(Task { a, b, kind: TaskKind::Local });
+        }
+        if a == b {
+            let children: Vec<MortonCell> = a.children::<D>().collect();
+            for (ci, &ca) in children.iter().enumerate() {
+                for &cb in &children[ci..] {
+                    self.collect_tasks(ca, cb, split_level, out);
+                }
+            }
+        } else {
+            for ca in a.children::<D>() {
+                for cb in b.children::<D>() {
+                    self.collect_tasks(ca, cb, split_level, out);
+                }
+            }
+        }
+    }
+
+    /// Runs one task of the parallel decomposition.
+    fn run_task<R: Rng + ?Sized>(&self, task: &Task, rng: &mut R, edges: &mut Vec<(u32, u32)>) {
+        match task.kind {
+            TaskKind::Full => self.process_pair(task.a, task.b, rng, edges),
+            TaskKind::Local => {
+                for &(i, j) in &self.pairs_at_level[task.a.level() as usize] {
+                    self.type_one(task.a, task.b, i, j, rng, edges);
+                }
+            }
+        }
     }
 
     /// Recursion over unordered cell pairs (including `a == b`).
@@ -600,6 +726,49 @@ mod tests {
             let set = edge_set(&edges);
             proptest::prop_assert_eq!(set.len(), edges.len());
             proptest::prop_assert!(edges.iter().all(|&(u, v)| u < v && (v as usize) < 150));
+        }
+    }
+
+    /// Bitwise thread-count invariance: same master seed, any pool size →
+    /// byte-for-byte identical edge lists (not just equal sets).
+    #[test]
+    fn parallel_sampling_is_bitwise_identical_across_thread_counts() {
+        let k1 = GirgKernel::new(Alpha::Finite(1.8), 0.8, 1.0, 700.0, 1).unwrap();
+        let k2 = GirgKernel::new(Alpha::Finite(2.0), 1.0, 1.0, 700.0, 2).unwrap();
+        let k3 = GirgKernel::new(Alpha::Threshold, 1.2, 1.0, 700.0, 3).unwrap();
+        let (p1, w1) = random_instance::<1>(700, 2.4, 1);
+        let (p2, w2) = random_instance::<2>(700, 2.5, 2);
+        let (p3, w3) = random_instance::<3>(700, 2.7, 3);
+        for master in [0u64, 42, u64::MAX] {
+            let base1 = sample_edges_pooled(&p1, &w1, &k1, master, &Pool::with_threads(1));
+            let base2 = sample_edges_pooled(&p2, &w2, &k2, master, &Pool::with_threads(1));
+            let base3 = sample_edges_pooled(&p3, &w3, &k3, master, &Pool::with_threads(1));
+            for threads in [2, 3, 8] {
+                let pool = Pool::with_threads(threads);
+                assert_eq!(base1, sample_edges_pooled(&p1, &w1, &k1, master, &pool));
+                assert_eq!(base2, sample_edges_pooled(&p2, &w2, &k2, master, &pool));
+                assert_eq!(base3, sample_edges_pooled(&p3, &w3, &k3, master, &pool));
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        /// Parallel edge sampling equals its own sequential (1-thread)
+        /// execution bitwise, for arbitrary seeds, sizes, and kernels.
+        #[test]
+        fn prop_parallel_bitwise_identical_to_sequential(
+            seed in 0u64..10_000,
+            master in 0u64..u64::MAX,
+            alpha in 1.1..5.0f64,
+            n in 50usize..400,
+            threads in 2usize..7,
+        ) {
+            let (pos, w) = random_instance::<2>(n, 2.5, seed);
+            let k = GirgKernel::new(Alpha::Finite(alpha), 0.5, 1.0, n as f64, 2).unwrap();
+            let sequential = sample_edges_pooled(&pos, &w, &k, master, &Pool::with_threads(1));
+            let parallel = sample_edges_pooled(&pos, &w, &k, master, &Pool::with_threads(threads));
+            proptest::prop_assert_eq!(sequential, parallel);
         }
     }
 

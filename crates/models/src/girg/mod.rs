@@ -323,8 +323,10 @@ impl<const D: usize> GirgBuilder<D> {
             weights.push(weights_dist.sample(rng));
         }
 
+        let pool = smallworld_par::Pool::from_env();
         let edges = sample_edges(&positions, &weights, &kernel, self.algorithm, rng);
-        let graph = Graph::from_edges(total, edges).expect("sampler produces valid simple edges");
+        let graph = Graph::from_edges_parallel(total, &edges, &pool)
+            .expect("sampler produces valid simple edges");
 
         Ok(Girg {
             graph,
@@ -356,7 +358,7 @@ pub fn sample_edges<const D: usize, K, R>(
     rng: &mut R,
 ) -> Vec<(u32, u32)>
 where
-    K: ConnectionKernel,
+    K: ConnectionKernel + Sync,
     R: Rng + ?Sized,
 {
     assert_eq!(
@@ -364,15 +366,49 @@ where
         weights.len(),
         "positions and weights must have equal length"
     );
-    let use_cells = match algorithm {
-        SamplerAlgorithm::Naive => false,
-        SamplerAlgorithm::CellBased => true,
-        SamplerAlgorithm::Auto => positions.len() >= 3_000,
-    };
-    if use_cells {
+    if use_cells(algorithm, positions.len()) {
         cells::sample_edges(positions, weights, kernel, rng)
     } else {
         naive::sample_edges(positions, weights, kernel, rng)
+    }
+}
+
+/// Like [`sample_edges`], but with an explicit master seed and thread pool
+/// instead of an ambient RNG.
+///
+/// For the cell-based sampler the output is **bitwise-identical for any
+/// pool size** (per-cell-pair seed-splitting; see `crates/par`); the naive
+/// sampler is sequential and simply seeds its RNG from `master_seed`.
+pub fn sample_edges_pooled<const D: usize, K>(
+    positions: &[Point<D>],
+    weights: &[f64],
+    kernel: &K,
+    algorithm: SamplerAlgorithm,
+    master_seed: u64,
+    pool: &smallworld_par::Pool,
+) -> Vec<(u32, u32)>
+where
+    K: ConnectionKernel + Sync,
+{
+    assert_eq!(
+        positions.len(),
+        weights.len(),
+        "positions and weights must have equal length"
+    );
+    if use_cells(algorithm, positions.len()) {
+        cells::sample_edges_pooled(positions, weights, kernel, master_seed, pool)
+    } else {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(master_seed);
+        naive::sample_edges(positions, weights, kernel, &mut rng)
+    }
+}
+
+fn use_cells(algorithm: SamplerAlgorithm, n: usize) -> bool {
+    match algorithm {
+        SamplerAlgorithm::Naive => false,
+        SamplerAlgorithm::CellBased => true,
+        SamplerAlgorithm::Auto => n >= 3_000,
     }
 }
 

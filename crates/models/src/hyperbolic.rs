@@ -269,7 +269,9 @@ impl HrgBuilder {
         let weights: Vec<f64> = radii.iter().map(|&r| nf * (-r / 2.0).exp()).collect();
         let kernel = HyperbolicKernel::new(params);
         let edges = sample_edges(&positions, &weights, &kernel, self.algorithm, rng);
-        let graph = Graph::from_edges(self.n, edges).expect("sampler produces valid simple edges");
+        let graph =
+            Graph::from_edges_parallel(self.n, &edges, &smallworld_par::Pool::from_env())
+                .expect("sampler produces valid simple edges");
 
         Ok(Hrg {
             graph,

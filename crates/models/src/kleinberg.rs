@@ -183,6 +183,66 @@ impl KleinbergLattice {
     }
 }
 
+/// A reusable [`KleinbergLattice`] configuration, for harnesses that drive
+/// models through [`crate::GraphModel`].
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use smallworld_models::KleinbergLatticeBuilder;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let kl = KleinbergLatticeBuilder::new(20)
+///     .exponent(2.0)
+///     .contacts_per_node(1)
+///     .sample(&mut rng)?;
+/// assert_eq!(kl.graph().node_count(), 400);
+/// # Ok::<(), smallworld_models::ModelError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct KleinbergLatticeBuilder {
+    side: u32,
+    exponent: f64,
+    contacts_per_node: usize,
+}
+
+impl KleinbergLatticeBuilder {
+    /// Starts a configuration for a `side × side` lattice.
+    ///
+    /// Defaults: exponent `r = 2` (Kleinberg's navigable point) and one
+    /// long-range contact per node.
+    pub fn new(side: u32) -> Self {
+        KleinbergLatticeBuilder {
+            side,
+            exponent: 2.0,
+            contacts_per_node: 1,
+        }
+    }
+
+    /// Sets the long-range exponent `r`.
+    pub fn exponent(mut self, exponent: f64) -> Self {
+        self.exponent = exponent;
+        self
+    }
+
+    /// Sets the number of long-range contacts per node `q`.
+    pub fn contacts_per_node(mut self, q: usize) -> Self {
+        self.contacts_per_node = q;
+        self
+    }
+
+    /// Samples the configured lattice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] exactly as
+    /// [`KleinbergLattice::sample`] does.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<KleinbergLattice, ModelError> {
+        KleinbergLattice::sample(self.side, self.exponent, self.contacts_per_node, rng)
+    }
+}
+
 /// Circular axis distance on `Z_m`.
 fn circ(a: u32, b: u32, m: u32) -> u32 {
     let d = a.abs_diff(b);

@@ -13,6 +13,8 @@
 //!   continuum variant from §1.1,
 //! * [`chung_lu`] — the non-geometric Chung–Lu baseline the GIRG marginals
 //!   reduce to (Lemma 7.1),
+//! * [`model`] — the [`GraphModel`] trait unifying every generator behind
+//!   one seed-in/`Result`-out sampling signature,
 //! * [`weights`] — power-law weight distributions,
 //! * [`poisson`] — exact Poisson sampling for the vertex point process,
 //! * [`kernel`] — the connection-probability abstraction shared by samplers,
@@ -39,13 +41,16 @@ pub mod hyperbolic;
 pub mod io;
 pub mod kernel;
 pub mod kleinberg;
+pub mod model;
 pub mod poisson;
 pub mod weights;
 
+pub use chung_lu::{ChungLu, ChungLuBuilder};
 pub use girg::{Girg, GirgBuilder};
 pub use hyperbolic::{Hrg, HrgBuilder};
 pub use kernel::{Alpha, ConnectionKernel, GirgKernel};
-pub use kleinberg::{ContinuumKleinberg, KleinbergLattice};
+pub use kleinberg::{ContinuumKleinberg, KleinbergLattice, KleinbergLatticeBuilder};
+pub use model::{GraphInstance, GraphModel};
 pub use weights::PowerLaw;
 
 use std::error::Error;

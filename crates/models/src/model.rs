@@ -1,0 +1,199 @@
+//! The model abstraction: one trait for every generator in this crate.
+//!
+//! Each model historically exposed its own ad-hoc sampling entry point —
+//! builder methods on [`GirgBuilder`]/[`HrgBuilder`], associated functions
+//! on [`KleinbergLattice`] and [`ChungLu`]. [`GraphModel`] unifies them
+//! behind a single shape: a configured model turns a master seed into a
+//! sampled instance (`Result` out), and every instance exposes its graph
+//! through [`GraphInstance`]. Harnesses and generator binaries can therefore
+//! drive any model generically, and the seed-in signature keeps replication
+//! trivial: the same configuration and seed reproduce the same graph
+//! bit-for-bit regardless of the caller's RNG state.
+//!
+//! # Examples
+//!
+//! ```
+//! use smallworld_models::girg::GirgBuilder;
+//! use smallworld_models::{GraphInstance, GraphModel, KleinbergLatticeBuilder};
+//!
+//! fn average_degree<M: GraphModel>(model: &M, seed: u64) -> f64 {
+//!     let instance = model.sample_seeded(seed).expect("valid parameters");
+//!     instance.graph().average_degree()
+//! }
+//!
+//! let girg = GirgBuilder::<2>::new(1_000).beta(2.5);
+//! let lattice = KleinbergLatticeBuilder::new(20).contacts_per_node(1);
+//! assert!(average_degree(&girg, 7) > 0.0);
+//! assert!(average_degree(&lattice, 7) >= 4.0);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use smallworld_graph::Graph;
+
+use crate::chung_lu::{ChungLu, ChungLuBuilder};
+use crate::girg::{Girg, GirgBuilder};
+use crate::hyperbolic::{Hrg, HrgBuilder};
+use crate::kleinberg::{ContinuumKleinberg, KleinbergLattice, KleinbergLatticeBuilder};
+use crate::ModelError;
+
+/// A sampled model instance that carries an underlying graph.
+pub trait GraphInstance {
+    /// The sampled graph.
+    fn graph(&self) -> &Graph;
+}
+
+/// A configured random-graph model: seed in, sampled instance out.
+///
+/// Implementors are *configurations* (builders), not instances — calling
+/// [`GraphModel::sample_seeded`] twice with the same seed produces identical
+/// graphs, and different seeds produce independent samples.
+pub trait GraphModel {
+    /// The sampled instance type.
+    type Instance: GraphInstance;
+
+    /// A short identifier for tables and logs (e.g. `"girg"`).
+    fn name(&self) -> &'static str;
+
+    /// Samples one instance from a master seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if the configuration is
+    /// invalid for this model.
+    fn sample_seeded(&self, seed: u64) -> Result<Self::Instance, ModelError>;
+}
+
+impl<const D: usize> GraphInstance for Girg<D> {
+    fn graph(&self) -> &Graph {
+        Girg::graph(self)
+    }
+}
+
+impl GraphInstance for Hrg {
+    fn graph(&self) -> &Graph {
+        Hrg::graph(self)
+    }
+}
+
+impl GraphInstance for KleinbergLattice {
+    fn graph(&self) -> &Graph {
+        KleinbergLattice::graph(self)
+    }
+}
+
+impl GraphInstance for ContinuumKleinberg {
+    fn graph(&self) -> &Graph {
+        ContinuumKleinberg::graph(self)
+    }
+}
+
+impl GraphInstance for ChungLu {
+    fn graph(&self) -> &Graph {
+        ChungLu::graph(self)
+    }
+}
+
+impl<const D: usize> GraphModel for GirgBuilder<D> {
+    type Instance = Girg<D>;
+
+    fn name(&self) -> &'static str {
+        "girg"
+    }
+
+    fn sample_seeded(&self, seed: u64) -> Result<Girg<D>, ModelError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.sample(&mut rng)
+    }
+}
+
+impl GraphModel for HrgBuilder {
+    type Instance = Hrg;
+
+    fn name(&self) -> &'static str {
+        "hrg"
+    }
+
+    fn sample_seeded(&self, seed: u64) -> Result<Hrg, ModelError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.sample(&mut rng)
+    }
+}
+
+impl GraphModel for KleinbergLatticeBuilder {
+    type Instance = KleinbergLattice;
+
+    fn name(&self) -> &'static str {
+        "kleinberg-lattice"
+    }
+
+    fn sample_seeded(&self, seed: u64) -> Result<KleinbergLattice, ModelError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.sample(&mut rng)
+    }
+}
+
+impl GraphModel for ChungLuBuilder {
+    type Instance = ChungLu;
+
+    fn name(&self) -> &'static str {
+        "chung-lu"
+    }
+
+    fn sample_seeded(&self, seed: u64) -> Result<ChungLu, ModelError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.sample(&mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sampling through the trait is deterministic in the seed.
+    fn assert_seed_determinism<M: GraphModel>(model: &M) {
+        let a = model.sample_seeded(11).expect("valid config");
+        let b = model.sample_seeded(11).expect("valid config");
+        let c = model.sample_seeded(12).expect("valid config");
+        assert_eq!(a.graph().node_count(), b.graph().node_count(), "{}", model.name());
+        assert_eq!(a.graph().edge_count(), b.graph().edge_count(), "{}", model.name());
+        let edges_a: Vec<_> = a.graph().edges().collect();
+        let edges_b: Vec<_> = b.graph().edges().collect();
+        assert_eq!(edges_a, edges_b, "{}", model.name());
+        // different seeds should (overwhelmingly) differ somewhere
+        let edges_c: Vec<_> = c.graph().edges().collect();
+        assert!(
+            edges_a != edges_c || a.graph().node_count() != c.graph().node_count(),
+            "{}: seeds 11 and 12 coincide",
+            model.name()
+        );
+    }
+
+    #[test]
+    fn all_models_are_seed_deterministic() {
+        assert_seed_determinism(&GirgBuilder::<2>::new(800).beta(2.5).alpha(2.0));
+        assert_seed_determinism(&HrgBuilder::new(800));
+        assert_seed_determinism(&KleinbergLatticeBuilder::new(16).contacts_per_node(1));
+        assert_seed_determinism(&ChungLuBuilder::new(800).beta(2.5));
+    }
+
+    #[test]
+    fn model_names_are_distinct() {
+        let names = [
+            GirgBuilder::<2>::new(10).name(),
+            HrgBuilder::new(10).name(),
+            KleinbergLatticeBuilder::new(4).name(),
+            ChungLuBuilder::new(10).name(),
+        ];
+        let set: std::collections::BTreeSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn invalid_configurations_error_through_the_trait() {
+        assert!(GirgBuilder::<2>::new(100).beta(1.0).sample_seeded(1).is_err());
+        assert!(KleinbergLatticeBuilder::new(2).sample_seeded(1).is_err());
+        assert!(ChungLuBuilder::new(0).sample_seeded(1).is_err());
+    }
+}

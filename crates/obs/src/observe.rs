@@ -181,7 +181,7 @@ mod tests {
     fn counting_observer_sees_greedy_hops() {
         let g = Graph::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3)]).unwrap();
         let mut obs = CountingObserver::new();
-        let r = GreedyRouter::new().route_observed(
+        let r = GreedyRouter::new().route(
             &g,
             &ById,
             NodeId::new(0),
@@ -202,7 +202,7 @@ mod tests {
         // neighbor 1 is worse -> dead end at 3 after one hop
         let g = Graph::from_edges(5, [(0u32, 3u32), (3, 1)]).unwrap();
         let mut obs = CountingObserver::new();
-        let r = GreedyRouter::new().route_observed(
+        let r = GreedyRouter::new().route(
             &g,
             &ById,
             NodeId::new(0),
@@ -222,7 +222,7 @@ mod tests {
         let g =
             Graph::from_edges(8, [(0u32, 6u32), (6, 1), (1, 2), (6, 3), (3, 4), (4, 7)]).unwrap();
         let mut obs = CountingObserver::new();
-        let r = PhiDfsRouter::new().route_observed(
+        let r = PhiDfsRouter::new().route(
             &g,
             &ById,
             NodeId::new(0),
@@ -241,7 +241,7 @@ mod tests {
         let before = registry.snapshot();
         let g = Graph::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3)]).unwrap();
         let mut obs = MetricsRouteObserver::new();
-        let r = GreedyRouter::new().route_observed(
+        let r = GreedyRouter::new().route(
             &g,
             &ById,
             NodeId::new(0),

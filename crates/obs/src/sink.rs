@@ -92,11 +92,16 @@ impl JsonlSink {
 }
 
 /// A `meta` record: emitted once, first, by each binary.
-pub fn meta_record(binary: &str, scale: &str) -> JsonValue {
+///
+/// `threads` records the worker count the run was configured with
+/// (`SMALLWORLD_THREADS` or the detected parallelism), so artifacts from
+/// differently-parallel runs can be told apart when diffing result tables.
+pub fn meta_record(binary: &str, scale: &str, threads: u64) -> JsonValue {
     JsonValue::object([
         ("type", JsonValue::from("meta")),
         ("binary", JsonValue::from(binary)),
         ("scale", JsonValue::from(scale)),
+        ("threads", JsonValue::from(threads)),
     ])
 }
 
@@ -235,7 +240,7 @@ mod tests {
         let sink = JsonlSink::create(&path).unwrap();
         let mut table = Table::new(["n", "val\"ue"]).title("T1");
         table.row(["1", "a\nb"]);
-        sink.write(&meta_record("test", "quick")).unwrap();
+        sink.write(&meta_record("test", "quick", 4)).unwrap();
         sink.write(&table_record("S", &table)).unwrap();
         sink.write(&summary_record(1.5, Some(1024), &MetricsSnapshot::default()))
             .unwrap();

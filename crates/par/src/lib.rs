@@ -1,0 +1,338 @@
+//! Deterministic parallel execution engine (std-only).
+//!
+//! Every parallel computation in the workspace follows one discipline:
+//!
+//! 1. Work is decomposed into an **ordered task list** whose shape depends
+//!    only on the input, never on the number of worker threads.
+//! 2. Each task derives its own RNG seed from a master seed via
+//!    [`split_seed`] (SplitMix64), so no task observes another task's
+//!    random stream.
+//! 3. Results are collected **in task order**, regardless of which worker
+//!    ran which task.
+//!
+//! Together these make every parallel result bitwise-identical across any
+//! thread count — including a single thread — so `SMALLWORLD_THREADS=1`
+//! reproduces exactly what a 64-core run produces, only slower.
+//!
+//! The pool uses `std::thread::scope`, so tasks may borrow from the caller's
+//! stack. Threads are spawned per [`Pool::map`] call; spawning is a few
+//! microseconds per thread, negligible against the multi-millisecond tasks
+//! (cell-pair sampling, Monte-Carlo routing batches) this engine exists for.
+//!
+//! Thread count resolution: [`Pool::from_env`] honors the
+//! `SMALLWORLD_THREADS` environment variable and falls back to
+//! `std::thread::available_parallelism`.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// SplitMix64: derives independent per-task seeds from a master seed.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_par::split_seed;
+///
+/// let a = split_seed(42, 0);
+/// let b = split_seed(42, 1);
+/// assert_ne!(a, b);
+/// assert_eq!(a, split_seed(42, 0)); // deterministic
+/// ```
+pub fn split_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Parses a `SMALLWORLD_THREADS` value: a positive integer, or `None` for
+/// anything unusable (empty, zero, junk) — callers fall back to the
+/// hardware parallelism.
+pub fn parse_threads(value: Option<&str>) -> Option<usize> {
+    value.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n > 0)
+}
+
+/// Number of worker threads the engine will use: `SMALLWORLD_THREADS` when
+/// set to a positive integer, otherwise `available_parallelism` (or 1 when
+/// even that is unknown).
+pub fn thread_count() -> usize {
+    parse_threads(std::env::var("SMALLWORLD_THREADS").ok().as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Splits `0..len` into at most `parts` contiguous ranges of near-equal
+/// length (the first `len % parts` ranges are one longer). Empty ranges are
+/// never returned.
+pub fn chunk_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(len.max(1));
+    if len == 0 {
+        return Vec::new();
+    }
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        if size == 0 {
+            break;
+        }
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// A scoped-thread work pool with a fixed thread count.
+///
+/// The pool is a *policy* object — it holds no threads between calls; each
+/// [`Pool::map`] spins up scoped workers that share an atomic task cursor
+/// (natural work stealing for uneven task sizes) and tear down before the
+/// call returns. Results always come back in task order.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool sized by `SMALLWORLD_THREADS` / `available_parallelism`.
+    pub fn from_env() -> Pool {
+        Pool::with_threads(thread_count())
+    }
+
+    /// A pool with an explicit thread count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `tasks` jobs, each receiving its index, and collects the
+    /// results in task order. With one thread (or one task) everything runs
+    /// inline on the caller's thread — no spawn, no synchronization — so
+    /// `SMALLWORLD_THREADS=1` is a true sequential execution.
+    pub fn map<T, F>(&self, tasks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let threads = self.threads.min(tasks);
+        if threads <= 1 {
+            return (0..tasks).map(f).collect();
+        }
+        let mut results: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                handles.push(scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                }));
+            }
+            for handle in handles {
+                for (i, value) in handle.join().expect("pool worker panicked") {
+                    results[i] = Some(value);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("all tasks completed"))
+            .collect()
+    }
+
+    /// Like [`Pool::map`], but each task also receives a seed derived from
+    /// `master_seed` via [`split_seed`]. The seed for task `i` depends only
+    /// on `(master_seed, i)`, never on the thread count, so results are
+    /// reproducible across any pool size.
+    pub fn map_seeded<T, F>(&self, tasks: usize, master_seed: u64, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, u64) -> T + Sync,
+    {
+        self.map(tasks, |i| f(i, split_seed(master_seed, i as u64)))
+    }
+
+    /// Consumes a list of owned work items and maps each through `f`,
+    /// returning results in item order. Useful when tasks carry non-`Sync`
+    /// payloads (e.g. disjoint `&mut` sub-slices produced by
+    /// `split_at_mut`).
+    pub fn map_items<S, T, F>(&self, items: Vec<S>, f: F) -> Vec<T>
+    where
+        S: Send,
+        T: Send,
+        F: Fn(usize, S) -> T + Sync,
+    {
+        let tasks = items.len();
+        let threads = self.threads.min(tasks);
+        if threads <= 1 {
+            return items.into_iter().enumerate().map(|(i, s)| f(i, s)).collect();
+        }
+        let slots: Vec<Mutex<Option<S>>> = items.into_iter().map(|s| Mutex::new(Some(s))).collect();
+        let mut results: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        let slots = &slots;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                handles.push(scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks {
+                            break;
+                        }
+                        let item = slots[i]
+                            .lock()
+                            .expect("item slot poisoned")
+                            .take()
+                            .expect("each item is taken exactly once");
+                        out.push((i, f(i, item)));
+                    }
+                    out
+                }));
+            }
+            for handle in handles {
+                for (i, value) in handle.join().expect("pool worker panicked") {
+                    results[i] = Some(value);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("all tasks completed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_seed_is_deterministic_and_spread() {
+        let seeds: Vec<u64> = (0..100).map(|i| split_seed(7, i)).collect();
+        let unique: std::collections::BTreeSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), 100);
+        assert_eq!(seeds[3], split_seed(7, 3));
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 16 ")), Some(16));
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("-2")), None);
+        assert_eq!(parse_threads(Some("many")), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(None), None);
+    }
+
+    #[test]
+    fn map_orders_results_across_pool_sizes() {
+        for threads in [1, 2, 3, 8, 64] {
+            let out = Pool::with_threads(threads).map(50, |i| i * i);
+            assert_eq!(out, (0..50).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_zero_and_one_tasks() {
+        let pool = Pool::with_threads(8);
+        assert!(pool.map(0, |i| i).is_empty());
+        assert_eq!(pool.map(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn map_seeded_is_thread_count_invariant() {
+        let sequential = Pool::with_threads(1).map_seeded(40, 99, |i, s| (i, s));
+        for threads in [2, 5, 16] {
+            let parallel = Pool::with_threads(threads).map_seeded(40, 99, |i, s| (i, s));
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
+        for (i, &(idx, seed)) in sequential.iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(seed, split_seed(99, i as u64));
+        }
+    }
+
+    #[test]
+    fn map_items_moves_each_item_once() {
+        let items: Vec<Vec<usize>> = (0..20).map(|i| vec![i; 3]).collect();
+        let out = Pool::with_threads(4).map_items(items, |i, v| {
+            assert_eq!(v, vec![i; 3]);
+            v.into_iter().sum::<usize>()
+        });
+        assert_eq!(out, (0..20).map(|i| 3 * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_items_handles_mut_slices() {
+        let mut data: Vec<u64> = (0..100).collect();
+        let mut rest: &mut [u64] = &mut data;
+        let mut parts: Vec<&mut [u64]> = Vec::new();
+        while !rest.is_empty() {
+            let take = rest.len().min(17);
+            let (head, tail) = rest.split_at_mut(take);
+            parts.push(head);
+            rest = tail;
+        }
+        Pool::with_threads(4).map_items(parts, |_, part| {
+            for x in part.iter_mut() {
+                *x *= 2;
+            }
+        });
+        assert_eq!(data, (0..100).map(|i| 2 * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for (len, parts) in [(0usize, 4usize), (1, 4), (10, 3), (10, 10), (10, 25), (7, 1)] {
+            let ranges = chunk_ranges(len, parts);
+            let mut covered = 0;
+            for (k, r) in ranges.iter().enumerate() {
+                assert_eq!(r.start, covered, "len={len} parts={parts}");
+                assert!(!r.is_empty());
+                if k > 0 {
+                    assert!(r.len() <= ranges[k - 1].len());
+                }
+                covered = r.end;
+            }
+            assert_eq!(covered, len, "len={len} parts={parts}");
+            assert!(ranges.len() <= parts.max(1));
+        }
+    }
+
+    #[test]
+    fn uneven_tasks_all_complete() {
+        // tasks with wildly different costs still all run and order correctly
+        let out = Pool::with_threads(4).map(32, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+}

@@ -13,7 +13,7 @@
 
 use rand::SeedableRng;
 use smallworld::analysis::{Proportion, Summary};
-use smallworld::core::{greedy_route, stretch, HyperbolicObjective};
+use smallworld::core::{stretch, GreedyRouter, HyperbolicObjective, Router};
 use smallworld::graph::Components;
 use smallworld::models::HrgBuilder;
 
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if s == t || !components.same_component(s, t) {
             continue;
         }
-        let record = greedy_route(hrg.graph(), &objective, s, t);
+        let record = GreedyRouter::new().route_quiet(hrg.graph(), &objective, s, t);
         success.push(record.is_success());
         if record.is_success() {
             hops.push(record.hops() as f64);

@@ -14,7 +14,7 @@
 use rand::SeedableRng;
 use smallworld::analysis::{Proportion, Summary};
 use smallworld::core::{
-    greedy_route, DistanceObjective, GirgObjective, KleinbergObjective, Objective,
+    DistanceObjective, GirgObjective, GreedyRouter, KleinbergObjective, Objective, Router,
 };
 use smallworld::graph::{Components, Graph, NodeId};
 use smallworld::models::girg::GirgBuilder;
@@ -36,7 +36,7 @@ fn measure<O: Objective>(
         if s == t || !components.same_component(s, t) {
             continue;
         }
-        let record = greedy_route(graph, objective, s, t);
+        let record = GreedyRouter::new().route_quiet(graph, objective, s, t);
         success.push(record.is_success());
         if record.is_success() {
             hops.push(record.hops() as f64);

@@ -11,7 +11,7 @@
 
 use rand::SeedableRng;
 use smallworld::analysis::Summary;
-use smallworld::core::{greedy_route, GirgObjective, PhiDfsRouter, Router};
+use smallworld::core::{GirgObjective, GreedyRouter, PhiDfsRouter, Router};
 use smallworld::graph::Components;
 use smallworld::models::girg::GirgBuilder;
 
@@ -42,13 +42,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             continue;
         }
         reachable += 1;
-        let record = greedy_route(girg.graph(), &objective, s, t);
+        let record = GreedyRouter::new().route_quiet(girg.graph(), &objective, s, t);
         if record.is_success() {
             arrived += 1;
             chain.push(record.hops() as f64);
         } else {
             // the paper's patching: a lost letter backtracks (Algorithm 2)
-            let patched = rescue.route(girg.graph(), &objective, s, t);
+            let patched = rescue.route_quiet(girg.graph(), &objective, s, t);
             assert!(patched.is_success(), "Theorem 3.4: rescue always succeeds");
             rescued_chain.push(patched.hops() as f64);
         }

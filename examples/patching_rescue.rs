@@ -10,7 +10,7 @@
 
 use rand::SeedableRng;
 use smallworld::core::{
-    greedy_route, GirgObjective, GravityPressureRouter, HistoryRouter, PhiDfsRouter, RouteRecord,
+    GirgObjective, GravityPressureRouter, GreedyRouter, HistoryRouter, PhiDfsRouter, RouteRecord,
     Router,
 };
 use smallworld::graph::Components;
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if s == t || !components.same_component(s, t) {
             continue;
         }
-        let record = greedy_route(girg.graph(), &objective, s, t);
+        let record = GreedyRouter::new().route_quiet(girg.graph(), &objective, s, t);
         if !record.is_success() {
             break (s, t, record);
         }
@@ -64,11 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for record in [
-        ("phi-dfs (Alg. 2)", PhiDfsRouter::new().route(girg.graph(), &objective, s, t)),
-        ("history", HistoryRouter::new().route(girg.graph(), &objective, s, t)),
+        ("phi-dfs (Alg. 2)", PhiDfsRouter::new().route_quiet(girg.graph(), &objective, s, t)),
+        ("history", HistoryRouter::new().route_quiet(girg.graph(), &objective, s, t)),
         (
             "gravity-pressure",
-            GravityPressureRouter::new().route(girg.graph(), &objective, s, t),
+            GravityPressureRouter::new().route_quiet(girg.graph(), &objective, s, t),
         ),
     ] {
         describe(record.0, &record.1);

@@ -3,7 +3,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use rand::SeedableRng;
-use smallworld::core::{greedy_route, stretch, GirgObjective, RouteOutcome};
+use smallworld::core::{stretch, GirgObjective, GreedyRouter, RouteOutcome, Router};
 use smallworld::graph::Components;
 use smallworld::models::girg::GirgBuilder;
 
@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for attempt in 1..=10 {
         let s = girg.random_vertex(&mut rng);
         let t = girg.random_vertex(&mut rng);
-        let record = greedy_route(girg.graph(), &objective, s, t);
+        let record = GreedyRouter::new().route_quiet(girg.graph(), &objective, s, t);
         match record.outcome {
             RouteOutcome::Delivered => {
                 delivered += 1;

@@ -10,7 +10,7 @@
 use std::io::BufReader;
 
 use rand::SeedableRng;
-use smallworld::core::{greedy_route, GirgObjective};
+use smallworld::core::{GirgObjective, GreedyRouter, Router};
 use smallworld::models::girg::{Girg, GirgBuilder};
 use smallworld::models::io::{read_girg, write_girg};
 
@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..100 {
         let s = restored.random_vertex(&mut rng);
         let t = restored.random_vertex(&mut rng);
-        if greedy_route(restored.graph(), &objective, s, t).is_success() {
+        if GreedyRouter::new().route_quiet(restored.graph(), &objective, s, t).is_success() {
             delivered += 1;
         }
     }

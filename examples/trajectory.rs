@@ -9,7 +9,7 @@
 
 use rand::SeedableRng;
 use smallworld::core::trajectory::Phase;
-use smallworld::core::{greedy_route, GirgObjective, Trajectory};
+use smallworld::core::{GirgObjective, GreedyRouter, Router, Trajectory};
 use smallworld::models::girg::GirgBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for _ in 0..5_000 {
             let s = girg.random_vertex(&mut rng);
             let t = girg.random_vertex(&mut rng);
-            let candidate = greedy_route(girg.graph(), &objective, s, t);
+            let candidate = GreedyRouter::new().route_quiet(girg.graph(), &objective, s, t);
             if candidate.is_success() && candidate.hops() >= min_hops {
                 record = Some(candidate);
                 break;

@@ -18,14 +18,14 @@
 //!
 //! ```
 //! use smallworld::models::girg::GirgBuilder;
-//! use smallworld::core::{greedy_route, GirgObjective, RouteOutcome};
+//! use smallworld::core::{GirgObjective, GreedyRouter, RouteOutcome, Router};
 //! use rand::SeedableRng;
 //!
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
 //! let girg = GirgBuilder::<2>::new(2_000).beta(2.5).alpha(2.0).sample(&mut rng)?;
 //! let objective = GirgObjective::new(&girg);
 //! let (s, t) = (girg.random_vertex(&mut rng), girg.random_vertex(&mut rng));
-//! let record = greedy_route(girg.graph(), &objective, s, t);
+//! let record = GreedyRouter::new().route_quiet(girg.graph(), &objective, s, t);
 //! match record.outcome {
 //!     RouteOutcome::Delivered => println!("delivered in {} hops", record.hops()),
 //!     other => println!("routing stopped: {other:?}"),
@@ -48,7 +48,7 @@ pub use smallworld_models as models;
 ///
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 /// let girg = GirgBuilder::<2>::new(500).sample(&mut rng)?;
-/// let record = greedy_route(
+/// let record = GreedyRouter::new().route_quiet(
 ///     girg.graph(),
 ///     &GirgObjective::new(&girg),
 ///     girg.random_vertex(&mut rng),
@@ -59,9 +59,9 @@ pub use smallworld_models as models;
 /// ```
 pub mod prelude {
     pub use smallworld_core::{
-        greedy_route, stretch, DistanceObjective, GirgObjective, GreedyRouter,
-        HistoryRouter, HyperbolicObjective, Objective, PhiDfsRouter, RouteOutcome,
-        RouteRecord, Router,
+        stretch, DistanceObjective, GirgObjective, GreedyRouter, HistoryRouter,
+        HyperbolicObjective, Objective, PhiDfsRouter, RouteOutcome, RouteRecord, Router,
+        RouterKind,
     };
     pub use smallworld_graph::{Components, Graph, NodeId};
     pub use smallworld_models::girg::GirgBuilder;

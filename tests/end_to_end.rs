@@ -5,7 +5,7 @@ use rand::SeedableRng;
 
 use smallworld::analysis::{Proportion, Summary};
 use smallworld::core::theory::ultra_small_distance;
-use smallworld::core::{greedy_route, stretch, GirgObjective, Objective, RouteOutcome};
+use smallworld::core::{stretch, GirgObjective, GreedyRouter, Objective, RouteOutcome, Router};
 use smallworld::graph::Components;
 use smallworld::models::girg::{Girg, GirgBuilder};
 
@@ -33,7 +33,7 @@ fn theorem_3_1_success_probability_is_constant() {
         if s == t || !comps.same_component(s, t) {
             continue;
         }
-        success.push(greedy_route(girg.graph(), &obj, s, t).is_success());
+        success.push(GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t).is_success());
     }
     assert!(success.trials() > 200, "too few connected pairs");
     assert!(
@@ -57,7 +57,7 @@ fn theorem_3_3_paths_are_ultra_small_with_low_stretch() {
         if s == t {
             continue;
         }
-        let record = greedy_route(girg.graph(), &obj, s, t);
+        let record = GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t);
         if record.is_success() {
             hops.push(record.hops() as f64);
             if let Some(x) = stretch(girg.graph(), &record) {
@@ -92,7 +92,7 @@ fn greedy_paths_are_simple_and_improving() {
     for _ in 0..200 {
         let s = girg.random_vertex(&mut rng);
         let t = girg.random_vertex(&mut rng);
-        let record = greedy_route(girg.graph(), &obj, s, t);
+        let record = GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t);
         let mut seen = std::collections::BTreeSet::new();
         for &v in &record.path {
             assert!(seen.insert(v), "greedy revisited {v}");
@@ -133,7 +133,7 @@ fn heavy_targets_are_easier() {
         for (tid, counter) in [(1u32, &mut light_fail), (2u32, &mut heavy_fail)] {
             let t = NodeId::new(tid);
             if comps.same_component(s, t)
-                && !greedy_route(girg.graph(), &obj, s, t).is_success()
+                && !GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t).is_success()
             {
                 *counter += 1;
             }
@@ -164,7 +164,7 @@ fn greedy_survives_edge_failures() {
             if s == t || !comps.same_component(s, t) {
                 continue;
             }
-            success.push(greedy_route(graph, &obj, s, t).is_success());
+            success.push(GreedyRouter::new().route_quiet(graph, &obj, s, t).is_success());
         }
         success.rate()
     };

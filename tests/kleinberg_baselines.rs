@@ -6,7 +6,7 @@ use rand::SeedableRng;
 
 use smallworld::analysis::{Proportion, Summary};
 use smallworld::core::{
-    greedy_route, DistanceObjective, GirgObjective, KleinbergObjective, Objective,
+    DistanceObjective, GirgObjective, GreedyRouter, KleinbergObjective, Objective, Router,
 };
 use smallworld::graph::{Components, Graph, NodeId};
 use smallworld::models::girg::GirgBuilder;
@@ -28,7 +28,7 @@ fn route_many<O: Objective>(
         if s == t || !comps.same_component(s, t) {
             continue;
         }
-        let record = greedy_route(graph, objective, s, t);
+        let record = GreedyRouter::new().route_quiet(graph, objective, s, t);
         success.push(record.is_success());
         if record.is_success() {
             hops.push(record.hops() as f64);

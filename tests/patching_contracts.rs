@@ -4,7 +4,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use smallworld::core::{
-    greedy_route, GirgObjective, GravityPressureRouter, GreedyRouter, HistoryRouter,
+    GirgObjective, GravityPressureRouter, GreedyRouter, HistoryRouter,
     HyperbolicObjective, PhiDfsRouter, RelaxedObjective, RouteOutcome, Router, RouterKind,
 };
 use smallworld::graph::Components;
@@ -38,14 +38,14 @@ fn patchers_deliver_iff_connected_on_girg() {
             if s == t {
                 continue;
             }
-            let record = router.route(girg.graph(), &obj, s, t);
+            let record = router.route_quiet(girg.graph(), &obj, s, t);
             assert_eq!(
                 record.is_success(),
                 comps.same_component(s, t),
                 "{} violated the Theorem 3.4 contract for {s}->{t}",
                 router.name()
             );
-            if record.is_success() && !greedy_route(girg.graph(), &obj, s, t).is_success() {
+            if record.is_success() && !GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t).is_success() {
                 greedy_failures_rescued += 1;
             }
         }
@@ -76,7 +76,7 @@ fn patchers_deliver_iff_connected_on_hrg() {
             if s == t {
                 continue;
             }
-            let record = router.route(hrg.graph(), &obj, s, t);
+            let record = router.route_quiet(hrg.graph(), &obj, s, t);
             assert_eq!(
                 record.is_success(),
                 comps.same_component(s, t),
@@ -108,13 +108,13 @@ fn patchers_match_greedy_on_success() {
     for _ in 0..120 {
         let s = girg.random_vertex(&mut rng);
         let t = girg.random_vertex(&mut rng);
-        let greedy = greedy_route(girg.graph(), &obj, s, t);
+        let greedy = GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t);
         if greedy.outcome != RouteOutcome::Delivered {
             continue;
         }
         compared += 1;
         for router in &all {
-            let record = router.route(girg.graph(), &obj, s, t);
+            let record = router.route_quiet(girg.graph(), &obj, s, t);
             assert_eq!(record.path, greedy.path, "{} diverged on {s}->{t}", router.name());
         }
     }
@@ -139,7 +139,7 @@ fn patching_survives_relaxed_objectives() {
         if s == t {
             continue;
         }
-        let record = router.route(girg.graph(), &obj, s, t);
+        let record = router.route_quiet(girg.graph(), &obj, s, t);
         assert_eq!(record.is_success(), comps.same_component(s, t));
     }
 }
@@ -162,7 +162,7 @@ fn patched_walks_are_valid() {
             if s == t || !comps.same_component(s, t) {
                 continue;
             }
-            let record = router.route(girg.graph(), &obj, s, t);
+            let record = router.route_quiet(girg.graph(), &obj, s, t);
             assert!(record.is_success());
             assert_eq!(record.source(), s);
             assert_eq!(record.last(), t);

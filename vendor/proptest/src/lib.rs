@@ -584,6 +584,7 @@ macro_rules! prop_assert_ne {
 #[macro_export]
 macro_rules! prop_assume {
     ($cond:expr) => {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !($cond) {
             return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
                 concat!("assumption failed: ", stringify!($cond)).to_string(),
