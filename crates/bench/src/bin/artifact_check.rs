@@ -83,6 +83,35 @@ fn check(contents: &str) -> Result<String, String> {
                         ));
                     }
                 }
+                // traffic tables report rates in named columns; every cell
+                // under one of them must be a number in [0, 1]
+                let suite = record
+                    .get("suite")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("");
+                if suite.contains("traffic") {
+                    const RATE_COLUMNS: [&str; 5] =
+                        ["delivered", "overflow", "dead end", "lost", "survivor frac"];
+                    for (c, header) in headers.iter().enumerate() {
+                        let Some(h) = header.as_str() else { continue };
+                        if !RATE_COLUMNS.contains(&h) {
+                            continue;
+                        }
+                        for row in rows {
+                            let cell = row.as_array().and_then(|r| r[c].as_str()).ok_or_else(
+                                || format!("line {line}: rate cell in {h:?} is not a string"),
+                            )?;
+                            let value: f64 = cell.parse().map_err(|_| {
+                                format!("line {line}: rate cell {cell:?} in {h:?} is not numeric")
+                            })?;
+                            if !(0.0..=1.0).contains(&value) {
+                                return Err(format!(
+                                    "line {line}: rate {value} in column {h:?} outside [0, 1]"
+                                ));
+                            }
+                        }
+                    }
+                }
             }
             "suite" => {
                 suites += 1;
@@ -140,6 +169,39 @@ fn check(contents: &str) -> Result<String, String> {
             if counters.get(key).and_then(JsonValue::as_f64).map(|v| v > 0.0) != Some(true) {
                 return Err(format!("summary counter {key:?} missing or zero"));
             }
+        }
+    }
+    // any artifact that ran a traffic suite must carry the simulator's
+    // delivery/drop counters, with at least one packet injected
+    let ran_traffic = records.iter().any(|(kind, record)| {
+        kind == "suite"
+            && record
+                .get("suite")
+                .and_then(JsonValue::as_str)
+                .is_some_and(|s| s.contains("traffic"))
+    });
+    if ran_traffic {
+        for key in [
+            "net.injected",
+            "net.delivered",
+            "net.dead_end",
+            "net.expired",
+            "net.lost",
+            "net.overflow",
+        ] {
+            if counters.get(key).and_then(JsonValue::as_f64).is_none() {
+                return Err(format!(
+                    "summary counter {key:?} missing after a traffic suite"
+                ));
+            }
+        }
+        if counters
+            .get("net.injected")
+            .and_then(JsonValue::as_f64)
+            .map(|v| v > 0.0)
+            != Some(true)
+        {
+            return Err("traffic suite ran but net.injected is zero".into());
         }
     }
 

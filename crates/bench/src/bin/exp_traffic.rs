@@ -1,0 +1,10 @@
+//! Regenerates the `traffic` experiment tables (see DESIGN.md's index).
+//!
+//! Usage: `cargo run --release -p smallworld-bench --bin exp_traffic [--quick|--full] [--json <path>]`
+
+use smallworld_bench::artifact::run_single_suite;
+use smallworld_bench::experiments::traffic;
+
+fn main() {
+    let _ = run_single_suite("exp_traffic", "traffic", traffic::run);
+}

@@ -1,4 +1,4 @@
-//! Runs every experiment in the DESIGN.md index (E1–E14) in sequence.
+//! Runs every experiment in the DESIGN.md index (E1–E15) in sequence.
 //!
 //! Usage:
 //! `cargo run --release -p smallworld-bench --bin run_all [--quick|--full] [--json <path>]`
@@ -20,7 +20,7 @@ fn main() {
     if let Some(path) = artifact.path() {
         println!("writing JSONL artifact to {}\n", path.display());
     }
-    let suites: [Suite; 12] = [
+    let suites: [Suite; 13] = [
         ("E1  success probability", experiments::success::run),
         ("E2/E3 failure decay", experiments::failure_wmin::run),
         ("E4  path length", experiments::path_length::run),
@@ -33,6 +33,7 @@ fn main() {
         ("E12 kleinberg", experiments::kleinberg::run),
         ("E13 robustness", experiments::robustness::run),
         ("E14 structure", experiments::structure::run),
+        ("E15 traffic", experiments::traffic::run),
     ];
     for (name, run) in suites {
         println!(">>> {name}");

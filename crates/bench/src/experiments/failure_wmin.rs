@@ -93,11 +93,14 @@ fn part_b(scale: Scale) -> Table {
         vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
     );
 
-    let mut table = Table::new(["w_s=w_t", "trials(conn)", "failure"])
+    let mut table = Table::new(["w_s=w_t", "trials(conn)", "disconnected", "failure"])
         .title("E3 (Theorem 3.2(ii)): failure decays polynomially in min(ws, wt)");
     let mut points = Vec::new();
     for &w in &ws {
-        // each rep samples a fresh graph with planted s (id 0) and t (id 1)
+        // each rep samples a fresh graph with planted s (id 0) and t (id 1);
+        // disconnected plants are counted, not silently discarded — the
+        // theorem conditions on connectivity, but the reader should see how
+        // often that conditioning bites
         let outcomes = parallel_map(reps, 0xE3 ^ (w as u64), |_, seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             let girg = GirgBuilder::<2>::new(n)
@@ -115,6 +118,7 @@ fn part_b(scale: Scale) -> Table {
             let obj = GirgObjective::new(&girg);
             Some(GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t).is_success())
         });
+        let disconnected = outcomes.iter().filter(|o| o.is_none()).count();
         let connected: Vec<bool> = outcomes.into_iter().flatten().collect();
         let trials = connected.len();
         let failures = connected.iter().filter(|&&ok| !ok).count();
@@ -126,11 +130,17 @@ fn part_b(scale: Scale) -> Table {
         if failure > 0.0 {
             points.push((w, failure));
         }
-        table.row([fmt_f64(w, 0), trials.to_string(), fmt_f64(failure, 4)]);
+        table.row([
+            fmt_f64(w, 0),
+            trials.to_string(),
+            disconnected.to_string(),
+            fmt_f64(failure, 4),
+        ]);
     }
     if let Some(fit) = LinearFit::fit_loglog(&points) {
         table.row([
             "fit".to_string(),
+            String::new(),
             String::new(),
             format!("log-log slope {:.2} (R2 {:.2})", fit.slope, fit.r_squared),
         ]);

@@ -50,7 +50,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
                     let comps = Components::compute(hrg.graph());
                     let obj = HyperbolicObjective::new(&hrg);
                     let _span = smallworld_obs::Span::enter("route_pairs");
-                    let mut obs = smallworld_obs::MetricsRouteObserver::new();
+                    let mut obs = smallworld_core::MetricsRouteObserver::new();
                     let greedy = route_random_pairs_observed(
                         hrg.graph(),
                         &obj,

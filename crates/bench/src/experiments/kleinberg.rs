@@ -57,7 +57,7 @@ fn part_a(scale: Scale) -> Table {
                     pairs,
                     false,
                     &mut rng,
-                    &mut smallworld_obs::MetricsRouteObserver::new(),
+                    &mut smallworld_core::MetricsRouteObserver::new(),
                 )
             });
             let trials: Vec<_> = outcomes.into_iter().flatten().collect();
@@ -107,7 +107,7 @@ fn part_b(scale: Scale) -> Table {
                 pairs,
                 false,
                 &mut rng,
-                &mut smallworld_obs::MetricsRouteObserver::new(),
+                &mut smallworld_core::MetricsRouteObserver::new(),
             )
         });
         let noisy: Vec<_> = outcomes.into_iter().flatten().collect();

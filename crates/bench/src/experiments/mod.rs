@@ -1,4 +1,4 @@
-//! One module per experiment of the `DESIGN.md` index (E1–E14).
+//! One module per experiment of the `DESIGN.md` index (E1–E15).
 //!
 //! Every module exposes `run(scale) -> Vec<Table>`: it prints its tables to
 //! stdout (the "regenerated table/figure") and returns them so tests can
@@ -16,6 +16,7 @@ pub mod robustness;
 pub mod stretch;
 pub mod structure;
 pub mod success;
+pub mod traffic;
 pub mod trajectory;
 
 use rand::rngs::StdRng;
@@ -27,7 +28,7 @@ use smallworld_core::{
 use smallworld_graph::Components;
 use smallworld_models::girg::{Girg, GirgBuilder};
 use smallworld_models::Alpha;
-use smallworld_obs::MetricsRouteObserver;
+use smallworld_core::MetricsRouteObserver;
 
 use crate::harness::{parallel_map, route_random_pairs_observed, TrialOutcome};
 
@@ -279,7 +280,7 @@ mod tests {
             30,
             true,
             13,
-            smallworld_obs::CountingObserver::default,
+            smallworld_core::CountingObserver::default,
         );
         let metered = run_girg_trials(config, objective, &router, 2, 30, true, 13);
         assert_eq!(baseline, counted);

@@ -66,7 +66,7 @@ fn compare_routers(
                 // shared component, and backtrackers would otherwise spend
                 // the whole budget exhaustively failing cross-component pairs
                 let mut pair_rng = StdRng::seed_from_u64(seed ^ 0xABCD);
-                let mut obs = smallworld_obs::MetricsRouteObserver::new();
+                let mut obs = smallworld_core::MetricsRouteObserver::new();
                 route_random_connected_pairs_observed(
                     girg.graph(), &obj, router, &comps, pairs, false, &mut pair_rng, &mut obs,
                 )

@@ -78,7 +78,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 &obj,
                 s,
                 t,
-                &mut smallworld_obs::MetricsRouteObserver::new(),
+                &mut smallworld_core::MetricsRouteObserver::new(),
             );
             if !record.is_success() || record.hops() < min_hops {
                 continue;

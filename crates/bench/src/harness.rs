@@ -224,6 +224,61 @@ where
     route_pairs_impl(graph, objective, router, components, pairs, measure_stretch, true, rng, obs)
 }
 
+/// Like [`route_random_pairs_observed`], but both endpoints are drawn
+/// uniformly from the **largest** connected component. Every drawn pair is
+/// connected by construction, so a failed trial means the router got stuck
+/// — disconnection is factored out entirely (report it separately, e.g. via
+/// [`Components::giant_fraction`]).
+///
+/// # Panics
+///
+/// Panics if the largest component has fewer than two vertices.
+#[allow(clippy::too_many_arguments)]
+pub fn route_random_giant_pairs_observed<R, O, Obs>(
+    graph: &Graph,
+    objective: &O,
+    router: &R,
+    components: &Components,
+    pairs: usize,
+    measure_stretch: bool,
+    rng: &mut StdRng,
+    obs: &mut Obs,
+) -> Vec<TrialOutcome>
+where
+    R: Router,
+    O: Objective,
+    Obs: RouteObserver,
+{
+    let giant: Vec<NodeId> = graph.nodes().filter(|&v| components.in_largest(v)).collect();
+    assert!(
+        giant.len() >= 2,
+        "largest component has fewer than two vertices"
+    );
+    let mut out = Vec::with_capacity(pairs);
+    for _ in 0..pairs {
+        let (s, t) = loop {
+            let s = giant[rng.gen_range(0..giant.len())];
+            let t = giant[rng.gen_range(0..giant.len())];
+            if s != t {
+                break (s, t);
+            }
+        };
+        let record = router.route(graph, objective, s, t, obs);
+        let st = if measure_stretch {
+            stretch(graph, &record)
+        } else {
+            None
+        };
+        out.push(TrialOutcome {
+            success: record.is_success(),
+            hops: record.hops(),
+            stretch: st,
+            same_component: true,
+        });
+    }
+    out
+}
+
 #[allow(clippy::too_many_arguments)]
 fn route_pairs_impl<R, O, Obs>(
     graph: &Graph,
@@ -402,7 +457,7 @@ impl<'a> TrialBatch<'a> {
                 objective,
                 s,
                 t,
-                &mut smallworld_obs::MetricsRouteObserver::new(),
+                &mut smallworld_core::MetricsRouteObserver::new(),
             );
             let st = if self.measure_stretch {
                 stretch(self.graph, &record)

@@ -17,9 +17,12 @@
 //! Algorithm 1 against the interface; a test asserts its routes are
 //! identical to [`crate::greedy::GreedyRouter`]'s.
 
+use std::cell::Cell;
+
 use smallworld_geometry::Point;
 use smallworld_graph::{Graph, NodeId};
 use smallworld_models::girg::Girg;
+use smallworld_net::{HopChoice, HopPolicy, HopView, Injection, PacketOutcome, SimConfig, Simulation};
 
 use crate::greedy::{RouteOutcome, RouteRecord, DEFAULT_MAX_STEPS};
 
@@ -163,8 +166,64 @@ pub struct SimStats {
     pub max_degree_seen: usize,
 }
 
+/// Adapts a [`NodeProgram`] (plus its [`Addressing`]) to
+/// `smallworld-net`'s [`HopPolicy`], so the single-packet [`Simulator`]
+/// rides the same event loop as the traffic simulator. The adapter builds
+/// the [`LocalView`] from the hop view's candidate list — the program
+/// still sees only local information — and tallies [`SimStats`] through a
+/// `Cell` since one adapter serves exactly one route call.
+struct ProgramPolicy<'a, B: Addressing, P> {
+    addressing: &'a B,
+    program: &'a P,
+    target_address: B::Address,
+    stats: Cell<SimStats>,
+}
+
+impl<B, P> HopPolicy for ProgramPolicy<'_, B, P>
+where
+    B: Addressing,
+    P: NodeProgram<B::Address>,
+{
+    type State = ();
+
+    fn name(&self) -> &'static str {
+        "node-program"
+    }
+
+    fn next_hop(&self, view: &HopView<'_>, _state: &mut ()) -> HopChoice {
+        let local = LocalView {
+            node: view.current,
+            own_address: self.addressing.address_of(view.current),
+            neighbors: view.candidates,
+            neighbor_addresses: view
+                .candidates
+                .iter()
+                .map(|&u| self.addressing.address_of(u))
+                .collect(),
+        };
+        let packet = Packet {
+            target_address: self.target_address.clone(),
+            hops: view.hops as usize,
+        };
+        let mut stats = self.stats.get();
+        stats.activations += 1;
+        stats.max_degree_seen = stats.max_degree_seen.max(view.candidates.len());
+        self.stats.set(stats);
+        match self.program.step(&local, &packet) {
+            Decision::Forward(u) => HopChoice::Forward(u),
+            Decision::Drop => HopChoice::Drop,
+        }
+    }
+}
+
 /// Drives a [`NodeProgram`] over a graph, one node awake at a time,
 /// enforcing that every forward goes to a direct neighbor.
+///
+/// Since the `smallworld-net` migration this is a thin wrapper: the
+/// packet rides the deterministic discrete-event loop of
+/// [`smallworld_net::Simulation`] (fault-free, unbounded queues), and
+/// with a single injected packet the event order reduces to exactly the
+/// old one-node-awake-at-a-time stepping.
 #[derive(Clone, Copy, Debug)]
 pub struct Simulator {
     max_steps: usize,
@@ -183,9 +242,10 @@ impl Simulator {
         Simulator { max_steps }
     }
 
-    /// Routes a packet from `s` towards the node whose address is
-    /// `addressing.address_of(t)`. Delivery is detected by address equality
-    /// (positions are almost surely unique in the models here).
+    /// Routes a packet from `s` towards `t`; the packet carries
+    /// `addressing.address_of(t)` and is delivered on reaching `t`
+    /// (addresses are almost surely unique in the models here, so this
+    /// coincides with address equality).
     ///
     /// # Panics
     ///
@@ -204,66 +264,41 @@ impl Simulator {
         B: Addressing,
         P: NodeProgram<B::Address>,
     {
-        let mut packet = Packet {
+        let policy = ProgramPolicy {
+            addressing,
+            program,
             target_address: addressing.address_of(t),
-            hops: 0,
+            stats: Cell::new(SimStats::default()),
         };
-        let mut stats = SimStats::default();
-        let mut path = vec![s];
-        let mut current = s;
-        loop {
-            if addressing.address_of(current) == packet.target_address {
-                return (
-                    RouteRecord {
-                        outcome: RouteOutcome::Delivered,
-                        path,
-                    },
-                    stats,
-                );
-            }
-            if path.len() > self.max_steps {
-                return (
-                    RouteRecord {
-                        outcome: RouteOutcome::MaxStepsExceeded,
-                        path,
-                    },
-                    stats,
-                );
-            }
-            // wake exactly one node and hand it its local view
-            let neighbors = graph.neighbors(current);
-            let view = LocalView {
-                node: current,
-                own_address: addressing.address_of(current),
-                neighbors,
-                neighbor_addresses: neighbors
-                    .iter()
-                    .map(|&u| addressing.address_of(u))
-                    .collect(),
-            };
-            stats.activations += 1;
-            stats.max_degree_seen = stats.max_degree_seen.max(neighbors.len());
-            match program.step(&view, &packet) {
-                Decision::Forward(u) => {
-                    assert!(
-                        neighbors.contains(&u),
-                        "locality violation: {current} forwarded to non-neighbor {u}"
-                    );
-                    packet.hops += 1;
-                    path.push(u);
-                    current = u;
-                }
-                Decision::Drop => {
-                    return (
-                        RouteRecord {
-                            outcome: RouteOutcome::DeadEnd,
-                            path,
-                        },
-                        stats,
-                    );
-                }
-            }
-        }
+        let config = SimConfig {
+            ttl: u32::try_from(self.max_steps).unwrap_or(u32::MAX),
+            ..SimConfig::default()
+        };
+        let report = Simulation::new(graph, &policy)
+            .with_config(config)
+            .run(&[Injection {
+                source: s,
+                target: t,
+                at: 0,
+            }]);
+        let packet = report
+            .packets
+            .into_iter()
+            .next()
+            .expect("one injection yields one record");
+        let outcome = match packet.outcome {
+            PacketOutcome::Delivered => RouteOutcome::Delivered,
+            PacketOutcome::DeadEnd => RouteOutcome::DeadEnd,
+            PacketOutcome::Expired => RouteOutcome::MaxStepsExceeded,
+            other => unreachable!("fault-free single-packet run cannot end as {other:?}"),
+        };
+        (
+            RouteRecord {
+                outcome,
+                path: packet.path,
+            },
+            policy.stats.get(),
+        )
     }
 }
 

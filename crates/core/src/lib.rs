@@ -55,6 +55,7 @@ pub mod greedy;
 pub mod lookahead;
 pub mod objective;
 pub mod observe;
+pub mod observers;
 pub mod patching;
 pub mod router;
 pub mod stretch;
@@ -65,6 +66,7 @@ pub use distributed::{DistributedGreedy, Simulator};
 pub use greedy::{GreedyRouter, RouteOutcome, RouteRecord};
 pub use lookahead::LookaheadRouter;
 pub use observe::{NoopObserver, RouteObserver};
+pub use observers::{CountingObserver, MetricsRouteObserver};
 pub use objective::{
     DistanceObjective, GirgObjective, HyperbolicObjective, KleinbergObjective, Objective,
     QuantizedObjective, RelaxedObjective,

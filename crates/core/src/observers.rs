@@ -1,10 +1,12 @@
 //! [`RouteObserver`] implementations that feed the metrics registry.
 //!
-//! `smallworld-core` defines the observer protocol; this module provides
-//! the two implementations the experiment harness uses:
+//! [`crate::observe`] defines the observer protocol; this module provides
+//! the two implementations the experiment harness uses (moved here from
+//! `smallworld-obs` so the observability crate stays free of routing
+//! dependencies):
 //!
 //! * [`MetricsRouteObserver`] — folds every event into the global
-//!   [registry](crate::metrics): the `route.*` counters and the
+//!   [registry](smallworld_obs::metrics): the `route.*` counters and the
 //!   `route.hops_per_route` histogram that end up in JSONL artifacts.
 //! * [`CountingObserver`] — a plain local tally, mainly for tests that
 //!   assert routers emit the events they should without touching global
@@ -12,10 +14,11 @@
 
 use std::sync::Arc;
 
-use smallworld_core::{RouteObserver, RouteOutcome};
 use smallworld_graph::NodeId;
+use smallworld_obs::metrics::{counter, histogram, Counter, Histogram};
 
-use crate::metrics::{counter, histogram, Counter, Histogram};
+use crate::greedy::RouteOutcome;
+use crate::observe::RouteObserver;
 
 /// Metric names emitted by [`MetricsRouteObserver`], in one place so the
 /// artifact docs and the observer cannot drift apart.
@@ -162,7 +165,10 @@ impl RouteObserver for CountingObserver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smallworld_core::{GreedyRouter, Objective, PhiDfsRouter, Router};
+    use crate::objective::Objective;
+    use crate::patching::PhiDfsRouter;
+    use crate::router::Router;
+    use crate::GreedyRouter;
     use smallworld_graph::Graph;
 
     /// Score = vertex id; the target is infinitely attractive.
@@ -181,13 +187,7 @@ mod tests {
     fn counting_observer_sees_greedy_hops() {
         let g = Graph::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3)]).unwrap();
         let mut obs = CountingObserver::new();
-        let r = GreedyRouter::new().route(
-            &g,
-            &ById,
-            NodeId::new(0),
-            NodeId::new(3),
-            &mut obs,
-        );
+        let r = GreedyRouter::new().route(&g, &ById, NodeId::new(0), NodeId::new(3), &mut obs);
         assert!(r.is_success());
         assert_eq!(obs.started, 1);
         assert_eq!(obs.hops, 3);
@@ -202,13 +202,7 @@ mod tests {
         // neighbor 1 is worse -> dead end at 3 after one hop
         let g = Graph::from_edges(5, [(0u32, 3u32), (3, 1)]).unwrap();
         let mut obs = CountingObserver::new();
-        let r = GreedyRouter::new().route(
-            &g,
-            &ById,
-            NodeId::new(0),
-            NodeId::new(4),
-            &mut obs,
-        );
+        let r = GreedyRouter::new().route(&g, &ById, NodeId::new(0), NodeId::new(4), &mut obs);
         assert!(!r.is_success());
         assert_eq!(obs.hops, 1);
         assert_eq!(obs.dead_ends, 1);
@@ -222,13 +216,7 @@ mod tests {
         let g =
             Graph::from_edges(8, [(0u32, 6u32), (6, 1), (1, 2), (6, 3), (3, 4), (4, 7)]).unwrap();
         let mut obs = CountingObserver::new();
-        let r = PhiDfsRouter::new().route(
-            &g,
-            &ById,
-            NodeId::new(0),
-            NodeId::new(7),
-            &mut obs,
-        );
+        let r = PhiDfsRouter::new().route(&g, &ById, NodeId::new(0), NodeId::new(7), &mut obs);
         assert!(r.is_success());
         assert!(obs.backtracks > 0, "this instance requires backtracking");
         // every traversed edge is either a hop or a backtrack
@@ -237,17 +225,11 @@ mod tests {
 
     #[test]
     fn metrics_observer_feeds_the_registry() {
-        let registry = crate::metrics::Registry::global();
+        let registry = smallworld_obs::metrics::Registry::global();
         let before = registry.snapshot();
         let g = Graph::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3)]).unwrap();
         let mut obs = MetricsRouteObserver::new();
-        let r = GreedyRouter::new().route(
-            &g,
-            &ById,
-            NodeId::new(0),
-            NodeId::new(3),
-            &mut obs,
-        );
+        let r = GreedyRouter::new().route(&g, &ById, NodeId::new(0), NodeId::new(3), &mut obs);
         assert!(r.is_success());
         let delta = registry.snapshot().since(&before);
         assert!(delta.counters.get(names::HOPS).copied().unwrap_or(0) >= 3);

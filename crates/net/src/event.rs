@@ -1,0 +1,195 @@
+//! Virtual time and the tie-stable event queue.
+//!
+//! All timing in `smallworld-net` is virtual: a [`Time`] is a plain tick
+//! counter, never a wall clock. Two events scheduled for the same tick pop
+//! in the order they were pushed — every push is stamped with a
+//! monotonically increasing sequence number and the heap orders by
+//! `(time, seq)` — so a simulation is a pure function of its inputs, with
+//! nothing left to the internals of `BinaryHeap`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A virtual timestamp, in simulator ticks. There is no unit attached;
+/// latency models and service times define the granularity.
+pub type Time = u64;
+
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    event: E,
+}
+
+// BinaryHeap is a max-heap; invert the comparison so the earliest
+// (time, seq) pops first. Only the key participates in the ordering — the
+// payload needs no Ord.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+/// A deterministic priority queue of future events.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_net::event::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(5, "late");
+/// q.push(1, "early");
+/// q.push(5, "late, but pushed after"); // same tick: FIFO
+/// assert_eq!(q.pop(), Some((1, "early")));
+/// assert_eq!(q.pop(), Some((5, "late")));
+/// assert_eq!(q.pop(), Some((5, "late, but pushed after")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time` and returns its sequence number. Events
+    /// at equal times pop in push order (sequence numbers are the
+    /// tie-break).
+    pub fn push(&mut self, time: Time, event: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        seq
+    }
+
+    /// Removes and returns the earliest event as `(time, event)`.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &t in &[9u64, 3, 7, 3, 1, 9, 0] {
+            q.push(t, t);
+        }
+        let mut out = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            assert_eq!(t, e);
+            out.push(t);
+        }
+        assert_eq!(out, vec![0, 1, 3, 3, 7, 9, 9]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u64 {
+            q.push(42, i);
+        }
+        for i in 0..100u64 {
+            assert_eq!(q.pop(), Some((42, i)));
+        }
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<u8> = EventQueue::default();
+        assert!(q.is_empty());
+        q.push(1, 0);
+        q.push(2, 1);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+        /// Tie stability: whatever order the (time, payload) pairs arrive
+        /// in, the popped sequence is sorted by time, and within one tick
+        /// events appear exactly in their push order. The popped multiset
+        /// equals the pushed multiset.
+        #[test]
+        fn prop_pop_order_is_time_then_push_order(
+            times in proptest::collection::vec(0u64..50, 0..200),
+        ) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(t, i);
+            }
+            let mut popped = Vec::new();
+            while let Some(e) = q.pop() {
+                popped.push(e);
+            }
+            proptest::prop_assert_eq!(popped.len(), times.len());
+            for w in popped.windows(2) {
+                let ((t1, i1), (t2, i2)) = (w[0], w[1]);
+                // strictly increasing (time, push index): total, no dupes
+                proptest::prop_assert!((t1, i1) < (t2, i2), "order violated");
+                if t1 == t2 {
+                    proptest::prop_assert!(i1 < i2, "FIFO violated within tick {t1}");
+                }
+            }
+            // multiset equality: every pushed index appears once with its time
+            let mut seen: Vec<Option<u64>> = vec![None; times.len()];
+            for (t, i) in popped {
+                proptest::prop_assert!(seen[i].is_none());
+                seen[i] = Some(t);
+            }
+            for (i, &t) in times.iter().enumerate() {
+                proptest::prop_assert_eq!(seen[i], Some(t));
+            }
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Seeded fault injection: packet loss, node and edge outages.
+//!
+//! A [`FaultPlan`] is a *pure function* from a master seed to the full
+//! failure schedule of a run. Whether a given node or edge fails, when it
+//! fails, when (if ever) it is repaired, and whether a given transmission
+//! is lost are all derived by SplitMix64 seed splitting
+//! ([`smallworld_par::split_seed`]) from independent sub-seeds — stream 0
+//! for nodes, stream 1 for edges, stream 2 for packet loss — so the plan
+//! is bitwise reproducible at any `SMALLWORLD_THREADS` and independent of
+//! the order in which the simulator asks its questions.
+//!
+//! For plans with *permanent* failures, [`FaultPlan::survivor_mask`]
+//! precomputes (via the graph crate's union–find) the giant component of
+//! the eventually-surviving subgraph, so workloads can draw
+//! source/target pairs that are not trivially doomed — separating
+//! "disconnected by the failures" from "the protocol got stuck".
+
+use smallworld_graph::{Graph, NodeId, UnionFind};
+use smallworld_par::split_seed;
+
+use crate::event::Time;
+
+/// Sub-seed streams of a fault plan's master seed.
+const STREAM_NODE: u64 = 0;
+const STREAM_EDGE: u64 = 1;
+const STREAM_LOSS: u64 = 2;
+
+/// Maps a 64-bit hash to a uniform draw in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// What faults a run injects. All rates are probabilities in `[0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Per-transmission probability that a sent packet is lost on the
+    /// link (each retry draws independently).
+    pub loss_rate: f64,
+    /// Fraction of nodes that suffer an outage.
+    pub node_fail_rate: f64,
+    /// Fraction of edges that suffer an outage.
+    pub edge_fail_rate: f64,
+    /// Outages begin uniformly in `[0, fail_window)` virtual ticks.
+    /// A window of 0 means every selected element is down from tick 0.
+    pub fail_window: Time,
+    /// Ticks until a failed element comes back; `None` makes every
+    /// outage permanent.
+    pub repair_after: Option<Time>,
+}
+
+impl FaultSpec {
+    /// The fault-free specification.
+    pub fn none() -> Self {
+        FaultSpec {
+            loss_rate: 0.0,
+            node_fail_rate: 0.0,
+            edge_fail_rate: 0.0,
+            fail_window: 0,
+            repair_after: None,
+        }
+    }
+
+    /// Whether this spec injects no faults at all.
+    pub fn is_none(&self) -> bool {
+        self.loss_rate == 0.0 && self.node_fail_rate == 0.0 && self.edge_fail_rate == 0.0
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::none()
+    }
+}
+
+/// One element's outage: down from `from` until `until` (exclusive);
+/// `until == Time::MAX` means never repaired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Outage {
+    /// First tick the element is down.
+    pub from: Time,
+    /// First tick the element is up again (`Time::MAX` = permanent).
+    pub until: Time,
+}
+
+impl Outage {
+    /// Whether the element is down at `now`.
+    pub fn covers(&self, now: Time) -> bool {
+        self.from <= now && now < self.until
+    }
+
+    /// Whether this outage never ends.
+    pub fn is_permanent(&self) -> bool {
+        self.until == Time::MAX
+    }
+}
+
+/// The compiled fault schedule of one run. Cheap to copy; all queries are
+/// O(1) hashes.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+    node_seed: u64,
+    edge_seed: u64,
+    loss_seed: u64,
+}
+
+impl FaultPlan {
+    /// Compiles `spec` under `master_seed`. Two plans with the same spec
+    /// and seed answer every query identically.
+    pub fn new(spec: FaultSpec, master_seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&spec.loss_rate), "loss_rate in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&spec.node_fail_rate),
+            "node_fail_rate in [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&spec.edge_fail_rate),
+            "edge_fail_rate in [0,1]"
+        );
+        FaultPlan {
+            spec,
+            node_seed: split_seed(master_seed, STREAM_NODE),
+            edge_seed: split_seed(master_seed, STREAM_EDGE),
+            loss_seed: split_seed(master_seed, STREAM_LOSS),
+        }
+    }
+
+    /// The fault-free plan.
+    pub fn none() -> Self {
+        FaultPlan::new(FaultSpec::none(), 0)
+    }
+
+    /// The spec this plan was compiled from.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Whether the plan injects no faults.
+    pub fn is_none(&self) -> bool {
+        self.spec.is_none()
+    }
+
+    fn outage(&self, seed: u64, key: u64, rate: f64) -> Option<Outage> {
+        if rate <= 0.0 {
+            return None;
+        }
+        let h = split_seed(seed, key);
+        if unit(h) >= rate {
+            return None;
+        }
+        let from = if self.spec.fail_window == 0 {
+            0
+        } else {
+            // an independent draw for the outage start
+            split_seed(seed, key ^ 0x5bd1_e995_9e37_79b9) % self.spec.fail_window
+        };
+        let until = match self.spec.repair_after {
+            Some(d) => from.saturating_add(d),
+            None => Time::MAX,
+        };
+        Some(Outage { from, until })
+    }
+
+    /// The outage of node `v`, if the plan fails it.
+    pub fn node_outage(&self, v: NodeId) -> Option<Outage> {
+        self.outage(self.node_seed, v.raw() as u64, self.spec.node_fail_rate)
+    }
+
+    /// The outage of the undirected edge `{u, v}`, if the plan fails it.
+    pub fn edge_outage(&self, u: NodeId, v: NodeId) -> Option<Outage> {
+        let (lo, hi) = if u.raw() <= v.raw() { (u, v) } else { (v, u) };
+        let key = ((lo.raw() as u64) << 32) | hi.raw() as u64;
+        self.outage(self.edge_seed, key, self.spec.edge_fail_rate)
+    }
+
+    /// Whether node `v` is up at `now`.
+    pub fn node_up(&self, v: NodeId, now: Time) -> bool {
+        self.node_outage(v).is_none_or(|o| !o.covers(now))
+    }
+
+    /// Whether the link `{u, v}` itself is up at `now` (endpoint health is
+    /// queried separately via [`FaultPlan::node_up`]).
+    pub fn edge_up(&self, u: NodeId, v: NodeId, now: Time) -> bool {
+        self.edge_outage(u, v).is_none_or(|o| !o.covers(now))
+    }
+
+    /// If node `v` is down at `now`, the first tick it will be up again
+    /// (`Time::MAX` for a permanent outage); `None` when it is up.
+    pub fn down_until(&self, v: NodeId, now: Time) -> Option<Time> {
+        self.node_outage(v)
+            .filter(|o| o.covers(now))
+            .map(|o| o.until)
+    }
+
+    /// Whether the `attempt`-th transmission of packet `packet` on its
+    /// `hop`-th hop is lost. Keyed on the identifiers, not on time or call
+    /// order, so replays and retries are deterministic.
+    pub fn lose_transmission(&self, packet: u64, hop: u32, attempt: u32) -> bool {
+        if self.spec.loss_rate <= 0.0 {
+            return false;
+        }
+        let key = packet
+            .wrapping_mul(0x0100_0000_01b3)
+            .wrapping_add(((hop as u64) << 32) | attempt as u64);
+        unit(split_seed(self.loss_seed, key)) < self.spec.loss_rate
+    }
+
+    /// The largest connected component of the subgraph that survives every
+    /// *permanent* outage: nodes never permanently failed, connected by
+    /// edges never permanently failed. Returns a mask over node ids;
+    /// drawing workload endpoints from the mask separates "the failures
+    /// disconnected s from t" from "the protocol got stuck".
+    ///
+    /// With no permanent failures this is simply the giant component of
+    /// `graph`.
+    pub fn survivor_mask(&self, graph: &Graph) -> Vec<bool> {
+        let n = graph.node_count();
+        let node_dead = |v: NodeId| self.node_outage(v).is_some_and(|o| o.is_permanent());
+        let mut uf = UnionFind::new(n);
+        for (u, v) in graph.edges() {
+            if node_dead(u) || node_dead(v) {
+                continue;
+            }
+            if self.edge_outage(u, v).is_some_and(|o| o.is_permanent()) {
+                continue;
+            }
+            uf.union(u.index(), v.index());
+        }
+        let mut best_root = None;
+        let mut best_size = 0usize;
+        for i in 0..n {
+            if node_dead(NodeId::from_index(i)) {
+                continue;
+            }
+            let size = uf.set_size(i);
+            if size > best_size {
+                best_size = size;
+                best_root = Some(uf.find(i));
+            }
+        }
+        let mut mask = vec![false; n];
+        if let Some(root) = best_root {
+            for (i, m) in mask.iter_mut().enumerate() {
+                *m = !node_dead(NodeId::from_index(i)) && uf.find(i) == root;
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn no_fault_plan_answers_up_everywhere() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        for v in 0..100u32 {
+            assert!(plan.node_up(NodeId::new(v), 0));
+            assert!(plan.node_up(NodeId::new(v), u64::MAX - 1));
+            assert_eq!(plan.down_until(NodeId::new(v), 5), None);
+        }
+        assert!(!plan.lose_transmission(3, 7, 0));
+    }
+
+    #[test]
+    fn full_node_failure_rate_downs_everything() {
+        let spec = FaultSpec {
+            node_fail_rate: 1.0,
+            fail_window: 0,
+            repair_after: None,
+            ..FaultSpec::none()
+        };
+        let plan = FaultPlan::new(spec, 9);
+        for v in 0..50u32 {
+            let o = plan.node_outage(NodeId::new(v)).expect("all fail");
+            assert_eq!(o.from, 0);
+            assert!(o.is_permanent());
+            assert!(!plan.node_up(NodeId::new(v), 0));
+            assert_eq!(plan.down_until(NodeId::new(v), 0), Some(Time::MAX));
+        }
+    }
+
+    #[test]
+    fn repair_ends_transient_outages() {
+        let spec = FaultSpec {
+            node_fail_rate: 1.0,
+            fail_window: 10,
+            repair_after: Some(5),
+            ..FaultSpec::none()
+        };
+        let plan = FaultPlan::new(spec, 4);
+        for v in 0..50u32 {
+            let v = NodeId::new(v);
+            let o = plan.node_outage(v).expect("all fail");
+            assert!(o.from < 10);
+            assert_eq!(o.until, o.from + 5);
+            assert!(!plan.node_up(v, o.from));
+            assert!(plan.node_up(v, o.until));
+            assert_eq!(plan.down_until(v, o.from), Some(o.until));
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_in_seed() {
+        let spec = FaultSpec {
+            loss_rate: 0.3,
+            node_fail_rate: 0.4,
+            edge_fail_rate: 0.4,
+            fail_window: 100,
+            repair_after: Some(7),
+        };
+        let a = FaultPlan::new(spec, 123);
+        let b = FaultPlan::new(spec, 123);
+        let c = FaultPlan::new(spec, 124);
+        let mut differs = false;
+        for v in 0..200u32 {
+            let v = NodeId::new(v);
+            assert_eq!(a.node_outage(v), b.node_outage(v));
+            differs |= a.node_outage(v) != c.node_outage(v);
+        }
+        assert!(differs, "different seeds should give different plans");
+        for p in 0..100u64 {
+            assert_eq!(a.lose_transmission(p, 1, 0), b.lose_transmission(p, 1, 0));
+        }
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_honored() {
+        let spec = FaultSpec {
+            loss_rate: 0.25,
+            ..FaultSpec::none()
+        };
+        let plan = FaultPlan::new(spec, 2);
+        let lost = (0..10_000u64)
+            .filter(|&p| plan.lose_transmission(p, 0, 0))
+            .count();
+        let rate = lost as f64 / 10_000.0;
+        assert!((0.2..0.3).contains(&rate), "empirical loss rate {rate}");
+    }
+
+    #[test]
+    fn edge_outage_is_symmetric() {
+        let spec = FaultSpec {
+            edge_fail_rate: 0.5,
+            fail_window: 50,
+            repair_after: None,
+            ..FaultSpec::none()
+        };
+        let plan = FaultPlan::new(spec, 6);
+        for u in 0..30u32 {
+            for v in 0..30u32 {
+                assert_eq!(
+                    plan.edge_outage(NodeId::new(u), NodeId::new(v)),
+                    plan.edge_outage(NodeId::new(v), NodeId::new(u))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn survivor_mask_without_faults_is_the_giant_component() {
+        // two components: a 5-path and a 3-path
+        let g = Graph::from_edges(9, [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (6, 7), (7, 8)])
+            .unwrap();
+        let mask = FaultPlan::none().survivor_mask(&g);
+        assert_eq!(
+            mask,
+            vec![true, true, true, true, true, false, false, false, false]
+        );
+    }
+
+    #[test]
+    fn survivor_mask_ignores_transient_but_honors_permanent_outages() {
+        let g = path_graph(6);
+        // transient outages repair, so the whole path survives
+        let transient = FaultSpec {
+            node_fail_rate: 1.0,
+            fail_window: 10,
+            repair_after: Some(3),
+            ..FaultSpec::none()
+        };
+        let plan = FaultPlan::new(transient, 8);
+        assert_eq!(plan.survivor_mask(&g), vec![true; 6]);
+        // and with permanent failure of everything, nothing survives
+        let total = FaultSpec {
+            node_fail_rate: 1.0,
+            fail_window: 0,
+            repair_after: None,
+            ..FaultSpec::none()
+        };
+        let plan = FaultPlan::new(total, 8);
+        assert_eq!(plan.survivor_mask(&g), vec![false; 6]);
+    }
+
+    #[test]
+    fn survivor_mask_splits_on_permanent_edge_cuts() {
+        let g = path_graph(8);
+        let spec = FaultSpec {
+            edge_fail_rate: 0.5,
+            fail_window: 0,
+            repair_after: None,
+            ..FaultSpec::none()
+        };
+        let plan = FaultPlan::new(spec, 3);
+        let mask = plan.survivor_mask(&g);
+        // the survivors form one connected interval of the path containing
+        // no failed edge
+        let survivors: Vec<usize> = (0..8).filter(|&i| mask[i]).collect();
+        assert!(!survivors.is_empty());
+        for w in survivors.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "giant survivor set must be contiguous");
+            assert!(plan.edge_up(
+                NodeId::from_index(w[0]),
+                NodeId::from_index(w[1]),
+                Time::MAX - 1
+            ));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Per-link latency models.
+//!
+//! A [`LatencyModel`] maps a directed transmission `u → v` to a virtual
+//! delay in ticks. Models must be pure functions of the endpoints (and
+//! their own seed), never of wall clock or call order, so that a
+//! simulation replays identically.
+
+use smallworld_graph::NodeId;
+use smallworld_par::split_seed;
+
+use crate::event::Time;
+
+/// Deterministic per-link delay, in virtual ticks. Implementations must
+/// return at least 1 so that causality is preserved (a packet cannot
+/// arrive at the tick it was sent).
+pub trait LatencyModel {
+    /// Delay for one transmission over the edge `{u, v}`.
+    fn latency(&self, u: NodeId, v: NodeId) -> Time;
+}
+
+/// Every link takes exactly one tick — the model under which virtual-time
+/// latency equals hop count.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UnitLatency;
+
+impl LatencyModel for UnitLatency {
+    fn latency(&self, _u: NodeId, _v: NodeId) -> Time {
+        1
+    }
+}
+
+/// A seeded heterogeneous latency: every undirected edge gets a fixed
+/// delay in `base ..= base + spread`, derived from the seed and the edge
+/// endpoints by SplitMix64. Symmetric (`u→v` equals `v→u`) and stable
+/// across runs.
+#[derive(Clone, Copy, Debug)]
+pub struct SeededLatency {
+    base: Time,
+    spread: Time,
+    seed: u64,
+}
+
+impl SeededLatency {
+    /// Latencies uniform over `base ..= base + spread` per edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero (latencies must be at least one tick).
+    pub fn new(base: Time, spread: Time, seed: u64) -> Self {
+        assert!(base >= 1, "link latency must be at least one tick");
+        SeededLatency { base, spread, seed }
+    }
+}
+
+impl LatencyModel for SeededLatency {
+    fn latency(&self, u: NodeId, v: NodeId) -> Time {
+        if self.spread == 0 {
+            return self.base;
+        }
+        let (lo, hi) = if u.raw() <= v.raw() { (u, v) } else { (v, u) };
+        let key = ((lo.raw() as u64) << 32) | hi.raw() as u64;
+        self.base + split_seed(self.seed, key) % (self.spread + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_latency_is_one() {
+        assert_eq!(UnitLatency.latency(NodeId::new(0), NodeId::new(9)), 1);
+    }
+
+    #[test]
+    fn seeded_latency_is_symmetric_and_bounded() {
+        let model = SeededLatency::new(2, 5, 77);
+        for u in 0..20u32 {
+            for v in 0..20u32 {
+                let (a, b) = (NodeId::new(u), NodeId::new(v));
+                let l = model.latency(a, b);
+                assert_eq!(l, model.latency(b, a));
+                assert!((2..=7).contains(&l), "latency {l} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_latency_varies_with_seed_and_edge() {
+        let a = SeededLatency::new(1, 100, 1);
+        let b = SeededLatency::new(1, 100, 2);
+        let edges: Vec<(u32, u32)> = (0..50).map(|i| (i, i + 1)).collect();
+        let la: Vec<Time> = edges
+            .iter()
+            .map(|&(u, v)| a.latency(NodeId::new(u), NodeId::new(v)))
+            .collect();
+        let lb: Vec<Time> = edges
+            .iter()
+            .map(|&(u, v)| b.latency(NodeId::new(u), NodeId::new(v)))
+            .collect();
+        assert_ne!(la, lb);
+        let distinct: std::collections::BTreeSet<_> = la.iter().collect();
+        assert!(distinct.len() > 5, "latencies should spread across edges");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tick")]
+    fn zero_base_is_rejected() {
+        SeededLatency::new(0, 3, 1);
+    }
+}

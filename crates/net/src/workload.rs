@@ -1,0 +1,167 @@
+//! Traffic workloads: seeded batches of [`Injection`]s.
+//!
+//! A [`Workload`] turns `(count, rate, seed)` into a deterministic
+//! injection schedule: packet `i` enters at tick `⌊i / rate⌋`, with
+//! source and target drawn (source ≠ target) from an *eligible* node
+//! set — typically the giant survivor component from
+//! [`FaultPlan::survivor_mask`](crate::fault::FaultPlan::survivor_mask),
+//! so that "the failures disconnected the pair" and "the protocol got
+//! stuck" stay separable. Draws are pure SplitMix64 hashes of
+//! `(seed, i)`, so a workload is reproducible across runs, platforms,
+//! and thread counts.
+
+use smallworld_graph::NodeId;
+use smallworld_par::split_seed;
+
+use crate::event::Time;
+use crate::sim::Injection;
+
+/// A seeded, paced stream of source/target injections.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Workload {
+    count: usize,
+    rate: f64,
+    seed: u64,
+}
+
+impl Workload {
+    /// `count` packets at `rate` packets per tick (rates below one spread
+    /// packets out; above one, several share a tick), drawn under `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is finite and positive.
+    pub fn new(count: usize, rate: f64, seed: u64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "offered load must be finite and positive"
+        );
+        Workload { count, rate, seed }
+    }
+
+    /// Number of packets this workload injects.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Offered load in packets per tick.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The injection batch over `eligible` endpoints. Pair `i` is a pure
+    /// function of `(seed, i)`; injection times are evenly paced at the
+    /// offered rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two eligible nodes are given (no source ≠
+    /// target pair exists).
+    pub fn injections(&self, eligible: &[NodeId]) -> Vec<Injection> {
+        assert!(
+            eligible.len() >= 2,
+            "need at least two eligible nodes to draw pairs"
+        );
+        (0..self.count)
+            .map(|i| {
+                let hs = split_seed(self.seed, 2 * i as u64);
+                let ht = split_seed(self.seed, 2 * i as u64 + 1);
+                let s = eligible[(hs % eligible.len() as u64) as usize];
+                let mut t = eligible[(ht % eligible.len() as u64) as usize];
+                if t == s {
+                    // shift to the next eligible node, wrapping
+                    let idx = (ht % eligible.len() as u64) as usize;
+                    t = eligible[(idx + 1) % eligible.len()];
+                }
+                Injection {
+                    source: s,
+                    target: t,
+                    at: (i as f64 / self.rate).floor() as Time,
+                }
+            })
+            .collect()
+    }
+}
+
+/// The node ids selected by a boolean mask (as produced by
+/// [`FaultPlan::survivor_mask`](crate::fault::FaultPlan::survivor_mask)).
+pub fn nodes_from_mask(mask: &[bool]) -> Vec<NodeId> {
+    mask.iter()
+        .enumerate()
+        .filter(|&(_, &keep)| keep)
+        .map(|(i, _)| NodeId::from_index(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raw: &[u32]) -> Vec<NodeId> {
+        raw.iter().copied().map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn injections_are_paced_by_rate() {
+        let w = Workload::new(10, 0.5, 1);
+        let inj = w.injections(&ids(&[0, 1, 2, 3]));
+        assert_eq!(inj.len(), 10);
+        for (i, x) in inj.iter().enumerate() {
+            assert_eq!(x.at, (i * 2) as Time, "rate 0.5 = one packet per 2 ticks");
+        }
+        let w = Workload::new(6, 3.0, 1);
+        let inj = w.injections(&ids(&[0, 1, 2, 3]));
+        for (i, x) in inj.iter().enumerate() {
+            assert_eq!(x.at, (i / 3) as Time, "rate 3 = three packets per tick");
+        }
+    }
+
+    #[test]
+    fn sources_never_equal_targets() {
+        let w = Workload::new(500, 1.0, 7);
+        for x in w.injections(&ids(&[3, 9])) {
+            assert_ne!(x.source, x.target);
+        }
+        for x in w.injections(&ids(&[1, 2, 3, 4, 5, 6, 7])) {
+            assert_ne!(x.source, x.target);
+        }
+    }
+
+    #[test]
+    fn endpoints_come_from_the_eligible_set() {
+        let eligible = ids(&[2, 5, 11, 17]);
+        let w = Workload::new(200, 2.0, 3);
+        for x in w.injections(&eligible) {
+            assert!(eligible.contains(&x.source));
+            assert!(eligible.contains(&x.target));
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic_in_seed() {
+        let e = ids(&[0, 1, 2, 3, 4]);
+        let a = Workload::new(100, 1.0, 5).injections(&e);
+        let b = Workload::new(100, 1.0, 5).injections(&e);
+        let c = Workload::new(100, 1.0, 6).injections(&e);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn nodes_from_mask_selects_true_indices() {
+        let mask = [true, false, false, true, true];
+        assert_eq!(nodes_from_mask(&mask), ids(&[0, 3, 4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two eligible")]
+    fn single_node_set_is_rejected() {
+        Workload::new(1, 1.0, 0).injections(&ids(&[4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_rate_is_rejected() {
+        Workload::new(1, 0.0, 0);
+    }
+}

@@ -8,8 +8,6 @@
 //!   and fixed-bucket log₂ histograms, merged only at report time.
 //! * [`span`] — scoped [`Span`] guards with monotonic timing and
 //!   hierarchical (path-keyed) aggregation.
-//! * [`observe`] — [`RouteObserver`](smallworld_core::RouteObserver)
-//!   implementations that stream per-hop routing events into the registry.
 //! * [`sink`] + [`json`] — a hand-rolled JSON tree and the JSONL artifact
 //!   writer the experiment binaries use for machine-readable results
 //!   (tables, per-suite timings, metric snapshots, peak RSS from
@@ -33,14 +31,12 @@
 
 pub mod json;
 pub mod metrics;
-pub mod observe;
 pub mod rss;
 pub mod sink;
 pub mod span;
 
 pub use json::JsonValue;
 pub use metrics::{Counter, Histogram, MetricsSnapshot, Registry};
-pub use observe::{CountingObserver, MetricsRouteObserver};
 pub use rss::peak_rss_bytes;
 pub use sink::JsonlSink;
 pub use span::{Span, SpanStats};

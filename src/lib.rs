@@ -9,6 +9,8 @@
 //! * [`graph`] — the CSR graph substrate with BFS and components,
 //! * [`models`] — GIRG / hyperbolic / Kleinberg / Chung–Lu generators,
 //! * [`core`] — greedy routing, patching protocols and trajectory analysis,
+//! * [`net`] — discrete-event simulation of concurrent packets with
+//!   latency, queues, and seeded faults,
 //! * [`analysis`] — statistics used by the experiment harness.
 //!
 //! # Quickstart
@@ -38,6 +40,7 @@ pub use smallworld_core as core;
 pub use smallworld_geometry as geometry;
 pub use smallworld_graph as graph;
 pub use smallworld_models as models;
+pub use smallworld_net as net;
 
 /// Convenience re-exports for the common workflow: sample a model, route,
 /// measure.
