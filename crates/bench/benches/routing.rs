@@ -1,11 +1,16 @@
 //! Per-query routing latency on a pre-sampled 100k-vertex GIRG: greedy
-//! routing under the three objectives, and the BFS used for stretch.
+//! routing under the three objectives — through the naive score path, the
+//! prepared kernel, and the edge-packed routing index — and the BFS used
+//! for stretch.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use smallworld_core::{DistanceObjective, GirgObjective, GreedyRouter, RelaxedObjective, Router};
+use smallworld_core::{
+    DistanceObjective, GirgObjective, GreedyRouter, IndexedGirgObjective, NaiveObjective,
+    RelaxedObjective, Router, RoutingIndex,
+};
 use smallworld_graph::{bfs_distance, NodeId};
 use smallworld_models::girg::{Girg, GirgBuilder};
 
@@ -31,6 +36,16 @@ fn bench_routing(c: &mut Criterion) {
     let queries = pairs(&girg, 512);
     let mut group = c.benchmark_group("routing_100k");
 
+    group.bench_function("greedy_phi_naive", |b| {
+        let obj = NaiveObjective(GirgObjective::new(&girg));
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = queries[i % queries.len()];
+            i += 1;
+            GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t)
+        });
+    });
+
     group.bench_function("greedy_phi", |b| {
         let obj = GirgObjective::new(&girg);
         let mut i = 0;
@@ -38,6 +53,31 @@ fn bench_routing(c: &mut Criterion) {
             let (s, t) = queries[i % queries.len()];
             i += 1;
             GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t)
+        });
+    });
+
+    group.bench_function("greedy_phi_indexed", |b| {
+        let index = RoutingIndex::for_girg(&girg);
+        let obj = IndexedGirgObjective::new(GirgObjective::new(&girg), &index);
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = queries[i % queries.len()];
+            i += 1;
+            GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t)
+        });
+    });
+
+    group.bench_function("greedy_phi_indexed_morton", |b| {
+        let perm = girg.morton_permutation();
+        let relabeled = girg.relabel(&perm);
+        let index = RoutingIndex::for_girg(&relabeled);
+        let obj = IndexedGirgObjective::new(GirgObjective::new(&relabeled), &index);
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = queries[i % queries.len()];
+            i += 1;
+            let (s, t) = (perm.forward(s), perm.forward(t));
+            GreedyRouter::new().route_quiet(relabeled.graph(), &obj, s, t)
         });
     });
 

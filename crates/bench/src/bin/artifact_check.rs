@@ -171,6 +171,59 @@ fn check(contents: &str) -> Result<String, String> {
             }
         }
     }
+    // a routing-throughput artifact must carry the throughput table with
+    // positive rates, and a speedup column anchored at 1.000 for the
+    // naive baseline row
+    let is_bench_routing = records[0]
+        .1
+        .get("binary")
+        .and_then(JsonValue::as_str)
+        .map(|b| b == "bench_routing")
+        .unwrap_or(false);
+    if is_bench_routing {
+        let throughput = records
+            .iter()
+            .find(|(kind, record)| {
+                kind == "table"
+                    && record
+                        .get("headers")
+                        .and_then(JsonValue::as_array)
+                        .is_some_and(|h| h.iter().any(|c| c.as_str() == Some("hops/sec")))
+            })
+            .ok_or("bench_routing artifact has no throughput table")?;
+        let headers = throughput.1.get("headers").and_then(JsonValue::as_array);
+        let rows = throughput.1.get("rows").and_then(JsonValue::as_array);
+        let (Some(headers), Some(rows)) = (headers, rows) else {
+            return Err("throughput table malformed".into());
+        };
+        for column in ["hops/sec", "speedup"] {
+            let c = headers
+                .iter()
+                .position(|h| h.as_str() == Some(column))
+                .ok_or_else(|| format!("throughput table missing column {column:?}"))?;
+            for row in rows {
+                let cell = row
+                    .as_array()
+                    .and_then(|r| r[c].as_str())
+                    .ok_or_else(|| format!("throughput cell in {column:?} is not a string"))?;
+                let value: f64 = cell
+                    .parse()
+                    .map_err(|_| format!("throughput cell {cell:?} is not numeric"))?;
+                if value <= 0.0 {
+                    return Err(format!("throughput {column:?} value {value} not positive"));
+                }
+            }
+        }
+        if counters
+            .get("route.started")
+            .and_then(JsonValue::as_f64)
+            .map(|v| v > 0.0)
+            != Some(true)
+        {
+            return Err("bench_routing artifact routed nothing (route.started is zero)".into());
+        }
+    }
+
     // any artifact that ran a traffic suite must carry the simulator's
     // delivery/drop counters, with at least one packet injected
     let ran_traffic = records.iter().any(|(kind, record)| {

@@ -28,8 +28,10 @@ use rand::SeedableRng;
 
 use smallworld_analysis::table::fmt_f64;
 use smallworld_analysis::Table;
-use smallworld_core::{GirgObjective, HyperbolicObjective, KleinbergObjective, Objective};
-use smallworld_graph::{Graph, NodeId};
+use smallworld_core::{
+    GirgObjective, HyperbolicObjective, KleinbergObjective, Objective, PreparedObjective,
+};
+use smallworld_graph::Graph;
 use smallworld_models::{HrgBuilder, KleinbergLatticeBuilder};
 use smallworld_net::{
     nodes_from_mask, FaultPlan, FaultSpec, GreedyPolicy, PacketOutcome, PatchingPolicy, SimConfig,
@@ -159,7 +161,10 @@ fn traffic_rep<O: Objective>(
         return agg;
     }
     let injections = Workload::new(packets, load, split_seed(seed, 1)).injections(&eligible);
-    let score = |v: NodeId, t: NodeId| objective.score(v, t);
+    // prepared-kernel hop scoring: the simulator calls `prepare(target)`
+    // once per forwarding decision instead of re-deriving the target's
+    // geometry for every candidate neighbor
+    let score = PreparedObjective::new(objective);
     let _span = smallworld_obs::Span::enter("traffic_sim");
     let report = match policy {
         Policy::Greedy => Simulation::new(graph, GreedyPolicy::new(score))
@@ -428,6 +433,7 @@ fn push_model_row(table: &mut Table, model: &str, n: usize, agg: &Agg) {
 mod tests {
     use super::*;
     use smallworld_core::{GreedyRouter, RouteOutcome, Router};
+    use smallworld_graph::NodeId;
 
     #[test]
     fn quick_run_covers_all_tables() {
@@ -452,10 +458,7 @@ mod tests {
         let obj = GirgObjective::new(&girg);
         let eligible: Vec<NodeId> = girg.graph().nodes().collect();
         let injections = Workload::new(60, 1.0, 99).injections(&eligible);
-        let sim = Simulation::new(
-            girg.graph(),
-            GreedyPolicy::new(|v: NodeId, t: NodeId| obj.score(v, t)),
-        );
+        let sim = Simulation::new(girg.graph(), GreedyPolicy::new(PreparedObjective::new(&obj)));
         let report = sim.run(&injections);
         let router = GreedyRouter::new();
         for (inj, packet) in injections.iter().zip(&report.packets) {
@@ -582,11 +585,9 @@ mod tests {
         let eligible: Vec<NodeId> = girg.graph().nodes().collect();
         let latency_at = |load: f64| {
             let injections = Workload::new(400, load, 5).injections(&eligible);
-            let report = Simulation::new(
-                girg.graph(),
-                GreedyPolicy::new(|v: NodeId, t: NodeId| obj.score(v, t)),
-            )
-            .run(&injections);
+            let report =
+                Simulation::new(girg.graph(), GreedyPolicy::new(PreparedObjective::new(&obj)))
+                    .run(&injections);
             report.mean_delivered_latency().unwrap_or(0.0)
         };
         let slow = latency_at(0.5);

@@ -4,9 +4,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use smallworld_analysis::{Proportion, Summary};
-use smallworld_core::{stretch, NoopObserver, Objective, RouteObserver, RouteRecord, Router};
-use smallworld_graph::{Components, Graph, NodeId};
-use smallworld_par::Pool;
+use smallworld_core::{
+    stretch, MetricsRouteObserver, NoopObserver, Objective, RouteObserver, RouteRecord,
+    RouteScratch, Router,
+};
+use smallworld_graph::{Components, Graph, NodeId, Permutation};
+use smallworld_par::{chunk_ranges, Pool};
 
 /// Experiment size: `Quick` for smoke tests / CI, `Full` for the numbers
 /// recorded in `EXPERIMENTS.md`.
@@ -365,6 +368,7 @@ pub struct TrialBatch<'a> {
     pairs: usize,
     measure_stretch: bool,
     connected_only: bool,
+    id_map: Option<&'a Permutation>,
 }
 
 impl<'a> TrialBatch<'a> {
@@ -376,6 +380,7 @@ impl<'a> TrialBatch<'a> {
             pairs,
             measure_stretch: false,
             connected_only: false,
+            id_map: None,
         }
     }
 
@@ -391,7 +396,31 @@ impl<'a> TrialBatch<'a> {
         self
     }
 
+    /// Declares that `graph` (and the objective) live in a *relabeled* id
+    /// space — typically `Girg::morton_permutation` — while reported results
+    /// stay in the original one: pairs are drawn in original-id space (so
+    /// the trial sequence matches an unrelabeled run seed-for-seed), mapped
+    /// forward for routing, and every returned [`RouteRecord`] path is
+    /// mapped back to original ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the permutation length mismatches the graph.
+    pub fn with_id_map(mut self, perm: &'a Permutation) -> Self {
+        assert_eq!(
+            perm.len(),
+            self.graph.node_count(),
+            "permutation length must match node count"
+        );
+        self.id_map = Some(perm);
+        self
+    }
+
     /// Runs the batch on `pool`, collecting outcomes in trial order.
+    ///
+    /// Routing paths are recycled through per-worker [`RouteScratch`]
+    /// buffers — steady state allocates nothing per trial. Use
+    /// [`TrialBatch::run_recorded`] when the paths themselves are needed.
     ///
     /// # Panics
     ///
@@ -408,7 +437,7 @@ impl<'a> TrialBatch<'a> {
         R: Router + Sync,
         O: Objective + Sync,
     {
-        self.run_recorded(router, objective, master_seed, pool)
+        self.run_chunked(router, objective, master_seed, pool, false)
             .into_iter()
             .map(|(outcome, _)| outcome)
             .collect()
@@ -431,6 +460,29 @@ impl<'a> TrialBatch<'a> {
         R: Router + Sync,
         O: Objective + Sync,
     {
+        self.run_chunked(router, objective, master_seed, pool, true)
+            .into_iter()
+            .map(|(outcome, record)| (outcome, record.expect("records were kept")))
+            .collect()
+    }
+
+    /// Shared driver: trials are fanned out in contiguous chunks so each
+    /// worker reuses one [`RouteScratch`] and one interned metrics observer
+    /// across its whole chunk. Trial `i`'s RNG is still seeded from
+    /// `(master_seed, i)` alone, so results are independent of both the
+    /// thread count and the chunking.
+    fn run_chunked<R, O>(
+        &self,
+        router: &R,
+        objective: &O,
+        master_seed: u64,
+        pool: &Pool,
+        keep_records: bool,
+    ) -> Vec<(TrialOutcome, Option<RouteRecord>)>
+    where
+        R: Router + Sync,
+        O: Objective + Sync,
+    {
         let n = self.graph.node_count();
         assert!(n >= 2, "need at least two vertices to route");
         if self.connected_only {
@@ -439,39 +491,62 @@ impl<'a> TrialBatch<'a> {
                 "no two vertices share a component"
             );
         }
-        pool.map_seeded(self.pairs, master_seed, |_, seed| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let (s, t) = loop {
-                let s = NodeId::from_index(rng.gen_range(0..n));
-                let t = NodeId::from_index(rng.gen_range(0..n));
-                if t == s {
-                    continue;
-                }
-                if self.connected_only && !self.components.same_component(s, t) {
-                    continue;
-                }
-                break (s, t);
-            };
-            let record = router.route(
-                self.graph,
-                objective,
-                s,
-                t,
-                &mut smallworld_core::MetricsRouteObserver::new(),
-            );
-            let st = if self.measure_stretch {
-                stretch(self.graph, &record)
-            } else {
-                None
-            };
-            let outcome = TrialOutcome {
-                success: record.is_success(),
-                hops: record.hops(),
-                stretch: st,
-                same_component: self.components.same_component(s, t),
-            };
-            (outcome, record)
-        })
+        let chunks = chunk_ranges(self.pairs, pool.threads().saturating_mul(4));
+        let per_chunk = pool.map_items(chunks, |_, range| {
+            let mut scratch = RouteScratch::with_path_capacity(32);
+            let mut obs = MetricsRouteObserver::new();
+            let mut out = Vec::with_capacity(range.len());
+            for i in range {
+                let mut rng = StdRng::seed_from_u64(split_seed(master_seed, i as u64));
+                let (s, t) = loop {
+                    let s = NodeId::from_index(rng.gen_range(0..n));
+                    let t = NodeId::from_index(rng.gen_range(0..n));
+                    if t == s {
+                        continue;
+                    }
+                    let (s, t) = match self.id_map {
+                        Some(perm) => (perm.forward(s), perm.forward(t)),
+                        None => (s, t),
+                    };
+                    if self.connected_only && !self.components.same_component(s, t) {
+                        continue;
+                    }
+                    break (s, t);
+                };
+                let record =
+                    router.route_with(self.graph, objective, s, t, &mut obs, &mut scratch);
+                let st = if self.measure_stretch {
+                    stretch(self.graph, &record)
+                } else {
+                    None
+                };
+                let outcome = TrialOutcome {
+                    success: record.is_success(),
+                    hops: record.hops(),
+                    stretch: st,
+                    same_component: self.components.same_component(s, t),
+                };
+                let record = if keep_records {
+                    Some(match self.id_map {
+                        Some(perm) => {
+                            let path = perm.path_to_original(&record.path);
+                            scratch.recycle(record.path);
+                            RouteRecord {
+                                outcome: record.outcome,
+                                path,
+                            }
+                        }
+                        None => record,
+                    })
+                } else {
+                    scratch.recycle(record.path);
+                    None
+                };
+                out.push((outcome, record));
+            }
+            out
+        });
+        per_chunk.into_iter().flatten().collect()
     }
 }
 
@@ -619,6 +694,51 @@ mod tests {
         // and a different master seed gives a different trial sequence
         let other = batch.run_recorded(&router, &obj, 0xD15D, &Pool::with_threads(4));
         assert_ne!(sequential, other);
+    }
+
+    /// Morton-relabeled routing, viewed through `with_id_map`, must be
+    /// observationally identical to routing the original graph: same trial
+    /// outcomes and the *same original-id paths*, record for record.
+    #[test]
+    fn trial_batch_id_map_reports_original_ids() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let girg = GirgBuilder::<2>::new(800).sample(&mut rng).unwrap();
+        let perm = girg.morton_permutation();
+        let relabeled = girg.relabel(&perm);
+
+        let comps = Components::compute(girg.graph());
+        let comps_re = Components::compute(relabeled.graph());
+        let obj = GirgObjective::new(&girg);
+        let obj_re = GirgObjective::new(&relabeled);
+        let router = GreedyRouter::new();
+        let pool = Pool::with_threads(3);
+
+        let plain = TrialBatch::new(girg.graph(), &comps, 80)
+            .measure_stretch(true)
+            .run_recorded(&router, &obj, 0xA40, &pool);
+        let mapped = TrialBatch::new(relabeled.graph(), &comps_re, 80)
+            .measure_stretch(true)
+            .with_id_map(&perm)
+            .run_recorded(&router, &obj_re, 0xA40, &pool);
+        assert_eq!(plain, mapped);
+    }
+
+    /// The routing index is pure mechanism: identical records with the
+    /// index on or off, at any thread count.
+    #[test]
+    fn trial_batch_with_index_is_invariant() {
+        use smallworld_core::{IndexedGirgObjective, RoutingIndex};
+        let mut rng = StdRng::seed_from_u64(13);
+        let girg = GirgBuilder::<2>::new(800).sample(&mut rng).unwrap();
+        let comps = Components::compute(girg.graph());
+        let obj = GirgObjective::new(&girg);
+        let index = RoutingIndex::for_girg(&girg);
+        let indexed = IndexedGirgObjective::new(GirgObjective::new(&girg), &index);
+        let batch = TrialBatch::new(girg.graph(), &comps, 80).connected_only(true);
+        let router = GreedyRouter::new();
+        let plain = batch.run_recorded(&router, &obj, 0x1D5, &Pool::with_threads(1));
+        let fast = batch.run_recorded(&router, &indexed, 0x1D5, &Pool::with_threads(4));
+        assert_eq!(plain, fast);
     }
 
     #[test]

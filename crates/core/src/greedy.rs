@@ -10,8 +10,9 @@
 
 use smallworld_graph::{Graph, NodeId};
 
-use crate::objective::Objective;
+use crate::objective::{Objective, ScoreKernel};
 use crate::observe::RouteObserver;
+use crate::router::RouteScratch;
 
 /// Default cap on routing steps; greedy paths are `Θ(log log n)` so this is
 /// effectively unlimited while still preventing runaway loops with
@@ -91,6 +92,7 @@ impl RouteRecord {
 ///     fn score(&self, v: NodeId, t: NodeId) -> f64 {
 ///         if v == t { f64::INFINITY } else { v.index() as f64 }
 ///     }
+///     smallworld_core::impl_naive_kernel!();
 /// }
 /// let g = Graph::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3)])?;
 /// let r = GreedyRouter::new().route_quiet(&g, &Line, NodeId::new(0), NodeId::new(3));
@@ -128,18 +130,21 @@ impl crate::router::Router for GreedyRouter {
         "greedy"
     }
 
-    fn route<O: Objective, Obs: RouteObserver>(
+    fn route_with<O: Objective, Obs: RouteObserver>(
         &self,
         graph: &Graph,
         objective: &O,
         s: NodeId,
         t: NodeId,
         obs: &mut Obs,
+        scratch: &mut RouteScratch,
     ) -> RouteRecord {
         obs.on_start(s, t);
-        let mut path = vec![s];
+        let kernel = objective.prepare(t);
+        let mut path = scratch.take_path();
+        path.push(s);
         let mut current = s;
-        let mut current_score = objective.score(s, t);
+        let mut current_score = kernel.score(s);
         loop {
             if current == t {
                 obs.on_finish(RouteOutcome::Delivered, path.len() - 1);
@@ -156,14 +161,7 @@ impl crate::router::Router for GreedyRouter {
                 };
             }
             // argmax over neighbors; first-best wins ties deterministically
-            let mut best: Option<(f64, NodeId)> = None;
-            for &u in graph.neighbors(current) {
-                let score = objective.score(u, t);
-                if best.is_none_or(|(b, _)| score > b) {
-                    best = Some((score, u));
-                }
-            }
-            match best {
+            match kernel.best_neighbor(graph, current) {
                 Some((score, u)) if score > current_score => {
                     obs.on_hop(u, score);
                     path.push(u);
@@ -204,6 +202,7 @@ mod tests {
                 v.index() as f64
             }
         }
+        crate::impl_naive_kernel!();
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   awake at a time" claim, made structural.
 //! * [`lookahead`] — the one-hop "know thy neighbor's neighbor" variant
 //!   cited among the Kleinberg-model refinements.
+//! * [`index`] — the opt-in edge-packed routing index: per-edge copies of
+//!   neighbor positions and weights, so the hop scan is one sequential
+//!   sweep with no random gathers (bitwise-identical routes, enforced).
 //! * [`observe`] — per-hop routing probes: every router reports hops,
 //!   objective values, backtracks and dead ends to a [`RouteObserver`];
 //!   the no-op default monomorphizes to zero cost.
@@ -52,6 +55,7 @@
 
 pub mod distributed;
 pub mod greedy;
+pub mod index;
 pub mod lookahead;
 pub mod objective;
 pub mod observe;
@@ -64,14 +68,17 @@ pub mod trajectory;
 
 pub use distributed::{DistributedGreedy, Simulator};
 pub use greedy::{GreedyRouter, RouteOutcome, RouteRecord};
+pub use index::{IndexedDistanceObjective, IndexedGirgObjective, RoutingIndex};
 pub use lookahead::LookaheadRouter;
 pub use observe::{NoopObserver, RouteObserver};
 pub use observers::{CountingObserver, MetricsRouteObserver};
 pub use objective::{
-    DistanceObjective, GirgObjective, HyperbolicObjective, KleinbergObjective, Objective,
-    QuantizedObjective, RelaxedObjective,
+    DistanceHopKernel, DistanceObjective, GirgHopKernel, GirgObjective, HyperbolicHopKernel,
+    HyperbolicObjective, KleinbergHopKernel, KleinbergObjective, NaiveKernel, NaiveObjective,
+    Objective, PreparedObjective, QuantizedHopKernel, QuantizedObjective, RelaxedHopKernel,
+    RelaxedObjective, ScoreKernel,
 };
 pub use patching::{GravityPressureRouter, HistoryRouter, PhiDfsRouter};
-pub use router::{Router, RouterKind};
+pub use router::{RouteScratch, Router, RouterKind};
 pub use stretch::stretch;
 pub use trajectory::{Layer, Phase, Trajectory};

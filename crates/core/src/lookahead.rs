@@ -21,7 +21,7 @@ use smallworld_graph::{Graph, NodeId};
 use crate::greedy::{RouteOutcome, RouteRecord, DEFAULT_MAX_STEPS};
 use crate::objective::Objective;
 use crate::observe::RouteObserver;
-use crate::router::Router;
+use crate::router::{RouteScratch, Router};
 
 /// Greedy routing that ranks neighbors by the best objective within one
 /// extra hop.
@@ -39,6 +39,7 @@ use crate::router::Router;
 ///     fn score(&self, v: NodeId, t: NodeId) -> f64 {
 ///         if v == t { f64::INFINITY } else { v.index() as f64 }
 ///     }
+///     smallworld_core::impl_naive_kernel!();
 /// }
 /// let g = Graph::from_edges(10, [(0u32, 5u32), (0, 1), (1, 9)])?;
 /// let r = LookaheadRouter::new().route_quiet(&g, &ById, NodeId::new(0), NodeId::new(9));
@@ -76,16 +77,19 @@ impl Router for LookaheadRouter {
         "lookahead"
     }
 
-    fn route<O: Objective, Obs: RouteObserver>(
+    fn route_with<O: Objective, Obs: RouteObserver>(
         &self,
         graph: &Graph,
         objective: &O,
         s: NodeId,
         t: NodeId,
         obs: &mut Obs,
+        scratch: &mut RouteScratch,
     ) -> RouteRecord {
         obs.on_start(s, t);
-        let mut path = vec![s];
+        let kernel = objective.prepare(t);
+        let mut path = scratch.take_path();
+        path.push(s);
         let mut current = s;
         loop {
             if current == t {
@@ -102,15 +106,20 @@ impl Router for LookaheadRouter {
                     path,
                 };
             }
-            let current_score = objective.score(current, t);
+            // The two-level scan revisits each second-hop vertex once per
+            // first-hop parent; the per-hop score cache makes every vertex
+            // scored at most once per hop (O(Σ deg) instead of O(deg²)),
+            // returning the identical bits a fresh evaluation would.
+            scratch.begin_hop(graph.node_count());
+            let current_score = scratch.cached_score(&kernel, current);
             // rank neighbors by (reachable-in-one-more-hop, own score, -id)
             let mut best: Option<(f64, f64, NodeId)> = None;
             for &u in graph.neighbors(current) {
-                let own = objective.score(u, t);
+                let own = scratch.cached_score(&kernel, u);
                 let reachable = graph
                     .neighbors(u)
                     .iter()
-                    .map(|&w| objective.score(w, t))
+                    .map(|&w| scratch.cached_score(&kernel, w))
                     .fold(own, f64::max);
                 let candidate = (reachable, own, u);
                 let better = match best {
@@ -168,6 +177,7 @@ mod tests {
                 v.index() as f64
             }
         }
+        crate::impl_naive_kernel!();
     }
 
     #[test]

@@ -14,13 +14,25 @@
 //! the same protocol; implementations are free to exploit this (e.g. the
 //! hyperbolic objective returns `−d_H` instead of the paper's
 //! `1/√(cosh d_H)` form).
+//!
+//! # Prepared kernels
+//!
+//! Routing scores every neighbor of every hop against a *fixed* target, so
+//! [`Objective::prepare`] compiles a per-target [`ScoreKernel`] with the
+//! target's position (and any normalization) hoisted out of the loop. The
+//! same monotone-transform argument that licenses `−d_H` licenses this
+//! compilation — and the contract here is stronger: a prepared kernel must
+//! return **bitwise-identical** scores to [`Objective::score`], so routers
+//! produce identical `RouteRecord`s on either path (enforced by the
+//! `kernel_equivalence` test suite).
 
+use std::fmt;
 use std::hash::{Hash, Hasher};
 
 use smallworld_geometry::Point;
-use smallworld_graph::NodeId;
+use smallworld_graph::{Graph, NodeId};
 use smallworld_models::girg::Girg;
-use smallworld_models::hyperbolic::Hrg;
+use smallworld_models::hyperbolic::{hyperbolic_distance, Hrg};
 use smallworld_models::kleinberg::{ContinuumKleinberg, KleinbergLattice};
 
 /// A routing objective: vertices with larger score are "closer" to `target`.
@@ -30,6 +42,201 @@ use smallworld_models::kleinberg::{ContinuumKleinberg, KleinbergLattice};
 pub trait Objective {
     /// Score of vertex `v` when routing towards `target`.
     fn score(&self, v: NodeId, target: NodeId) -> f64;
+
+    /// The prepared per-target kernel type returned by [`Self::prepare`].
+    type Kernel<'k>: ScoreKernel
+    where
+        Self: 'k;
+
+    /// Compiles a hop kernel for routing towards `target`.
+    ///
+    /// The kernel must satisfy `prepare(t).score(v) == self.score(v, t)`
+    /// *bitwise* for every vertex `v`, and is typically specialized per norm
+    /// and dimension with the target's position, weight, and normalization
+    /// loaded once. Implementations with no precomputation to exploit can
+    /// use [`NaiveKernel`] via [`crate::impl_naive_kernel!`].
+    fn prepare(&self, target: NodeId) -> Self::Kernel<'_>;
+}
+
+/// A routing objective specialized to one target: the hop-loop view of an
+/// [`Objective`] with all per-target state hoisted.
+pub trait ScoreKernel {
+    /// The target this kernel was prepared for.
+    fn target(&self) -> NodeId;
+
+    /// Score of vertex `v`; bitwise-identical to the originating
+    /// [`Objective::score`]`(v, target)`.
+    fn score(&self, v: NodeId) -> f64;
+
+    /// The greedy argmax over `v`'s neighborhood: the first neighbor (in
+    /// adjacency order) attaining the strictly largest score, or `None` for
+    /// an isolated vertex.
+    ///
+    /// The default implementation scans [`Graph::neighbors`]; kernels backed
+    /// by an edge-packed index (see `crate::index`) override it with a
+    /// sequential sweep that performs no random gathers. Overrides must
+    /// preserve first-best-in-adjacency-order semantics bitwise.
+    #[inline]
+    fn best_neighbor(&self, graph: &Graph, v: NodeId) -> Option<(f64, NodeId)> {
+        let mut best: Option<(f64, NodeId)> = None;
+        for &u in graph.neighbors(v) {
+            let score = self.score(u);
+            if best.is_none_or(|(b, _)| score > b) {
+                best = Some((score, u));
+            }
+        }
+        best
+    }
+}
+
+/// The trivial [`ScoreKernel`]: defers every call to [`Objective::score`]
+/// with no per-target preparation.
+///
+/// This is both the adapter for objectives with nothing to hoist (see
+/// [`crate::impl_naive_kernel!`]) and — via [`NaiveObjective`] — the
+/// baseline that equivalence tests and the routing benchmark compare
+/// prepared kernels against.
+pub struct NaiveKernel<'k, O: ?Sized> {
+    objective: &'k O,
+    target: NodeId,
+}
+
+impl<'k, O: ?Sized> NaiveKernel<'k, O> {
+    /// Wraps an objective for scoring towards `target`.
+    pub fn new(objective: &'k O, target: NodeId) -> Self {
+        NaiveKernel { objective, target }
+    }
+}
+
+impl<O: ?Sized> Clone for NaiveKernel<'_, O> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<O: ?Sized> Copy for NaiveKernel<'_, O> {}
+
+impl<O: ?Sized> fmt::Debug for NaiveKernel<'_, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NaiveKernel")
+            .field("target", &self.target)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<O: Objective + ?Sized> ScoreKernel for NaiveKernel<'_, O> {
+    fn target(&self) -> NodeId {
+        self.target
+    }
+
+    #[inline]
+    fn score(&self, v: NodeId) -> f64 {
+        self.objective.score(v, self.target)
+    }
+}
+
+/// Implements the kernel items of [`Objective`] with [`NaiveKernel`], for
+/// objectives that have no per-target state worth hoisting (test doubles,
+/// table lookups, …). Expand inside an `impl Objective for …` block, after
+/// defining `score`:
+///
+/// ```
+/// use smallworld_core::{Objective, ScoreKernel};
+/// use smallworld_graph::NodeId;
+///
+/// struct ById;
+/// impl Objective for ById {
+///     fn score(&self, v: NodeId, target: NodeId) -> f64 {
+///         if v == target { f64::INFINITY } else { -f64::from(v.raw()) }
+///     }
+///     smallworld_core::impl_naive_kernel!();
+/// }
+///
+/// let kernel = ById.prepare(NodeId::new(0));
+/// assert!(kernel.score(NodeId::new(0)).is_infinite());
+/// ```
+#[macro_export]
+macro_rules! impl_naive_kernel {
+    () => {
+        type Kernel<'k>
+            = $crate::NaiveKernel<'k, Self>
+        where
+            Self: 'k;
+
+        fn prepare(&self, target: ::smallworld_graph::NodeId) -> Self::Kernel<'_> {
+            $crate::NaiveKernel::new(self, target)
+        }
+    };
+}
+
+/// Forces the unprepared scoring path: `prepare` returns a [`NaiveKernel`]
+/// that re-evaluates [`Objective::score`] per call, exactly as a router
+/// without kernel support would. Equivalence tests and the routing
+/// benchmark use this as the "naive" baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct NaiveObjective<O>(pub O);
+
+impl<O: Objective> Objective for NaiveObjective<O> {
+    fn score(&self, v: NodeId, target: NodeId) -> f64 {
+        self.0.score(v, target)
+    }
+
+    type Kernel<'k>
+        = NaiveKernel<'k, Self>
+    where
+        Self: 'k;
+
+    fn prepare(&self, target: NodeId) -> Self::Kernel<'_> {
+        NaiveKernel::new(self, target)
+    }
+}
+
+/// Adapts any [`Objective`] into `smallworld-net`'s
+/// [`HopScore`](smallworld_net::HopScore), so the network simulator's
+/// forwarding policies score candidates through the prepared kernel
+/// instead of re-resolving the target every call.
+///
+/// Per the `HopScore` contract the prepared closure is bitwise-identical
+/// to the two-argument score, which the kernel contract already
+/// guarantees — traffic simulations produce identical reports whether a
+/// policy is built from a plain closure or from this adapter.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use smallworld_core::{GirgObjective, PreparedObjective};
+/// use smallworld_models::girg::GirgBuilder;
+/// use smallworld_net::GreedyPolicy;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let girg = GirgBuilder::<2>::new(200).sample(&mut rng)?;
+/// let objective = GirgObjective::new(&girg);
+/// let policy = GreedyPolicy::new(PreparedObjective::new(&objective));
+/// # let _ = policy;
+/// # Ok::<(), smallworld_models::ModelError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct PreparedObjective<'a, O>(&'a O);
+
+impl<'a, O: Objective> PreparedObjective<'a, O> {
+    /// Wraps an objective for use as a forwarding-policy score.
+    pub fn new(objective: &'a O) -> Self {
+        PreparedObjective(objective)
+    }
+}
+
+impl<O: Objective> smallworld_net::HopScore for PreparedObjective<'_, O> {
+    #[inline]
+    fn score(&self, candidate: NodeId, target: NodeId) -> f64 {
+        self.0.score(candidate, target)
+    }
+
+    #[inline]
+    fn prepare(&self, target: NodeId) -> impl Fn(NodeId) -> f64 + '_ {
+        let kernel = self.0.prepare(target);
+        move |v| kernel.score(v)
+    }
 }
 
 /// The paper's objective `φ(v) = w_v / (w_min · n · ‖x_v − x_t‖^d)` (§2.2).
@@ -84,6 +291,11 @@ impl<'a, const D: usize> GirgObjective<'a, D> {
         }
     }
 
+    /// Number of vertices the objective covers.
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
     /// The raw φ value (same as [`Objective::score`], provided for
     /// phase/trajectory analysis).
     pub fn phi(&self, v: NodeId, target: NodeId) -> f64 {
@@ -102,6 +314,64 @@ impl<const D: usize> Objective for GirgObjective<'_, D> {
             return f64::INFINITY;
         }
         self.phi(v, target)
+    }
+
+    type Kernel<'k>
+        = GirgHopKernel<'k, D>
+    where
+        Self: 'k;
+
+    fn prepare(&self, target: NodeId) -> Self::Kernel<'_> {
+        GirgHopKernel {
+            positions: self.positions,
+            weights: self.weights,
+            norm: self.norm,
+            target,
+            target_pos: self.positions[target.index()],
+        }
+    }
+}
+
+/// Prepared kernel of [`GirgObjective`]: the target position is a register
+/// copy, so each hop performs one position gather and one weight gather per
+/// neighbor instead of reloading the target every call.
+///
+/// (`*HopKernel`, to avoid colliding with the models' edge-probability
+/// kernels such as `smallworld_models::GirgKernel`.)
+#[derive(Clone, Copy, Debug)]
+pub struct GirgHopKernel<'k, const D: usize> {
+    pub(crate) positions: &'k [Point<D>],
+    pub(crate) weights: &'k [f64],
+    pub(crate) norm: f64,
+    pub(crate) target: NodeId,
+    pub(crate) target_pos: Point<D>,
+}
+
+impl<const D: usize> GirgHopKernel<'_, D> {
+    /// φ without the `v == target` short-circuit; identical op order to
+    /// [`GirgObjective::phi`] so results agree bitwise.
+    #[inline]
+    pub(crate) fn phi(&self, v: NodeId) -> f64 {
+        let dist_pow_d = self.positions[v.index()].distance_pow_d(&self.target_pos);
+        if dist_pow_d == 0.0 {
+            f64::INFINITY
+        } else {
+            self.weights[v.index()] / (self.norm * dist_pow_d)
+        }
+    }
+}
+
+impl<const D: usize> ScoreKernel for GirgHopKernel<'_, D> {
+    fn target(&self) -> NodeId {
+        self.target
+    }
+
+    #[inline]
+    fn score(&self, v: NodeId) -> f64 {
+        if v == self.target {
+            return f64::INFINITY;
+        }
+        self.phi(v)
     }
 }
 
@@ -128,6 +398,11 @@ impl<'a, const D: usize> DistanceObjective<'a, D> {
             positions: girg.positions(),
         }
     }
+
+    /// Number of vertices the objective covers.
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
 }
 
 impl<'a> DistanceObjective<'a, 2> {
@@ -146,6 +421,42 @@ impl<const D: usize> Objective for DistanceObjective<'_, D> {
             return f64::INFINITY;
         }
         -self.positions[v.index()].distance(&self.positions[target.index()])
+    }
+
+    type Kernel<'k>
+        = DistanceHopKernel<'k, D>
+    where
+        Self: 'k;
+
+    fn prepare(&self, target: NodeId) -> Self::Kernel<'_> {
+        DistanceHopKernel {
+            positions: self.positions,
+            target,
+            target_pos: self.positions[target.index()],
+        }
+    }
+}
+
+/// Prepared kernel of [`DistanceObjective`] with the target position
+/// hoisted.
+#[derive(Clone, Copy, Debug)]
+pub struct DistanceHopKernel<'k, const D: usize> {
+    pub(crate) positions: &'k [Point<D>],
+    pub(crate) target: NodeId,
+    pub(crate) target_pos: Point<D>,
+}
+
+impl<const D: usize> ScoreKernel for DistanceHopKernel<'_, D> {
+    fn target(&self) -> NodeId {
+        self.target
+    }
+
+    #[inline]
+    fn score(&self, v: NodeId) -> f64 {
+        if v == self.target {
+            return f64::INFINITY;
+        }
+        -self.positions[v.index()].distance(&self.target_pos)
     }
 }
 
@@ -191,6 +502,53 @@ impl Objective for HyperbolicObjective<'_> {
         }
         -self.hrg.distance(v, target)
     }
+
+    type Kernel<'k>
+        = HyperbolicHopKernel<'k>
+    where
+        Self: 'k;
+
+    fn prepare(&self, target: NodeId) -> Self::Kernel<'_> {
+        HyperbolicHopKernel {
+            radii: self.hrg.radii(),
+            angles: self.hrg.angles(),
+            target,
+            target_radius: self.hrg.radii()[target.index()],
+            target_angle: self.hrg.angles()[target.index()],
+        }
+    }
+}
+
+/// Prepared kernel of [`HyperbolicObjective`]: the target's polar
+/// coordinates are hoisted and the distance computed directly via
+/// [`hyperbolic_distance`] — the same function (and argument order)
+/// `Hrg::distance` uses, so scores agree bitwise.
+#[derive(Clone, Copy, Debug)]
+pub struct HyperbolicHopKernel<'k> {
+    radii: &'k [f64],
+    angles: &'k [f64],
+    target: NodeId,
+    target_radius: f64,
+    target_angle: f64,
+}
+
+impl ScoreKernel for HyperbolicHopKernel<'_> {
+    fn target(&self) -> NodeId {
+        self.target
+    }
+
+    #[inline]
+    fn score(&self, v: NodeId) -> f64 {
+        if v == self.target {
+            return f64::INFINITY;
+        }
+        -hyperbolic_distance(
+            self.radii[v.index()],
+            self.angles[v.index()],
+            self.target_radius,
+            self.target_angle,
+        )
+    }
 }
 
 /// Kleinberg's lattice objective: negated torus Manhattan distance.
@@ -212,6 +570,41 @@ impl Objective for KleinbergObjective<'_> {
             return f64::INFINITY;
         }
         -(self.lattice.lattice_distance(v, target) as f64)
+    }
+
+    type Kernel<'k>
+        = KleinbergHopKernel<'k>
+    where
+        Self: 'k;
+
+    fn prepare(&self, target: NodeId) -> Self::Kernel<'_> {
+        KleinbergHopKernel {
+            lattice: self.lattice,
+            target,
+        }
+    }
+}
+
+/// Prepared kernel of [`KleinbergObjective`]. Lattice distances are exact
+/// integer arithmetic, so delegation is already bitwise-faithful; the
+/// kernel only fixes the target.
+#[derive(Clone, Copy, Debug)]
+pub struct KleinbergHopKernel<'k> {
+    lattice: &'k KleinbergLattice,
+    target: NodeId,
+}
+
+impl ScoreKernel for KleinbergHopKernel<'_> {
+    fn target(&self) -> NodeId {
+        self.target
+    }
+
+    #[inline]
+    fn score(&self, v: NodeId) -> f64 {
+        if v == self.target {
+            return f64::INFINITY;
+        }
+        -(self.lattice.lattice_distance(v, self.target) as f64)
     }
 }
 
@@ -256,14 +649,19 @@ impl<'a, const D: usize> RelaxedObjective<'a, D> {
 
     /// The noise factor applied at vertex `v` (useful for tests).
     pub fn noise_exponent(&self, v: NodeId) -> f64 {
-        // deterministic u_v in [-1, 1]
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        self.seed.hash(&mut h);
-        v.raw().hash(&mut h);
-        let bits = h.finish();
-        let unit = (bits >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
-        2.0 * unit - 1.0
+        relaxed_noise_exponent(self.seed, v)
     }
+}
+
+/// The deterministic `u_v ∈ [−1, 1]` of [`RelaxedObjective`], shared with
+/// its prepared kernel so both paths hash identically.
+fn relaxed_noise_exponent(seed: u64, v: NodeId) -> f64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    seed.hash(&mut h);
+    v.raw().hash(&mut h);
+    let bits = h.finish();
+    let unit = (bits >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+    2.0 * unit - 1.0
 }
 
 impl<const D: usize> Objective for RelaxedObjective<'_, D> {
@@ -278,6 +676,48 @@ impl<const D: usize> Objective for RelaxedObjective<'_, D> {
         let w = self.base.weights[v.index()];
         let m = w.min(phi.recip()).max(std::f64::consts::E);
         phi * (self.epsilon * self.noise_exponent(v) * m.ln()).exp()
+    }
+
+    type Kernel<'k>
+        = RelaxedHopKernel<'k, D>
+    where
+        Self: 'k;
+
+    fn prepare(&self, target: NodeId) -> Self::Kernel<'_> {
+        RelaxedHopKernel {
+            base: self.base.prepare(target),
+            epsilon: self.epsilon,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Prepared kernel of [`RelaxedObjective`]: wraps the prepared GIRG kernel
+/// and replays the same per-vertex perturbation.
+#[derive(Clone, Copy, Debug)]
+pub struct RelaxedHopKernel<'k, const D: usize> {
+    base: GirgHopKernel<'k, D>,
+    epsilon: f64,
+    seed: u64,
+}
+
+impl<const D: usize> ScoreKernel for RelaxedHopKernel<'_, D> {
+    fn target(&self) -> NodeId {
+        self.base.target
+    }
+
+    #[inline]
+    fn score(&self, v: NodeId) -> f64 {
+        if v == self.base.target {
+            return f64::INFINITY;
+        }
+        let phi = self.base.phi(v);
+        if self.epsilon == 0.0 {
+            return phi;
+        }
+        let w = self.base.weights[v.index()];
+        let m = w.min(phi.recip()).max(std::f64::consts::E);
+        phi * (self.epsilon * relaxed_noise_exponent(self.seed, v) * m.ln()).exp()
     }
 }
 
@@ -337,6 +777,40 @@ impl<const D: usize> Objective for QuantizedObjective<'_, D> {
             return f64::INFINITY;
         }
         (self.levels_per_e_factor * self.base.phi(v, target).ln()).round()
+    }
+
+    type Kernel<'k>
+        = QuantizedHopKernel<'k, D>
+    where
+        Self: 'k;
+
+    fn prepare(&self, target: NodeId) -> Self::Kernel<'_> {
+        QuantizedHopKernel {
+            base: self.base.prepare(target),
+            levels_per_e_factor: self.levels_per_e_factor,
+        }
+    }
+}
+
+/// Prepared kernel of [`QuantizedObjective`]: quantizes the prepared GIRG
+/// kernel's φ with the same rounding.
+#[derive(Clone, Copy, Debug)]
+pub struct QuantizedHopKernel<'k, const D: usize> {
+    base: GirgHopKernel<'k, D>,
+    levels_per_e_factor: f64,
+}
+
+impl<const D: usize> ScoreKernel for QuantizedHopKernel<'_, D> {
+    fn target(&self) -> NodeId {
+        self.base.target
+    }
+
+    #[inline]
+    fn score(&self, v: NodeId) -> f64 {
+        if v == self.base.target {
+            return f64::INFINITY;
+        }
+        (self.levels_per_e_factor * self.base.phi(v).ln()).round()
     }
 }
 
@@ -539,5 +1013,79 @@ mod tests {
     fn relaxed_rejects_negative_epsilon() {
         let g = girg();
         let _ = RelaxedObjective::new(GirgObjective::new(&g), -0.1, 0);
+    }
+
+    /// Every specialized kernel scores bitwise-identically to its
+    /// objective's naive path, across all vertices of the fixture.
+    #[test]
+    fn prepared_kernels_match_naive_scores_bitwise() {
+        fn check<O: Objective>(obj: &O, n: usize, label: &str) {
+            for t in 0..n as u32 {
+                let t = NodeId::new(t);
+                let kernel = obj.prepare(t);
+                assert_eq!(kernel.target(), t);
+                for v in 0..n as u32 {
+                    let v = NodeId::new(v);
+                    assert_eq!(
+                        kernel.score(v).to_bits(),
+                        obj.score(v, t).to_bits(),
+                        "{label}: kernel diverges at v={v}, t={t}"
+                    );
+                }
+            }
+        }
+        let g = girg();
+        let n = 40.min(g.node_count());
+        check(&GirgObjective::new(&g), n, "girg");
+        check(&DistanceObjective::for_girg(&g), n, "distance");
+        check(&RelaxedObjective::new(GirgObjective::new(&g), 0.3, 7), n, "relaxed");
+        check(&RelaxedObjective::new(GirgObjective::new(&g), 0.0, 7), n, "relaxed-eps0");
+        check(&QuantizedObjective::new(GirgObjective::new(&g), 2.0), n, "quantized");
+        let mut rng = StdRng::seed_from_u64(4);
+        let hrg = HrgBuilder::new(60).sample(&mut rng).unwrap();
+        check(&HyperbolicObjective::new(&hrg), 60, "hyperbolic");
+        let kl = KleinbergLattice::sample(6, 2.0, 0, &mut rng).unwrap();
+        check(&KleinbergObjective::new(&kl), 36, "kleinberg");
+    }
+
+    /// The default argmax matches a hand-rolled first-best scan.
+    #[test]
+    fn best_neighbor_is_first_best_in_adjacency_order() {
+        let g = girg();
+        let obj = GirgObjective::new(&g);
+        for t in [NodeId::new(0), NodeId::new(2), NodeId::new(17)] {
+            let kernel = obj.prepare(t);
+            for v in g.graph().nodes() {
+                let mut expected: Option<(f64, NodeId)> = None;
+                for &u in g.graph().neighbors(v) {
+                    let s = obj.score(u, t);
+                    if expected.is_none_or(|(b, _)| s > b) {
+                        expected = Some((s, u));
+                    }
+                }
+                let got = kernel.best_neighbor(g.graph(), v);
+                assert_eq!(
+                    got.map(|(s, u)| (s.to_bits(), u)),
+                    expected.map(|(s, u)| (s.to_bits(), u))
+                );
+            }
+        }
+    }
+
+    /// `NaiveObjective` produces the same scores through both paths.
+    #[test]
+    fn naive_objective_wrapper_is_transparent() {
+        let g = girg();
+        let wrapped = NaiveObjective(GirgObjective::new(&g));
+        let t = NodeId::new(2);
+        let kernel = wrapped.prepare(t);
+        for v in 0..30u32 {
+            let v = NodeId::new(v);
+            assert_eq!(
+                kernel.score(v).to_bits(),
+                GirgObjective::new(&g).score(v, t).to_bits()
+            );
+        }
+        assert!(format!("{kernel:?}").contains("NaiveKernel"));
     }
 }

@@ -181,6 +181,7 @@ mod tests {
                 v.index() as f64
             }
         }
+        crate::impl_naive_kernel!();
     }
 
     #[test]

@@ -23,9 +23,9 @@ use std::collections::HashMap;
 use smallworld_graph::{Graph, NodeId};
 
 use crate::greedy::{RouteOutcome, RouteRecord, DEFAULT_MAX_STEPS};
-use crate::objective::Objective;
+use crate::objective::{Objective, ScoreKernel};
 use crate::observe::RouteObserver;
-use crate::router::Router;
+use crate::router::{RouteScratch, Router};
 
 /// The gravity–pressure heuristic as a [`Router`].
 #[derive(Clone, Copy, Debug)]
@@ -58,18 +58,21 @@ impl Router for GravityPressureRouter {
         "gravity-pressure"
     }
 
-    fn route<O: Objective, Obs: RouteObserver>(
+    fn route_with<O: Objective, Obs: RouteObserver>(
         &self,
         graph: &Graph,
         objective: &O,
         s: NodeId,
         t: NodeId,
         obs: &mut Obs,
+        scratch: &mut RouteScratch,
     ) -> RouteRecord {
-        let phi = |v: NodeId| objective.score(v, t);
+        let kernel = objective.prepare(t);
+        let phi = |v: NodeId| kernel.score(v);
 
         obs.on_start(s, t);
-        let mut path = vec![s];
+        let mut path = scratch.take_path();
+        path.push(s);
         let mut current = s;
         let mut visits: HashMap<NodeId, u32> = HashMap::new();
         // Some(threshold) while in pressure mode

@@ -15,9 +15,9 @@ use std::collections::{BinaryHeap, HashMap};
 use smallworld_graph::{Graph, NodeId};
 
 use crate::greedy::{RouteOutcome, RouteRecord, DEFAULT_MAX_STEPS};
-use crate::objective::Objective;
+use crate::objective::{Objective, ScoreKernel};
 use crate::observe::RouteObserver;
-use crate::router::Router;
+use crate::router::{RouteScratch, Router};
 
 /// Max-heap entry ordered by objective score.
 #[derive(PartialEq)]
@@ -133,20 +133,23 @@ impl Router for HistoryRouter {
         "history"
     }
 
-    fn route<O: Objective, Obs: RouteObserver>(
+    fn route_with<O: Objective, Obs: RouteObserver>(
         &self,
         graph: &Graph,
         objective: &O,
         s: NodeId,
         t: NodeId,
         obs: &mut Obs,
+        scratch: &mut RouteScratch,
     ) -> RouteRecord {
-        let phi = |v: NodeId| objective.score(v, t);
+        let kernel = objective.prepare(t);
+        let phi = |v: NodeId| kernel.score(v);
 
         obs.on_start(s, t);
         let mut tree = Tree::new(s);
         let mut frontier: BinaryHeap<Candidate> = BinaryHeap::new();
-        let mut path = vec![s];
+        let mut path = scratch.take_path();
+        path.push(s);
         let mut current = s;
 
         loop {

@@ -48,6 +48,7 @@ mod tests {
                 ((v.raw().wrapping_mul(2_654_435_761) ^ t.raw()) % 7) as f64
             }
         }
+        crate::impl_naive_kernel!();
     }
 
     fn random_graph(rng: &mut StdRng, n: usize, p: f64) -> Graph {
@@ -127,6 +128,7 @@ pub(crate) mod test_support {
                 -((v.raw() as f64) - (t.raw() as f64)).abs()
             }
         }
+        crate::impl_naive_kernel!();
     }
 
     /// Checks the Theorem 3.4 contract on an arbitrary graph: delivery

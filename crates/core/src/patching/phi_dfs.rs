@@ -25,9 +25,9 @@ use std::collections::HashMap;
 use smallworld_graph::{Graph, NodeId};
 
 use crate::greedy::{RouteOutcome, RouteRecord, DEFAULT_MAX_STEPS};
-use crate::objective::Objective;
+use crate::objective::{Objective, ScoreKernel};
 use crate::observe::RouteObserver;
-use crate::router::Router;
+use crate::router::{RouteScratch, Router};
 
 /// Per-vertex state of Algorithm 2 — a constant number of values, as the
 /// paper requires for a distributed protocol.
@@ -115,15 +115,17 @@ impl Router for PhiDfsRouter {
         "phi-dfs"
     }
 
-    fn route<O: Objective, Obs: RouteObserver>(
+    fn route_with<O: Objective, Obs: RouteObserver>(
         &self,
         graph: &Graph,
         objective: &O,
         s: NodeId,
         t: NodeId,
         obs: &mut Obs,
+        scratch: &mut RouteScratch,
     ) -> RouteRecord {
-        let phi = |v: NodeId| objective.score(v, t);
+        let kernel = objective.prepare(t);
+        let phi = |v: NodeId| kernel.score(v);
         obs.on_start(s, t);
         // Total order on vertices by (objective, id). The paper's pseudocode
         // assumes "no vertex has two neighbors of equal objective"; breaking
@@ -146,7 +148,8 @@ impl Router for PhiDfsRouter {
         // where the root's arrival from its parent is fictional)
         let mut backtrack_from: Option<(f64, u32)> = None;
 
-        let mut path = vec![s];
+        let mut path = scratch.take_path();
+        path.push(s);
         let mut at = s; // physical location, for step accounting
 
         // ROUTING(s, m): the root is its own parent

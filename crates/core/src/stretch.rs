@@ -28,6 +28,7 @@ use crate::greedy::RouteRecord;
 ///     fn score(&self, v: NodeId, t: NodeId) -> f64 {
 ///         if v == t { f64::INFINITY } else { v.index() as f64 }
 ///     }
+///     smallworld_core::impl_naive_kernel!();
 /// }
 /// // greedy prefers the high-id corridor 0→2→3→4 (3 hops) over the
 /// // shortest path 0→1→4 (2 hops): stretch 1.5
@@ -65,6 +66,7 @@ mod tests {
                 v.index() as f64
             }
         }
+        crate::impl_naive_kernel!();
     }
 
     #[test]

@@ -12,10 +12,44 @@
 //! level-ℓ code  c  covers max-level codes [ c << D(L−ℓ), (c+1) << D(L−ℓ) )
 //! ```
 
+use crate::point::Point;
+
 /// Maximum grid refinement level such that `D * level` bits fit into `u64`
 /// for the given dimension.
 pub const fn max_level(dim: usize) -> u32 {
     (63 / dim) as u32
+}
+
+/// The Morton code of the finest grid cell containing `point`, at
+/// [`max_level`]`(D)` refinement.
+///
+/// Points that are close on the torus receive nearby codes (up to the
+/// z-order seams), so sorting vertices by this key clusters geometric
+/// neighborhoods into contiguous id ranges — the sort key behind
+/// Morton-order vertex relabeling in `smallworld-graph`.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_geometry::morton::point_code;
+/// use smallworld_geometry::Point;
+///
+/// let origin = point_code(&Point::new([0.0, 0.0]));
+/// let nearby = point_code(&Point::new([1e-12, 1e-12]));
+/// let far = point_code(&Point::new([0.5, 0.5]));
+/// assert_eq!(origin, nearby);
+/// assert!(far > origin);
+/// ```
+pub fn point_code<const D: usize>(point: &Point<D>) -> u64 {
+    let level = max_level(D);
+    let cells = 1u64 << level;
+    let mut coords = [0u32; D];
+    for (i, c) in coords.iter_mut().enumerate() {
+        // canonical coordinates lie in [0, 1); the min guards against a
+        // product rounding up to the cell count
+        *c = ((point.coord(i) * cells as f64) as u64).min(cells - 1) as u32;
+    }
+    encode(coords, level)
 }
 
 /// Interleaves the low `level` bits of each coordinate, MSB first.
@@ -135,7 +169,42 @@ mod tests {
         let _ = encode([0u32; 2], 32);
     }
 
+    #[test]
+    fn point_code_is_deterministic_and_in_range() {
+        let p = Point::new([0.3, 0.7]);
+        let code = point_code(&p);
+        assert_eq!(code, point_code(&p));
+        assert!(code < 1u64 << (2 * max_level(2)));
+    }
+
+    #[test]
+    fn point_code_matches_explicit_cell() {
+        let level = max_level(2);
+        let p = Point::new([0.25, 0.5]);
+        let cells = (1u64 << level) as f64;
+        let expected = encode(
+            [(0.25 * cells) as u32, (0.5 * cells) as u32],
+            level,
+        );
+        assert_eq!(point_code(&p), expected);
+    }
+
     proptest! {
+        #[test]
+        fn prop_point_code_in_range(x in 0.0f64..1.0, y in 0.0f64..1.0) {
+            let code = point_code(&Point::new([x, y]));
+            prop_assert!(code < 1u64 << (2 * max_level(2)));
+        }
+
+        #[test]
+        fn prop_point_code_sorts_axis0_halves(x in 0.0f64..0.49, y in 0.0f64..1.0) {
+            // axis 0 contributes the most significant bit, so any point in
+            // the lower half sorts before any point in the upper half
+            let lo = point_code(&Point::new([x, y]));
+            let hi = point_code(&Point::new([x + 0.5, y]));
+            prop_assert!(lo < hi);
+        }
+
         #[test]
         fn prop_roundtrip_1d(c in 0u32..1 << 20) {
             prop_assert_eq!(decode::<1>(encode([c], 20), 20), [c]);

@@ -31,10 +31,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod csr;
+pub mod permute;
 pub mod stats;
 pub mod traversal;
 pub mod union_find;
 
 pub use csr::{percolate, percolate_vertices, Graph, GraphBuilder, GraphError, NodeId};
+pub use permute::Permutation;
 pub use traversal::{bfs_distance, bfs_distances, double_sweep_diameter, Components};
 pub use union_find::UnionFind;

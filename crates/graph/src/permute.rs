@@ -1,0 +1,263 @@
+//! Vertex relabelings.
+//!
+//! A [`Permutation`] is a bijection on vertex ids with both directions
+//! materialized, so callers can relabel a graph for cache locality (e.g.
+//! Morton order, see `smallworld_geometry::morton::point_code`) while still
+//! reporting results — route paths, artifacts — in the original id space.
+//!
+//! # Examples
+//!
+//! ```
+//! use smallworld_graph::{NodeId, Permutation};
+//!
+//! // sort three vertices by an external key: vertex 2 has the smallest key
+//! let perm = Permutation::from_sort_keys(&[30, 20, 10]);
+//! assert_eq!(perm.forward(NodeId::new(2)), NodeId::new(0));
+//! assert_eq!(perm.backward(NodeId::new(0)), NodeId::new(2));
+//! ```
+
+use crate::csr::NodeId;
+
+/// A bijection `old id -> new id` on `0..len`, with the inverse map
+/// materialized for O(1) lookups in both directions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation {
+    /// `forward[old] = new`.
+    forward: Vec<u32>,
+    /// `inverse[new] = old`.
+    inverse: Vec<u32>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `u32::MAX` vertices.
+    pub fn identity(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "vertex count exceeds u32 id space");
+        let forward: Vec<u32> = (0..n as u32).collect();
+        Permutation {
+            inverse: forward.clone(),
+            forward,
+        }
+    }
+
+    /// Builds a permutation from its forward map (`forward[old] = new`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `forward` is not a bijection on `0..forward.len()`.
+    pub fn from_forward(forward: Vec<u32>) -> Self {
+        let n = forward.len();
+        assert!(n <= u32::MAX as usize, "vertex count exceeds u32 id space");
+        let mut inverse = vec![u32::MAX; n];
+        for (old, &new) in forward.iter().enumerate() {
+            assert!(
+                (new as usize) < n,
+                "forward map sends {old} to {new}, outside 0..{n}"
+            );
+            assert!(
+                inverse[new as usize] == u32::MAX,
+                "forward map is not injective: {new} has two preimages"
+            );
+            inverse[new as usize] = old as u32;
+        }
+        Permutation { forward, inverse }
+    }
+
+    /// The permutation that sorts vertices by `(keys[old], old)`: the vertex
+    /// with the smallest key receives the new id 0, ties broken by original
+    /// id so the result is fully deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.len()` exceeds `u32::MAX` vertices.
+    pub fn from_sort_keys(keys: &[u64]) -> Self {
+        let n = keys.len();
+        assert!(n <= u32::MAX as usize, "vertex count exceeds u32 id space");
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by_key(|&old| (keys[old as usize], old));
+        let mut forward = vec![0u32; n];
+        for (new, &old) in order.iter().enumerate() {
+            forward[old as usize] = new as u32;
+        }
+        Permutation {
+            forward,
+            inverse: order,
+        }
+    }
+
+    /// Number of vertices the permutation acts on.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Whether the permutation acts on zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Maps an original id to its relabeled id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` is out of range.
+    #[inline]
+    pub fn forward(&self, old: NodeId) -> NodeId {
+        NodeId::new(self.forward[old.index()])
+    }
+
+    /// Maps a relabeled id back to its original id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new` is out of range.
+    #[inline]
+    pub fn backward(&self, new: NodeId) -> NodeId {
+        NodeId::new(self.inverse[new.index()])
+    }
+
+    /// Reorders per-vertex data into the relabeled id space:
+    /// `result[forward(v)] = data[v]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from [`Self::len`].
+    pub fn apply_slice<T: Copy>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.len(), "data length mismatch");
+        self.inverse
+            .iter()
+            .map(|&old| data[old as usize])
+            .collect()
+    }
+
+    /// Maps a path of relabeled ids back to original ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn path_to_original(&self, path: &[NodeId]) -> Vec<NodeId> {
+        path.iter().map(|&v| self.backward(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Graph;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_maps_to_self() {
+        let p = Permutation::identity(5);
+        for i in 0..5 {
+            assert_eq!(p.forward(NodeId::new(i)), NodeId::new(i));
+            assert_eq!(p.backward(NodeId::new(i)), NodeId::new(i));
+        }
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+        assert!(Permutation::identity(0).is_empty());
+    }
+
+    #[test]
+    fn from_sort_keys_sorts_with_id_tiebreak() {
+        let p = Permutation::from_sort_keys(&[7, 3, 7, 1]);
+        // sorted order: id 3 (key 1), id 1 (key 3), id 0 (key 7), id 2 (key 7)
+        assert_eq!(p.forward(NodeId::new(3)), NodeId::new(0));
+        assert_eq!(p.forward(NodeId::new(1)), NodeId::new(1));
+        assert_eq!(p.forward(NodeId::new(0)), NodeId::new(2));
+        assert_eq!(p.forward(NodeId::new(2)), NodeId::new(3));
+    }
+
+    #[test]
+    fn apply_slice_moves_data_to_new_ids() {
+        let p = Permutation::from_sort_keys(&[20, 10, 30]);
+        assert_eq!(p.apply_slice(&['a', 'b', 'c']), vec!['b', 'a', 'c']);
+    }
+
+    #[test]
+    fn path_to_original_inverts_forward() {
+        let p = Permutation::from_sort_keys(&[5, 4, 3, 2]);
+        let original: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        let relabeled: Vec<NodeId> = original.iter().map(|&v| p.forward(v)).collect();
+        assert_eq!(p.path_to_original(&relabeled), original);
+    }
+
+    #[test]
+    #[should_panic(expected = "not injective")]
+    fn from_forward_rejects_duplicates() {
+        let _ = Permutation::from_forward(vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn from_forward_rejects_out_of_range() {
+        let _ = Permutation::from_forward(vec![0, 3]);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let mut builder = Graph::builder(4);
+        builder.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        builder.add_edge(NodeId::new(1), NodeId::new(2)).unwrap();
+        builder.add_edge(NodeId::new(2), NodeId::new(3)).unwrap();
+        let g = builder.build();
+        let perm = Permutation::from_sort_keys(&[3, 2, 1, 0]); // reverses ids
+        let h = g.relabel(&perm);
+        assert_eq!(h.node_count(), 4);
+        assert_eq!(h.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            for &u in g.neighbors(v) {
+                assert!(h.has_edge(perm.forward(v), perm.forward(u)));
+            }
+        }
+    }
+
+    #[test]
+    fn relabel_identity_is_noop() {
+        let mut builder = Graph::builder(3);
+        builder.add_edge(NodeId::new(0), NodeId::new(2)).unwrap();
+        let g = builder.build();
+        assert_eq!(g.relabel(&Permutation::identity(3)), g);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_from_forward_roundtrips(keys in proptest::collection::vec(0u64..100, 1..40)) {
+            let p = Permutation::from_sort_keys(&keys);
+            for old in 0..keys.len() {
+                let old = NodeId::from_index(old);
+                prop_assert_eq!(p.backward(p.forward(old)), old);
+            }
+        }
+
+        #[test]
+        fn prop_relabeled_graph_is_isomorphic(
+            edges in proptest::collection::vec((0u32..20, 0u32..20), 0..60),
+            keys in proptest::collection::vec(0u64..1000, 20),
+        ) {
+            let mut builder = Graph::builder(20);
+            for &(a, b) in &edges {
+                if a != b {
+                    builder.add_edge(NodeId::new(a), NodeId::new(b)).unwrap();
+                }
+            }
+            let g = builder.build();
+            let perm = Permutation::from_sort_keys(&keys);
+            let h = g.relabel(&perm);
+            prop_assert_eq!(h.edge_count(), g.edge_count());
+            for v in g.nodes() {
+                prop_assert_eq!(h.degree(perm.forward(v)), g.degree(v));
+                for &u in g.neighbors(v) {
+                    prop_assert!(h.has_edge(perm.forward(v), perm.forward(u)));
+                }
+            }
+            // relabeling back with the inverse recovers the original graph
+            let inv = Permutation::from_forward(
+                (0..20).map(|i| perm.backward(NodeId::new(i)).raw()).collect(),
+            );
+            prop_assert_eq!(h.relabel(&inv), g);
+        }
+    }
+}

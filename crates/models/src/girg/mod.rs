@@ -22,7 +22,7 @@ mod naive;
 use rand::Rng;
 
 use smallworld_geometry::Point;
-use smallworld_graph::{Graph, NodeId};
+use smallworld_graph::{Graph, NodeId, Permutation};
 
 use crate::kernel::{Alpha, ConnectionKernel, GirgKernel};
 use crate::poisson::sample_poisson;
@@ -172,6 +172,46 @@ impl<const D: usize> Girg<D> {
         let n = self.node_count();
         assert!(n > 0, "sampled GIRG has no vertices");
         NodeId::from_index(rng.gen_range(0..n))
+    }
+
+    /// The permutation sorting the vertices into Morton (z-order) order of
+    /// their torus positions, ties broken by original id.
+    ///
+    /// Relabeling by this permutation ([`Girg::relabel`]) makes vertex ids
+    /// spatially coherent: greedy routes move through geometrically close
+    /// vertices, so consecutive hops touch nearby ids and the
+    /// position/weight (or routing-index) reads stay in cache.
+    pub fn morton_permutation(&self) -> Permutation {
+        let keys: Vec<u64> = self
+            .positions
+            .iter()
+            .map(smallworld_geometry::morton::point_code)
+            .collect();
+        Permutation::from_sort_keys(&keys)
+    }
+
+    /// This GIRG with vertices relabeled by `perm` (typically
+    /// [`Girg::morton_permutation`]): the graph, positions, and weights are
+    /// permuted consistently, so vertex `perm.forward(v)` of the result is
+    /// vertex `v` of `self` under a different name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the permutation length mismatches the vertex count, or if
+    /// this GIRG has planted vertices — their contract is to hold the
+    /// *first* ids, which an arbitrary relabeling would break.
+    pub fn relabel(&self, perm: &Permutation) -> Girg<D> {
+        assert_eq!(
+            self.planted, 0,
+            "relabeling a GIRG with planted vertices would scramble their ids"
+        );
+        Girg::from_parts(
+            self.graph.relabel(perm),
+            perm.apply_slice(&self.positions),
+            perm.apply_slice(&self.weights),
+            self.params,
+            0,
+        )
     }
 }
 
@@ -521,5 +561,55 @@ mod tests {
         let hub = girg.planted().next().unwrap();
         let deg = girg.graph().degree(hub);
         assert!(deg > 50, "hub degree {deg}");
+    }
+
+    #[test]
+    fn morton_relabel_is_an_isomorphism() {
+        let girg = GirgBuilder::<2>::new(500).sample(&mut rng(10)).unwrap();
+        let perm = girg.morton_permutation();
+        let relabeled = girg.relabel(&perm);
+        assert_eq!(relabeled.node_count(), girg.node_count());
+        assert_eq!(
+            relabeled.graph().edge_count(),
+            girg.graph().edge_count()
+        );
+        for v in girg.graph().nodes() {
+            let new = perm.forward(v);
+            // the address (x_v, w_v) travels with the vertex
+            assert_eq!(relabeled.weight(new), girg.weight(v));
+            assert_eq!(
+                relabeled.position(new).coord(0),
+                girg.position(v).coord(0)
+            );
+            // adjacency is preserved under the rename
+            let mut expected: Vec<NodeId> =
+                girg.graph().neighbors(v).iter().map(|&u| perm.forward(u)).collect();
+            expected.sort_unstable();
+            assert_eq!(relabeled.graph().neighbors(new), &expected[..]);
+        }
+    }
+
+    #[test]
+    fn morton_permutation_orders_by_z_curve() {
+        let girg = GirgBuilder::<2>::new(300).sample(&mut rng(11)).unwrap();
+        let perm = girg.morton_permutation();
+        let relabeled = girg.relabel(&perm);
+        let codes: Vec<u64> = relabeled
+            .positions()
+            .iter()
+            .map(smallworld_geometry::morton::point_code)
+            .collect();
+        assert!(codes.windows(2).all(|w| w[0] <= w[1]), "not z-sorted");
+    }
+
+    #[test]
+    #[should_panic(expected = "planted")]
+    fn relabel_rejects_planted_girgs() {
+        let girg = GirgBuilder::<2>::new(200)
+            .plant(Point::origin(), 5.0)
+            .sample(&mut rng(12))
+            .unwrap();
+        let perm = girg.morton_permutation();
+        let _ = girg.relabel(&perm);
     }
 }

@@ -54,7 +54,9 @@ pub mod workload;
 pub use event::{EventQueue, Time};
 pub use fault::{FaultPlan, FaultSpec, Outage};
 pub use link::{LatencyModel, SeededLatency, UnitLatency};
-pub use policy::{GreedyPolicy, HopChoice, HopPolicy, HopView, PatchState, PatchingPolicy};
+pub use policy::{
+    GreedyPolicy, HopChoice, HopPolicy, HopScore, HopView, PatchState, PatchingPolicy,
+};
 pub use sim::{
     Injection, PacketOutcome, PacketRecord, SimConfig, SimReport, Simulation, DEFAULT_TTL,
 };

@@ -7,14 +7,51 @@
 //! one fresh `State` per packet, so policies stay shareable across the
 //! whole run and across threads.
 //!
-//! Scoring is a plain closure `Fn(NodeId, NodeId) -> f64` mapping
-//! `(candidate, target)` to a comparable score (larger = closer), so the
+//! Scoring goes through the [`HopScore`] trait: `(candidate, target)` to a
+//! comparable score (larger = closer), plus a per-target prepared form the
+//! policies invoke once per hop. Any plain closure
+//! `Fn(NodeId, NodeId) -> f64` is a `HopScore` via the blanket impl, so the
 //! crate does not depend on any particular objective type; callers pass
-//! e.g. `|v, t| objective.score(v, t)` from `smallworld-core`.
+//! e.g. `|v, t| objective.score(v, t)` from `smallworld-core`, or that
+//! crate's kernel-backed `PreparedObjective` adapter for the fast path.
 
 use smallworld_graph::NodeId;
 
 use crate::event::Time;
+
+/// A routing score over `(candidate, target)` pairs, with a per-target
+/// prepared form.
+///
+/// Policies call [`HopScore::prepare`] once per hop and score every
+/// candidate through the returned closure, so implementations backed by a
+/// per-target kernel (hoisted target position, packed neighborhoods, …)
+/// pay their preparation once instead of per candidate. The prepared
+/// closure must return values **bitwise-identical** to
+/// [`HopScore::score`]`(v, target)` — simulations must be unable to tell
+/// the two paths apart.
+///
+/// Every `Fn(NodeId, NodeId) -> f64` closure is a `HopScore` whose
+/// prepared form simply captures the target.
+pub trait HopScore {
+    /// Score of `candidate` when routing towards `target`; larger is
+    /// closer.
+    fn score(&self, candidate: NodeId, target: NodeId) -> f64;
+
+    /// The single-target view used inside one hop's candidate scan.
+    fn prepare(&self, target: NodeId) -> impl Fn(NodeId) -> f64 + '_;
+}
+
+impl<S: Fn(NodeId, NodeId) -> f64> HopScore for S {
+    #[inline]
+    fn score(&self, candidate: NodeId, target: NodeId) -> f64 {
+        self(candidate, target)
+    }
+
+    #[inline]
+    fn prepare(&self, target: NodeId) -> impl Fn(NodeId) -> f64 + '_ {
+        move |v| self(v, target)
+    }
+}
 
 /// Everything a node is allowed to see when forwarding a packet: itself,
 /// the packet's target, its live neighbors, the virtual clock, and the
@@ -85,14 +122,14 @@ impl<S> std::fmt::Debug for GreedyPolicy<S> {
     }
 }
 
-impl<S: Fn(NodeId, NodeId) -> f64> GreedyPolicy<S> {
+impl<S: HopScore> GreedyPolicy<S> {
     /// A greedy policy under `score(candidate, target)`; larger is closer.
     pub fn new(score: S) -> Self {
         GreedyPolicy { score }
     }
 }
 
-impl<S: Fn(NodeId, NodeId) -> f64> HopPolicy for GreedyPolicy<S> {
+impl<S: HopScore> HopPolicy for GreedyPolicy<S> {
     type State = ();
 
     fn name(&self) -> &'static str {
@@ -104,14 +141,15 @@ impl<S: Fn(NodeId, NodeId) -> f64> HopPolicy for GreedyPolicy<S> {
         // target: like `GreedyRouter`, we rely on the score function
         // ranking the target itself maximally, so the two stay hop-for-hop
         // identical under the same objective
+        let score = self.score.prepare(view.target);
         let mut best: Option<(f64, NodeId)> = None;
         for &v in view.candidates {
-            let s = (self.score)(v, view.target);
+            let s = score(v);
             if best.is_none_or(|(b, _)| s > b) {
                 best = Some((s, v));
             }
         }
-        let here = (self.score)(view.current, view.target);
+        let here = score(view.current);
         match best {
             Some((s, v)) if s > here => HopChoice::Forward(v),
             _ => HopChoice::Drop,
@@ -156,7 +194,7 @@ impl<S> std::fmt::Debug for PatchingPolicy<S> {
     }
 }
 
-impl<S: Fn(NodeId, NodeId) -> f64> PatchingPolicy<S> {
+impl<S: HopScore> PatchingPolicy<S> {
     /// A patching policy under `score(candidate, target)`; larger is
     /// closer.
     pub fn new(score: S) -> Self {
@@ -164,7 +202,7 @@ impl<S: Fn(NodeId, NodeId) -> f64> PatchingPolicy<S> {
     }
 }
 
-impl<S: Fn(NodeId, NodeId) -> f64> HopPolicy for PatchingPolicy<S> {
+impl<S: HopScore> HopPolicy for PatchingPolicy<S> {
     type State = PatchState;
 
     fn name(&self) -> &'static str {
@@ -180,6 +218,7 @@ impl<S: Fn(NodeId, NodeId) -> f64> HopPolicy for PatchingPolicy<S> {
             }
             state.trail.push(u);
         }
+        let score = self.score.prepare(view.target);
         let mut best: Option<(f64, NodeId)> = None;
         for &v in view.candidates {
             if v == view.target {
@@ -188,7 +227,7 @@ impl<S: Fn(NodeId, NodeId) -> f64> HopPolicy for PatchingPolicy<S> {
             if state.visited(v) {
                 continue;
             }
-            let s = (self.score)(v, view.target);
+            let s = score(v);
             if best.is_none_or(|(b, _)| s > b) {
                 best = Some((s, v));
             }
@@ -313,6 +352,34 @@ mod tests {
         );
         // hop 5: back at 5, everything visited, trail exhausted => drop
         assert_eq!(p.next_hop(&view(5, 10, &c5), &mut st), HopChoice::Drop);
+    }
+
+    /// A hand-rolled `HopScore` with a cheap prepared form must be
+    /// indistinguishable from the equivalent closure.
+    #[test]
+    fn manual_hop_score_matches_closure() {
+        struct IdScore;
+        impl HopScore for IdScore {
+            fn score(&self, v: NodeId, t: NodeId) -> f64 {
+                id_score(v, t)
+            }
+            fn prepare(&self, target: NodeId) -> impl Fn(NodeId) -> f64 + '_ {
+                move |v| id_score(v, target)
+            }
+        }
+        let manual = GreedyPolicy::new(IdScore);
+        let closure = GreedyPolicy::new(id_score);
+        let cands = [NodeId::new(3), NodeId::new(7), NodeId::new(12)];
+        for target in 0..15u32 {
+            let v = view(2, target, &cands);
+            assert_eq!(manual.next_hop(&v, &mut ()), closure.next_hop(&v, &mut ()));
+        }
+        let manual = PatchingPolicy::new(IdScore);
+        let closure = PatchingPolicy::new(id_score);
+        let mut st_m = PatchState::default();
+        let mut st_c = PatchState::default();
+        let v = view(5, 10, &cands);
+        assert_eq!(manual.next_hop(&v, &mut st_m), closure.next_hop(&v, &mut st_c));
     }
 
     #[test]
