@@ -1,0 +1,86 @@
+//! Graph-analytics engine microbenchmarks on a 100k-vertex GIRG: the
+//! direction-optimizing single-source sweep against the plain serial BFS,
+//! and batched pair-distance resolution against per-pair bidirectional
+//! queries on both workload shapes the adaptive dispatcher distinguishes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use smallworld_graph::analytics::{pair_distances_with, BfsScratch, MsBfsScratch};
+use smallworld_graph::{bfs_distance, bfs_distances, Components, Graph, NodeId};
+use smallworld_models::girg::{Girg, GirgBuilder};
+
+fn girg() -> Girg<2> {
+    let mut rng = StdRng::seed_from_u64(1);
+    GirgBuilder::<2>::new(100_000)
+        .beta(2.5)
+        .lambda(0.02)
+        .sample(&mut rng)
+        .expect("valid")
+}
+
+/// `count` random distinct-endpoint pairs from the giant component.
+fn giant_pairs(graph: &Graph, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let comps = Components::compute(graph);
+    let giant: Vec<NodeId> = graph.nodes().filter(|&v| comps.in_largest(v)).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let s = giant[rng.gen_range(0..giant.len())];
+        let t = giant[rng.gen_range(0..giant.len())];
+        if s != t {
+            out.push((s, t));
+        }
+    }
+    out
+}
+
+fn bench_analytics(c: &mut Criterion) {
+    let girg = girg();
+    let graph = girg.graph();
+    let random = giant_pairs(graph, 1_024, 7);
+    // 64 sources × 64 targets: the shared-sweep shape MS-BFS amortizes
+    let matrix: Vec<(NodeId, NodeId)> = {
+        let endpoints = giant_pairs(graph, 64, 8);
+        endpoints
+            .iter()
+            .flat_map(|&(s, _)| endpoints.iter().map(move |&(_, t)| (s, t)))
+            .collect()
+    };
+
+    let mut group = c.benchmark_group("analytics_100k");
+    group.sample_size(10);
+    // the public bfs_distances routes through the direction-optimizing
+    // hybrid + thread-local scratch; the explicit-scratch call isolates
+    // the sweep itself from the thread-local access
+    group.bench_function("sssp_hybrid", |b| {
+        b.iter(|| bfs_distances(graph, NodeId::new(0)));
+    });
+    group.bench_function("sssp_hybrid_scratch", |b| {
+        let mut scratch = BfsScratch::new();
+        b.iter(|| {
+            smallworld_graph::analytics::bfs_distances_into(graph, NodeId::new(0), &mut scratch)
+        });
+    });
+    group.bench_function("pairs_1k_bidir_per_pair", |b| {
+        b.iter(|| {
+            random
+                .iter()
+                .map(|&(s, t)| bfs_distance(graph, s, t))
+                .collect::<Vec<_>>()
+        });
+    });
+    group.bench_function("pairs_1k_batched_random", |b| {
+        let mut scratch = MsBfsScratch::new();
+        b.iter(|| pair_distances_with(graph, &random, &mut scratch));
+    });
+    group.bench_function("pairs_4k_batched_matrix", |b| {
+        let mut scratch = MsBfsScratch::new();
+        b.iter(|| pair_distances_with(graph, &matrix, &mut scratch));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analytics);
+criterion_main!(benches);

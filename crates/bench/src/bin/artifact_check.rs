@@ -224,6 +224,71 @@ fn check(contents: &str) -> Result<String, String> {
         }
     }
 
+    // an analytics-engine artifact must carry the pair-distance table with
+    // positive throughput, and at full scale the batched matrix-workload
+    // row must meet the >= 3x acceptance bound over the per-pair baseline
+    let is_bench_analytics = records[0]
+        .1
+        .get("binary")
+        .and_then(JsonValue::as_str)
+        .map(|b| b == "bench_analytics")
+        .unwrap_or(false);
+    if is_bench_analytics {
+        let throughput = records
+            .iter()
+            .find(|(kind, record)| {
+                kind == "table"
+                    && record
+                        .get("headers")
+                        .and_then(JsonValue::as_array)
+                        .is_some_and(|h| h.iter().any(|c| c.as_str() == Some("pairs/sec")))
+            })
+            .ok_or("bench_analytics artifact has no pair-distance table")?;
+        let headers = throughput.1.get("headers").and_then(JsonValue::as_array);
+        let rows = throughput.1.get("rows").and_then(JsonValue::as_array);
+        let (Some(headers), Some(rows)) = (headers, rows) else {
+            return Err("pair-distance table malformed".into());
+        };
+        let column = |name: &str| {
+            headers
+                .iter()
+                .position(|h| h.as_str() == Some(name))
+                .ok_or_else(|| format!("pair-distance table missing column {name:?}"))
+        };
+        let (workload_c, variant_c) = (column("workload")?, column("variant")?);
+        let (rate_c, speedup_c) = (column("pairs/sec")?, column("speedup")?);
+        let cell = |row: &JsonValue, c: usize| -> Result<String, String> {
+            row.as_array()
+                .and_then(|r| r.get(c))
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| "pair-distance cell is not a string".to_string())
+        };
+        let mut matrix_batched_speedup = None;
+        for row in rows {
+            for c in [rate_c, speedup_c] {
+                let v = cell(row, c)?;
+                let value: f64 = v
+                    .parse()
+                    .map_err(|_| format!("pair-distance cell {v:?} is not numeric"))?;
+                if value <= 0.0 {
+                    return Err(format!("pair-distance value {value} not positive"));
+                }
+            }
+            if cell(row, workload_c)?.starts_with("matrix") && cell(row, variant_c)? == "batched" {
+                matrix_batched_speedup = cell(row, speedup_c)?.parse::<f64>().ok();
+            }
+        }
+        let speedup =
+            matrix_batched_speedup.ok_or("pair-distance table has no batched matrix row")?;
+        let full_scale = records[0].1.get("scale").and_then(JsonValue::as_str) == Some("full");
+        if full_scale && speedup < 3.0 {
+            return Err(format!(
+                "batched matrix-workload speedup {speedup} below the 3x acceptance bound"
+            ));
+        }
+    }
+
     // any artifact that ran a traffic suite must carry the simulator's
     // delivery/drop counters, with at least one packet injected
     let ran_traffic = records.iter().any(|(kind, record)| {

@@ -26,6 +26,7 @@ use smallworld_core::theory::lambda_for_average_degree;
 use smallworld_core::{
     GirgObjective, GreedyRouter, HyperbolicObjective, KleinbergObjective, Objective,
 };
+use smallworld_graph::analytics::par_components;
 use smallworld_graph::{Components, Graph};
 use smallworld_models::girg::GirgBuilder;
 use smallworld_models::hyperbolic::HrgBuilder;
@@ -140,7 +141,9 @@ fn sample_and_summarize<M: GraphModel>(
     };
     let elapsed = start.elapsed().as_secs_f64();
     let graph = instance.graph();
-    let comps = Components::compute(graph);
+    // top-level, idle pool: the parallel union–find kernel is safe to fan
+    // out and produces the same labels as the serial path at any thread count
+    let comps = par_components(graph, &Pool::from_env());
     eprintln!(
         "sampled {} ({params}): {} vertices, {} edges in {elapsed:.2}s \
          (avg degree {:.2}, giant {:.1}%)",

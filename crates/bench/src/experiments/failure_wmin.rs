@@ -17,7 +17,7 @@ use smallworld_analysis::table::fmt_f64;
 use smallworld_analysis::{LinearFit, Table};
 use smallworld_core::{GirgObjective, GreedyRouter, Router};
 use smallworld_geometry::Point;
-use smallworld_graph::{Components, NodeId};
+use smallworld_graph::NodeId;
 use smallworld_models::girg::GirgBuilder;
 
 use crate::experiments::{run_girg_trials, GirgConfig, ObjectiveChoice};
@@ -111,7 +111,7 @@ fn part_b(scale: Scale) -> Table {
                 .sample(&mut rng)
                 .expect("valid config");
             let (s, t) = (NodeId::new(0), NodeId::new(1));
-            let comps = Components::compute(girg.graph());
+            let comps = super::worker_components(girg.graph());
             if !comps.same_component(s, t) {
                 return None;
             }

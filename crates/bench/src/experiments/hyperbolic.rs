@@ -13,7 +13,6 @@ use rand::SeedableRng;
 use smallworld_analysis::table::fmt_f64;
 use smallworld_analysis::Table;
 use smallworld_core::{GreedyRouter, HyperbolicObjective, PhiDfsRouter};
-use smallworld_graph::Components;
 use smallworld_models::HrgBuilder;
 
 use crate::harness::{
@@ -47,7 +46,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
                             .sample(&mut rng)
                             .expect("valid HRG parameters")
                     };
-                    let comps = Components::compute(hrg.graph());
+                    let comps = super::worker_components(hrg.graph());
                     let obj = HyperbolicObjective::new(&hrg);
                     let _span = smallworld_obs::Span::enter("route_pairs");
                     let mut obs = smallworld_core::MetricsRouteObserver::new();

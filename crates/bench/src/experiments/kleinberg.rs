@@ -18,7 +18,6 @@ use rand::SeedableRng;
 use smallworld_analysis::table::fmt_f64;
 use smallworld_analysis::Table;
 use smallworld_core::{DistanceObjective, GreedyRouter, KleinbergObjective};
-use smallworld_graph::Components;
 use smallworld_models::{ContinuumKleinberg, KleinbergLattice};
 
 use crate::experiments::{run_girg_trials, GirgConfig, ObjectiveChoice};
@@ -46,7 +45,7 @@ fn part_a(scale: Scale) -> Table {
                     let _span = smallworld_obs::Span::enter("sample_kleinberg");
                     KleinbergLattice::sample(side, r, 1, &mut rng).expect("valid lattice")
                 };
-                let comps = Components::compute(kl.graph());
+                let comps = super::worker_components(kl.graph());
                 let obj = KleinbergObjective::new(&kl);
                 let _span = smallworld_obs::Span::enter("route_pairs");
                 route_random_pairs_observed(
@@ -96,7 +95,7 @@ fn part_b(scale: Scale) -> Table {
                 let _span = smallworld_obs::Span::enter("sample_kleinberg");
                 ContinuumKleinberg::sample(n, 1.0, 1, 4.0, &mut rng).expect("valid model")
             };
-            let comps = Components::compute(ck.graph());
+            let comps = super::worker_components(ck.graph());
             let obj = DistanceObjective::for_continuum(&ck);
             let _span = smallworld_obs::Span::enter("route_pairs");
             route_random_pairs_observed(

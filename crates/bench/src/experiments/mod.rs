@@ -118,6 +118,19 @@ fn parse_index_flag(value: Option<&str>) -> bool {
     })
 }
 
+/// Connected components for a graph sampled *inside* a [`parallel_map`]
+/// worker.
+///
+/// Rep workers already saturate the [`smallworld_par::Pool`], so this stays
+/// on the serial union–find kernel — fanning out
+/// [`smallworld_graph::analytics::par_components`] here would oversubscribe
+/// the machine (threads²) without speedup. Top-level call sites that analyse
+/// one big graph on an idle pool (e.g. [`structure`]) call `par_components`
+/// instead; the two produce identical labels by construction.
+pub(crate) fn worker_components(graph: &smallworld_graph::Graph) -> Components {
+    Components::compute(graph)
+}
+
 /// Which objective the router maximizes in a GIRG experiment.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ObjectiveChoice {
@@ -197,7 +210,7 @@ where
         }
         let comps = {
             let _span = smallworld_obs::Span::enter("components");
-            Components::compute(girg.graph())
+            worker_components(girg.graph())
         };
         let mut obs = make_obs();
         let o = &mut obs;

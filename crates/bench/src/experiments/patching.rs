@@ -19,7 +19,6 @@ use smallworld_analysis::Table;
 use smallworld_core::{
     GravityPressureRouter, GreedyRouter, HistoryRouter, PhiDfsRouter, Router, RouterKind,
 };
-use smallworld_graph::Components;
 use smallworld_core::GirgObjective;
 
 use crate::experiments::GirgConfig;
@@ -55,7 +54,7 @@ fn compare_routers(
             let _span = smallworld_obs::Span::enter("sample_girg");
             config.sample(&mut rng)
         };
-        let comps = Components::compute(girg.graph());
+        let comps = super::worker_components(girg.graph());
         let obj = GirgObjective::new(&girg);
         let _span = smallworld_obs::Span::enter("route_pairs");
         kinds

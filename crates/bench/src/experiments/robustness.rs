@@ -43,7 +43,7 @@ fn run_cell<const D: usize>(
         if girg.node_count() < 2 {
             return Vec::new();
         }
-        let comps = Components::compute(girg.graph());
+        let comps = super::worker_components(girg.graph());
         let obj = GirgObjective::new(&girg);
         let _span = smallworld_obs::Span::enter("route_pairs");
         route_random_pairs_observed(
@@ -156,7 +156,7 @@ fn edge_failures(scale: Scale) -> Table {
                     .expect("valid")
             };
             let failed = percolate(girg.graph(), keep, &mut rng);
-            let comps = Components::compute(&failed);
+            let comps = super::worker_components(&failed);
             let obj = GirgObjective::new(&girg);
             let _span = smallworld_obs::Span::enter("route_pairs");
             let trials = crate::harness::route_random_giant_pairs_observed(

@@ -21,8 +21,10 @@ use smallworld_analysis::table::fmt_f64;
 use smallworld_analysis::{hill_estimator, Summary, Table};
 use smallworld_core::theory::ultra_small_distance;
 use smallworld_core::GirgObjective;
-use smallworld_graph::{bfs_distance, double_sweep_diameter, stats, Components, NodeId};
+use smallworld_graph::analytics::{pair_distances, par_components, par_double_sweep_diameter};
+use smallworld_graph::{stats, NodeId};
 use smallworld_models::chung_lu::ChungLu;
+use smallworld_par::Pool;
 
 use crate::experiments::GirgConfig;
 use crate::harness::Scale;
@@ -61,7 +63,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
             config.sample(&mut rng)
         };
         let graph = girg.graph();
-        let comps = Components::compute(graph);
+        // top-level call site: the pool is idle here, so the parallel
+        // engine kernels (components, pair distances, diameter) are safe to
+        // fan out — results are bitwise-identical at any thread count
+        let pool = Pool::from_env();
+        let comps = par_components(graph, &pool);
         let _span = smallworld_obs::Span::enter("structure_stats");
 
         // degree power law
@@ -75,19 +81,23 @@ pub fn run(scale: Scale) -> Vec<Table> {
             .expect("weights are valid");
         let cl_clustering = stats::sampled_average_clustering(cl.graph(), 2_000, &mut rng);
 
-        // average distance within the giant
+        // average distance within the giant: pairs are drawn exactly as
+        // before (same rng consumption), then resolved in one batched
+        // MS-BFS pass — distances are exact, so the summary is unchanged
         let mut dist = Summary::new();
         let giant: Vec<NodeId> = graph.nodes().filter(|&v| comps.in_largest(v)).collect();
         if giant.len() >= 2 {
+            let mut sampled = Vec::new();
             for _ in 0..scale.pick(40, 150) {
                 let s = giant[rng.gen_range(0..giant.len())];
                 let t = giant[rng.gen_range(0..giant.len())];
                 if s == t {
                     continue;
                 }
-                if let Some(d) = bfs_distance(graph, s, t) {
-                    dist.push(d as f64);
-                }
+                sampled.push((s, t));
+            }
+            for d in pair_distances(graph, &sampled).into_iter().flatten() {
+                dist.push(d as f64);
             }
         }
 
@@ -103,7 +113,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             fmt_f64(ultra_small_distance(beta, graph.node_count() as f64), 2),
             giant
                 .first()
-                .map(|&v| double_sweep_diameter(graph, v).to_string())
+                .map(|&v| par_double_sweep_diameter(graph, v, &pool).to_string())
                 .unwrap_or_else(|| "-".into()),
         ]);
 

@@ -5,9 +5,10 @@ use rand::{Rng, SeedableRng};
 
 use smallworld_analysis::{Proportion, Summary};
 use smallworld_core::{
-    stretch, MetricsRouteObserver, NoopObserver, Objective, RouteObserver, RouteRecord,
-    RouteScratch, Router,
+    MetricsRouteObserver, NoopObserver, Objective, RouteObserver, RouteRecord, RouteScratch,
+    Router,
 };
+use smallworld_graph::analytics::{pair_distances_with, MsBfsScratch};
 use smallworld_graph::{Components, Graph, NodeId, Permutation};
 use smallworld_par::{chunk_ranges, Pool};
 
@@ -258,6 +259,7 @@ where
         "largest component has fewer than two vertices"
     );
     let mut out = Vec::with_capacity(pairs);
+    let mut stretches = StretchBatch::new(measure_stretch);
     for _ in 0..pairs {
         let (s, t) = loop {
             let s = giant[rng.gen_range(0..giant.len())];
@@ -267,19 +269,75 @@ where
             }
         };
         let record = router.route(graph, objective, s, t, obs);
-        let st = if measure_stretch {
-            stretch(graph, &record)
-        } else {
-            None
-        };
+        stretches.push(out.len(), &record);
         out.push(TrialOutcome {
             success: record.is_success(),
             hops: record.hops(),
-            stretch: st,
+            stretch: None,
             same_component: true,
         });
     }
+    stretches.resolve(graph, &mut out);
     out
+}
+
+/// Deferred stretch measurement: successful routes queue their endpoints
+/// here, and one [`pair_distances_with`] sweep resolves the whole batch
+/// after routing. Distances are exact, so each filled-in stretch is
+/// bitwise-identical to what a per-route [`stretch`] call would produce —
+/// batch boundaries cannot change values.
+struct StretchBatch {
+    enabled: bool,
+    /// `(outcome slot, hops)` aligned with `pairs`.
+    slots: Vec<(usize, usize)>,
+    pairs: Vec<(NodeId, NodeId)>,
+}
+
+impl StretchBatch {
+    fn new(enabled: bool) -> Self {
+        StretchBatch {
+            enabled,
+            slots: Vec::new(),
+            pairs: Vec::new(),
+        }
+    }
+
+    /// Queues `record`'s endpoints for measurement, remembering which
+    /// outcome slot the result belongs to. No-op when disabled or when the
+    /// route has no defined stretch (failed or zero-hop).
+    fn push(&mut self, slot: usize, record: &RouteRecord) {
+        if self.enabled && record.is_success() && record.hops() > 0 {
+            self.slots.push((slot, record.hops()));
+            self.pairs.push((record.source(), record.last()));
+        }
+    }
+
+    /// Resolves all queued distances in one MS-BFS pass and writes the
+    /// stretches into `out`.
+    fn resolve(self, graph: &Graph, out: &mut [TrialOutcome]) {
+        let mut scratch = MsBfsScratch::new();
+        self.resolve_each(graph, &mut scratch, |slot, st| out[slot].stretch = Some(st));
+    }
+
+    /// Resolves all queued distances and hands each `(slot, stretch)` to
+    /// `apply`.
+    fn resolve_each(
+        self,
+        graph: &Graph,
+        scratch: &mut MsBfsScratch,
+        mut apply: impl FnMut(usize, f64),
+    ) {
+        if self.pairs.is_empty() {
+            return;
+        }
+        let dists = pair_distances_with(graph, &self.pairs, scratch);
+        for (k, &(slot, hops)) in self.slots.iter().enumerate() {
+            if let Some(d) = dists[k] {
+                debug_assert!(d > 0, "distinct endpoints have positive distance");
+                apply(slot, hops as f64 / d as f64);
+            }
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -302,6 +360,7 @@ where
     let n = graph.node_count();
     assert!(n >= 2, "need at least two vertices to route");
     let mut out = Vec::with_capacity(pairs);
+    let mut stretches = StretchBatch::new(measure_stretch);
     for _ in 0..pairs {
         let (s, t) = loop {
             let s = smallworld_graph::NodeId::from_index(rng.gen_range(0..n));
@@ -315,18 +374,15 @@ where
             break (s, t);
         };
         let record = router.route(graph, objective, s, t, obs);
-        let st = if measure_stretch {
-            stretch(graph, &record)
-        } else {
-            None
-        };
+        stretches.push(out.len(), &record);
         out.push(TrialOutcome {
             success: record.is_success(),
             hops: record.hops(),
-            stretch: st,
+            stretch: None,
             same_component: components.same_component(s, t),
         });
     }
+    stretches.resolve(graph, &mut out);
     out
 }
 
@@ -494,8 +550,10 @@ impl<'a> TrialBatch<'a> {
         let chunks = chunk_ranges(self.pairs, pool.threads().saturating_mul(4));
         let per_chunk = pool.map_items(chunks, |_, range| {
             let mut scratch = RouteScratch::with_path_capacity(32);
+            let mut msbfs = MsBfsScratch::new();
             let mut obs = MetricsRouteObserver::new();
             let mut out = Vec::with_capacity(range.len());
+            let mut stretches = StretchBatch::new(self.measure_stretch);
             for i in range {
                 let mut rng = StdRng::seed_from_u64(split_seed(master_seed, i as u64));
                 let (s, t) = loop {
@@ -515,15 +573,14 @@ impl<'a> TrialBatch<'a> {
                 };
                 let record =
                     router.route_with(self.graph, objective, s, t, &mut obs, &mut scratch);
-                let st = if self.measure_stretch {
-                    stretch(self.graph, &record)
-                } else {
-                    None
-                };
+                // stretch resolves after the chunk in one MS-BFS pass; the
+                // endpoints queue in routed-id space so distances come from
+                // the same graph the route walked
+                stretches.push(out.len(), &record);
                 let outcome = TrialOutcome {
                     success: record.is_success(),
                     hops: record.hops(),
-                    stretch: st,
+                    stretch: None,
                     same_component: self.components.same_component(s, t),
                 };
                 let record = if keep_records {
@@ -544,6 +601,9 @@ impl<'a> TrialBatch<'a> {
                 };
                 out.push((outcome, record));
             }
+            stretches.resolve_each(self.graph, &mut msbfs, |slot, st| {
+                out[slot].0.stretch = Some(st);
+            });
             out
         });
         per_chunk.into_iter().flatten().collect()

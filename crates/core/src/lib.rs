@@ -80,5 +80,5 @@ pub use objective::{
 };
 pub use patching::{GravityPressureRouter, HistoryRouter, PhiDfsRouter};
 pub use router::{RouteScratch, Router, RouterKind};
-pub use stretch::stretch;
+pub use stretch::{stretch, stretch_many};
 pub use trajectory::{Layer, Phase, Trajectory};

@@ -6,6 +6,7 @@
 //! GIRGs achieves stretch `1 + o(1)` — the routes are essentially shortest
 //! paths.
 
+use smallworld_graph::analytics::pair_distances;
 use smallworld_graph::{bfs_distance, Graph};
 
 use crate::greedy::RouteRecord;
@@ -44,6 +45,38 @@ pub fn stretch(graph: &Graph, record: &RouteRecord) -> Option<f64> {
     let shortest = bfs_distance(graph, record.source(), record.last())?;
     debug_assert!(shortest > 0, "distinct endpoints have positive distance");
     Some(record.hops() as f64 / shortest as f64)
+}
+
+/// The stretch of every record in a batch, resolved through the
+/// bit-parallel multi-source BFS
+/// ([`smallworld_graph::analytics::pair_distances`]): up to 64 shortest
+/// -path queries share one sweep instead of one bidirectional BFS each.
+///
+/// Result `i` corresponds to `records[i]` and is exactly what
+/// [`stretch`] would return for it — distances are exact, so batching
+/// cannot change a single value.
+///
+/// # Panics
+///
+/// Panics if any record's endpoints are out of range for `graph`.
+pub fn stretch_many(graph: &Graph, records: &[RouteRecord]) -> Vec<Option<f64>> {
+    let mut slots = Vec::new();
+    let mut pairs = Vec::new();
+    for (i, r) in records.iter().enumerate() {
+        if r.is_success() && r.hops() > 0 {
+            slots.push(i);
+            pairs.push((r.source(), r.last()));
+        }
+    }
+    let dists = pair_distances(graph, &pairs);
+    let mut out = vec![None; records.len()];
+    for (k, &i) in slots.iter().enumerate() {
+        if let Some(d) = dists[k] {
+            debug_assert!(d > 0, "distinct endpoints have positive distance");
+            out[i] = Some(records[i].hops() as f64 / d as f64);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -89,6 +122,26 @@ mod tests {
         let g = Graph::from_edges(3, [(0u32, 1u32), (1, 2)]).unwrap();
         let r = GreedyRouter::new().route_quiet(&g, &ById, NodeId::new(0), NodeId::new(2));
         assert_eq!(stretch(&g, &r), Some(1.0));
+    }
+
+    #[test]
+    fn stretch_many_matches_per_record() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let girg = GirgBuilder::<2>::new(1_500).sample(&mut rng).unwrap();
+        let obj = GirgObjective::new(&girg);
+        let records: Vec<_> = (0..120)
+            .map(|_| {
+                let s = girg.random_vertex(&mut rng);
+                let t = girg.random_vertex(&mut rng);
+                GreedyRouter::new().route_quiet(girg.graph(), &obj, s, t)
+            })
+            .collect();
+        let batched = stretch_many(girg.graph(), &records);
+        for (r, got) in records.iter().zip(&batched) {
+            // bitwise equality: both divide the same hops by the same exact distance
+            assert_eq!(*got, stretch(girg.graph(), r));
+        }
+        assert!(batched.iter().flatten().count() > 10);
     }
 
     #[test]

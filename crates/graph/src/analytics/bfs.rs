@@ -1,0 +1,362 @@
+//! Direction-optimizing single-source BFS (Beamer et al., SC 2012).
+//!
+//! A conventional BFS expands every frontier vertex *top-down*, scanning
+//! all its edges. On low-diameter graphs the frontier quickly covers most
+//! of the graph, and the top-down sweep wastes work re-checking edges into
+//! already-visited vertices. The hybrid switches to a *bottom-up* sweep —
+//! every unvisited vertex asks "is any of my neighbors in the frontier?"
+//! and stops at the first hit — when the frontier's edge count grows past
+//! a fraction of the unexplored edges, then back to top-down once the
+//! frontier shrinks again.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use smallworld_par::{chunk_ranges, Pool};
+
+use super::scratch::BfsScratch;
+use crate::csr::{Graph, NodeId};
+use crate::traversal::UNREACHABLE;
+
+/// Switch top-down → bottom-up when `frontier_edges > unexplored / ALPHA`
+/// (Beamer's α; edges out of the frontier rival the unexplored volume).
+const ALPHA: usize = 14;
+
+/// Switch bottom-up → top-down when `frontier_len < n / BETA` (Beamer's β;
+/// the frontier has shrunk enough that scanning all vertices is wasteful).
+const BETA: usize = 24;
+
+/// Below this node count the parallel BFS falls back to the serial hybrid:
+/// the per-level fork/join costs more than the traversal.
+const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Single-source BFS into a reusable [`BfsScratch`].
+///
+/// Equivalent to [`crate::bfs_distances`] but allocation-free on a warm
+/// scratch; read results through [`BfsScratch::distance`] or
+/// [`BfsScratch::to_distances`].
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs_distances_into(graph: &Graph, source: NodeId, scratch: &mut BfsScratch) {
+    let n = graph.node_count();
+    scratch.begin(n);
+    assert!(source.index() < n, "source {source} out of range");
+    scratch.visit(source.index(), 0);
+    scratch.frontier.push(source.raw());
+    let total_directed = 2 * graph.edge_count();
+    let mut visited_edges = graph.degree(source);
+    let mut frontier_edges = visited_edges;
+    let mut depth = 0u32;
+    let mut bottom_up = false;
+
+    while !scratch.frontier.is_empty() {
+        let unexplored = total_directed.saturating_sub(visited_edges);
+        if !bottom_up {
+            bottom_up = frontier_edges * ALPHA > unexplored;
+        } else if scratch.frontier.len() * BETA < n {
+            bottom_up = false;
+        }
+
+        scratch.next.clear();
+        let mut next_edges = 0usize;
+        if bottom_up {
+            // Rebuild the frontier bitset for membership tests.
+            scratch.frontier_bits.fill(0);
+            for i in 0..scratch.frontier.len() {
+                let u = scratch.frontier[i] as usize;
+                scratch.frontier_bits[u >> 6] |= 1u64 << (u & 63);
+            }
+            for v in 0..n {
+                if scratch.visited(v) {
+                    continue;
+                }
+                let node = NodeId::from_index(v);
+                for &w in graph.neighbors(node) {
+                    let wi = w.index();
+                    if scratch.frontier_bits[wi >> 6] & (1u64 << (wi & 63)) != 0 {
+                        scratch.visit(v, depth + 1);
+                        next_edges += graph.degree(node);
+                        scratch.next.push(v as u32);
+                        break;
+                    }
+                }
+            }
+        } else {
+            for i in 0..scratch.frontier.len() {
+                let u = NodeId::new(scratch.frontier[i]);
+                for &v in graph.neighbors(u) {
+                    let vi = v.index();
+                    if !scratch.visited(vi) {
+                        scratch.visit(vi, depth + 1);
+                        next_edges += graph.degree(v);
+                        scratch.next.push(v.raw());
+                    }
+                }
+            }
+        }
+        depth += 1;
+        visited_edges += next_edges;
+        frontier_edges = next_edges;
+        std::mem::swap(&mut scratch.frontier, &mut scratch.next);
+    }
+}
+
+/// Bidirectional s–t BFS over two reusable scratches.
+///
+/// Equivalent to [`crate::bfs_distance`] (same meet-in-the-middle
+/// algorithm, same termination proof) but allocation-free on warm
+/// scratches. Distances are unique, so the result is identical.
+///
+/// # Panics
+///
+/// Panics if `s` or `t` is out of range.
+pub fn bfs_distance_with(
+    graph: &Graph,
+    s: NodeId,
+    t: NodeId,
+    side_s: &mut BfsScratch,
+    side_t: &mut BfsScratch,
+) -> Option<u32> {
+    if s == t {
+        assert!(s.index() < graph.node_count(), "node {s} out of range");
+        return Some(0);
+    }
+    let n = graph.node_count();
+    side_s.begin(n);
+    side_t.begin(n);
+    side_s.visit(s.index(), 0);
+    side_s.frontier.push(s.raw());
+    side_t.visit(t.index(), 0);
+    side_t.frontier.push(t.raw());
+    let mut depth_s = 0u32;
+    let mut depth_t = 0u32;
+    let mut best: Option<u32> = None;
+
+    while !side_s.frontier.is_empty() && !side_t.frontier.is_empty() {
+        // Any path not yet witnessed by a doubly-discovered vertex is longer
+        // than depth_s + depth_t, so the current best is final once it is at
+        // most that sum.
+        if let Some(b) = best {
+            if b <= depth_s + depth_t {
+                return Some(b);
+            }
+        }
+        // expand the smaller frontier
+        let expand_s = side_s.frontier.len() <= side_t.frontier.len();
+        let (mine, other, depth) = if expand_s {
+            (&mut *side_s, &*side_t, &mut depth_s)
+        } else {
+            (&mut *side_t, &*side_s, &mut depth_t)
+        };
+        mine.next.clear();
+        for i in 0..mine.frontier.len() {
+            let u = NodeId::new(mine.frontier[i]);
+            for &v in graph.neighbors(u) {
+                let vi = v.index();
+                if !mine.visited(vi) {
+                    mine.visit(vi, *depth + 1);
+                    if other.visited(vi) {
+                        let total = *depth + 1 + other.raw_distance(vi);
+                        best = Some(best.map_or(total, |b| b.min(total)));
+                    }
+                    mine.next.push(v.raw());
+                }
+            }
+        }
+        *depth += 1;
+        std::mem::swap(&mut mine.frontier, &mut mine.next);
+    }
+    // One side exhausted its component: every s–t path (if any) has been
+    // witnessed, so `best` is exact.
+    best
+}
+
+/// Parallel level-synchronous single-source BFS.
+///
+/// Returns the same distance vector as [`crate::bfs_distances`]
+/// (`UNREACHABLE` for unreachable nodes) at any thread count: distances
+/// are unique, so racing workers always write the same value for a vertex
+/// and the claim order cannot leak into the result. Small graphs and
+/// single-thread pools fall back to the serial hybrid.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn par_bfs_distances(graph: &Graph, source: NodeId, pool: &Pool) -> Vec<u32> {
+    let n = graph.node_count();
+    if pool.threads() <= 1 || n < PAR_THRESHOLD {
+        let mut scratch = BfsScratch::new();
+        bfs_distances_into(graph, source, &mut scratch);
+        return scratch.to_distances();
+    }
+
+    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHABLE)).collect();
+    dist[source.index()].store(0, Ordering::Relaxed);
+    let mut frontier = vec![source.raw()];
+    let total_directed = 2 * graph.edge_count();
+    let mut visited_edges = graph.degree(source);
+    let mut frontier_edges = visited_edges;
+    let mut depth = 0u32;
+    let mut bottom_up = false;
+    let dist_ref = &dist;
+
+    while !frontier.is_empty() {
+        let unexplored = total_directed.saturating_sub(visited_edges);
+        if !bottom_up {
+            bottom_up = frontier_edges * ALPHA > unexplored;
+        } else if frontier.len() * BETA < n {
+            bottom_up = false;
+        }
+
+        // Each worker claims vertices into a local next-frontier; pool.map
+        // joins all workers per level, so writes at depth d are visible to
+        // every reader at depth d + 1.
+        let parts: Vec<(Vec<u32>, usize)> = if bottom_up {
+            // Disjoint vertex chunks: only the owning worker writes dist[v]
+            // for v in its chunk, and "w in frontier" is just dist[w]==depth.
+            let chunks = chunk_ranges(n, pool.threads() * 4);
+            pool.map(chunks.len(), |c| {
+                let mut local = Vec::new();
+                let mut edges = 0usize;
+                for v in chunks[c].clone() {
+                    if dist_ref[v].load(Ordering::Relaxed) != UNREACHABLE {
+                        continue;
+                    }
+                    let node = NodeId::from_index(v);
+                    for &w in graph.neighbors(node) {
+                        if dist_ref[w.index()].load(Ordering::Relaxed) == depth {
+                            dist_ref[v].store(depth + 1, Ordering::Relaxed);
+                            edges += graph.degree(node);
+                            local.push(v as u32);
+                            break;
+                        }
+                    }
+                }
+                (local, edges)
+            })
+        } else {
+            // Frontier chunks: vertices are claimed by CAS, so each enters
+            // exactly one local next-frontier, always at the same depth.
+            let chunks = chunk_ranges(frontier.len(), pool.threads() * 4);
+            let frontier_ref = &frontier;
+            pool.map(chunks.len(), |c| {
+                let mut local = Vec::new();
+                let mut edges = 0usize;
+                for &u in &frontier_ref[chunks[c].clone()] {
+                    for &v in graph.neighbors(NodeId::new(u)) {
+                        let vi = v.index();
+                        if dist_ref[vi].load(Ordering::Relaxed) == UNREACHABLE
+                            && dist_ref[vi]
+                                .compare_exchange(
+                                    UNREACHABLE,
+                                    depth + 1,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                )
+                                .is_ok()
+                        {
+                            edges += graph.degree(v);
+                            local.push(v.raw());
+                        }
+                    }
+                }
+                (local, edges)
+            })
+        };
+
+        frontier.clear();
+        frontier_edges = 0;
+        for (local, edges) in parts {
+            frontier.extend_from_slice(&local);
+            frontier_edges += edges;
+        }
+        visited_edges += frontier_edges;
+        depth += 1;
+    }
+    dist.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{bfs_distance, bfs_distances};
+
+    fn cycle(n: u32) -> Graph {
+        Graph::from_edges(n as usize, (0..n).map(|i| (i, (i + 1) % n))).unwrap()
+    }
+
+    #[test]
+    fn hybrid_matches_reference_on_cycle() {
+        let g = cycle(50);
+        let mut scratch = BfsScratch::new();
+        bfs_distances_into(&g, NodeId::new(7), &mut scratch);
+        assert_eq!(scratch.to_distances(), bfs_distances(&g, NodeId::new(7)));
+    }
+
+    #[test]
+    fn hybrid_switches_bottom_up_on_dense_graph() {
+        // complete graph: the first frontier covers all edges, forcing the
+        // bottom-up branch on level 1
+        let n = 40u32;
+        let edges = (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v)));
+        let g = Graph::from_edges(n as usize, edges).unwrap();
+        let mut scratch = BfsScratch::new();
+        bfs_distances_into(&g, NodeId::new(3), &mut scratch);
+        assert_eq!(scratch.to_distances(), bfs_distances(&g, NodeId::new(3)));
+    }
+
+    #[test]
+    fn bidirectional_with_scratches_matches_legacy() {
+        let g = cycle(17);
+        let mut a = BfsScratch::new();
+        let mut b = BfsScratch::new();
+        for s in 0..17u32 {
+            for t in 0..17u32 {
+                let got = bfs_distance_with(&g, NodeId::new(s), NodeId::new(t), &mut a, &mut b);
+                assert_eq!(got, bfs_distance(&g, NodeId::new(s), NodeId::new(t)));
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pair_is_none() {
+        let g = Graph::from_edges(4, [(0u32, 1u32), (2, 3)]).unwrap();
+        let mut a = BfsScratch::new();
+        let mut b = BfsScratch::new();
+        assert_eq!(
+            bfs_distance_with(&g, NodeId::new(0), NodeId::new(3), &mut a, &mut b),
+            None
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial_small_fallback() {
+        let g = cycle(30);
+        let pool = Pool::with_threads(4);
+        assert_eq!(
+            par_bfs_distances(&g, NodeId::new(5), &pool),
+            bfs_distances(&g, NodeId::new(5))
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial_above_threshold() {
+        // ring of 20_000 nodes with chords: crosses PAR_THRESHOLD so the
+        // genuinely parallel path runs
+        let n = 20_000u32;
+        let edges = (0..n)
+            .map(|i| (i, (i + 1) % n))
+            .chain((0..n).step_by(17).map(|i| (i, (i + n / 2) % n)));
+        let g = Graph::from_edges(n as usize, edges).unwrap();
+        let expected = bfs_distances(&g, NodeId::new(123));
+        for threads in [1, 2, 4] {
+            let pool = Pool::with_threads(threads);
+            assert_eq!(
+                par_bfs_distances(&g, NodeId::new(123), &pool),
+                expected,
+                "threads={threads}"
+            );
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Parallel connected components via lock-free union–find.
+//!
+//! Workers union edges concurrently over node ranges of balanced adjacency
+//! mass. The union–find is wait-free-ish in practice: parent pointers only
+//! ever decrease (union-by-minimum-index roots the lower id), so the
+//! forest stays acyclic under any interleaving, and a failed CAS just
+//! retries against the new, strictly smaller root.
+//!
+//! # Determinism
+//!
+//! The concurrent phase is racy by design — which representative a vertex
+//! transiently points at depends on scheduling. But the *partition* it
+//! computes is scheduling-independent, and the public labels are assigned
+//! by a sequential scan in vertex order (first component seen gets label
+//! 0, and so on). The returned [`Components`] is therefore bitwise
+//! identical to the serial [`Components::compute`] at any thread count.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use smallworld_par::Pool;
+
+use crate::csr::{balanced_node_ranges, Graph, NodeId};
+use crate::traversal::Components;
+use crate::union_find::UnionFind;
+
+/// Below this node count the parallel machinery costs more than the serial
+/// union–find.
+const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Connected components using the pool's workers.
+///
+/// Bitwise identical to [`Components::compute`] at any thread count.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_graph::analytics::par_components;
+/// use smallworld_graph::{Components, Graph, NodeId};
+/// use smallworld_par::Pool;
+///
+/// let g = Graph::from_edges(5, [(0u32, 1u32), (1, 2), (3, 4)])?;
+/// let c = par_components(&g, &Pool::with_threads(4));
+/// assert_eq!(c.count(), 2);
+/// assert!(c.same_component(NodeId::new(0), NodeId::new(2)));
+/// # Ok::<(), smallworld_graph::GraphError>(())
+/// ```
+pub fn par_components(graph: &Graph, pool: &Pool) -> Components {
+    components_filtered(graph, pool, &|_, _| true)
+}
+
+/// Connected components of the subgraph whose edges satisfy `keep`.
+///
+/// Vertices are never dropped: a vertex all of whose edges are filtered
+/// out becomes a singleton component, exactly as if the edges did not
+/// exist. This is the kernel behind `net`'s survivor-mask computation,
+/// where `keep` consults the fault plan and building a filtered [`Graph`]
+/// copy would cost a full CSR rebuild per query time.
+///
+/// Bitwise identical to running [`Components::compute`] on the filtered
+/// graph, at any thread count.
+pub fn filtered_components<F>(graph: &Graph, pool: &Pool, keep: F) -> Components
+where
+    F: Fn(NodeId, NodeId) -> bool + Sync,
+{
+    components_filtered(graph, pool, &keep)
+}
+
+fn components_filtered<F>(graph: &Graph, pool: &Pool, keep: &F) -> Components
+where
+    F: Fn(NodeId, NodeId) -> bool + Sync,
+{
+    let n = graph.node_count();
+    if pool.threads() <= 1 || n < PAR_THRESHOLD {
+        let mut uf = UnionFind::new(n);
+        for u in graph.nodes() {
+            for &v in graph.neighbors(u) {
+                if u < v && keep(u, v) {
+                    uf.union(u.index(), v.index());
+                }
+            }
+        }
+        return densify(n, |v| uf.find(v));
+    }
+
+    let parent: Vec<AtomicU32> = (0..n).map(|v| AtomicU32::new(v as u32)).collect();
+    let parent_ref = &parent;
+    // Ranges balanced by adjacency mass, not node count: power-law hubs
+    // would otherwise serialize the whole union phase onto one worker.
+    let ranges = balanced_node_ranges(graph.offsets(), pool.threads() * 4);
+    pool.map(ranges.len(), |c| {
+        for u in ranges[c].clone() {
+            let u = NodeId::from_index(u);
+            for &v in graph.neighbors(u) {
+                if u < v && keep(u, v) {
+                    union(parent_ref, u.index(), v.index());
+                }
+            }
+        }
+    });
+    // pool.map joined the workers, so all unions are visible here.
+    densify(n, |v| find(&parent, v))
+}
+
+/// Root lookup with path halving. Relaxed ordering suffices: parent words
+/// are independent `u32`s, the algorithm tolerates stale reads (it just
+/// walks one extra hop), and the cross-thread visibility we rely on is
+/// established by the pool's join, not by these accesses.
+fn find(parent: &[AtomicU32], mut v: usize) -> usize {
+    loop {
+        let p = parent[v].load(Ordering::Relaxed) as usize;
+        if p == v {
+            return v;
+        }
+        let gp = parent[p].load(Ordering::Relaxed) as usize;
+        if gp != p {
+            // Path halving: harmless if it loses the race — gp is an
+            // ancestor of v either way.
+            let _ = parent[v].compare_exchange(p as u32, gp as u32, Ordering::Relaxed, Ordering::Relaxed);
+        }
+        v = gp;
+    }
+}
+
+/// Lock-free union by minimum index: the higher root is CASed to point at
+/// the lower. Since edges only ever lower a root's parent, the structure
+/// stays a forest rooted at component minima under any interleaving.
+fn union(parent: &[AtomicU32], u: usize, v: usize) {
+    let mut ru = find(parent, u);
+    let mut rv = find(parent, v);
+    while ru != rv {
+        let (hi, lo) = if ru > rv { (ru, rv) } else { (rv, ru) };
+        if parent[hi]
+            .compare_exchange(hi as u32, lo as u32, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            return;
+        }
+        ru = find(parent, hi);
+        rv = find(parent, lo);
+    }
+}
+
+/// Assigns dense labels by a sequential scan in vertex order — the same
+/// scan as the serial [`Components::compute`], so labels depend only on
+/// the partition, never on which representative the union phase picked.
+fn densify(n: usize, mut root_of: impl FnMut(usize) -> usize) -> Components {
+    let mut label = vec![u32::MAX; n];
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut rep_label = vec![u32::MAX; n];
+    for (v, l) in label.iter_mut().enumerate() {
+        let r = root_of(v);
+        if rep_label[r] == u32::MAX {
+            rep_label[r] = sizes.len() as u32;
+            sizes.push(0);
+        }
+        *l = rep_label[r];
+        sizes[rep_label[r] as usize] += 1;
+    }
+    Components::from_parts(label, sizes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_same(a: &Components, b: &Components, n: usize) {
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.largest_label(), b.largest_label());
+        assert_eq!(a.largest_size(), b.largest_size());
+        for v in 0..n as u32 {
+            assert_eq!(a.component_of(NodeId::new(v)), b.component_of(NodeId::new(v)));
+        }
+    }
+
+    #[test]
+    fn small_graph_takes_serial_path() {
+        let g = Graph::from_edges(7, [(0u32, 1u32), (1, 2), (3, 4), (5, 6)]).unwrap();
+        let serial = Components::compute(&g);
+        let par = par_components(&g, &Pool::with_threads(4));
+        assert_same(&serial, &par, 7);
+    }
+
+    #[test]
+    fn large_graph_parallel_matches_serial() {
+        // two interleaved rings above the threshold, plus isolated nodes
+        let n = 40_000usize;
+        let ring = (n as u32 - 200) / 2;
+        let edges = (0..ring)
+            .map(|i| (2 * i, 2 * ((i + 1) % ring)))
+            .chain((0..ring).map(|i| (2 * i + 1, 2 * ((i + 1) % ring) + 1)));
+        let g = Graph::from_edges(n, edges).unwrap();
+        let serial = Components::compute(&g);
+        assert_eq!(serial.count(), 2 + 200);
+        for threads in [2, 4, 8] {
+            let par = par_components(&g, &Pool::with_threads(threads));
+            assert_same(&serial, &par, n);
+        }
+    }
+
+    #[test]
+    fn filtered_matches_rebuilt_graph() {
+        // filter: drop every edge touching a multiple of 3
+        let n = 20_000usize;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(n, edges.iter().copied()).unwrap();
+        let keep = |u: NodeId, v: NodeId| !u.raw().is_multiple_of(3) && !v.raw().is_multiple_of(3);
+        let rebuilt =
+            Graph::from_edges(n, edges.iter().copied().filter(|&(u, v)| {
+                keep(NodeId::new(u), NodeId::new(v))
+            }))
+            .unwrap();
+        let expected = Components::compute(&rebuilt);
+        for threads in [1, 4] {
+            let got = filtered_components(&g, &Pool::with_threads(threads), keep);
+            assert_same(&expected, &got, n);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, Vec::<(u32, u32)>::new()).unwrap();
+        let c = par_components(&g, &Pool::with_threads(4));
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.largest_size(), 0);
+    }
+}

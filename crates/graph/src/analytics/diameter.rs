@@ -1,0 +1,85 @@
+//! Parallel double-sweep diameter estimation.
+
+use smallworld_par::Pool;
+
+use super::bfs::par_bfs_distances;
+use crate::csr::{Graph, NodeId};
+use crate::traversal::UNREACHABLE;
+
+/// Double-sweep diameter estimate with both sweeps running the parallel
+/// level-synchronous BFS.
+///
+/// Identical to [`crate::traversal::double_sweep_diameter`] at any thread
+/// count: the distance arrays are unique, and the far vertex of the first
+/// sweep is selected by the same scan (last index attaining the maximum
+/// finite distance), so the second sweep starts from the same vertex.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_graph::analytics::par_double_sweep_diameter;
+/// use smallworld_graph::{Graph, NodeId};
+/// use smallworld_par::Pool;
+///
+/// let path = Graph::from_edges(5, (0u32..4).map(|i| (i, i + 1)))?;
+/// let pool = Pool::with_threads(4);
+/// assert_eq!(par_double_sweep_diameter(&path, NodeId::new(2), &pool), 4);
+/// # Ok::<(), smallworld_graph::GraphError>(())
+/// ```
+pub fn par_double_sweep_diameter(graph: &Graph, start: NodeId, pool: &Pool) -> u32 {
+    let first = par_bfs_distances(graph, start, pool);
+    let far = first
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != UNREACHABLE)
+        .max_by_key(|&(_, &d)| d)
+        .map(|(i, _)| NodeId::from_index(i));
+    match far {
+        None => 0,
+        Some(v) => par_bfs_distances(graph, v, pool)
+            .into_iter()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+            .unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::double_sweep_diameter;
+
+    #[test]
+    fn matches_serial_on_small_graphs() {
+        let pool = Pool::with_threads(4);
+        let cycle = Graph::from_edges(10, (0u32..10).map(|i| (i, (i + 1) % 10))).unwrap();
+        assert_eq!(par_double_sweep_diameter(&cycle, NodeId::new(3), &pool), 5);
+        let path = Graph::from_edges(6, (0u32..5).map(|i| (i, i + 1))).unwrap();
+        assert_eq!(par_double_sweep_diameter(&path, NodeId::new(2), &pool), 5);
+        // isolated start
+        let g = Graph::from_edges(3, [(1u32, 2u32)]).unwrap();
+        assert_eq!(par_double_sweep_diameter(&g, NodeId::new(0), &pool), 0);
+    }
+
+    #[test]
+    fn matches_serial_above_parallel_threshold() {
+        let n = 20_000u32;
+        let edges = (0..n - 1)
+            .map(|i| (i, i + 1))
+            .chain((0..n).step_by(101).map(|i| (i, (i + 5_000) % n)));
+        let g = Graph::from_edges(n as usize, edges).unwrap();
+        let expected = double_sweep_diameter(&g, NodeId::new(0));
+        for threads in [1, 2, 4] {
+            let pool = Pool::with_threads(threads);
+            assert_eq!(
+                par_double_sweep_diameter(&g, NodeId::new(0), &pool),
+                expected,
+                "threads={threads}"
+            );
+        }
+    }
+}

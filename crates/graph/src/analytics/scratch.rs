@@ -1,0 +1,167 @@
+//! Epoch-stamped, reusable BFS working memory.
+
+use crate::csr::NodeId;
+use crate::traversal::UNREACHABLE;
+
+/// Reusable single-source BFS working state.
+///
+/// A naive BFS allocates (and zeroes) an `O(n)` distance array per call —
+/// at a million vertices that is a 4 MB memset before the first edge is
+/// touched, and the stretch experiments run one BFS *per routed pair*.
+/// `BfsScratch` instead stamps each slot with the epoch of the search
+/// that wrote it: starting a new search is a single counter increment,
+/// and a slot is "unvisited" unless its stamp matches the current epoch.
+///
+/// The scratch also owns the frontier queues and the frontier bitset used
+/// by the bottom-up direction of the hybrid BFS, so a warm scratch
+/// performs no allocation at all.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_graph::analytics::{bfs_distances_into, BfsScratch};
+/// use smallworld_graph::{Graph, NodeId};
+///
+/// let g = Graph::from_edges(4, [(0u32, 1u32), (1, 2)])?;
+/// let mut scratch = BfsScratch::new();
+/// bfs_distances_into(&g, NodeId::new(0), &mut scratch);
+/// assert_eq!(scratch.distance(NodeId::new(2)), Some(2));
+/// assert_eq!(scratch.distance(NodeId::new(3)), None);
+/// // reuse: no allocation, no O(n) clear
+/// bfs_distances_into(&g, NodeId::new(2), &mut scratch);
+/// assert_eq!(scratch.distance(NodeId::new(0)), Some(2));
+/// # Ok::<(), smallworld_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BfsScratch {
+    /// Epoch of the search that last wrote each slot.
+    stamp: Vec<u32>,
+    /// Distance from the current search's source (valid iff stamped).
+    dist: Vec<u32>,
+    /// Current epoch; slots with `stamp[v] == epoch` are visited.
+    epoch: u32,
+    /// Current and next frontier queues (raw ids).
+    pub(crate) frontier: Vec<u32>,
+    pub(crate) next: Vec<u32>,
+    /// Frontier membership bitset for bottom-up sweeps (one bit per node).
+    pub(crate) frontier_bits: Vec<u64>,
+}
+
+impl BfsScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        BfsScratch::default()
+    }
+
+    /// Prepares the scratch for a fresh search over `n` nodes: bumps the
+    /// epoch (resizing/zeroing only when the node count changed or the
+    /// 32-bit epoch wrapped) and clears the frontier queues.
+    pub(crate) fn begin(&mut self, n: usize) {
+        if self.stamp.len() != n || self.epoch == u32::MAX {
+            self.stamp.clear();
+            self.stamp.resize(n, 0);
+            self.dist.clear();
+            self.dist.resize(n, 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.frontier.clear();
+        self.next.clear();
+        let words = n.div_ceil(64);
+        if self.frontier_bits.len() != words {
+            self.frontier_bits.clear();
+            self.frontier_bits.resize(words, 0);
+        }
+    }
+
+    /// Whether `v` was visited by the current search.
+    #[inline]
+    pub(crate) fn visited(&self, v: usize) -> bool {
+        self.stamp[v] == self.epoch
+    }
+
+    /// Marks `v` visited at `d`; the caller guarantees it was unvisited.
+    #[inline]
+    pub(crate) fn visit(&mut self, v: usize, d: u32) {
+        self.stamp[v] = self.epoch;
+        self.dist[v] = d;
+    }
+
+    /// Raw distance slot (only meaningful when [`Self::visited`]).
+    #[inline]
+    pub(crate) fn raw_distance(&self, v: usize) -> u32 {
+        self.dist[v]
+    }
+
+    /// Distance of `v` from the source of the most recent search, or
+    /// `None` if unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for the searched graph.
+    #[inline]
+    pub fn distance(&self, v: NodeId) -> Option<u32> {
+        self.visited(v.index()).then(|| self.dist[v.index()])
+    }
+
+    /// Number of nodes the scratch is currently sized for.
+    pub fn len(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// Whether the scratch has never been used.
+    pub fn is_empty(&self) -> bool {
+        self.stamp.is_empty()
+    }
+
+    /// Materializes the legacy distance vector (`UNREACHABLE` for
+    /// unvisited nodes) from the most recent search.
+    pub fn to_distances(&self) -> Vec<u32> {
+        (0..self.stamp.len())
+            .map(|v| if self.visited(v) { self.dist[v] } else { UNREACHABLE })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytics::bfs::bfs_distances_into;
+    use crate::csr::Graph;
+
+    #[test]
+    fn epoch_reuse_resets_without_clearing() {
+        let g = Graph::from_edges(3, [(0u32, 1u32)]).unwrap();
+        let mut s = BfsScratch::new();
+        bfs_distances_into(&g, NodeId::new(0), &mut s);
+        assert_eq!(s.distance(NodeId::new(1)), Some(1));
+        assert_eq!(s.distance(NodeId::new(2)), None);
+        bfs_distances_into(&g, NodeId::new(2), &mut s);
+        assert_eq!(s.distance(NodeId::new(2)), Some(0));
+        assert_eq!(s.distance(NodeId::new(0)), None);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn epoch_wrap_is_safe() {
+        let g = Graph::from_edges(2, [(0u32, 1u32)]).unwrap();
+        let mut s = BfsScratch::new();
+        s.begin(2);
+        s.epoch = u32::MAX; // force the wrap path on the next search
+        bfs_distances_into(&g, NodeId::new(1), &mut s);
+        assert_eq!(s.distance(NodeId::new(0)), Some(1));
+        assert_eq!(s.to_distances(), vec![1, 0]);
+    }
+
+    #[test]
+    fn resize_between_graphs() {
+        let small = Graph::from_edges(2, [(0u32, 1u32)]).unwrap();
+        let big = Graph::from_edges(5, [(0u32, 4u32)]).unwrap();
+        let mut s = BfsScratch::new();
+        bfs_distances_into(&small, NodeId::new(0), &mut s);
+        bfs_distances_into(&big, NodeId::new(0), &mut s);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.distance(NodeId::new(4)), Some(1));
+    }
+}

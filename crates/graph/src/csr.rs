@@ -282,6 +282,12 @@ impl Graph {
         self.offsets.len().saturating_sub(1)
     }
 
+    /// The raw CSR offset array (length `node_count + 1`), for kernels that
+    /// partition nodes by adjacency mass.
+    pub(crate) fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
     /// Number of (undirected) edges.
     pub fn edge_count(&self) -> usize {
         self.targets.len() / 2
@@ -582,7 +588,7 @@ fn build_csr(n: usize, edges: &[(u32, u32)]) -> Graph {
 /// Splits `0..n` nodes into at most `parts` contiguous ranges whose total
 /// adjacency mass (by `offsets`) is near-equal, so sort/dedup workers get
 /// balanced work despite power-law degree skew.
-fn balanced_node_ranges(offsets: &[usize], parts: usize) -> Vec<Range<usize>> {
+pub(crate) fn balanced_node_ranges(offsets: &[usize], parts: usize) -> Vec<Range<usize>> {
     let n = offsets.len() - 1;
     let total = offsets[n];
     if n == 0 {

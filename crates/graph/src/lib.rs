@@ -10,7 +10,10 @@
 //! * connected components, to condition routing experiments on "s and t in
 //!   the same component" as in Theorems 3.1–3.4 ([`Components`]),
 //! * degree / clustering statistics to validate sampled GIRGs against the
-//!   model's known structural properties ([`stats`]).
+//!   model's known structural properties ([`stats`]),
+//! * a parallel analytics engine — direction-optimizing BFS, bit-parallel
+//!   multi-source pair distances, deterministic parallel components — for
+//!   the experiment battery's hot paths ([`analytics`]).
 //!
 //! # Examples
 //!
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analytics;
 pub mod csr;
 pub mod permute;
 pub mod stats;

@@ -1,12 +1,21 @@
 //! Breadth-first search and connected components.
 
-use std::collections::VecDeque;
+use std::cell::RefCell;
 
+use crate::analytics::{bfs_distance_with, bfs_distances_into, BfsScratch};
 use crate::csr::{Graph, NodeId};
 use crate::union_find::UnionFind;
 
 /// Distance value used for unreachable nodes in [`bfs_distances`].
 pub const UNREACHABLE: u32 = u32::MAX;
+
+thread_local! {
+    /// Per-thread scratch pair backing the legacy entry points, so existing
+    /// callers get the allocation-free hybrid BFS without signature churn.
+    /// Two scratches because bidirectional search needs one per side.
+    static LEGACY_SCRATCH: RefCell<(BfsScratch, BfsScratch)> =
+        RefCell::new((BfsScratch::new(), BfsScratch::new()));
+}
 
 /// Single-source BFS distances from `source`.
 ///
@@ -28,20 +37,11 @@ pub const UNREACHABLE: u32 = u32::MAX;
 /// # Ok::<(), smallworld_graph::GraphError>(())
 /// ```
 pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<u32> {
-    let mut dist = vec![UNREACHABLE; graph.node_count()];
-    let mut queue = VecDeque::new();
-    dist[source.index()] = 0;
-    queue.push_back(source);
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u.index()];
-        for &v in graph.neighbors(u) {
-            if dist[v.index()] == UNREACHABLE {
-                dist[v.index()] = du + 1;
-                queue.push_back(v);
-            }
-        }
-    }
-    dist
+    LEGACY_SCRATCH.with(|cell| {
+        let scratch = &mut cell.borrow_mut().0;
+        bfs_distances_into(graph, source, scratch);
+        scratch.to_distances()
+    })
 }
 
 /// Shortest-path distance between `s` and `t`, or `None` if disconnected.
@@ -66,57 +66,10 @@ pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<u32> {
 /// # Ok::<(), smallworld_graph::GraphError>(())
 /// ```
 pub fn bfs_distance(graph: &Graph, s: NodeId, t: NodeId) -> Option<u32> {
-    if s == t {
-        return Some(0);
-    }
-    let n = graph.node_count();
-    // dist entries: UNREACHABLE = unvisited; otherwise the distance from the
-    // side's source. Two separate maps keep the meeting test simple.
-    let mut dist_s = vec![UNREACHABLE; n];
-    let mut dist_t = vec![UNREACHABLE; n];
-    dist_s[s.index()] = 0;
-    dist_t[t.index()] = 0;
-    let mut frontier_s = vec![s];
-    let mut frontier_t = vec![t];
-    let mut depth_s = 0u32;
-    let mut depth_t = 0u32;
-    let mut best: Option<u32> = None;
-
-    while !frontier_s.is_empty() && !frontier_t.is_empty() {
-        // Any path not yet witnessed by a doubly-discovered vertex is longer
-        // than depth_s + depth_t, so the current best is final once it is at
-        // most that sum.
-        if let Some(b) = best {
-            if b <= depth_s + depth_t {
-                return Some(b);
-            }
-        }
-        // expand the smaller frontier
-        let expand_s = frontier_s.len() <= frontier_t.len();
-        let (frontier, dist_mine, dist_other, depth) = if expand_s {
-            (&mut frontier_s, &mut dist_s, &dist_t, &mut depth_s)
-        } else {
-            (&mut frontier_t, &mut dist_t, &dist_s, &mut depth_t)
-        };
-        let mut next = Vec::new();
-        for &u in frontier.iter() {
-            for &v in graph.neighbors(u) {
-                if dist_mine[v.index()] == UNREACHABLE {
-                    dist_mine[v.index()] = *depth + 1;
-                    if dist_other[v.index()] != UNREACHABLE {
-                        let total = *depth + 1 + dist_other[v.index()];
-                        best = Some(best.map_or(total, |b| b.min(total)));
-                    }
-                    next.push(v);
-                }
-            }
-        }
-        *depth += 1;
-        *frontier = next;
-    }
-    // One side exhausted its component: every s–t path (if any) has been
-    // witnessed, so `best` is exact.
-    best
+    LEGACY_SCRATCH.with(|cell| {
+        let (side_s, side_t) = &mut *cell.borrow_mut();
+        bfs_distance_with(graph, s, t, side_s, side_t)
+    })
 }
 
 /// Estimates the diameter (eccentricity of a far pair) by the classic
@@ -207,6 +160,15 @@ impl Components {
             *l = rep_label[r];
             sizes[rep_label[r] as usize] += 1;
         }
+        Components::from_parts(label, sizes)
+    }
+
+    /// Assembles a `Components` from a dense label array and per-label
+    /// sizes, recomputing the largest label exactly as [`Self::compute`]
+    /// does (last label attaining the maximum size). Used by the parallel
+    /// engine, whose densify scan produces the same labels as the serial
+    /// one.
+    pub(crate) fn from_parts(label: Vec<u32>, sizes: Vec<usize>) -> Self {
         let largest = sizes
             .iter()
             .enumerate()

@@ -1,0 +1,177 @@
+//! Equivalence suite for the parallel analytics engine: every engine
+//! kernel must produce bitwise-identical results to its serial reference
+//! at 1, 2 and 4 threads, on arbitrary graphs.
+//!
+//! The serial references (`bfs_distances`, `bfs_distance`,
+//! `Components::compute`, `double_sweep_diameter`) are the seed
+//! implementations every experiment table was generated with; the engine
+//! may only change wall-clock, never a value.
+
+use proptest::prelude::*;
+
+use smallworld_graph::analytics::{
+    filtered_components, pair_distances, par_bfs_distances, par_components,
+    par_double_sweep_diameter,
+};
+use smallworld_graph::{
+    bfs_distance, bfs_distances, double_sweep_diameter, Components, Graph, NodeId,
+};
+use smallworld_par::Pool;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn graph_from(n: usize, edges: Vec<(u32, u32)>) -> Graph {
+    let edges: Vec<(u32, u32)> = edges.into_iter().filter(|(u, v)| u != v).collect();
+    Graph::from_edges(n, edges).expect("in-range edges")
+}
+
+/// A 20k-vertex ring with long chords: large enough to cross the engine's
+/// serial-fallback threshold, so the thread-parallel code paths really run.
+fn big_graph() -> Graph {
+    let n = 20_000u32;
+    let ring = (0..n).map(|i| (i, (i + 1) % n));
+    let chords = (0..n / 16).map(|i| (i * 16, (i * 16 + n / 2 + 7 * i) % n));
+    graph_from(n as usize, ring.chain(chords).collect())
+}
+
+#[test]
+fn big_graph_kernels_match_serial_at_each_thread_count() {
+    let g = big_graph();
+    let serial_dist = bfs_distances(&g, NodeId::new(17));
+    let serial_comps = Components::compute(&g);
+    let serial_diam = double_sweep_diameter(&g, NodeId::new(17));
+    for threads in THREADS {
+        let pool = Pool::with_threads(threads);
+        assert_eq!(
+            par_bfs_distances(&g, NodeId::new(17), &pool),
+            serial_dist,
+            "BFS distances diverge at {threads} threads"
+        );
+        let comps = par_components(&g, &pool);
+        assert_eq!(comps.count(), serial_comps.count());
+        for v in g.nodes() {
+            assert_eq!(
+                comps.component_of(v),
+                serial_comps.component_of(v),
+                "component label diverges at {v} with {threads} threads"
+            );
+        }
+        assert_eq!(
+            par_double_sweep_diameter(&g, NodeId::new(17), &pool),
+            serial_diam,
+            "diameter estimate diverges at {threads} threads"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_par_bfs_matches_serial(
+        edges in prop::collection::vec((0u32..40, 0u32..40), 0..160),
+        source in 0u32..40,
+    ) {
+        let g = graph_from(40, edges);
+        let expected = bfs_distances(&g, NodeId::new(source));
+        for threads in THREADS {
+            let pool = Pool::with_threads(threads);
+            prop_assert_eq!(
+                par_bfs_distances(&g, NodeId::new(source), &pool),
+                expected.clone()
+            );
+        }
+    }
+
+    #[test]
+    fn prop_par_components_matches_serial(
+        edges in prop::collection::vec((0u32..40, 0u32..40), 0..120),
+    ) {
+        let g = graph_from(40, edges);
+        let expected = Components::compute(&g);
+        for threads in THREADS {
+            let pool = Pool::with_threads(threads);
+            let got = par_components(&g, &pool);
+            prop_assert_eq!(got.count(), expected.count());
+            prop_assert_eq!(got.largest_label(), expected.largest_label());
+            for v in g.nodes() {
+                prop_assert_eq!(got.component_of(v), expected.component_of(v));
+            }
+        }
+    }
+
+    #[test]
+    fn prop_par_diameter_matches_serial(
+        edges in prop::collection::vec((0u32..40, 0u32..40), 0..120),
+        start in 0u32..40,
+    ) {
+        let g = graph_from(40, edges);
+        let expected = double_sweep_diameter(&g, NodeId::new(start));
+        for threads in THREADS {
+            let pool = Pool::with_threads(threads);
+            prop_assert_eq!(
+                par_double_sweep_diameter(&g, NodeId::new(start), &pool),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn prop_pair_distances_match_bidirectional(
+        edges in prop::collection::vec((0u32..30, 0u32..30), 0..90),
+        pairs in prop::collection::vec((0u32..30, 0u32..30), 0..40),
+    ) {
+        // mostly-distinct sources: exercises the bidirectional dispatch
+        let g = graph_from(30, edges);
+        let pairs: Vec<(NodeId, NodeId)> = pairs
+            .into_iter()
+            .map(|(s, t)| (NodeId::new(s), NodeId::new(t)))
+            .collect();
+        let got = pair_distances(&g, &pairs);
+        for (k, &(s, t)) in pairs.iter().enumerate() {
+            prop_assert_eq!(got[k], bfs_distance(&g, s, t));
+        }
+    }
+
+    #[test]
+    fn prop_matrix_pair_distances_match_bidirectional(
+        edges in prop::collection::vec((0u32..30, 0u32..30), 0..90),
+        sources in prop::collection::vec(0u32..30, 1..3),
+    ) {
+        // few sources, every target: amortization ratio >= 16 forces the
+        // bit-parallel sweep path through the public dispatcher
+        let g = graph_from(30, edges);
+        let pairs: Vec<(NodeId, NodeId)> = sources
+            .iter()
+            .flat_map(|&s| (0..30u32).map(move |t| (NodeId::new(s), NodeId::new(t))))
+            .collect();
+        let got = pair_distances(&g, &pairs);
+        for (k, &(s, t)) in pairs.iter().enumerate() {
+            prop_assert_eq!(got[k], bfs_distance(&g, s, t));
+        }
+    }
+
+    #[test]
+    fn prop_filtered_components_match_rebuilt_subgraph(
+        edges in prop::collection::vec((0u32..30, 0u32..30), 0..90),
+    ) {
+        // keep only edges whose endpoint sum is even; the filtered view
+        // must label exactly like components of the rebuilt subgraph
+        let g = graph_from(30, edges.clone());
+        let keep = |u: NodeId, v: NodeId| (u.index() + v.index()).is_multiple_of(2);
+        let kept: Vec<(u32, u32)> = edges
+            .into_iter()
+            .filter(|(u, v)| u != v && keep(NodeId::new(*u), NodeId::new(*v)))
+            .collect();
+        let sub = graph_from(30, kept);
+        let expected = Components::compute(&sub);
+        for threads in THREADS {
+            let pool = Pool::with_threads(threads);
+            let got = filtered_components(&g, &pool, keep);
+            prop_assert_eq!(got.count(), expected.count());
+            for v in g.nodes() {
+                prop_assert_eq!(got.component_of(v), expected.component_of(v));
+            }
+        }
+    }
+}

@@ -15,8 +15,9 @@
 //! source/target pairs that are not trivially doomed — separating
 //! "disconnected by the failures" from "the protocol got stuck".
 
-use smallworld_graph::{Graph, NodeId, UnionFind};
-use smallworld_par::split_seed;
+use smallworld_graph::analytics::filtered_components;
+use smallworld_graph::{Graph, NodeId};
+use smallworld_par::{split_seed, Pool};
 
 use crate::event::Time;
 
@@ -216,32 +217,36 @@ impl FaultPlan {
     pub fn survivor_mask(&self, graph: &Graph) -> Vec<bool> {
         let n = graph.node_count();
         let node_dead = |v: NodeId| self.node_outage(v).is_some_and(|o| o.is_permanent());
-        let mut uf = UnionFind::new(n);
-        for (u, v) in graph.edges() {
-            if node_dead(u) || node_dead(v) {
-                continue;
-            }
-            if self.edge_outage(u, v).is_some_and(|o| o.is_permanent()) {
-                continue;
-            }
-            uf.union(u.index(), v.index());
-        }
-        let mut best_root = None;
+        // edge filter: keep only edges whose endpoints and link survive
+        // every permanent outage; dead nodes stay singleton components.
+        // Callers (traffic reps) already run inside pool workers, so the
+        // component pass stays on the serial kernel.
+        let pool = Pool::with_threads(1);
+        let comps = filtered_components(graph, &pool, |u, v| {
+            !node_dead(u)
+                && !node_dead(v)
+                && !self.edge_outage(u, v).is_some_and(|o| o.is_permanent())
+        });
+        // largest component among *alive* vertices, first-largest wins —
+        // the overall giant may be a dead singleton on fully-failed graphs
+        let mut best_label = None;
         let mut best_size = 0usize;
         for i in 0..n {
-            if node_dead(NodeId::from_index(i)) {
+            let v = NodeId::from_index(i);
+            if node_dead(v) {
                 continue;
             }
-            let size = uf.set_size(i);
+            let size = comps.size(comps.component_of(v));
             if size > best_size {
                 best_size = size;
-                best_root = Some(uf.find(i));
+                best_label = Some(comps.component_of(v));
             }
         }
         let mut mask = vec![false; n];
-        if let Some(root) = best_root {
+        if let Some(label) = best_label {
             for (i, m) in mask.iter_mut().enumerate() {
-                *m = !node_dead(NodeId::from_index(i)) && uf.find(i) == root;
+                let v = NodeId::from_index(i);
+                *m = !node_dead(v) && comps.component_of(v) == label;
             }
         }
         mask
