@@ -8,14 +8,71 @@
 //! runtime and peak RSS. The schema is documented in `EXPERIMENTS.md` and
 //! validated by the `artifact_check` binary.
 
+use std::collections::BTreeMap;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use smallworld_analysis::Table;
+use smallworld_net::{Time, TimelineSample};
 use smallworld_obs::metrics::Registry;
-use smallworld_obs::sink::{meta_record, suite_record, summary_record, table_record};
-use smallworld_obs::{peak_rss_bytes, JsonlSink};
+use smallworld_obs::sink::{
+    meta_record, report_record, resolve_profile_target, suite_record, summary_record, table_record,
+};
+use smallworld_obs::span::SpanStats;
+use smallworld_obs::{peak_rss_bytes, JsonValue, JsonlSink};
 
 use crate::harness::Scale;
+
+/// Extra records experiment suites queue for the artifact (e.g. the
+/// `net.timeline` sections from E15). A suite runs as a plain
+/// `Fn(Scale) -> Vec<Table>`, so this side channel is how non-table data
+/// reaches the sink; [`Artifact::run_suite`] drains it after the suite's
+/// tables, preserving push order.
+static EXTRA: Mutex<Vec<JsonValue>> = Mutex::new(Vec::new());
+
+/// Queues one extra record for the current suite. See [`Artifact::run_suite`].
+pub fn push_record(record: JsonValue) {
+    EXTRA.lock().expect("extra records poisoned").push(record);
+}
+
+fn drain_extra() -> Vec<JsonValue> {
+    std::mem::take(&mut *EXTRA.lock().expect("extra records poisoned"))
+}
+
+/// Builds a `net.timeline` record: the congestion timeline of one traffic
+/// simulation, as `[at, queued, in_flight, delivered, dropped]` sample
+/// rows in virtual time.
+pub fn timeline_record(
+    suite: &str,
+    label: &str,
+    interval: Time,
+    samples: &[TimelineSample],
+) -> JsonValue {
+    JsonValue::object([
+        ("type", JsonValue::from("net.timeline")),
+        ("suite", JsonValue::from(suite)),
+        ("label", JsonValue::from(label)),
+        ("interval", JsonValue::from(interval)),
+        (
+            "headers",
+            JsonValue::array(
+                ["at", "queued", "in_flight", "delivered", "dropped"].map(JsonValue::from),
+            ),
+        ),
+        (
+            "samples",
+            JsonValue::array(samples.iter().map(|s| {
+                JsonValue::array([
+                    JsonValue::from(s.at),
+                    JsonValue::from(s.queued),
+                    JsonValue::from(s.in_flight),
+                    JsonValue::from(s.delivered),
+                    JsonValue::from(s.dropped),
+                ])
+            })),
+        ),
+    ])
+}
 
 fn scale_name(scale: Scale) -> &'static str {
     scale.pick("quick", "full")
@@ -31,6 +88,10 @@ fn scale_name(scale: Scale) -> &'static str {
 pub struct Artifact {
     sink: Option<JsonlSink>,
     started: Instant,
+    /// Span stats accumulated across every suite (the global span table
+    /// resets per suite), feeding the final `report` phase tree and the
+    /// optional `--profile` folded-stack output.
+    spans: Mutex<BTreeMap<String, SpanStats>>,
 }
 
 impl Artifact {
@@ -40,6 +101,7 @@ impl Artifact {
     pub fn open(binary: &str, scale: Scale) -> Artifact {
         Registry::global().reset();
         smallworld_obs::span::reset();
+        drain_extra();
         let sink = match JsonlSink::from_invocation() {
             Ok(sink) => sink,
             Err(err) => {
@@ -50,6 +112,7 @@ impl Artifact {
         let artifact = Artifact {
             sink,
             started: Instant::now(),
+            spans: Mutex::new(BTreeMap::new()),
         };
         let threads = smallworld_par::thread_count() as u64;
         artifact.write(&meta_record(binary, scale_name(scale), threads));
@@ -62,9 +125,10 @@ impl Artifact {
     }
 
     /// Runs one experiment suite and records it: one `table` record per
-    /// returned table, then a `suite` record with the wall-clock seconds
-    /// and the metric/span activity the suite generated. Returns the
-    /// tables and the elapsed seconds.
+    /// returned table, any records the suite queued via [`push_record`]
+    /// (e.g. `net.timeline` sections), then a `suite` record with the
+    /// wall-clock seconds and the metric/span activity the suite
+    /// generated. Returns the tables and the elapsed seconds.
     pub fn run_suite(
         &self,
         name: &str,
@@ -72,25 +136,51 @@ impl Artifact {
         run: impl FnOnce(Scale) -> Vec<Table>,
     ) -> (Vec<Table>, f64) {
         smallworld_obs::span::reset();
+        drain_extra();
         let before = Registry::global().snapshot();
         let start = Instant::now();
         let tables = run(scale);
         let wall_secs = start.elapsed().as_secs_f64();
         let delta = Registry::global().snapshot().since(&before);
         let spans = smallworld_obs::span::snapshot();
+        {
+            let mut acc = self.spans.lock().expect("span accumulator poisoned");
+            for (path, s) in &spans {
+                let entry = acc.entry(path.clone()).or_default();
+                entry.count += s.count;
+                entry.total_ns += s.total_ns;
+                entry.self_ns += s.self_ns;
+            }
+        }
         for table in &tables {
             self.write(&table_record(name, table));
+        }
+        for record in drain_extra() {
+            self.write(&record);
         }
         self.write(&suite_record(name, wall_secs, &delta, &spans));
         (tables, wall_secs)
     }
 
-    /// Writes the final `summary` record: total wall-clock, peak RSS, and
-    /// the merged registry snapshot for the whole run.
+    /// Writes the final `report` record (phase tree, metric snapshot with
+    /// HDR quantiles, peak RSS + source) and the `summary` record (total
+    /// wall-clock, peak RSS, merged registry). When `--profile <path>` /
+    /// `SMALLWORLD_PROFILE` is set, also writes the accumulated span table
+    /// in folded-stack format to that path.
     pub fn finish(self) {
         let wall_secs = self.started.elapsed().as_secs_f64();
         let metrics = Registry::global().snapshot();
+        let spans = std::mem::take(&mut *self.spans.lock().expect("span accumulator poisoned"));
+        self.write(&report_record(&metrics, &spans));
         self.write(&summary_record(wall_secs, peak_rss_bytes(), &metrics));
+        if let Some(path) = resolve_profile_target(std::env::args().skip(1)) {
+            let folded = smallworld_obs::span::to_folded(&spans);
+            if let Err(err) = std::fs::write(&path, folded) {
+                eprintln!("warning: cannot write profile {}: {err}", path.display());
+            } else {
+                eprintln!("profile: folded stacks written to {}", path.display());
+            }
+        }
     }
 
     fn write(&self, record: &smallworld_obs::JsonValue) {
@@ -130,6 +220,7 @@ mod tests {
         let artifact = Artifact {
             sink: None,
             started: Instant::now(),
+            spans: Mutex::new(BTreeMap::new()),
         };
         let (tables, wall) = artifact.run_suite("S", Scale::Quick, |_| {
             vec![Table::new(["a"]).title("t")]
@@ -147,6 +238,7 @@ mod tests {
         let artifact = Artifact {
             sink: Some(JsonlSink::create(&path).unwrap()),
             started: Instant::now(),
+            spans: Mutex::new(BTreeMap::new()),
         };
         artifact.write(&meta_record("test", "quick", 1));
         let (_, _) = artifact.run_suite("E0", Scale::Quick, |_| {
@@ -167,7 +259,7 @@ mod tests {
             .iter()
             .map(|r| r.get("type").and_then(JsonValue::as_str).unwrap())
             .collect();
-        assert_eq!(types, ["meta", "table", "suite", "summary"]);
+        assert_eq!(types, ["meta", "table", "suite", "report", "summary"]);
         // the suite delta picked up the counter bumped inside the suite
         let suite_counters = records[2]
             .get("metrics")

@@ -9,10 +9,59 @@
 //! summary carries total wall-clock, peak RSS, and a metrics snapshot
 //! with routing counters. Exits non-zero with a message on the first
 //! violation, so CI can gate on it.
+//!
+//! Artifacts whose `meta` record carries `rss_source` are **v2** and are
+//! held to the stricter telemetry schema additionally: exactly one
+//! `report` record (phase tree + HDR quantiles + RSS source) immediately
+//! before the summary, well-formed `net.timeline` records (strictly
+//! increasing sample times), and internally consistent HDR quantile
+//! objects wherever a metrics snapshot carries them. Artifacts from
+//! before the telemetry schema (e.g. committed `BENCH_*.json` baselines)
+//! have no `rss_source` and skip only those v2 checks.
 
 use std::process::ExitCode;
 
 use smallworld_obs::JsonValue;
+
+const RSS_SOURCES: [&str; 3] = ["procfs", "rusage", "unavailable"];
+
+/// Validates every HDR entry in a metrics snapshot: quantiles must exist
+/// and be monotone (p50 <= p90 <= p99 <= p999 <= max) whenever the
+/// histogram is non-empty.
+fn check_hdr_metrics(line: usize, metrics: &JsonValue) -> Result<(), String> {
+    let Some(JsonValue::Object(hdr)) = metrics.get("hdr") else {
+        return Ok(());
+    };
+    for (name, h) in hdr {
+        let count = h
+            .get("count")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("line {line}: hdr metric {name:?} missing \"count\""))?;
+        let quantiles = h
+            .get("quantiles")
+            .ok_or_else(|| format!("line {line}: hdr metric {name:?} missing \"quantiles\""))?;
+        if count == 0.0 {
+            continue;
+        }
+        let q = |key: &str| {
+            quantiles.get(key).and_then(JsonValue::as_f64).ok_or_else(|| {
+                format!("line {line}: hdr metric {name:?} quantile {key:?} not numeric")
+            })
+        };
+        let (p50, p90, p99, p999) = (q("p50")?, q("p90")?, q("p99")?, q("p999")?);
+        let max = h
+            .get("max")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("line {line}: hdr metric {name:?} missing numeric \"max\""))?;
+        if !(p50 <= p90 && p90 <= p99 && p99 <= p999 && p999 <= max) {
+            return Err(format!(
+                "line {line}: hdr metric {name:?} quantiles not monotone: \
+                 p50={p50} p90={p90} p99={p99} p999={p999} max={max}"
+            ));
+        }
+    }
+    Ok(())
+}
 
 fn check(contents: &str) -> Result<String, String> {
     let mut records = Vec::new();
@@ -40,9 +89,16 @@ fn check(contents: &str) -> Result<String, String> {
         return Err(format!("last record must be \"summary\", found {last_kind:?}"));
     }
 
+    // v2 artifacts (telemetry schema) stamp the RSS source into meta;
+    // older committed baselines predate it and skip the v2-only checks
+    let is_v2 = records[0].1.get("rss_source").is_some();
+
     let mut tables = 0usize;
     let mut suites = 0usize;
     let mut summaries = 0usize;
+    let mut reports = 0usize;
+    let mut timelines = 0usize;
+    let mut timeline_samples = 0usize;
     for (i, (kind, record)) in records.iter().enumerate() {
         let line = i + 1;
         match kind.as_str() {
@@ -54,6 +110,17 @@ fn check(contents: &str) -> Result<String, String> {
                 }
                 if record.get("threads").and_then(JsonValue::as_f64).is_none() {
                     return Err(format!("line {line}: meta record missing numeric \"threads\""));
+                }
+                if is_v2 {
+                    let source = record
+                        .get("rss_source")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("");
+                    if !RSS_SOURCES.contains(&source) {
+                        return Err(format!(
+                            "line {line}: meta rss_source {source:?} not one of {RSS_SOURCES:?}"
+                        ));
+                    }
                 }
             }
             "table" => {
@@ -126,9 +193,100 @@ fn check(contents: &str) -> Result<String, String> {
                         return Err(format!("line {line}: suite record missing {key:?}"));
                     }
                 }
+                if let Some(metrics) = record.get("metrics") {
+                    check_hdr_metrics(line, metrics)?;
+                }
             }
-            "summary" => summaries += 1,
+            "net.timeline" => {
+                timelines += 1;
+                for key in ["suite", "label"] {
+                    if record.get(key).and_then(JsonValue::as_str).is_none() {
+                        return Err(format!("line {line}: timeline record missing {key:?}"));
+                    }
+                }
+                if record.get("interval").and_then(JsonValue::as_f64).map(|v| v > 0.0)
+                    != Some(true)
+                {
+                    return Err(format!("line {line}: timeline interval not positive"));
+                }
+                let headers = record
+                    .get("headers")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| format!("line {line}: timeline headers is not an array"))?;
+                let samples = record
+                    .get("samples")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| format!("line {line}: timeline samples is not an array"))?;
+                let mut last_at = f64::NEG_INFINITY;
+                for sample in samples {
+                    let sample = sample
+                        .as_array()
+                        .ok_or_else(|| format!("line {line}: timeline sample is not an array"))?;
+                    if sample.len() != headers.len() {
+                        return Err(format!(
+                            "line {line}: timeline sample has {} fields but {} headers",
+                            sample.len(),
+                            headers.len()
+                        ));
+                    }
+                    let mut numbers = sample.iter().map(JsonValue::as_f64);
+                    let at = numbers
+                        .next()
+                        .flatten()
+                        .ok_or_else(|| format!("line {line}: timeline \"at\" is not numeric"))?;
+                    if numbers.any(|v| v.is_none()) {
+                        return Err(format!("line {line}: timeline sample has a non-number"));
+                    }
+                    if at <= last_at {
+                        return Err(format!(
+                            "line {line}: timeline sample times not strictly increasing \
+                             ({at} after {last_at})"
+                        ));
+                    }
+                    last_at = at;
+                }
+                timeline_samples += samples.len();
+            }
+            "report" => {
+                reports += 1;
+                for key in ["phases", "metrics", "rss_source"] {
+                    if record.get(key).is_none() {
+                        return Err(format!("line {line}: report record missing {key:?}"));
+                    }
+                }
+                let source = record
+                    .get("rss_source")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("");
+                if !RSS_SOURCES.contains(&source) {
+                    return Err(format!(
+                        "line {line}: report rss_source {source:?} not one of {RSS_SOURCES:?}"
+                    ));
+                }
+                if record.get("phases").and_then(JsonValue::as_array).is_none() {
+                    return Err(format!("line {line}: report phases is not an array"));
+                }
+                if let Some(metrics) = record.get("metrics") {
+                    check_hdr_metrics(line, metrics)?;
+                }
+            }
+            "summary" => {
+                summaries += 1;
+                if let Some(metrics) = record.get("metrics") {
+                    check_hdr_metrics(line, metrics)?;
+                }
+            }
             other => return Err(format!("line {line}: unknown record type {other:?}")),
+        }
+    }
+    if is_v2 {
+        if reports != 1 {
+            return Err(format!(
+                "v2 artifact must have exactly one report record, found {reports}"
+            ));
+        }
+        if records[records.len() - 2].0 != "report" {
+            return Err("v2 artifact's report record must immediately precede the summary".into());
         }
     }
     if tables == 0 {
@@ -323,11 +481,76 @@ fn check(contents: &str) -> Result<String, String> {
         }
     }
 
+    // a v2 artifact that ran the E15 experiment must carry its congestion
+    // timelines with at least one sample (bench_traffic records no
+    // timelines — it measures wall-clock, not congestion)
+    let ran_e15 = records.iter().any(|(kind, record)| {
+        kind == "suite"
+            && record
+                .get("suite")
+                .and_then(JsonValue::as_str)
+                .is_some_and(|s| s.contains("E15"))
+    });
+    if is_v2 && ran_e15 {
+        if timelines == 0 {
+            return Err("E15 traffic suite ran but artifact has no net.timeline records".into());
+        }
+        if timeline_samples == 0 {
+            return Err("net.timeline records carry no samples".into());
+        }
+    }
+
+    // a traffic-throughput artifact must carry the packets/sec table with
+    // positive rates
+    let is_bench_traffic = records[0]
+        .1
+        .get("binary")
+        .and_then(JsonValue::as_str)
+        .map(|b| b == "bench_traffic")
+        .unwrap_or(false);
+    if is_bench_traffic {
+        let throughput = records
+            .iter()
+            .find(|(kind, record)| {
+                kind == "table"
+                    && record
+                        .get("headers")
+                        .and_then(JsonValue::as_array)
+                        .is_some_and(|h| h.iter().any(|c| c.as_str() == Some("packets/sec")))
+            })
+            .ok_or("bench_traffic artifact has no throughput table")?;
+        let headers = throughput.1.get("headers").and_then(JsonValue::as_array);
+        let rows = throughput.1.get("rows").and_then(JsonValue::as_array);
+        let (Some(headers), Some(rows)) = (headers, rows) else {
+            return Err("traffic throughput table malformed".into());
+        };
+        let c = headers
+            .iter()
+            .position(|h| h.as_str() == Some("packets/sec"))
+            .expect("column located above");
+        if rows.is_empty() {
+            return Err("traffic throughput table has no rows".into());
+        }
+        for row in rows {
+            let cell = row
+                .as_array()
+                .and_then(|r| r[c].as_str())
+                .ok_or("traffic throughput cell is not a string")?;
+            let value: f64 = cell
+                .parse()
+                .map_err(|_| format!("traffic throughput cell {cell:?} is not numeric"))?;
+            if value <= 0.0 {
+                return Err(format!("traffic throughput {value} not positive"));
+            }
+        }
+    }
+
     Ok(format!(
-        "ok: {} records ({} tables, {} suites)",
+        "ok: {} records ({} tables, {} suites, {} timelines)",
         records.len(),
         tables,
-        suites
+        suites,
+        timelines
     ))
 }
 

@@ -1,0 +1,183 @@
+//! Traffic-simulator throughput benchmark: packets per second of
+//! wall-clock through the discrete-event engine at fixed load and fault
+//! settings.
+//!
+//! ```console
+//! cargo run --release -p smallworld-bench --bin bench_traffic -- \
+//!     --json artifacts/BENCH_traffic.json          # full: 20k vertices
+//! cargo run --release -p smallworld-bench --bin bench_traffic -- --quick
+//! ```
+//!
+//! Three scenarios on the *same* pre-sampled GIRG and the same offered
+//! load: fault-free greedy (the event-loop fast path), greedy under 5%
+//! loss with transient outages (retry + drop machinery engaged), and
+//! patching under the same faults (exploration overhead). Simulation
+//! results are a pure function of the seeds, so the delivered fraction in
+//! the artifact is reproducible; only the wall-clock columns move between
+//! machines. `swreport --diff` against the committed baseline surfaces
+//! both kinds of drift.
+//!
+//! Runs on one thread: the point is per-event cost, not pool scaling.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use smallworld_analysis::table::fmt_f64;
+use smallworld_analysis::Table;
+use smallworld_bench::{Artifact, Scale};
+use smallworld_core::{GirgObjective, PreparedObjective};
+use smallworld_models::girg::{Girg, GirgBuilder};
+use smallworld_net::{
+    nodes_from_mask, FaultPlan, FaultSpec, GreedyPolicy, PatchingPolicy, SimConfig, SimReport,
+    Simulation, Workload,
+};
+
+struct Measurement {
+    scenario: &'static str,
+    policy: &'static str,
+    packets: usize,
+    delivered_frac: f64,
+    wall_secs: f64,
+}
+
+impl Measurement {
+    fn packets_per_sec(&self) -> f64 {
+        self.packets as f64 / self.wall_secs
+    }
+}
+
+/// Runs one scenario once for warmup and once for measurement. The fault
+/// plan and workload derive from `seed` exactly as in E15, so the
+/// delivered fraction matches what the experiment would report.
+#[allow(clippy::too_many_arguments)]
+fn measure(
+    girg: &Girg<2>,
+    scenario: &'static str,
+    policy: &'static str,
+    spec: FaultSpec,
+    config: SimConfig,
+    packets: usize,
+    load: f64,
+    seed: u64,
+) -> Measurement {
+    let run = || -> SimReport {
+        let plan = FaultPlan::new(spec, smallworld_par::split_seed(seed, 0));
+        let eligible = nodes_from_mask(&plan.survivor_mask(girg.graph()));
+        let injections =
+            Workload::new(packets, load, smallworld_par::split_seed(seed, 1)).injections(&eligible);
+        let obj = GirgObjective::new(girg);
+        let score = PreparedObjective::new(&obj);
+        match policy {
+            "greedy" => Simulation::new(girg.graph(), GreedyPolicy::new(score))
+                .with_faults(plan)
+                .with_config(config)
+                .run(&injections),
+            "patching" => Simulation::new(girg.graph(), PatchingPolicy::new(score))
+                .with_faults(plan)
+                .with_config(config)
+                .run(&injections),
+            other => unreachable!("unknown policy {other:?}"),
+        }
+    };
+    std::hint::black_box(run());
+    let start = Instant::now();
+    let report = run();
+    let wall_secs = start.elapsed().as_secs_f64();
+    let delivered_frac = report.delivery_rate();
+    eprintln!(
+        "{scenario}/{policy}: {packets} packets in {wall_secs:.3}s \
+         ({:.0} packets/s, {delivered_frac:.3} delivered)",
+        packets as f64 / wall_secs
+    );
+    Measurement {
+        scenario,
+        policy,
+        packets,
+        delivered_frac,
+        wall_secs,
+    }
+}
+
+fn throughput_table(girg: &Girg<2>, packets: usize, seed: u64) -> Vec<Table> {
+    let lossy = FaultSpec {
+        loss_rate: 0.05,
+        node_fail_rate: 0.1,
+        fail_window: 100,
+        repair_after: Some(50),
+        ..FaultSpec::none()
+    };
+    let bounded = SimConfig {
+        queue_capacity: Some(8),
+        ..SimConfig::default()
+    };
+    let retrying = SimConfig {
+        max_retries: 3,
+        ..SimConfig::default()
+    };
+    let measurements = [
+        measure(
+            girg,
+            "fault_free",
+            "greedy",
+            FaultSpec::none(),
+            bounded,
+            packets,
+            1.0,
+            seed,
+        ),
+        measure(girg, "lossy", "greedy", lossy, retrying, packets, 1.0, seed),
+        measure(girg, "lossy", "patching", lossy, retrying, packets, 1.0, seed),
+    ];
+
+    let mut table = Table::new([
+        "scenario",
+        "policy",
+        "packets",
+        "delivered",
+        "wall secs",
+        "packets/sec",
+    ])
+    .title("traffic simulator throughput (single thread)");
+    for m in &measurements {
+        table.row([
+            m.scenario.to_string(),
+            m.policy.to_string(),
+            m.packets.to_string(),
+            fmt_f64(m.delivered_frac, 3),
+            format!("{:.4}", m.wall_secs),
+            format!("{:.0}", m.packets_per_sec()),
+        ]);
+    }
+    vec![table]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let (n, packets) = scale.pick((5_000, 1_000), (20_000, 10_000));
+    let artifact = Artifact::open("bench_traffic", scale);
+    let (_, _) = artifact.run_suite("bench_traffic", scale, |_| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let girg = {
+            let _span = smallworld_obs::Span::enter("sample_girg");
+            GirgBuilder::<2>::new(n)
+                .beta(2.5)
+                .alpha(2.0)
+                .sample(&mut rng)
+                .expect("valid benchmark configuration")
+        };
+        eprintln!(
+            "sampled GIRG: {} vertices, {} edges",
+            girg.node_count(),
+            girg.graph().edge_count()
+        );
+        let _span = smallworld_obs::Span::enter("bench_traffic");
+        let tables = throughput_table(&girg, packets, 0xBE7F);
+        for t in &tables {
+            println!("{t}");
+        }
+        tables
+    });
+    artifact.finish();
+}

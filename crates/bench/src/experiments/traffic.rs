@@ -35,12 +35,17 @@ use smallworld_graph::Graph;
 use smallworld_models::{HrgBuilder, KleinbergLatticeBuilder};
 use smallworld_net::{
     nodes_from_mask, FaultPlan, FaultSpec, GreedyPolicy, PacketOutcome, PatchingPolicy, SimConfig,
-    SimReport, Simulation, Workload,
+    SimReport, Simulation, TimelineSample, Workload,
 };
+use smallworld_obs::{HdrHistogram, HdrSnapshot};
 use smallworld_par::{split_seed, Pool};
 
+use crate::artifact::{push_record, timeline_record};
 use crate::experiments::GirgConfig;
 use crate::harness::Scale;
+
+/// Virtual-time sampling interval for the E15a congestion timelines.
+const TIMELINE_INTERVAL: smallworld_net::Time = 16;
 
 /// Which forwarding policy a traffic run uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,7 +64,7 @@ impl Policy {
 }
 
 /// Aggregated outcome counts over the reps of one table cell.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 struct Agg {
     injected: u64,
     delivered: u64,
@@ -71,6 +76,15 @@ struct Agg {
     latency_sum: u64,
     eligible: u64,
     nodes: u64,
+    /// Per-packet delivered latency, merged bucket-wise across reps —
+    /// quantile extraction stays bitwise thread-count-invariant because
+    /// the merge is commutative bucket addition over a deterministic
+    /// sample multiset.
+    latency_hdr: HdrSnapshot,
+    /// Congestion timeline of the cell's *first* rep (reps fold in task
+    /// order, so this is deterministic). Empty unless the rep's
+    /// [`SimConfig::timeline_interval`] was set.
+    timeline: Vec<TimelineSample>,
 }
 
 impl Agg {
@@ -82,9 +96,15 @@ impl Agg {
         self.lost += (report.count(PacketOutcome::LostLink)
             + report.count(PacketOutcome::LostNode)) as u64;
         self.overflow += report.count(PacketOutcome::Overflow) as u64;
+        let latencies = HdrHistogram::new();
         for p in report.packets.iter().filter(|p| p.is_success()) {
             self.hops_sum += p.hops() as u64;
             self.latency_sum += p.latency();
+            latencies.record(p.latency());
+        }
+        self.latency_hdr = self.latency_hdr.merge(&latencies.snapshot());
+        if self.timeline.is_empty() {
+            self.timeline = report.timeline.clone();
         }
         self.eligible += eligible as u64;
         self.nodes += nodes as u64;
@@ -101,7 +121,17 @@ impl Agg {
         self.latency_sum += other.latency_sum;
         self.eligible += other.eligible;
         self.nodes += other.nodes;
+        self.latency_hdr = self.latency_hdr.merge(&other.latency_hdr);
+        if self.timeline.is_empty() {
+            self.timeline.clone_from(&other.timeline);
+        }
         self
+    }
+
+    /// A delivered-latency quantile in virtual-time ticks (0 when nothing
+    /// was delivered).
+    fn latency_quantile(&self, q: f64) -> u64 {
+        self.latency_hdr.quantile(q).unwrap_or(0)
     }
 
     fn rate(&self, count: u64) -> f64 {
@@ -238,12 +268,22 @@ fn load_sweep(scale: Scale, pool: &Pool) -> Table {
     let queue_cap = 8;
 
     let mut table = Table::new([
-        "load", "queue cap", "delivered", "overflow", "dead end", "mean hops", "mean vtime",
+        "load",
+        "queue cap",
+        "delivered",
+        "overflow",
+        "dead end",
+        "mean hops",
+        "mean vtime",
+        "p50 vtime",
+        "p99 vtime",
+        "p999 vtime",
     ])
     .title("E15a: delivery and virtual-time latency vs offered load (GIRG, bounded queues)");
     for &load in &loads {
         let sim = SimConfig {
             queue_capacity: Some(queue_cap),
+            timeline_interval: Some(TIMELINE_INTERVAL),
             ..SimConfig::default()
         };
         let agg = girg_traffic(
@@ -257,6 +297,12 @@ fn load_sweep(scale: Scale, pool: &Pool) -> Table {
             load,
             0xE15A ^ load.to_bits(),
         );
+        push_record(timeline_record(
+            "E15_traffic",
+            &format!("load={}", fmt_f64(load, 2)),
+            TIMELINE_INTERVAL,
+            &agg.timeline,
+        ));
         table.row([
             fmt_f64(load, 2),
             queue_cap.to_string(),
@@ -265,6 +311,9 @@ fn load_sweep(scale: Scale, pool: &Pool) -> Table {
             fmt_f64(agg.rate(agg.dead_end), 3),
             fmt_f64(agg.mean_hops(), 2),
             fmt_f64(agg.mean_latency(), 2),
+            agg.latency_quantile(0.50).to_string(),
+            agg.latency_quantile(0.99).to_string(),
+            agg.latency_quantile(0.999).to_string(),
         ]);
     }
     println!("{table}");
@@ -347,8 +396,18 @@ fn model_comparison(scale: Scale, pool: &Pool) -> Table {
         ..SimConfig::default()
     };
 
-    let mut table = Table::new(["model", "n", "delivered", "lost", "mean hops", "mean vtime"])
-        .title("E15c: identical traffic across models (load 1, 5% loss, 10% transient outages)");
+    let mut table = Table::new([
+        "model",
+        "n",
+        "delivered",
+        "lost",
+        "mean hops",
+        "mean vtime",
+        "p50 vtime",
+        "p99 vtime",
+        "p999 vtime",
+    ])
+    .title("E15c: identical traffic across models (load 1, 5% loss, 10% transient outages)");
 
     // GIRG
     let girg_n = scale.pick(2_000, 20_000);
@@ -426,6 +485,9 @@ fn push_model_row(table: &mut Table, model: &str, n: usize, agg: &Agg) {
         fmt_f64(agg.rate(agg.lost), 3),
         fmt_f64(agg.mean_hops(), 2),
         fmt_f64(agg.mean_latency(), 2),
+        agg.latency_quantile(0.50).to_string(),
+        agg.latency_quantile(0.99).to_string(),
+        agg.latency_quantile(0.999).to_string(),
     ]);
 }
 

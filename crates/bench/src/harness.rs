@@ -552,6 +552,9 @@ impl<'a> TrialBatch<'a> {
             let mut scratch = RouteScratch::with_path_capacity(32);
             let mut msbfs = MsBfsScratch::new();
             let mut obs = MetricsRouteObserver::new();
+            // interned once per chunk; successful hop counts feed the
+            // artifact's p50/p90/p99/p999 quantiles
+            let hop_hdr = smallworld_obs::metrics::hdr("route.hops");
             let mut out = Vec::with_capacity(range.len());
             let mut stretches = StretchBatch::new(self.measure_stretch);
             for i in range {
@@ -573,6 +576,9 @@ impl<'a> TrialBatch<'a> {
                 };
                 let record =
                     router.route_with(self.graph, objective, s, t, &mut obs, &mut scratch);
+                if record.is_success() {
+                    hop_hdr.record(record.hops() as u64);
+                }
                 // stretch resolves after the chunk in one MS-BFS pass; the
                 // endpoints queue in routed-id space so distances come from
                 // the same graph the route walked
@@ -799,6 +805,27 @@ mod tests {
         let plain = batch.run_recorded(&router, &obj, 0x1D5, &Pool::with_threads(1));
         let fast = batch.run_recorded(&router, &indexed, 0x1D5, &Pool::with_threads(4));
         assert_eq!(plain, fast);
+    }
+
+    /// Successful trials land their hop counts in the global `route.hops`
+    /// HDR histogram, so run reports carry hop quantiles.
+    #[test]
+    fn trial_batch_records_hop_quantiles() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let girg = GirgBuilder::<2>::new(500).sample(&mut rng).unwrap();
+        let comps = Components::compute(girg.graph());
+        let obj = GirgObjective::new(&girg);
+        let batch = TrialBatch::new(girg.graph(), &comps, 60).connected_only(true);
+        let before = smallworld_obs::metrics::hdr("route.hops").snapshot();
+        let outcomes = batch.run(&GreedyRouter::new(), &obj, 21, &Pool::with_threads(2));
+        let delta = smallworld_obs::metrics::hdr("route.hops")
+            .snapshot()
+            .since(&before);
+        let successes = outcomes.iter().filter(|o| o.success).count() as u64;
+        assert!(successes > 0, "seeded batch should deliver something");
+        // other tests share the global histogram, so only a lower bound holds
+        assert!(delta.count >= successes);
+        assert!(delta.quantile(0.99) >= delta.quantile(0.50));
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub use policy::{
     GreedyPolicy, HopChoice, HopPolicy, HopScore, HopView, PatchState, PatchingPolicy,
 };
 pub use sim::{
-    Injection, PacketOutcome, PacketRecord, SimConfig, SimReport, Simulation, DEFAULT_TTL,
+    Injection, PacketOutcome, PacketRecord, SimConfig, SimReport, Simulation, TimelineSample,
+    DEFAULT_TTL,
 };
 pub use workload::{nodes_from_mask, Workload};

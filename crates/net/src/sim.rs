@@ -55,6 +55,11 @@ pub struct SimConfig {
     pub max_retries: u32,
     /// Extra ticks added per failed attempt before the retransmission.
     pub retry_backoff: Time,
+    /// Virtual-time sampling interval for the congestion timeline
+    /// ([`SimReport::timeline`]); `None` disables recording. A sample at
+    /// tick `T` reflects the state *before* any event at `T` runs, so the
+    /// timeline is a pure function of the inputs like everything else.
+    pub timeline_interval: Option<Time>,
 }
 
 impl Default for SimConfig {
@@ -65,6 +70,7 @@ impl Default for SimConfig {
             service_time: 1,
             max_retries: 0,
             retry_backoff: 1,
+            timeline_interval: None,
         }
     }
 }
@@ -144,6 +150,120 @@ impl PacketRecord {
     }
 }
 
+/// One point of the virtual-time congestion timeline.
+///
+/// All fields are exact integers (rates are derived on demand), so
+/// timelines are bitwise thread-count-invariant like the rest of a
+/// [`SimReport`]. `delivered`/`dropped` are cumulative since tick 0.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimelineSample {
+    /// Virtual time of the sample. State reflects every event strictly
+    /// before this tick.
+    pub at: Time,
+    /// Packets sitting in node FIFO queues.
+    pub queued: u64,
+    /// Packets injected but not yet finished (in queues or on links).
+    pub in_flight: u64,
+    /// Cumulative delivered packets.
+    pub delivered: u64,
+    /// Cumulative finished-but-not-delivered packets (drops, losses,
+    /// expiries).
+    pub dropped: u64,
+}
+
+impl TimelineSample {
+    /// Delivered fraction of the packets finished so far (0 before any
+    /// packet finishes).
+    pub fn delivery_rate(&self) -> f64 {
+        let finished = self.delivered + self.dropped;
+        if finished == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / finished as f64
+        }
+    }
+}
+
+/// Incremental progress counters behind the timeline (and the final
+/// outcome tally). Updated O(1) per event, so sampling never scans.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Progress {
+    started: u64,
+    queued: u64,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl Progress {
+    fn finish(&mut self, outcome: PacketOutcome) {
+        if outcome.is_success() {
+            self.delivered += 1;
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    fn sample(&self, at: Time) -> TimelineSample {
+        TimelineSample {
+            at,
+            queued: self.queued,
+            in_flight: self.started - self.delivered - self.dropped,
+            delivered: self.delivered,
+            dropped: self.dropped,
+        }
+    }
+}
+
+/// Boundary-crossing sampler: emits one sample per elapsed interval
+/// boundary, deduplicating consecutive samples with identical state so
+/// idle stretches cost one line, not thousands.
+struct TimelineRecorder {
+    interval: Time,
+    next_at: Time,
+    samples: Vec<TimelineSample>,
+}
+
+impl TimelineRecorder {
+    fn new(interval: Time) -> TimelineRecorder {
+        assert!(interval >= 1, "timeline interval must be at least one tick");
+        TimelineRecorder {
+            interval,
+            next_at: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Called with each event's timestamp before the event runs; emits
+    /// every sample boundary at or before `now`.
+    fn observe(&mut self, now: Time, progress: &Progress) {
+        while self.next_at <= now {
+            let sample = progress.sample(self.next_at);
+            self.push_dedup(sample);
+            self.next_at += self.interval;
+        }
+    }
+
+    fn push_dedup(&mut self, sample: TimelineSample) {
+        let same_state = self.samples.last().is_some_and(|last| {
+            (last.queued, last.in_flight, last.delivered, last.dropped)
+                == (sample.queued, sample.in_flight, sample.delivered, sample.dropped)
+        });
+        if !same_state {
+            self.samples.push(sample);
+        }
+    }
+
+    /// Closes the timeline with a final sample at `final_time` (kept even
+    /// when the state is unchanged, so the run's end is always marked).
+    fn finish(mut self, final_time: Time, progress: &Progress) -> Vec<TimelineSample> {
+        let sample = progress.sample(final_time);
+        if self.samples.last() != Some(&sample) {
+            self.samples.push(sample);
+        }
+        self.samples
+    }
+}
+
 /// Everything a [`Simulation::run`] produced.
 #[derive(Clone, Debug)]
 pub struct SimReport {
@@ -153,6 +273,9 @@ pub struct SimReport {
     pub events: u64,
     /// The largest event timestamp processed.
     pub final_time: Time,
+    /// Congestion timeline, when [`SimConfig::timeline_interval`] was
+    /// set; empty otherwise.
+    pub timeline: Vec<TimelineSample>,
 }
 
 impl SimReport {
@@ -337,25 +460,35 @@ impl<'g, P: HopPolicy, L: LatencyModel> Simulation<'g, P, L> {
         let mut events = 0u64;
         let mut final_time = 0;
         let mut candidates: Vec<NodeId> = Vec::new();
+        let mut progress = Progress::default();
+        let mut recorder = self.config.timeline_interval.map(TimelineRecorder::new);
 
         while let Some((now, event)) = queue.pop() {
             events += 1;
             final_time = now;
+            if let Some(rec) = recorder.as_mut() {
+                rec.observe(now, &progress);
+            }
             match event {
                 Event::Arrive { packet, node } => {
                     let pk = &mut packets[packet as usize];
                     if pk.done.is_some() {
                         continue;
                     }
+                    if pk.path.is_empty() {
+                        progress.started += 1;
+                    }
                     pk.path.push(node);
                     if node == pk.target {
                         pk.done = Some((PacketOutcome::Delivered, now));
+                        progress.finish(PacketOutcome::Delivered);
                         continue;
                     }
                     // a permanently dead node swallows what it receives;
                     // a transiently dead one holds it until repair
                     if self.faults.down_until(node, now) == Some(Time::MAX) {
                         pk.done = Some((PacketOutcome::LostNode, now));
+                        progress.finish(PacketOutcome::LostNode);
                         continue;
                     }
                     let st = &mut nodes[node.index()];
@@ -365,9 +498,11 @@ impl<'g, P: HopPolicy, L: LatencyModel> Simulation<'g, P, L> {
                         .is_some_and(|cap| st.queue.len() >= cap)
                     {
                         pk.done = Some((PacketOutcome::Overflow, now));
+                        progress.finish(PacketOutcome::Overflow);
                         continue;
                     }
                     st.queue.push_back(packet);
+                    progress.queued += 1;
                     queue_depth.record(st.queue.len() as u64);
                     if !st.busy {
                         st.busy = true;
@@ -380,9 +515,11 @@ impl<'g, P: HopPolicy, L: LatencyModel> Simulation<'g, P, L> {
                         if repair == Time::MAX {
                             // drain: everything queued here is lost
                             while let Some(p) = st.queue.pop_front() {
+                                progress.queued -= 1;
                                 let pk = &mut packets[p as usize];
                                 if pk.done.is_none() {
                                     pk.done = Some((PacketOutcome::LostNode, now));
+                                    progress.finish(PacketOutcome::LostNode);
                                 }
                             }
                             st.busy = false;
@@ -396,7 +533,17 @@ impl<'g, P: HopPolicy, L: LatencyModel> Simulation<'g, P, L> {
                         nodes[node.index()].busy = false;
                         continue;
                     };
-                    self.serve_packet(packet, node, now, &mut packets, &mut candidates, &mut queue, &hop_latency);
+                    progress.queued -= 1;
+                    self.serve_packet(
+                        packet,
+                        node,
+                        now,
+                        &mut packets,
+                        &mut candidates,
+                        &mut queue,
+                        &hop_latency,
+                        &mut progress,
+                    );
                     let st = &mut nodes[node.index()];
                     if st.queue.is_empty() {
                         st.busy = false;
@@ -452,6 +599,9 @@ impl<'g, P: HopPolicy, L: LatencyModel> Simulation<'g, P, L> {
             packets: records,
             events,
             final_time,
+            timeline: recorder
+                .map(|r| r.finish(final_time, &progress))
+                .unwrap_or_default(),
         }
     }
 
@@ -468,6 +618,7 @@ impl<'g, P: HopPolicy, L: LatencyModel> Simulation<'g, P, L> {
         candidates: &mut Vec<NodeId>,
         queue: &mut EventQueue<Event>,
         hop_latency: &smallworld_obs::Histogram,
+        progress: &mut Progress,
     ) {
         let pk = &mut packets[packet as usize];
         if pk.done.is_some() {
@@ -476,6 +627,7 @@ impl<'g, P: HopPolicy, L: LatencyModel> Simulation<'g, P, L> {
         let hops = (pk.path.len() - 1) as u32;
         if hops >= self.config.ttl {
             pk.done = Some((PacketOutcome::Expired, now));
+            progress.finish(PacketOutcome::Expired);
             return;
         }
         candidates.clear();
@@ -496,6 +648,7 @@ impl<'g, P: HopPolicy, L: LatencyModel> Simulation<'g, P, L> {
         match self.policy.next_hop(&view, &mut pk.policy) {
             HopChoice::Drop => {
                 pk.done = Some((PacketOutcome::DeadEnd, now));
+                progress.finish(PacketOutcome::DeadEnd);
             }
             HopChoice::Forward(next) => {
                 assert!(
@@ -512,6 +665,7 @@ impl<'g, P: HopPolicy, L: LatencyModel> Simulation<'g, P, L> {
                     }
                     if attempt >= self.config.max_retries {
                         pk.done = Some((PacketOutcome::LostLink, now + delay));
+                        progress.finish(PacketOutcome::LostLink);
                         return;
                     }
                     attempt += 1;
@@ -783,6 +937,74 @@ mod tests {
         assert_eq!(a.packets, b.packets);
         assert_eq!(a.events, b.events);
         assert_eq!(a.final_time, b.final_time);
+    }
+
+    #[test]
+    fn timeline_tracks_congestion_and_balances() {
+        let g = path_graph(4);
+        let cfg = SimConfig {
+            timeline_interval: Some(2),
+            ..SimConfig::default()
+        };
+        let inj: Vec<Injection> = (0..20).map(|_| inject(0, 3, 0)).collect();
+        let sim = Simulation::new(&g, GreedyPolicy::new(id_score)).with_config(cfg);
+        let report = sim.run(&inj);
+        let tl = &report.timeline;
+        assert!(!tl.is_empty());
+        // strictly increasing sample times
+        for w in tl.windows(2) {
+            assert!(w[0].at < w[1].at, "{tl:?}");
+        }
+        // cumulative counters never decrease; queued never exceeds in-flight
+        for w in tl.windows(2) {
+            assert!(w[1].delivered >= w[0].delivered);
+            assert!(w[1].dropped >= w[0].dropped);
+        }
+        for s in tl {
+            assert!(s.queued <= s.in_flight, "{s:?}");
+        }
+        // final sample closes the run: everything finished, nothing queued
+        let last = tl.last().unwrap();
+        assert_eq!(last.at, report.final_time);
+        assert_eq!(last.queued, 0);
+        assert_eq!(last.in_flight, 0);
+        assert_eq!(last.delivered + last.dropped, 20);
+        assert_eq!(last.delivered, report.delivered() as u64);
+        assert!((last.delivery_rate() - 1.0).abs() < 1e-12);
+        // congestion was visible at some point: 20 packets funnel through
+        // one path, so some sample catches a non-empty queue
+        assert!(tl.iter().any(|s| s.queued > 0), "{tl:?}");
+    }
+
+    #[test]
+    fn timeline_is_deterministic_and_off_by_default() {
+        let g = path_graph(8);
+        let inj: Vec<Injection> = (0..30)
+            .map(|i| inject(i % 7, 7, (i % 5) as Time))
+            .collect();
+        let base = Simulation::new(&g, GreedyPolicy::new(id_score));
+        assert!(base.run(&inj).timeline.is_empty());
+        let cfg = SimConfig {
+            timeline_interval: Some(3),
+            queue_capacity: Some(2),
+            ..SimConfig::default()
+        };
+        let run = || {
+            Simulation::new(&g, GreedyPolicy::new(id_score))
+                .with_config(cfg)
+                .run(&inj)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.timeline, b.timeline);
+        assert!(!a.timeline.is_empty());
+        // the timeline does not perturb packet outcomes
+        let plain = Simulation::new(&g, GreedyPolicy::new(id_score))
+            .with_config(SimConfig {
+                timeline_interval: None,
+                ..cfg
+            })
+            .run(&inj);
+        assert_eq!(plain.packets, a.packets);
     }
 
     #[test]

@@ -6,12 +6,18 @@
 //!
 //! * [`metrics`] — a global, thread-sharded registry of atomic counters
 //!   and fixed-bucket log₂ histograms, merged only at report time.
-//! * [`span`] — scoped [`Span`] guards with monotonic timing and
-//!   hierarchical (path-keyed) aggregation.
+//! * [`hdr`] — log-linear (HDR-style) histograms with ~1% relative-error
+//!   quantiles (p50/p90/p99/p999), sharded recording, and a
+//!   deterministic merge; registered through the same [`metrics`]
+//!   registry.
+//! * [`span`] — scoped [`Span`] guards with monotonic timing,
+//!   hierarchical (path-keyed) aggregation, cross-thread context
+//!   adoption ([`span::adopt_parent`]), a tree view ([`span::tree`]),
+//!   and folded-stack output ([`span::to_folded`]).
 //! * [`sink`] + [`json`] — a hand-rolled JSON tree and the JSONL artifact
 //!   writer the experiment binaries use for machine-readable results
-//!   (tables, per-suite timings, metric snapshots, peak RSS from
-//!   [`rss::peak_rss_bytes`]).
+//!   (tables, per-suite timings, metric snapshots, run reports, peak RSS
+//!   from [`rss::peak_rss`]).
 //!
 //! # Examples
 //!
@@ -29,14 +35,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod hdr;
 pub mod json;
 pub mod metrics;
 pub mod rss;
 pub mod sink;
 pub mod span;
 
+pub use hdr::{HdrHistogram, HdrSnapshot};
 pub use json::JsonValue;
 pub use metrics::{Counter, Histogram, MetricsSnapshot, Registry};
-pub use rss::peak_rss_bytes;
+pub use rss::{peak_rss, peak_rss_bytes, RssSource};
 pub use sink::JsonlSink;
-pub use span::{Span, SpanStats};
+pub use span::{Span, SpanNode, SpanStats};

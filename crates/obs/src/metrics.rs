@@ -12,6 +12,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::hdr::{HdrHistogram, HdrSnapshot};
+
 /// Number of independent shards per metric. Power of two; enough to spread
 /// the worker threads of a typical machine.
 const SHARDS: usize = 16;
@@ -21,7 +23,7 @@ const SHARDS: usize = 16;
 #[derive(Default)]
 struct PaddedU64(AtomicU64);
 
-fn shard_index() -> usize {
+pub(crate) fn shard_index() -> usize {
     // a cheap, stable per-thread shard: hash the thread id once and cache it
     thread_local! {
         static SHARD: usize = {
@@ -203,6 +205,7 @@ impl HistogramSnapshot {
 struct RegistryInner {
     counters: BTreeMap<&'static str, Arc<Counter>>,
     histograms: BTreeMap<&'static str, Arc<Histogram>>,
+    hdr: BTreeMap<&'static str, Arc<HdrHistogram>>,
 }
 
 /// The process-global metrics registry.
@@ -249,6 +252,17 @@ impl Registry {
             .clone()
     }
 
+    /// Interns and returns the HDR histogram named `name` (log-linear
+    /// buckets, ~1% relative-error quantiles; see [`crate::hdr`]).
+    pub fn hdr(&self, name: &'static str) -> Arc<HdrHistogram> {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner
+            .hdr
+            .entry(name)
+            .or_insert_with(|| Arc::new(HdrHistogram::new()))
+            .clone()
+    }
+
     /// Merged values of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.lock().expect("metrics registry poisoned");
@@ -260,6 +274,11 @@ impl Registry {
                 .collect(),
             histograms: inner
                 .histograms
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.snapshot()))
+                .collect(),
+            hdr: inner
+                .hdr
                 .iter()
                 .map(|(&k, v)| (k.to_string(), v.snapshot()))
                 .collect(),
@@ -276,6 +295,9 @@ impl Registry {
         for h in inner.histograms.values() {
             h.reset();
         }
+        for h in inner.hdr.values() {
+            h.reset();
+        }
     }
 }
 
@@ -289,6 +311,11 @@ pub fn histogram(name: &'static str) -> Arc<Histogram> {
     global().histogram(name)
 }
 
+/// Shorthand for `Registry::global().hdr(name)`.
+pub fn hdr(name: &'static str) -> Arc<HdrHistogram> {
+    global().hdr(name)
+}
+
 /// A point-in-time copy of the whole registry.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct MetricsSnapshot {
@@ -296,6 +323,8 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// HDR histogram snapshots by name.
+    pub hdr: BTreeMap<String, HdrSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -328,9 +357,21 @@ impl MetricsSnapshot {
                 (delta.count > 0).then(|| (k.clone(), delta))
             })
             .collect();
+        let hdr = self
+            .hdr
+            .iter()
+            .filter_map(|(k, h)| {
+                let delta = match earlier.hdr.get(k) {
+                    Some(base) => h.since(base),
+                    None => h.clone(),
+                };
+                (!delta.is_empty()).then(|| (k.clone(), delta))
+            })
+            .collect();
         MetricsSnapshot {
             counters,
             histograms,
+            hdr,
         }
     }
 }

@@ -1,19 +1,59 @@
-//! Best-effort peak resident set size.
+//! Best-effort peak resident set size, with an explicit provenance tag.
+//!
+//! Artifacts used to emit a bare number (or silently nothing) for peak
+//! RSS, which made a `0`/`null` on an unsupported platform look like a
+//! measurement. [`peak_rss`] pairs the reading with an [`RssSource`] so
+//! the artifact `meta` can say *where* the number came from — or that
+//! none was available.
+
+/// Where a peak-RSS reading came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RssSource {
+    /// `VmHWM` from `/proc/self/status` (Linux).
+    Procfs,
+    /// `getrusage(2)` — reserved for platforms without procfs; the
+    /// std-only workspace cannot call libc today, so this variant is
+    /// never produced, but the artifact schema admits it.
+    Rusage,
+    /// No supported source on this platform; the reading is absent.
+    Unavailable,
+}
+
+impl RssSource {
+    /// Stable lowercase label used in artifact `meta` records.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RssSource::Procfs => "procfs",
+            RssSource::Rusage => "rusage",
+            RssSource::Unavailable => "unavailable",
+        }
+    }
+}
+
+/// Peak RSS in bytes plus the source it was read from.
+///
+/// Returns `(None, RssSource::Unavailable)` when no source works — never
+/// a fabricated zero.
+pub fn peak_rss() -> (Option<u64>, RssSource) {
+    #[cfg(target_os = "linux")]
+    {
+        if let Some(bytes) = std::fs::read_to_string("/proc/self/status")
+            .ok()
+            .and_then(|s| parse_vmhwm(&s))
+        {
+            return (Some(bytes), RssSource::Procfs);
+        }
+    }
+    (None, RssSource::Unavailable)
+}
 
 /// Peak RSS of this process in bytes, if the platform exposes it.
 ///
 /// On Linux this reads `VmHWM` from `/proc/self/status`; elsewhere it
-/// returns `None` (artifacts then record `null`).
+/// returns `None` (artifacts then record `null`). See [`peak_rss`] for
+/// the variant that also reports the source.
 pub fn peak_rss_bytes() -> Option<u64> {
-    #[cfg(target_os = "linux")]
-    {
-        let status = std::fs::read_to_string("/proc/self/status").ok()?;
-        parse_vmhwm(&status)
-    }
-    #[cfg(not(target_os = "linux"))]
-    {
-        None
-    }
+    peak_rss().0
 }
 
 /// Parses the `VmHWM:` line of `/proc/self/status` (kB units) into bytes.
@@ -48,5 +88,15 @@ mod tests {
         // a running test binary surely holds more than 1 MiB and less than 1 TiB
         assert!(peak > 1 << 20, "{peak}");
         assert!(peak < 1 << 40, "{peak}");
+    }
+
+    #[test]
+    fn source_matches_reading() {
+        let (bytes, source) = peak_rss();
+        match source {
+            RssSource::Procfs | RssSource::Rusage => assert!(bytes.is_some()),
+            RssSource::Unavailable => assert!(bytes.is_none()),
+        }
+        assert!(["procfs", "rusage", "unavailable"].contains(&source.as_str()));
     }
 }

@@ -23,32 +23,56 @@ use std::sync::Mutex;
 
 use smallworld_analysis::Table;
 
+use crate::hdr::HdrSnapshot;
 use crate::json::JsonValue;
 use crate::metrics::MetricsSnapshot;
 use crate::span::SpanStats;
 
+/// Resolves a `--<flag> <path>` / `--<flag>=<path>` pair from an argument
+/// list, falling back to the `env` variable. The args are scanned, not
+/// consumed, so binaries with their own parsers just need to *tolerate*
+/// the flag.
+pub fn resolve_flag<I, S>(args: I, flag: &str, env: &str) -> Option<PathBuf>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let long = format!("--{flag}");
+    let prefixed = format!("--{flag}=");
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let arg = arg.as_ref();
+        if arg == long {
+            if let Some(path) = args.next() {
+                return Some(PathBuf::from(path.as_ref()));
+            }
+        } else if let Some(path) = arg.strip_prefix(&prefixed) {
+            return Some(PathBuf::from(path));
+        }
+    }
+    std::env::var_os(env).map(PathBuf::from)
+}
+
 /// Resolves the artifact path from an argument list and the environment:
 /// `--json <path>` / `--json=<path>` wins, then `SMALLWORLD_JSON`.
 ///
-/// Pass `std::env::args().skip(1)`; the args are scanned, not consumed, so
-/// binaries with their own parsers just need to *tolerate* the flag.
+/// Pass `std::env::args().skip(1)`.
 pub fn resolve_target<I, S>(args: I) -> Option<PathBuf>
 where
     I: IntoIterator<Item = S>,
     S: AsRef<str>,
 {
-    let mut args = args.into_iter();
-    while let Some(arg) = args.next() {
-        let arg = arg.as_ref();
-        if arg == "--json" {
-            if let Some(path) = args.next() {
-                return Some(PathBuf::from(path.as_ref()));
-            }
-        } else if let Some(path) = arg.strip_prefix("--json=") {
-            return Some(PathBuf::from(path));
-        }
-    }
-    std::env::var_os("SMALLWORLD_JSON").map(PathBuf::from)
+    resolve_flag(args, "json", "SMALLWORLD_JSON")
+}
+
+/// Resolves the folded-stack profile path: `--profile <path>` /
+/// `--profile=<path>`, then `SMALLWORLD_PROFILE`.
+pub fn resolve_profile_target<I, S>(args: I) -> Option<PathBuf>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    resolve_flag(args, "profile", "SMALLWORLD_PROFILE")
 }
 
 /// A line-buffered JSONL writer; one [`JsonValue`] per line.
@@ -102,6 +126,10 @@ pub fn meta_record(binary: &str, scale: &str, threads: u64) -> JsonValue {
         ("binary", JsonValue::from(binary)),
         ("scale", JsonValue::from(scale)),
         ("threads", JsonValue::from(threads)),
+        (
+            "rss_source",
+            JsonValue::from(crate::rss::peak_rss().1.as_str()),
+        ),
     ])
 }
 
@@ -163,10 +191,14 @@ pub fn summary_record(
     ])
 }
 
-/// Renders a metrics snapshot as `{"counters": {...}, "histograms": {...}}`.
+/// Renders a metrics snapshot as
+/// `{"counters": {...}, "histograms": {...}, "hdr": {...}}`.
 ///
 /// Histograms keep only their non-empty buckets, as `[bucket_lo, count]`
-/// pairs, next to `count`/`sum`/`max`/`mean`.
+/// pairs, next to `count`/`sum`/`max`/`mean`. HDR histograms additionally
+/// carry a `quantiles` object (see [`hdr_to_json`]); the `hdr` key is
+/// omitted entirely when no HDR metric was recorded, keeping pre-v2
+/// artifacts byte-identical.
 pub fn metrics_to_json(snapshot: &MetricsSnapshot) -> JsonValue {
     let counters = JsonValue::Object(
         snapshot
@@ -194,7 +226,95 @@ pub fn metrics_to_json(snapshot: &MetricsSnapshot) -> JsonValue {
             })
             .collect(),
     );
-    JsonValue::object([("counters", counters), ("histograms", histograms)])
+    let mut fields = vec![("counters", counters), ("histograms", histograms)];
+    if !snapshot.hdr.is_empty() {
+        let hdr = JsonValue::Object(
+            snapshot
+                .hdr
+                .iter()
+                .map(|(k, h)| (k.clone(), hdr_to_json(h)))
+                .collect(),
+        );
+        fields.push(("hdr", hdr));
+    }
+    JsonValue::object(fields)
+}
+
+/// Renders one HDR snapshot: `count`/`sum`/`min`/`max`/`mean`, a
+/// `quantiles` object with the standard report quantiles
+/// (p50/p90/p99/p999), and the sparse `buckets` as `[index, count]`
+/// pairs (indices into the fixed log-linear layout, see [`crate::hdr`]).
+pub fn hdr_to_json(snapshot: &HdrSnapshot) -> JsonValue {
+    let quantiles = JsonValue::object(crate::hdr::REPORT_QUANTILES.iter().map(|&(name, q)| {
+        (
+            name,
+            snapshot.quantile(q).map_or(JsonValue::Null, JsonValue::from),
+        )
+    }));
+    let buckets = JsonValue::array(
+        snapshot
+            .counts
+            .iter()
+            .map(|&(i, c)| JsonValue::array([JsonValue::from(u64::from(i)), JsonValue::from(c)])),
+    );
+    JsonValue::object([
+        ("count", JsonValue::from(snapshot.count)),
+        ("sum", JsonValue::from(snapshot.sum)),
+        (
+            "min",
+            if snapshot.is_empty() {
+                JsonValue::Null
+            } else {
+                JsonValue::from(snapshot.min)
+            },
+        ),
+        (
+            "max",
+            if snapshot.is_empty() {
+                JsonValue::Null
+            } else {
+                JsonValue::from(snapshot.max)
+            },
+        ),
+        ("mean", JsonValue::from(snapshot.mean())),
+        ("quantiles", quantiles),
+        ("buckets", buckets),
+    ])
+}
+
+/// A `report` record: the standard run-report — hierarchical phase tree,
+/// final metric snapshot (with HDR quantiles), and peak RSS with its
+/// source. Emitted once per run, just before `summary`.
+pub fn report_record(
+    metrics: &MetricsSnapshot,
+    spans: &BTreeMap<String, SpanStats>,
+) -> JsonValue {
+    let (rss, source) = crate::rss::peak_rss();
+    JsonValue::object([
+        ("type", JsonValue::from("report")),
+        ("phases", span_tree_to_json(&crate::span::tree(spans))),
+        ("metrics", metrics_to_json(metrics)),
+        (
+            "peak_rss_bytes",
+            rss.map_or(JsonValue::Null, JsonValue::from),
+        ),
+        ("rss_source", JsonValue::from(source.as_str())),
+    ])
+}
+
+/// Renders a span forest (see [`crate::span::tree`]) as nested
+/// `{name, path, count, total_ns, self_ns, children}` objects.
+pub fn span_tree_to_json(nodes: &[crate::span::SpanNode]) -> JsonValue {
+    JsonValue::array(nodes.iter().map(|n| {
+        JsonValue::object([
+            ("name", JsonValue::from(n.name.as_str())),
+            ("path", JsonValue::from(n.path.as_str())),
+            ("count", JsonValue::from(n.stats.count)),
+            ("total_ns", JsonValue::from(n.stats.total_ns)),
+            ("self_ns", JsonValue::from(n.stats.self_ns)),
+            ("children", span_tree_to_json(&n.children)),
+        ])
+    }))
 }
 
 /// Renders a span table as `{path: {count, total_ns, self_ns}}`.

@@ -5,6 +5,23 @@
 //! span *path* — the `/`-joined chain of the spans enclosing it on this
 //! thread, e.g. `run_all/exp_success/sample_girg`. Aggregation is a
 //! count + total + self-time per path, cheap enough to leave enabled.
+//!
+//! # Cross-thread propagation
+//!
+//! Span stacks are thread-local, so a span opened on a pool worker would
+//! normally start a fresh root path and the per-phase tree would fall
+//! apart under `SMALLWORLD_THREADS>1`. [`current_path`] captures the
+//! calling thread's enclosing path and [`adopt_parent`] grafts it onto a
+//! worker thread for a scope, so worker-side spans aggregate under the
+//! same path they would have under sequential execution. The
+//! `smallworld-par` pool does this automatically; the span *tree* is
+//! therefore structurally identical across thread counts (timings vary,
+//! paths and counts do not).
+//!
+//! Self-time accounting stays intra-thread: a parent's `self_ns` is not
+//! reduced by children adopted onto other threads, because parallel
+//! children overlap wall-clock time and the subtraction would be
+//! meaningless (or negative).
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -14,6 +31,9 @@ use std::time::{Duration, Instant};
 thread_local! {
     /// The enclosing span names on this thread.
     static STACK: RefCell<Vec<(&'static str, Duration)>> = const { RefCell::new(Vec::new()) };
+    /// Path prefix adopted from another thread (empty = none). Includes a
+    /// trailing `/` when non-empty so paths concatenate directly.
+    static PREFIX: RefCell<String> = const { RefCell::new(String::new()) };
 }
 
 /// Aggregated timing for one span path.
@@ -72,7 +92,7 @@ impl Drop for Span {
             if let Some((_, parent_children)) = stack.last_mut() {
                 *parent_children += elapsed;
             }
-            let mut path = String::new();
+            let mut path = PREFIX.with(|p| p.borrow().clone());
             for (name, _) in stack.iter() {
                 path.push_str(name);
                 path.push('/');
@@ -99,6 +119,124 @@ pub fn snapshot() -> BTreeMap<String, SpanStats> {
 /// Clears the span table (used between experiment suites and in tests).
 pub fn reset() {
     table().lock().expect("span table poisoned").clear();
+}
+
+/// The calling thread's current span path (adopted prefix + open spans),
+/// e.g. `"exp_traffic/load_sweep"`. Empty when no span is open.
+///
+/// Capture this *before* handing work to another thread, then wrap the
+/// worker-side execution in [`adopt_parent`].
+pub fn current_path() -> String {
+    let mut path = PREFIX.with(|p| p.borrow().clone());
+    STACK.with(|stack| {
+        for (name, _) in stack.borrow().iter() {
+            path.push_str(name);
+            path.push('/');
+        }
+    });
+    path.pop(); // drop the trailing '/'
+    path
+}
+
+/// Grafts `path` (from [`current_path`] on another thread) onto this
+/// thread as the span-path prefix for the lifetime of the returned guard.
+/// Spans opened under the guard aggregate as children of `path`. Guards
+/// nest; each restores the previous prefix on drop.
+pub fn adopt_parent(path: &str) -> ParentGuard {
+    let previous = PREFIX.with(|p| {
+        let mut p = p.borrow_mut();
+        let previous = std::mem::take(&mut *p);
+        if !path.is_empty() {
+            p.push_str(path);
+            p.push('/');
+        }
+        previous
+    });
+    ParentGuard { previous }
+}
+
+/// Restores the thread's previous span-path prefix on drop. See
+/// [`adopt_parent`].
+#[derive(Debug)]
+pub struct ParentGuard {
+    previous: String,
+}
+
+impl Drop for ParentGuard {
+    fn drop(&mut self) {
+        PREFIX.with(|p| *p.borrow_mut() = std::mem::take(&mut self.previous));
+    }
+}
+
+/// One node of the hierarchical span tree built by [`tree`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Last path segment (the span name).
+    pub name: String,
+    /// Full `/`-joined path.
+    pub path: String,
+    /// Aggregated stats for this exact path (all zero for paths that only
+    /// exist as ancestors of recorded spans).
+    pub stats: SpanStats,
+    /// Child nodes, sorted by name.
+    pub children: Vec<SpanNode>,
+}
+
+/// Builds the span forest from a flat path-keyed snapshot. Roots and
+/// children are sorted by name, so the tree is deterministic for a given
+/// snapshot — and structurally thread-count-invariant, since span paths
+/// are (see the module docs).
+pub fn tree(snapshot: &BTreeMap<String, SpanStats>) -> Vec<SpanNode> {
+    let mut roots: Vec<SpanNode> = Vec::new();
+    for (path, &stats) in snapshot {
+        let mut level = &mut roots;
+        let mut prefix = String::new();
+        let mut segments = path.split('/').peekable();
+        while let Some(segment) = segments.next() {
+            if !prefix.is_empty() {
+                prefix.push('/');
+            }
+            prefix.push_str(segment);
+            // BTreeMap iteration is sorted, so each level stays sorted when
+            // we append or reuse the last node; binary search keeps this
+            // robust even for interior nodes materialized out of order.
+            let pos = match level.binary_search_by(|n| n.name.as_str().cmp(segment)) {
+                Ok(pos) => pos,
+                Err(pos) => {
+                    level.insert(
+                        pos,
+                        SpanNode {
+                            name: segment.to_string(),
+                            path: prefix.clone(),
+                            stats: SpanStats::default(),
+                            children: Vec::new(),
+                        },
+                    );
+                    pos
+                }
+            };
+            if segments.peek().is_none() {
+                level[pos].stats = stats;
+            }
+            level = &mut level[pos].children;
+        }
+    }
+    roots
+}
+
+/// Renders the snapshot in folded-stack format — one `a;b;c self_ns`
+/// line per path, sorted — ready for `flamegraph.pl` / speedscope.
+/// Self-time is in nanoseconds; paths with zero self-time are kept so the
+/// stack structure stays complete.
+pub fn to_folded(snapshot: &BTreeMap<String, SpanStats>) -> String {
+    let mut out = String::new();
+    for (path, stats) in snapshot {
+        out.push_str(&path.replace('/', ";"));
+        out.push(' ');
+        out.push_str(&stats.self_ns.to_string());
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -138,6 +276,79 @@ mod tests {
         let snap = snapshot();
         let stats = snap.get("sleep-test").expect("span recorded");
         assert!(stats.total_ns >= 4_000_000, "{stats:?}");
+    }
+
+    #[test]
+    fn adopted_prefix_extends_worker_paths() {
+        let _guard = lock();
+        reset();
+        let path = {
+            let _outer = Span::enter("adopt-outer");
+            current_path()
+        };
+        assert_eq!(path, "adopt-outer");
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _ctx = adopt_parent("adopt-outer");
+                let _inner = Span::enter("adopt-inner");
+                std::hint::black_box(());
+            });
+        });
+        let snap = snapshot();
+        assert!(snap.contains_key("adopt-outer/adopt-inner"), "{snap:?}");
+        // guard dropped: the worker thread is gone, but on this thread a
+        // fresh adopt/drop must restore the empty prefix
+        {
+            let _ctx = adopt_parent("x/y");
+            assert_eq!(current_path(), "x/y");
+        }
+        assert_eq!(current_path(), "");
+    }
+
+    #[test]
+    fn tree_builds_sorted_hierarchy() {
+        let mut snap = BTreeMap::new();
+        let s = |count| SpanStats {
+            count,
+            total_ns: count,
+            self_ns: count,
+        };
+        snap.insert("root/b".to_string(), s(2));
+        snap.insert("root/a/leaf".to_string(), s(3));
+        snap.insert("root".to_string(), s(1));
+        let forest = tree(&snap);
+        assert_eq!(forest.len(), 1);
+        let root = &forest[0];
+        assert_eq!(root.name, "root");
+        assert_eq!(root.stats.count, 1);
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].name, "a");
+        assert_eq!(root.children[0].stats, SpanStats::default()); // interior only
+        assert_eq!(root.children[0].children[0].path, "root/a/leaf");
+        assert_eq!(root.children[1].name, "b");
+        assert_eq!(root.children[1].stats.count, 2);
+    }
+
+    #[test]
+    fn folded_output_is_sorted_and_semicolon_joined() {
+        let mut snap = BTreeMap::new();
+        snap.insert(
+            "a/b".to_string(),
+            SpanStats {
+                count: 1,
+                total_ns: 10,
+                self_ns: 7,
+            },
+        );
+        snap.insert(
+            "a".to_string(),
+            SpanStats {
+                count: 1,
+                total_ns: 10,
+                self_ns: 3,
+            },
+        );
+        assert_eq!(to_folded(&snap), "a 3\na;b 7\n");
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Property suite for the HDR log-linear histogram.
+//!
+//! Three contracts back the workspace's determinism story for quantiles:
+//!
+//! 1. **Merge is order- and partition-invariant** — splitting a value
+//!    stream across any number of histograms and merging their snapshots
+//!    in any order yields the same snapshot as recording everything into
+//!    one histogram. This is what makes per-task histograms foldable in
+//!    task order with a thread-count-invariant result.
+//! 2. **Quantiles track a naive sorted-vector oracle** within the
+//!    documented bound: `oracle <= reported <= oracle * (1 + 1/128)`
+//!    (plus 1 for integer truncation).
+//! 3. **Shard routing never changes the snapshot** — recording from many
+//!    threads (exercising different internal shards) matches sequential
+//!    recording exactly.
+//!
+//! The vendored `proptest!` macro is a recursive muncher, so the checks
+//! live in plain `fn`s (failures panic via `assert!`) and the macro
+//! clauses stay one-liners.
+
+use proptest::collection::vec;
+use proptest::prelude::ProptestConfig;
+use proptest::proptest;
+use smallworld_obs::hdr::{HdrHistogram, HdrSnapshot, RELATIVE_ERROR, REPORT_QUANTILES};
+
+fn record_all(values: &[u64]) -> HdrSnapshot {
+    let h = HdrHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// The naive oracle: rank `ceil(q*n)` (1-based) of the sorted values.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn check_partition_invariance(values: &[u64], parts: usize) {
+    let whole = record_all(values);
+
+    // round-robin partition into `parts` histograms
+    let mut shards: Vec<Vec<u64>> = std::iter::repeat_with(Vec::new).take(parts).collect();
+    for (i, &v) in values.iter().enumerate() {
+        shards[i % parts].push(v);
+    }
+    let snaps: Vec<HdrSnapshot> = shards.iter().map(|s| record_all(s)).collect();
+
+    let forward = snaps
+        .iter()
+        .fold(HdrSnapshot::default(), |acc, s| acc.merge(s));
+    let backward = snaps
+        .iter()
+        .rev()
+        .fold(HdrSnapshot::default(), |acc, s| acc.merge(s));
+
+    assert_eq!(forward, whole, "forward merge, parts={parts}");
+    assert_eq!(backward, whole, "reverse merge, parts={parts}");
+}
+
+fn check_quantiles_against_oracle(mut values: Vec<u64>) {
+    let snap = record_all(&values);
+    values.sort_unstable();
+    for &(name, q) in &REPORT_QUANTILES {
+        let reported = snap.quantile(q).expect("non-empty");
+        let oracle = oracle_quantile(&values, q);
+        assert!(reported >= oracle, "{name}: reported {reported} < oracle {oracle}");
+        let bound = oracle as f64 * (1.0 + RELATIVE_ERROR) + 1.0;
+        assert!(
+            (reported as f64) <= bound,
+            "{name}: reported {reported} > bound {bound} (oracle {oracle})"
+        );
+    }
+    // q=1 is exact: the top bucket's edge is capped at the recorded max
+    assert_eq!(snap.quantile(1.0), Some(*values.last().unwrap()));
+}
+
+fn check_threaded_matches_sequential(values: &[u64], threads: usize) {
+    let sequential = record_all(values);
+    let concurrent = HdrHistogram::new();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let concurrent = &concurrent;
+            scope.spawn(move || {
+                for (i, &v) in values.iter().enumerate() {
+                    if i % threads == t {
+                        concurrent.record(v);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(concurrent.snapshot(), sequential, "threads={threads}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_merge_is_partition_and_order_invariant(
+        values in vec(0u64..1 << 48, 1..200),
+        parts in 1usize..8,
+    ) {
+        check_partition_invariance(&values, parts);
+    }
+
+    #[test]
+    fn prop_quantiles_match_sorted_oracle_within_bound(
+        values in vec(0u64..1 << 48, 1..300),
+    ) {
+        check_quantiles_against_oracle(values);
+    }
+
+    #[test]
+    fn prop_threaded_recording_matches_sequential(
+        values in vec(0u64..1 << 40, 1..200),
+        threads in 2usize..6,
+    ) {
+        check_threaded_matches_sequential(&values, threads);
+    }
+}

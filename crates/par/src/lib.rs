@@ -22,6 +22,12 @@
 //! Thread count resolution: [`Pool::from_env`] honors the
 //! `SMALLWORLD_THREADS` environment variable and falls back to
 //! `std::thread::available_parallelism`.
+//!
+//! Pool workers adopt the caller's observability span path
+//! (`smallworld_obs::span`), so spans opened inside tasks aggregate under
+//! the same hierarchical path regardless of thread count — the per-phase
+//! timing tree is structurally identical from `SMALLWORLD_THREADS=1` to
+//! 64.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -134,10 +140,13 @@ impl Pool {
         let mut results: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
         let next = AtomicUsize::new(0);
         let f = &f;
+        let span_path = smallworld_obs::span::current_path();
+        let span_path = &span_path;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for _ in 0..threads {
                 handles.push(scope.spawn(|| {
+                    let _span_ctx = smallworld_obs::span::adopt_parent(span_path);
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -193,10 +202,13 @@ impl Pool {
         let next = AtomicUsize::new(0);
         let f = &f;
         let slots = &slots;
+        let span_path = smallworld_obs::span::current_path();
+        let span_path = &span_path;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for _ in 0..threads {
                 handles.push(scope.spawn(|| {
+                    let _span_ctx = smallworld_obs::span::adopt_parent(span_path);
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);

@@ -1,0 +1,95 @@
+//! Span-tree structural invariance across pool sizes.
+//!
+//! The span *tree* (set of paths, per-path counts) produced by a run must
+//! not depend on the thread count — only timings may differ. This is the
+//! contract that makes `report` phase trees diffable across artifacts
+//! from differently-parallel runs. Pool sizes 1/2/4 stand in for
+//! `SMALLWORLD_THREADS=1/2/4` (the env var only picks the default size).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use smallworld_obs::span;
+use smallworld_par::Pool;
+
+/// The span table is process-global; serialize the tests that reset it.
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A nested workload: an outer phase span, a parallel map whose tasks
+/// open their own spans (with an inner hot-loop span), and a sequential
+/// tail phase.
+fn workload(pool: &Pool) -> Vec<u64> {
+    let _run = span::Span::enter("run");
+    let partials = {
+        let _phase = span::Span::enter("parallel_phase");
+        pool.map(12, |i| {
+            let _task = span::Span::enter("task");
+            let mut acc = 0u64;
+            {
+                let _hot = span::Span::enter("hot_loop");
+                for k in 0..100 {
+                    acc = acc.wrapping_add((i as u64).wrapping_mul(k));
+                }
+            }
+            acc
+        })
+    };
+    let _tail = span::Span::enter("tail_phase");
+    partials
+}
+
+/// Structure = paths plus their counts, timings stripped.
+type Structure = Vec<(String, u64)>;
+
+fn structure(snapshot: &BTreeMap<String, span::SpanStats>) -> Structure {
+    snapshot.iter().map(|(k, s)| (k.clone(), s.count)).collect()
+}
+
+#[test]
+fn span_tree_is_thread_count_invariant() {
+    let _guard = lock();
+    let mut seen: Option<(Structure, Vec<u64>)> = None;
+    for threads in [1usize, 2, 4] {
+        span::reset();
+        let results = workload(&Pool::with_threads(threads));
+        let snap = span::snapshot();
+        let got = (structure(&snap), results);
+        // every task span lands under the enclosing phases, on any pool size
+        assert_eq!(
+            snap.get("run/parallel_phase/task").map(|s| s.count),
+            Some(12),
+            "threads={threads}"
+        );
+        assert_eq!(
+            snap.get("run/parallel_phase/task/hot_loop").map(|s| s.count),
+            Some(12),
+            "threads={threads}"
+        );
+        assert!(snap.contains_key("run/tail_phase"), "threads={threads}");
+        // no stray root-level task paths escaped the adoption
+        assert!(
+            !snap.keys().any(|k| k.starts_with("task")),
+            "threads={threads}: {snap:?}"
+        );
+        match &seen {
+            None => seen = Some(got),
+            Some(first) => assert_eq!(first, &got, "threads={threads}"),
+        }
+    }
+}
+
+#[test]
+fn folded_output_matches_structure() {
+    let _guard = lock();
+    span::reset();
+    workload(&Pool::with_threads(3));
+    let folded = span::to_folded(&span::snapshot());
+    assert!(folded.contains("run;parallel_phase;task;hot_loop "));
+    let tree = span::tree(&span::snapshot());
+    assert_eq!(tree.len(), 1);
+    assert_eq!(tree[0].name, "run");
+    assert_eq!(tree[0].children.len(), 2); // parallel_phase, tail_phase
+}
