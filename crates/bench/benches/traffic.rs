@@ -1,5 +1,6 @@
 //! Event-loop throughput of the `smallworld-net` simulator: 10k concurrent
-//! packets over a pre-sampled 20k-vertex GIRG, fault-free and faulty.
+//! packets over a pre-sampled 20k-vertex GIRG, fault-free and faulty,
+//! serial and sharded.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::rngs::StdRng;
@@ -9,7 +10,8 @@ use smallworld_core::{GirgObjective, Objective};
 use smallworld_graph::NodeId;
 use smallworld_models::girg::{Girg, GirgBuilder};
 use smallworld_net::{
-    FaultPlan, FaultSpec, GreedyPolicy, Injection, SimConfig, Simulation, Workload,
+    FaultPlan, FaultSpec, GreedyPolicy, Injection, SimBuilder, SimConfig, SliceWorkload,
+    UniformPairs,
 };
 
 const PACKETS: usize = 10_000;
@@ -26,7 +28,7 @@ fn sample() -> Girg<2> {
 
 fn injections(girg: &Girg<2>, load: f64) -> Vec<Injection> {
     let eligible: Vec<NodeId> = girg.graph().nodes().collect();
-    Workload::new(PACKETS, load, 2).injections(&eligible)
+    UniformPairs::new(PACKETS, load, 2).injections(&eligible)
 }
 
 fn bench_traffic(c: &mut Criterion) {
@@ -39,17 +41,42 @@ fn bench_traffic(c: &mut Criterion) {
 
     group.bench_function("greedy_fault_free", |b| {
         let batch = injections(&girg, 8.0);
-        let sim = Simulation::new(girg.graph(), GreedyPolicy::new(score));
-        b.iter(|| sim.run(&batch));
+        let sim = SimBuilder::new(girg.graph(), GreedyPolicy::new(score))
+            .shards(1)
+            .build()
+            .expect("valid");
+        b.iter(|| sim.run(SliceWorkload::new(&batch)));
+    });
+
+    group.bench_function("greedy_fault_free_4_shards", |b| {
+        let batch = injections(&girg, 8.0);
+        let sim = SimBuilder::new(girg.graph(), GreedyPolicy::new(score))
+            .shards(4)
+            .build()
+            .expect("valid");
+        b.iter(|| sim.run(SliceWorkload::new(&batch)));
+    });
+
+    group.bench_function("greedy_fault_free_summary", |b| {
+        let batch = injections(&girg, 8.0);
+        let sim = SimBuilder::new(girg.graph(), GreedyPolicy::new(score))
+            .shards(1)
+            .build()
+            .expect("valid");
+        b.iter(|| sim.run_summary(SliceWorkload::new(&batch)));
     });
 
     group.bench_function("greedy_bounded_queues", |b| {
         let batch = injections(&girg, 64.0);
-        let sim = Simulation::new(girg.graph(), GreedyPolicy::new(score)).with_config(SimConfig {
-            queue_capacity: Some(8),
-            ..SimConfig::default()
-        });
-        b.iter(|| sim.run(&batch));
+        let sim = SimBuilder::new(girg.graph(), GreedyPolicy::new(score))
+            .config(SimConfig {
+                queue_capacity: Some(8),
+                ..SimConfig::default()
+            })
+            .shards(1)
+            .build()
+            .expect("valid");
+        b.iter(|| sim.run(SliceWorkload::new(&batch)));
     });
 
     group.bench_function("greedy_faulty", |b| {
@@ -61,13 +88,16 @@ fn bench_traffic(c: &mut Criterion) {
             repair_after: Some(50),
             ..FaultSpec::none()
         };
-        let sim = Simulation::new(girg.graph(), GreedyPolicy::new(score))
-            .with_faults(FaultPlan::new(spec, 3))
-            .with_config(SimConfig {
+        let sim = SimBuilder::new(girg.graph(), GreedyPolicy::new(score))
+            .faults(FaultPlan::new(spec, 3))
+            .config(SimConfig {
                 max_retries: 3,
                 ..SimConfig::default()
-            });
-        b.iter(|| sim.run(&batch));
+            })
+            .shards(1)
+            .build()
+            .expect("valid");
+        b.iter(|| sim.run(SliceWorkload::new(&batch)));
     });
 
     group.finish();

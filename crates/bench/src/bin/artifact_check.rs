@@ -99,6 +99,7 @@ fn check(contents: &str) -> Result<String, String> {
     let mut reports = 0usize;
     let mut timelines = 0usize;
     let mut timeline_samples = 0usize;
+    let mut shard_records = 0usize;
     for (i, (kind, record)) in records.iter().enumerate() {
         let line = i + 1;
         match kind.as_str() {
@@ -246,6 +247,36 @@ fn check(contents: &str) -> Result<String, String> {
                     last_at = at;
                 }
                 timeline_samples += samples.len();
+            }
+            "net.shards" => {
+                shard_records += 1;
+                if record.get("suite").and_then(JsonValue::as_str).is_none() {
+                    return Err(format!("line {line}: net.shards record missing \"suite\""));
+                }
+                if record
+                    .get("threads")
+                    .and_then(JsonValue::as_f64)
+                    .map(|v| v >= 1.0)
+                    != Some(true)
+                {
+                    return Err(format!(
+                        "line {line}: net.shards record missing positive \"threads\""
+                    ));
+                }
+                let shards = record
+                    .get("shards")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| format!("line {line}: net.shards \"shards\" is not an array"))?;
+                if shards.is_empty() {
+                    return Err(format!("line {line}: net.shards \"shards\" is empty"));
+                }
+                for s in shards {
+                    if s.as_f64().map(|v| v >= 1.0) != Some(true) {
+                        return Err(format!(
+                            "line {line}: net.shards entry {s} is not a positive count"
+                        ));
+                    }
+                }
             }
             "report" => {
                 reports += 1;
@@ -541,6 +572,52 @@ fn check(contents: &str) -> Result<String, String> {
                 .map_err(|_| format!("traffic throughput cell {cell:?} is not numeric"))?;
             if value <= 0.0 {
                 return Err(format!("traffic throughput {value} not positive"));
+            }
+        }
+        // sharded-engine artifacts (those carrying a "shards" column)
+        // must declare their shard counts in a net.shards record, use
+        // positive counts, and — the determinism gate — report the SAME
+        // delivered fraction for one scenario at every shard count
+        if let Some(shards_c) = headers.iter().position(|h| h.as_str() == Some("shards")) {
+            if shard_records == 0 {
+                return Err("sharded bench_traffic artifact has no net.shards record".into());
+            }
+            let column = |name: &str| {
+                headers
+                    .iter()
+                    .position(|h| h.as_str() == Some(name))
+                    .ok_or_else(|| format!("traffic table missing column {name:?}"))
+            };
+            let (scenario_c, policy_c) = (column("scenario")?, column("policy")?);
+            let delivered_c = column("delivered")?;
+            let cell = |row: &JsonValue, c: usize| -> Result<String, String> {
+                row.as_array()
+                    .and_then(|r| r.get(c))
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| "traffic table cell is not a string".to_string())
+            };
+            let mut delivered_by_key: Vec<((String, String), String)> = Vec::new();
+            for row in rows {
+                let shards: f64 = cell(row, shards_c)?
+                    .parse()
+                    .map_err(|_| "traffic shards cell is not numeric".to_string())?;
+                if shards < 1.0 {
+                    return Err(format!("traffic shard count {shards} not positive"));
+                }
+                let key = (cell(row, scenario_c)?, cell(row, policy_c)?);
+                let delivered = cell(row, delivered_c)?;
+                match delivered_by_key.iter().find(|(k, _)| *k == key) {
+                    Some((_, first)) if *first != delivered => {
+                        return Err(format!(
+                            "scenario {}/{} delivered {} at one shard count but {} at \
+                             another — the sharded engine broke determinism",
+                            key.0, key.1, first, delivered
+                        ));
+                    }
+                    Some(_) => {}
+                    None => delivered_by_key.push((key, delivered)),
+                }
             }
         }
     }

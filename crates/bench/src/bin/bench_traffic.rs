@@ -1,6 +1,6 @@
 //! Traffic-simulator throughput benchmark: packets per second of
-//! wall-clock through the discrete-event engine at fixed load and fault
-//! settings.
+//! wall-clock through the sharded discrete-event engine at fixed load
+//! and fault settings.
 //!
 //! ```console
 //! cargo run --release -p smallworld-bench --bin bench_traffic -- \
@@ -8,16 +8,20 @@
 //! cargo run --release -p smallworld-bench --bin bench_traffic -- --quick
 //! ```
 //!
-//! Three scenarios on the *same* pre-sampled GIRG and the same offered
-//! load: fault-free greedy (the event-loop fast path), greedy under 5%
-//! loss with transient outages (retry + drop machinery engaged), and
-//! patching under the same faults (exploration overhead). Simulation
-//! results are a pure function of the seeds, so the delivered fraction in
-//! the artifact is reproducible; only the wall-clock columns move between
-//! machines. `swreport --diff` against the committed baseline surfaces
-//! both kinds of drift.
+//! Scenarios on the *same* pre-sampled GIRG and the same offered load:
+//! fault-free greedy (the event-loop fast path), greedy under 5% loss
+//! with transient outages (retry + drop machinery engaged), and patching
+//! under the same faults (exploration overhead) — each at 1, 2, and 4
+//! shards of the conservative virtual-time engine — plus a `firehose`
+//! row that streams ≥10M packets (full scale) through summary mode to
+//! measure sustained event-loop throughput with O(in-flight) memory.
 //!
-//! Runs on one thread: the point is per-event cost, not pool scaling.
+//! Simulation results are a pure function of the seeds *and independent
+//! of the shard count*: the `delivered` column must agree exactly across
+//! the shard rows of one scenario (`artifact_check` gates on this), and
+//! only the wall-clock columns move between machines or thread settings.
+//! `swreport --diff` against the committed baseline surfaces both kinds
+//! of drift.
 
 use std::time::Instant;
 
@@ -26,17 +30,23 @@ use rand::SeedableRng;
 
 use smallworld_analysis::table::fmt_f64;
 use smallworld_analysis::Table;
-use smallworld_bench::{Artifact, Scale};
+use smallworld_bench::{push_record, Artifact, Scale};
 use smallworld_core::{GirgObjective, PreparedObjective};
 use smallworld_models::girg::{Girg, GirgBuilder};
 use smallworld_net::{
-    nodes_from_mask, FaultPlan, FaultSpec, GreedyPolicy, PatchingPolicy, SimConfig, SimReport,
-    Simulation, Workload,
+    nodes_from_mask, FaultPlan, FaultSpec, GreedyPolicy, PatchingPolicy, SimBuilder, SimConfig,
+    SimSummary, UniformPairs,
 };
+use smallworld_obs::JsonValue;
+
+/// Shard counts every scenario is measured at. The results must be
+/// bitwise identical across them; only wall-clock may differ.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 
 struct Measurement {
     scenario: &'static str,
     policy: &'static str,
+    shards: usize,
     packets: usize,
     delivered_frac: f64,
     wall_secs: f64,
@@ -48,59 +58,71 @@ impl Measurement {
     }
 }
 
-/// Runs one scenario once for warmup and once for measurement. The fault
-/// plan and workload derive from `seed` exactly as in E15, so the
-/// delivered fraction matches what the experiment would report.
+/// Runs one scenario once for warmup and once for measurement (the
+/// `firehose` caller skips warmup by passing `warmup = false`). The
+/// fault plan and workload derive from `seed` exactly as in E15, so the
+/// delivered fraction matches what the experiment would report. Summary
+/// mode keeps memory O(in-flight) no matter the packet count.
 #[allow(clippy::too_many_arguments)]
 fn measure(
     girg: &Girg<2>,
     scenario: &'static str,
     policy: &'static str,
+    shards: usize,
     spec: FaultSpec,
     config: SimConfig,
     packets: usize,
     load: f64,
     seed: u64,
+    warmup: bool,
 ) -> Measurement {
-    let run = || -> SimReport {
+    let run = || -> SimSummary {
         let plan = FaultPlan::new(spec, smallworld_par::split_seed(seed, 0));
         let eligible = nodes_from_mask(&plan.survivor_mask(girg.graph()));
-        let injections =
-            Workload::new(packets, load, smallworld_par::split_seed(seed, 1)).injections(&eligible);
+        let workload = UniformPairs::new(packets, load, smallworld_par::split_seed(seed, 1));
         let obj = GirgObjective::new(girg);
         let score = PreparedObjective::new(&obj);
         match policy {
-            "greedy" => Simulation::new(girg.graph(), GreedyPolicy::new(score))
-                .with_faults(plan)
-                .with_config(config)
-                .run(&injections),
-            "patching" => Simulation::new(girg.graph(), PatchingPolicy::new(score))
-                .with_faults(plan)
-                .with_config(config)
-                .run(&injections),
+            "greedy" => SimBuilder::new(girg.graph(), GreedyPolicy::new(score))
+                .faults(plan)
+                .config(config)
+                .shards(shards)
+                .build()
+                .expect("valid benchmark sim")
+                .run_summary(workload.over(&eligible)),
+            "patching" => SimBuilder::new(girg.graph(), PatchingPolicy::new(score))
+                .faults(plan)
+                .config(config)
+                .shards(shards)
+                .build()
+                .expect("valid benchmark sim")
+                .run_summary(workload.over(&eligible)),
             other => unreachable!("unknown policy {other:?}"),
         }
     };
-    std::hint::black_box(run());
+    if warmup {
+        std::hint::black_box(run());
+    }
     let start = Instant::now();
-    let report = run();
+    let summary = run();
     let wall_secs = start.elapsed().as_secs_f64();
-    let delivered_frac = report.delivery_rate();
+    let delivered_frac = summary.delivery_rate();
     eprintln!(
-        "{scenario}/{policy}: {packets} packets in {wall_secs:.3}s \
+        "{scenario}/{policy} x{shards}: {packets} packets in {wall_secs:.3}s \
          ({:.0} packets/s, {delivered_frac:.3} delivered)",
         packets as f64 / wall_secs
     );
     Measurement {
         scenario,
         policy,
+        shards,
         packets,
         delivered_frac,
         wall_secs,
     }
 }
 
-fn throughput_table(girg: &Girg<2>, packets: usize, seed: u64) -> Vec<Table> {
+fn throughput_table(girg: &Girg<2>, packets: usize, firehose_packets: usize, seed: u64) -> Vec<Table> {
     let lossy = FaultSpec {
         loss_rate: 0.05,
         node_fail_rate: 0.1,
@@ -116,34 +138,91 @@ fn throughput_table(girg: &Girg<2>, packets: usize, seed: u64) -> Vec<Table> {
         max_retries: 3,
         ..SimConfig::default()
     };
-    let measurements = [
-        measure(
+    let mut measurements = Vec::new();
+    for shards in SHARD_COUNTS {
+        measurements.push(measure(
             girg,
             "fault_free",
             "greedy",
+            shards,
             FaultSpec::none(),
             bounded,
             packets,
             1.0,
             seed,
+            true,
+        ));
+    }
+    for shards in SHARD_COUNTS {
+        measurements.push(measure(
+            girg, "lossy", "greedy", shards, lossy, retrying, packets, 1.0, seed, true,
+        ));
+    }
+    for shards in SHARD_COUNTS {
+        measurements.push(measure(
+            girg, "lossy", "patching", shards, lossy, retrying, packets, 1.0, seed, true,
+        ));
+    }
+    // the sustained-throughput row: tens of millions of packets streamed
+    // through summary mode, injected fast enough to keep queues busy.
+    // One timed run, no warmup — at this size the event loop dwarfs any
+    // cache-warming effect.
+    measurements.push(measure(
+        girg,
+        "firehose",
+        "greedy",
+        1,
+        FaultSpec::none(),
+        SimConfig::default(),
+        firehose_packets,
+        32.0,
+        seed ^ 0xF1DE,
+        false,
+    ));
+
+    // every (scenario, policy) must deliver the same fraction at every
+    // shard count — the bench doubles as an invariance check
+    for m in &measurements {
+        let base = measurements
+            .iter()
+            .find(|b| b.scenario == m.scenario && b.policy == m.policy)
+            .expect("at least itself");
+        assert!(
+            (base.delivered_frac - m.delivered_frac).abs() < f64::EPSILON,
+            "{}/{}: delivered fraction differs across shard counts",
+            m.scenario,
+            m.policy
+        );
+    }
+
+    push_record(JsonValue::object([
+        ("type", JsonValue::from("net.shards")),
+        ("suite", JsonValue::from("bench_traffic")),
+        (
+            "threads",
+            JsonValue::from(smallworld_par::thread_count() as u64),
         ),
-        measure(girg, "lossy", "greedy", lossy, retrying, packets, 1.0, seed),
-        measure(girg, "lossy", "patching", lossy, retrying, packets, 1.0, seed),
-    ];
+        (
+            "shards",
+            JsonValue::array(SHARD_COUNTS.map(|s| JsonValue::from(s as u64))),
+        ),
+    ]));
 
     let mut table = Table::new([
         "scenario",
         "policy",
+        "shards",
         "packets",
         "delivered",
         "wall secs",
         "packets/sec",
     ])
-    .title("traffic simulator throughput (single thread)");
+    .title("traffic simulator throughput (sharded virtual-time engine)");
     for m in &measurements {
         table.row([
             m.scenario.to_string(),
             m.policy.to_string(),
+            m.shards.to_string(),
             m.packets.to_string(),
             fmt_f64(m.delivered_frac, 3),
             format!("{:.4}", m.wall_secs),
@@ -155,7 +234,7 @@ fn throughput_table(girg: &Girg<2>, packets: usize, seed: u64) -> Vec<Table> {
 
 fn main() {
     let scale = Scale::from_env();
-    let (n, packets) = scale.pick((5_000, 1_000), (20_000, 10_000));
+    let (n, packets, firehose) = scale.pick((5_000, 1_000, 50_000), (20_000, 10_000, 10_000_000));
     let artifact = Artifact::open("bench_traffic", scale);
     let (_, _) = artifact.run_suite("bench_traffic", scale, |_| {
         let mut rng = StdRng::seed_from_u64(2);
@@ -173,7 +252,7 @@ fn main() {
             girg.graph().edge_count()
         );
         let _span = smallworld_obs::Span::enter("bench_traffic");
-        let tables = throughput_table(&girg, packets, 0xBE7F);
+        let tables = throughput_table(&girg, packets, firehose, 0xBE7F);
         for t in &tables {
             println!("{t}");
         }

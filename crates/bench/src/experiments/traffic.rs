@@ -34,8 +34,8 @@ use smallworld_core::{
 use smallworld_graph::Graph;
 use smallworld_models::{HrgBuilder, KleinbergLatticeBuilder};
 use smallworld_net::{
-    nodes_from_mask, FaultPlan, FaultSpec, GreedyPolicy, PacketOutcome, PatchingPolicy, SimConfig,
-    SimReport, Simulation, TimelineSample, Workload,
+    nodes_from_mask, FaultPlan, FaultSpec, GreedyPolicy, PacketOutcome, PatchingPolicy,
+    SimBuilder, SimConfig, SimReport, SimSummary, TimelineSample, UniformPairs,
 };
 use smallworld_obs::{HdrHistogram, HdrSnapshot};
 use smallworld_par::{split_seed, Pool};
@@ -190,21 +190,29 @@ fn traffic_rep<O: Objective>(
         agg.nodes += graph.node_count() as u64;
         return agg;
     }
-    let injections = Workload::new(packets, load, split_seed(seed, 1)).injections(&eligible);
+    let workload = UniformPairs::new(packets, load, split_seed(seed, 1));
     // prepared-kernel hop scoring: the simulator calls `prepare(target)`
     // once per forwarding decision instead of re-deriving the target's
     // geometry for every candidate neighbor
     let score = PreparedObjective::new(objective);
     let _span = smallworld_obs::Span::enter("traffic_sim");
+    // reps already fan out across the pool, so each rep runs serially
+    // (run_local also drops the Sync bound the generic objective lacks)
     let report = match policy {
-        Policy::Greedy => Simulation::new(graph, GreedyPolicy::new(score))
-            .with_faults(plan)
-            .with_config(config)
-            .run(&injections),
-        Policy::Patching => Simulation::new(graph, PatchingPolicy::new(score))
-            .with_faults(plan)
-            .with_config(config)
-            .run(&injections),
+        Policy::Greedy => SimBuilder::new(graph, GreedyPolicy::new(score))
+            .faults(plan)
+            .config(config)
+            .shards(1)
+            .build()
+            .expect("traffic sim config is valid")
+            .run_local(workload.over(&eligible)),
+        Policy::Patching => SimBuilder::new(graph, PatchingPolicy::new(score))
+            .faults(plan)
+            .config(config)
+            .shards(1)
+            .build()
+            .expect("traffic sim config is valid")
+            .run_local(workload.over(&eligible)),
     };
     agg.absorb(&report, eligible.len(), graph.node_count());
     agg
@@ -253,6 +261,7 @@ pub fn run_with_pool(scale: Scale, pool: &Pool) -> Vec<Table> {
         load_sweep(scale, pool),
         fault_sweep(scale, pool),
         model_comparison(scale, pool),
+        shard_equivalence(scale),
     ]
 }
 
@@ -477,6 +486,82 @@ fn model_comparison(scale: Scale, pool: &Pool) -> Table {
     table
 }
 
+/// E15d: shard-count invariance of the sharded event loop itself — one
+/// GIRG, one lossy-fault workload, run at 1/2/4 shards through the
+/// conservative-window engine. Every column is an exact integer or an
+/// exact ratio of integers, and the rows must agree *bitwise*: the table
+/// is identical at any `SMALLWORLD_THREADS`, which is exactly what the
+/// CI thread-invariance job diffs.
+fn shard_equivalence(scale: Scale) -> Table {
+    let config = GirgConfig {
+        n: scale.pick(2_000, 20_000),
+        ..GirgConfig::default()
+    };
+    let packets = scale.pick(500, 5_000);
+    let spec = FaultSpec {
+        loss_rate: 0.05,
+        node_fail_rate: 0.1,
+        fail_window: 100,
+        repair_after: Some(50),
+        ..FaultSpec::none()
+    };
+    let sim_cfg = SimConfig {
+        max_retries: 3,
+        queue_capacity: Some(8),
+        ..SimConfig::default()
+    };
+    let seed = 0xE15D;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let girg = {
+        let _span = smallworld_obs::Span::enter("sample_girg");
+        config.sample(&mut rng)
+    };
+    let obj = GirgObjective::new(&girg);
+    let plan = FaultPlan::new(spec, split_seed(seed, 0));
+    let eligible = nodes_from_mask(&plan.survivor_mask(girg.graph()));
+    let workload = UniformPairs::new(packets, 1.0, split_seed(seed, 1));
+
+    // "delivered pkts": raw counts, not a rate — artifact_check holds any
+    // traffic-suite column literally named "delivered" to [0, 1]
+    let mut table = Table::new([
+        "shards",
+        "delivered pkts",
+        "dropped pkts",
+        "retries",
+        "mean hops",
+        "p99 vtime",
+        "events",
+        "final vtime",
+        "matches serial",
+    ])
+    .title("E15d: sharded engine invariance — identical results at every shard count");
+    let mut baseline: Option<SimSummary> = None;
+    for shards in [1usize, 2, 4] {
+        let summary = SimBuilder::new(girg.graph(), GreedyPolicy::new(PreparedObjective::new(&obj)))
+            .faults(plan)
+            .config(sim_cfg)
+            .shards(shards)
+            .build()
+            .expect("shard-equivalence sim config is valid")
+            .run_summary(workload.over(&eligible));
+        let matches = baseline.as_ref().is_none_or(|b| *b == summary);
+        table.row([
+            shards.to_string(),
+            summary.delivered.to_string(),
+            summary.dropped().to_string(),
+            summary.retries.to_string(),
+            fmt_f64(summary.mean_delivered_hops().unwrap_or(0.0), 2),
+            summary.latency_hdr.quantile(0.99).unwrap_or(0).to_string(),
+            summary.events.to_string(),
+            summary.final_time.to_string(),
+            if matches { "yes" } else { "NO" }.to_string(),
+        ]);
+        baseline.get_or_insert(summary);
+    }
+    println!("{table}");
+    table
+}
+
 fn push_model_row(table: &mut Table, model: &str, n: usize, agg: &Agg) {
     table.row([
         model.to_string(),
@@ -496,14 +581,16 @@ mod tests {
     use super::*;
     use smallworld_core::{GreedyRouter, RouteOutcome, Router};
     use smallworld_graph::NodeId;
+    use smallworld_net::{Simulation, SliceWorkload};
 
     #[test]
     fn quick_run_covers_all_tables() {
         let tables = run(Scale::Quick);
-        assert_eq!(tables.len(), 3);
+        assert_eq!(tables.len(), 4);
         assert_eq!(tables[0].row_count(), 2, "load sweep rows");
         assert_eq!(tables[1].row_count(), 4, "fault sweep rows (2 rates x 2 policies)");
         assert_eq!(tables[2].row_count(), 3, "one row per model");
+        assert_eq!(tables[3].row_count(), 3, "shard equivalence rows (1/2/4 shards)");
     }
 
     /// Acceptance: with zero faults, load 1, unbounded queues, the
@@ -519,9 +606,9 @@ mod tests {
         let girg = config.sample(&mut rng);
         let obj = GirgObjective::new(&girg);
         let eligible: Vec<NodeId> = girg.graph().nodes().collect();
-        let injections = Workload::new(60, 1.0, 99).injections(&eligible);
+        let injections = UniformPairs::new(60, 1.0, 99).injections(&eligible);
         let sim = Simulation::new(girg.graph(), GreedyPolicy::new(PreparedObjective::new(&obj)));
-        let report = sim.run(&injections);
+        let report = sim.run(SliceWorkload::new(&injections));
         let router = GreedyRouter::new();
         for (inj, packet) in injections.iter().zip(&report.packets) {
             let record = router.route_quiet(girg.graph(), &obj, inj.source, inj.target);
@@ -646,10 +733,10 @@ mod tests {
         let obj = GirgObjective::new(&girg);
         let eligible: Vec<NodeId> = girg.graph().nodes().collect();
         let latency_at = |load: f64| {
-            let injections = Workload::new(400, load, 5).injections(&eligible);
+            let workload = UniformPairs::new(400, load, 5);
             let report =
                 Simulation::new(girg.graph(), GreedyPolicy::new(PreparedObjective::new(&obj)))
-                    .run(&injections);
+                    .run(workload.over(&eligible));
             report.mean_delivered_latency().unwrap_or(0.0)
         };
         let slow = latency_at(0.5);

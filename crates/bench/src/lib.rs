@@ -20,5 +20,5 @@ pub mod artifact;
 pub mod experiments;
 pub mod harness;
 
-pub use artifact::Artifact;
+pub use artifact::{push_record, Artifact};
 pub use harness::{parallel_map, split_seed, RoutingAggregate, Scale, TrialBatch, TrialOutcome};

@@ -22,7 +22,9 @@ use std::cell::Cell;
 use smallworld_geometry::Point;
 use smallworld_graph::{Graph, NodeId};
 use smallworld_models::girg::Girg;
-use smallworld_net::{HopChoice, HopPolicy, HopView, Injection, PacketOutcome, SimConfig, Simulation};
+use smallworld_net::{
+    HopChoice, HopPolicy, HopView, Injection, PacketOutcome, SimBuilder, SimConfig, SliceWorkload,
+};
 
 use crate::greedy::{RouteOutcome, RouteRecord, DEFAULT_MAX_STEPS};
 
@@ -274,13 +276,18 @@ impl Simulator {
             ttl: u32::try_from(self.max_steps).unwrap_or(u32::MAX),
             ..SimConfig::default()
         };
-        let report = Simulation::new(graph, &policy)
-            .with_config(config)
-            .run(&[Injection {
+        // run_local: ProgramPolicy carries Cell-based stats, so it must
+        // stay on one thread (results are identical either way).
+        let report = SimBuilder::new(graph, &policy)
+            .config(config)
+            .shards(1)
+            .build()
+            .expect("single-packet simulation config is always valid")
+            .run_local(SliceWorkload::new(&[Injection {
                 source: s,
                 target: t,
                 at: 0,
-            }]);
+            }]));
         let packet = report
             .packets
             .into_iter()

@@ -1,11 +1,20 @@
-//! Virtual time and the tie-stable event queue.
+//! Virtual time and the deterministic event queues.
 //!
 //! All timing in `smallworld-net` is virtual: a [`Time`] is a plain tick
-//! counter, never a wall clock. Two events scheduled for the same tick pop
-//! in the order they were pushed — every push is stamped with a
-//! monotonically increasing sequence number and the heap orders by
-//! `(time, seq)` — so a simulation is a pure function of its inputs, with
-//! nothing left to the internals of `BinaryHeap`.
+//! counter, never a wall clock. Two queue flavors share one heap:
+//!
+//! * [`OrderedQueue`] pops by `(time, rank, seq)`, where the **rank** is a
+//!   caller-supplied content key. The sharded engine ranks every event by
+//!   *what it is* (arrivals by packet id before services by node id), so
+//!   the pop order at one tick is a pure function of the simulation state
+//!   — identical whether the events were pushed by one global loop or by
+//!   per-shard loops that exchanged them at window barriers. The `seq`
+//!   tie-break only ever decides between events with equal content keys
+//!   (in practice: a zero-service-time node re-arming itself within one
+//!   tick), which are always pushed by the same loop in the same order.
+//! * [`EventQueue`] is the classic tie-stable FIFO queue — rank 0 for
+//!   everything, so equal times pop in push order. It remains the right
+//!   tool when events carry no natural identity.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -16,16 +25,17 @@ pub type Time = u64;
 
 struct Entry<E> {
     time: Time,
+    rank: u64,
     seq: u64,
     event: E,
 }
 
 // BinaryHeap is a max-heap; invert the comparison so the earliest
-// (time, seq) pops first. Only the key participates in the ordering — the
-// payload needs no Ord.
+// (time, rank, seq) pops first. Only the key participates in the ordering
+// — the payload needs no Ord.
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        (other.time, other.rank, other.seq).cmp(&(self.time, self.rank, self.seq))
     }
 }
 
@@ -37,13 +47,98 @@ impl<E> PartialOrd for Entry<E> {
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.rank == other.rank && self.seq == other.seq
     }
 }
 
 impl<E> Eq for Entry<E> {}
 
-/// A deterministic priority queue of future events.
+/// A deterministic priority queue popping by `(time, rank, seq)`.
+///
+/// The rank is a caller-defined content key: among events at the same
+/// tick, smaller ranks pop first, and the push-order `seq` breaks only
+/// exact rank ties. When every simultaneous event carries a distinct
+/// rank, the pop order is independent of push order — the property the
+/// sharded simulator builds its serial-equivalence argument on.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_net::event::OrderedQueue;
+///
+/// let mut q = OrderedQueue::new();
+/// q.push(5, 2, "late, high rank");
+/// q.push(5, 1, "late, low rank");
+/// q.push(1, 9, "early");
+/// assert_eq!(q.pop(), Some((1, "early")));
+/// assert_eq!(q.pop(), Some((5, "late, low rank")));
+/// assert_eq!(q.pop(), Some((5, "late, high rank")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct OrderedQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> std::fmt::Debug for OrderedQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrderedQueue")
+            .field("len", &self.heap.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl<E> OrderedQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        OrderedQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time` under the content key `rank`.
+    pub fn push(&mut self, time: Time, rank: u64, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time,
+            rank,
+            seq,
+            event,
+        });
+    }
+
+    /// Removes and returns the earliest event as `(time, event)`.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for OrderedQueue<E> {
+    fn default() -> Self {
+        OrderedQueue::new()
+    }
+}
+
+/// A deterministic priority queue of future events: equal times pop in
+/// push order (a rank-0 [`OrderedQueue`]).
 ///
 /// # Examples
 ///
@@ -60,15 +155,13 @@ impl<E> Eq for Entry<E> {}
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    next_seq: u64,
+    inner: OrderedQueue<E>,
 }
 
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("len", &self.heap.len())
-            .field("next_seq", &self.next_seq)
+            .field("len", &self.inner.len())
             .finish()
     }
 }
@@ -77,8 +170,7 @@ impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+            inner: OrderedQueue::new(),
         }
     }
 
@@ -86,25 +178,24 @@ impl<E> EventQueue<E> {
     /// at equal times pop in push order (sequence numbers are the
     /// tie-break).
     pub fn push(&mut self, time: Time, event: E) -> u64 {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        let seq = self.inner.next_seq;
+        self.inner.push(time, 0, event);
         seq
     }
 
     /// Removes and returns the earliest event as `(time, event)`.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        self.inner.pop()
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.inner.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.inner.is_empty()
     }
 }
 
@@ -154,42 +245,116 @@ mod tests {
         assert_eq!(q.len(), 1);
     }
 
+    #[test]
+    fn ordered_queue_ranks_within_a_tick() {
+        let mut q = OrderedQueue::new();
+        // push in scrambled rank order; same tick must pop by rank
+        for &(t, r) in &[(4u64, 9u64), (4, 1), (2, 7), (4, 5), (2, 0)] {
+            q.push(t, r, (t, r));
+        }
+        let mut out = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            out.push(e);
+        }
+        assert_eq!(out, vec![(2, 0), (2, 7), (4, 1), (4, 5), (4, 9)]);
+    }
+
+    #[test]
+    fn ordered_queue_equal_ranks_are_fifo() {
+        let mut q = OrderedQueue::new();
+        for i in 0..50u64 {
+            q.push(3, 8, i);
+        }
+        for i in 0..50u64 {
+            assert_eq!(q.pop(), Some((3, i)));
+        }
+    }
+
+    #[test]
+    fn ordered_queue_peek_time_tracks_head() {
+        let mut q = OrderedQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(9, 0, 'a');
+        q.push(2, 5, 'b');
+        assert_eq!(q.peek_time(), Some(2));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(9));
+    }
+
+    /// Tie stability: whatever order the (time, payload) pairs arrive
+    /// in, the popped sequence is sorted by time, and within one tick
+    /// events appear exactly in their push order. The popped multiset
+    /// equals the pushed multiset. (Plain fn: the vendored `proptest!`
+    /// macro is a recursive muncher, so bodies stay out of it.)
+    fn check_pop_order_is_time_then_push_order(times: &[u64]) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, i);
+        }
+        let mut popped = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            let ((t1, i1), (t2, i2)) = (w[0], w[1]);
+            // strictly increasing (time, push index): total, no dupes
+            assert!((t1, i1) < (t2, i2), "order violated");
+            if t1 == t2 {
+                assert!(i1 < i2, "FIFO violated within tick {t1}");
+            }
+        }
+        // multiset equality: every pushed index appears once with its time
+        let mut seen: Vec<Option<u64>> = vec![None; times.len()];
+        for (t, i) in popped {
+            assert!(seen[i].is_none());
+            seen[i] = Some(t);
+        }
+        for (i, &t) in times.iter().enumerate() {
+            assert_eq!(seen[i], Some(t));
+        }
+    }
+
+    /// Rank determinism: pushing the same (time, rank) multiset in any
+    /// permutation pops identically as long as ranks are distinct within
+    /// each tick.
+    fn check_distinct_ranks_make_pop_order_push_order_free(
+        keys: &std::collections::BTreeSet<(u64, u64)>,
+        rotate: usize,
+    ) {
+        let sorted: Vec<(u64, u64)> = keys.iter().copied().collect();
+        // a rotated push order: different from sorted for most inputs
+        let mut pushed = sorted.clone();
+        if !pushed.is_empty() {
+            let n = pushed.len();
+            pushed.rotate_left(rotate % n);
+        }
+        let mut q = OrderedQueue::new();
+        for &(t, r) in &pushed {
+            q.push(t, r, (t, r));
+        }
+        let mut popped = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            popped.push(e);
+        }
+        assert_eq!(popped, sorted);
+    }
+
     proptest::proptest! {
         #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
-        /// Tie stability: whatever order the (time, payload) pairs arrive
-        /// in, the popped sequence is sorted by time, and within one tick
-        /// events appear exactly in their push order. The popped multiset
-        /// equals the pushed multiset.
         #[test]
         fn prop_pop_order_is_time_then_push_order(
             times in proptest::collection::vec(0u64..50, 0..200),
         ) {
-            let mut q = EventQueue::new();
-            for (i, &t) in times.iter().enumerate() {
-                q.push(t, i);
-            }
-            let mut popped = Vec::new();
-            while let Some(e) = q.pop() {
-                popped.push(e);
-            }
-            proptest::prop_assert_eq!(popped.len(), times.len());
-            for w in popped.windows(2) {
-                let ((t1, i1), (t2, i2)) = (w[0], w[1]);
-                // strictly increasing (time, push index): total, no dupes
-                proptest::prop_assert!((t1, i1) < (t2, i2), "order violated");
-                if t1 == t2 {
-                    proptest::prop_assert!(i1 < i2, "FIFO violated within tick {t1}");
-                }
-            }
-            // multiset equality: every pushed index appears once with its time
-            let mut seen: Vec<Option<u64>> = vec![None; times.len()];
-            for (t, i) in popped {
-                proptest::prop_assert!(seen[i].is_none());
-                seen[i] = Some(t);
-            }
-            for (i, &t) in times.iter().enumerate() {
-                proptest::prop_assert_eq!(seen[i], Some(t));
-            }
+            check_pop_order_is_time_then_push_order(&times);
+        }
+
+        #[test]
+        fn prop_distinct_ranks_make_pop_order_push_order_free(
+            keys in proptest::collection::btree_set((0u64..20, 0u64..1000), 0..100),
+            rotate in 0usize..100,
+        ) {
+            check_distinct_ranks_make_pop_order_push_order_free(&keys, rotate);
         }
     }
 }

@@ -6,9 +6,15 @@
 //! per-node FIFO queues, and seeded fault injection — while keeping every
 //! run a pure function of its inputs:
 //!
-//! * all timing is **virtual** ([`event::Time`] ticks); the event loop
-//!   pops a tie-stable priority queue ordered by `(time, sequence id)`,
-//!   so no wall clock or heap internals leak into results;
+//! * all timing is **virtual** ([`event::Time`] ticks); events pop in a
+//!   canonical `(time, rank)` order (packet arrivals by id before node
+//!   service slots), so no wall clock, heap internals, or thread
+//!   scheduling leaks into results;
+//! * the event loop is **sharded**: nodes partition across
+//!   per-shard queues that advance in conservative lookahead windows
+//!   derived from [`link::LatencyModel::min_latency`], exchanging
+//!   cross-shard packets at deterministic barriers — results are bitwise
+//!   identical at any shard/thread count;
 //! * faults ([`fault::FaultPlan`]) and workloads ([`workload::Workload`])
 //!   are derived from master seeds via `smallworld-par`'s SplitMix64
 //!   splitting, so runs are bitwise reproducible at any
@@ -23,24 +29,29 @@
 //!
 //! ```
 //! use smallworld_graph::{Graph, NodeId};
-//! use smallworld_net::{GreedyPolicy, Injection, PacketOutcome, Simulation};
+//! use smallworld_net::{
+//!     GreedyPolicy, Injection, PacketOutcome, SimBuilder, SliceWorkload,
+//! };
 //!
 //! let g = Graph::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3)])?;
 //! // score: prefer larger ids, target is infinitely attractive
 //! let policy = GreedyPolicy::new(|v: NodeId, t: NodeId| {
 //!     if v == t { f64::INFINITY } else { v.index() as f64 }
 //! });
-//! let report = Simulation::new(&g, policy).run(&[Injection {
+//! let sim = SimBuilder::new(&g, policy).build().expect("valid sim");
+//! let report = sim.run(SliceWorkload::new(&[Injection {
 //!     source: NodeId::new(0),
 //!     target: NodeId::new(3),
 //!     at: 0,
-//! }]);
+//! }]));
 //! assert_eq!(report.packets[0].outcome, PacketOutcome::Delivered);
 //! assert_eq!(report.packets[0].hops(), 3);
 //! # Ok::<(), smallworld_graph::GraphError>(())
 //! ```
 
 #![warn(missing_docs)]
+// The proptest! blocks in event.rs expand past the default limit.
+#![recursion_limit = "256"]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
@@ -48,6 +59,7 @@ pub mod event;
 pub mod fault;
 pub mod link;
 pub mod policy;
+pub(crate) mod shard;
 pub mod sim;
 pub mod workload;
 
@@ -58,7 +70,7 @@ pub use policy::{
     GreedyPolicy, HopChoice, HopPolicy, HopScore, HopView, PatchState, PatchingPolicy,
 };
 pub use sim::{
-    Injection, PacketOutcome, PacketRecord, SimConfig, SimReport, Simulation, TimelineSample,
-    DEFAULT_TTL,
+    Injection, PacketOutcome, PacketRecord, SimBuildError, SimBuilder, SimConfig, SimReport,
+    SimSummary, Simulation, TimelineSample, DEFAULT_TTL,
 };
-pub use workload::{nodes_from_mask, Workload};
+pub use workload::{nodes_from_mask, SliceWorkload, UniformPairs, UniformPairsIter, Workload};

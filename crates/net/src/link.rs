@@ -16,6 +16,17 @@ use crate::event::Time;
 pub trait LatencyModel {
     /// Delay for one transmission over the edge `{u, v}`.
     fn latency(&self, u: NodeId, v: NodeId) -> Time;
+
+    /// A lower bound on [`latency`](Self::latency) over every edge: no
+    /// transmission may be faster than this many ticks. The sharded
+    /// engine uses it as the conservative lookahead window — shards
+    /// advance `min_latency` ticks between barriers, safe because no
+    /// cross-shard packet can arrive sooner. Must be at least 1 (the
+    /// causality floor); larger bounds mean fewer barriers. Models with
+    /// a higher floor should override this.
+    fn min_latency(&self) -> Time {
+        1
+    }
 }
 
 /// Every link takes exactly one tick — the model under which virtual-time
@@ -60,6 +71,10 @@ impl LatencyModel for SeededLatency {
         let (lo, hi) = if u.raw() <= v.raw() { (u, v) } else { (v, u) };
         let key = ((lo.raw() as u64) << 32) | hi.raw() as u64;
         self.base + split_seed(self.seed, key) % (self.spread + 1)
+    }
+
+    fn min_latency(&self) -> Time {
+        self.base
     }
 }
 
@@ -107,5 +122,18 @@ mod tests {
     #[should_panic(expected = "at least one tick")]
     fn zero_base_is_rejected() {
         SeededLatency::new(0, 3, 1);
+    }
+
+    #[test]
+    fn min_latency_bounds_every_edge() {
+        assert_eq!(UnitLatency.min_latency(), 1);
+        let model = SeededLatency::new(4, 9, 123);
+        assert_eq!(model.min_latency(), 4);
+        for u in 0..30u32 {
+            for v in 0..30u32 {
+                let l = model.latency(NodeId::new(u), NodeId::new(v));
+                assert!(l >= model.min_latency());
+            }
+        }
     }
 }

@@ -1,12 +1,16 @@
 //! The discrete-event simulator: many concurrent packets over one graph.
 //!
 //! A [`Simulation`] binds a graph, a [`HopPolicy`], a [`LatencyModel`],
-//! a [`FaultPlan`] and a [`SimConfig`], then
-//! [`run`](Simulation::run)s a batch of [`Injection`]s to completion.
-//! Everything is virtual time driven by the tie-stable
-//! [`EventQueue`]: the result is a pure
-//! function of `(graph, policy, latency, faults, config, injections)` —
-//! no wall clock, no thread scheduling, no `HashMap` iteration order.
+//! a [`FaultPlan`] and a [`SimConfig`] — assembled and validated by
+//! [`SimBuilder`] — then runs a streaming [`Workload`] of
+//! [`Injection`]s to completion. Everything is virtual time under a
+//! canonical event order (arrivals by packet id before services by node
+//! id at each tick): the result is a pure function of
+//! `(graph, policy, latency, faults, config, workload)` — no wall
+//! clock, no thread scheduling, no `HashMap` iteration order, and no
+//! dependence on the shard count ([`Simulation::run`] partitions nodes
+//! across conservative virtual-time shards — see the `shard` module —
+//! with bitwise-identical results at any shard/thread count).
 //!
 //! # Node model
 //!
@@ -19,17 +23,28 @@
 //! [`SimConfig::max_retries`] times with a fixed per-attempt backoff. A
 //! transiently-down node stalls its queue until repair; a permanently
 //! dead node loses everything it holds.
-
-use std::collections::VecDeque;
+//!
+//! # Choosing a run entry point
+//!
+//! * [`Simulation::run`] — full per-packet records, sharded when the
+//!   simulation was built with more than one shard.
+//! * [`Simulation::run_summary`] — aggregate counters plus an HDR
+//!   latency distribution, O(in-flight) memory; the only sane mode at
+//!   tens of millions of packets.
+//! * [`Simulation::run_local`] — strictly serial records, with no
+//!   `Sync`/`Send` bounds on the policy; for single-packet wrappers
+//!   around non-thread-safe policies.
 
 use smallworld_graph::{Graph, NodeId};
-use smallworld_obs::metrics;
-use smallworld_obs::Span;
+use smallworld_obs::{HdrSnapshot, Span};
+use smallworld_par::thread_count;
 
-use crate::event::{EventQueue, Time};
+use crate::event::Time;
 use crate::fault::FaultPlan;
 use crate::link::{LatencyModel, UnitLatency};
-use crate::policy::{HopChoice, HopPolicy, HopView};
+use crate::policy::HopPolicy;
+use crate::shard::{run_serial, run_sharded, EngineConfig, EngineOutput};
+use crate::workload::Workload;
 
 /// Default TTL, matching `smallworld-core`'s `DEFAULT_MAX_STEPS` so the
 /// single-packet wrapper is equivalence-preserving out of the box.
@@ -114,7 +129,8 @@ impl PacketOutcome {
 /// The full life of one packet.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PacketRecord {
-    /// Index of the packet's [`Injection`] in the batch.
+    /// The packet's id — its position in the workload stream (for a
+    /// time-sorted batch, its batch index).
     pub id: u64,
     /// Where it entered.
     pub source: NodeId,
@@ -185,17 +201,18 @@ impl TimelineSample {
 }
 
 /// Incremental progress counters behind the timeline (and the final
-/// outcome tally). Updated O(1) per event, so sampling never scans.
+/// outcome tally). Updated O(1) per event; per-shard instances sum to
+/// the global state because every delta is applied on exactly one shard.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-struct Progress {
-    started: u64,
-    queued: u64,
-    delivered: u64,
-    dropped: u64,
+pub(crate) struct Progress {
+    pub(crate) started: u64,
+    pub(crate) queued: u64,
+    pub(crate) delivered: u64,
+    pub(crate) dropped: u64,
 }
 
 impl Progress {
-    fn finish(&mut self, outcome: PacketOutcome) {
+    pub(crate) fn finish(&mut self, outcome: PacketOutcome) {
         if outcome.is_success() {
             self.delivered += 1;
         } else {
@@ -203,7 +220,14 @@ impl Progress {
         }
     }
 
-    fn sample(&self, at: Time) -> TimelineSample {
+    pub(crate) fn add(&mut self, other: &Progress) {
+        self.started += other.started;
+        self.queued += other.queued;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+    }
+
+    pub(crate) fn sample(&self, at: Time) -> TimelineSample {
         TimelineSample {
             at,
             queued: self.queued,
@@ -214,60 +238,10 @@ impl Progress {
     }
 }
 
-/// Boundary-crossing sampler: emits one sample per elapsed interval
-/// boundary, deduplicating consecutive samples with identical state so
-/// idle stretches cost one line, not thousands.
-struct TimelineRecorder {
-    interval: Time,
-    next_at: Time,
-    samples: Vec<TimelineSample>,
-}
-
-impl TimelineRecorder {
-    fn new(interval: Time) -> TimelineRecorder {
-        assert!(interval >= 1, "timeline interval must be at least one tick");
-        TimelineRecorder {
-            interval,
-            next_at: 0,
-            samples: Vec::new(),
-        }
-    }
-
-    /// Called with each event's timestamp before the event runs; emits
-    /// every sample boundary at or before `now`.
-    fn observe(&mut self, now: Time, progress: &Progress) {
-        while self.next_at <= now {
-            let sample = progress.sample(self.next_at);
-            self.push_dedup(sample);
-            self.next_at += self.interval;
-        }
-    }
-
-    fn push_dedup(&mut self, sample: TimelineSample) {
-        let same_state = self.samples.last().is_some_and(|last| {
-            (last.queued, last.in_flight, last.delivered, last.dropped)
-                == (sample.queued, sample.in_flight, sample.delivered, sample.dropped)
-        });
-        if !same_state {
-            self.samples.push(sample);
-        }
-    }
-
-    /// Closes the timeline with a final sample at `final_time` (kept even
-    /// when the state is unchanged, so the run's end is always marked).
-    fn finish(mut self, final_time: Time, progress: &Progress) -> Vec<TimelineSample> {
-        let sample = progress.sample(final_time);
-        if self.samples.last() != Some(&sample) {
-            self.samples.push(sample);
-        }
-        self.samples
-    }
-}
-
 /// Everything a [`Simulation::run`] produced.
 #[derive(Clone, Debug)]
 pub struct SimReport {
-    /// One record per injection, in injection-batch order.
+    /// One record per injection, in packet-id (= workload stream) order.
     pub packets: Vec<PacketRecord>,
     /// Events the loop processed (arrivals + service slots).
     pub events: u64,
@@ -319,39 +293,245 @@ impl SimReport {
     }
 }
 
-/// Internal event payloads. `Arrive` moves a packet onto a node; `Serve`
-/// wakes a node to forward the head of its queue.
-enum Event {
-    Arrive { packet: u32, node: NodeId },
-    Serve { node: NodeId },
+/// Aggregate results of a run — everything a capacity experiment needs,
+/// in O(1) memory per packet class instead of O(packets). Produced by
+/// [`Simulation::run_summary`]; bitwise identical across shard counts
+/// like a full [`SimReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimSummary {
+    /// Packets the workload injected.
+    pub injected: u64,
+    /// Packets that reached their target.
+    pub delivered: u64,
+    /// Packets the policy gave up on.
+    pub dead_end: u64,
+    /// Packets whose hop budget ran out.
+    pub expired: u64,
+    /// Packets lost to unrecoverable link loss.
+    pub lost_link: u64,
+    /// Packets lost to permanently failed nodes.
+    pub lost_node: u64,
+    /// Packets dropped at full queues.
+    pub overflow: u64,
+    /// Hop-count sum over delivered packets.
+    pub hops_sum: u64,
+    /// Virtual-latency sum over delivered packets.
+    pub latency_sum: u64,
+    /// Retransmissions across all packets.
+    pub retries: u64,
+    /// HDR distribution of delivered-packet virtual latencies
+    /// (p50/p99/p999 via [`HdrSnapshot::quantile`]).
+    pub latency_hdr: HdrSnapshot,
+    /// Events processed (arrivals + service slots).
+    pub events: u64,
+    /// The largest event timestamp processed.
+    pub final_time: Time,
+    /// Congestion timeline, when [`SimConfig::timeline_interval`] was
+    /// set; empty otherwise.
+    pub timeline: Vec<TimelineSample>,
 }
 
-/// Per-node mutable state.
-struct NodeState {
-    queue: VecDeque<u32>,
-    busy: bool,
+impl SimSummary {
+    /// Finished-but-not-delivered packets.
+    pub fn dropped(&self) -> u64 {
+        self.dead_end + self.expired + self.lost_link + self.lost_node + self.overflow
+    }
+
+    /// Delivered fraction of all injected packets (0 when empty).
+    pub fn delivery_rate(&self) -> f64 {
+        if self.injected == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.injected as f64
+        }
+    }
+
+    /// Mean hop count over delivered packets (`None` if none delivered).
+    pub fn mean_delivered_hops(&self) -> Option<f64> {
+        (self.delivered > 0).then(|| self.hops_sum as f64 / self.delivered as f64)
+    }
+
+    /// Mean virtual-time latency over delivered packets.
+    pub fn mean_delivered_latency(&self) -> Option<f64> {
+        (self.delivered > 0).then(|| self.latency_sum as f64 / self.delivered as f64)
+    }
 }
 
-/// Per-packet mutable state during a run.
-struct PacketState<St> {
-    source: NodeId,
-    target: NodeId,
-    injected_at: Time,
-    path: Vec<NodeId>,
-    retries: u32,
-    done: Option<(PacketOutcome, Time)>,
-    policy: St,
+/// Why a [`SimBuilder::build`] was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimBuildError {
+    /// `timeline_interval` was `Some(0)` — a zero-width sampling interval
+    /// would loop forever on the first event.
+    ZeroTimelineInterval,
+    /// The latency model's [`LatencyModel::min_latency`] is zero, which
+    /// breaks both causality and the sharded lookahead window.
+    ZeroMinLatency,
+    /// An explicit shard count of zero.
+    ZeroShards,
+    /// The fault plan schedules outage starts past the declared injection
+    /// horizon: most of the fault window would hit an idle network,
+    /// which is almost always a mis-derived spec.
+    FaultsBeyondHorizon {
+        /// The plan's outage-start window.
+        fail_window: Time,
+        /// The horizon declared via [`SimBuilder::horizon`].
+        horizon: Time,
+    },
 }
 
-/// A configured simulator, ready to [`run`](Simulation::run) injection
-/// batches. Generic over the policy and latency model; the graph is
-/// borrowed so one graph can serve many simulations.
+impl std::fmt::Display for SimBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimBuildError::ZeroTimelineInterval => {
+                write!(f, "timeline_interval must be at least one tick (got 0)")
+            }
+            SimBuildError::ZeroMinLatency => {
+                write!(f, "latency model reports min_latency 0; links need at least one tick")
+            }
+            SimBuildError::ZeroShards => write!(f, "shard count must be at least 1"),
+            SimBuildError::FaultsBeyondHorizon { fail_window, horizon } => write!(
+                f,
+                "fault plan starts outages across {fail_window} ticks but injections \
+                 end at tick {horizon}; widen the workload or shrink the fault window"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimBuildError {}
+
+/// Assembles and validates a [`Simulation`].
+///
+/// The builder is the single validation point for a simulation's moving
+/// parts — every constraint is checked once, in [`build`](Self::build),
+/// instead of panicking mid-run:
+///
+/// ```
+/// use smallworld_graph::{Graph, NodeId};
+/// use smallworld_net::{GreedyPolicy, SimBuilder, SimConfig};
+///
+/// let g = Graph::from_edges(3, [(0u32, 1u32), (1, 2)])?;
+/// let policy = GreedyPolicy::new(|v: NodeId, t: NodeId| {
+///     if v == t { f64::INFINITY } else { v.index() as f64 }
+/// });
+/// let sim = SimBuilder::new(&g, policy)
+///     .config(SimConfig { max_retries: 2, ..SimConfig::default() })
+///     .shards(2)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(sim.shard_count(), 2);
+/// # Ok::<(), smallworld_graph::GraphError>(())
+/// ```
+#[derive(Debug)]
+pub struct SimBuilder<'g, P, L = UnitLatency> {
+    graph: &'g Graph,
+    policy: P,
+    latency: L,
+    faults: FaultPlan,
+    config: SimConfig,
+    shards: Option<usize>,
+    horizon: Option<Time>,
+}
+
+impl<'g, P: HopPolicy> SimBuilder<'g, P, UnitLatency> {
+    /// Starts from `policy` on `graph` with unit latencies, no faults,
+    /// the default [`SimConfig`], and `SMALLWORLD_THREADS`-driven
+    /// sharding.
+    pub fn new(graph: &'g Graph, policy: P) -> Self {
+        SimBuilder {
+            graph,
+            policy,
+            latency: UnitLatency,
+            faults: FaultPlan::none(),
+            config: SimConfig::default(),
+            shards: None,
+            horizon: None,
+        }
+    }
+}
+
+impl<'g, P: HopPolicy, L: LatencyModel> SimBuilder<'g, P, L> {
+    /// Replaces the latency model.
+    pub fn latency<L2: LatencyModel>(self, latency: L2) -> SimBuilder<'g, P, L2> {
+        SimBuilder {
+            graph: self.graph,
+            policy: self.policy,
+            latency,
+            faults: self.faults,
+            config: self.config,
+            shards: self.shards,
+            horizon: self.horizon,
+        }
+    }
+
+    /// Replaces the fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replaces the configuration.
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Fixes the shard count (1 forces a serial run). Without this, the
+    /// count follows `SMALLWORLD_THREADS` / available parallelism.
+    /// Results never depend on the choice — only wall clock does.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Declares the virtual time of the last injection the workload will
+    /// produce, enabling the fault-horizon cross-check in
+    /// [`build`](Self::build). Optional — streaming workloads often
+    /// don't know their horizon.
+    pub fn horizon(mut self, last_injection_at: Time) -> Self {
+        self.horizon = Some(last_injection_at);
+        self
+    }
+
+    /// Validates the assembled parts and produces the [`Simulation`].
+    pub fn build(self) -> Result<Simulation<'g, P, L>, SimBuildError> {
+        if self.config.timeline_interval == Some(0) {
+            return Err(SimBuildError::ZeroTimelineInterval);
+        }
+        if self.latency.min_latency() == 0 {
+            return Err(SimBuildError::ZeroMinLatency);
+        }
+        if self.shards == Some(0) {
+            return Err(SimBuildError::ZeroShards);
+        }
+        if let Some(horizon) = self.horizon {
+            let fail_window = self.faults.spec().fail_window;
+            if fail_window > 0 && fail_window > horizon.saturating_add(1) {
+                return Err(SimBuildError::FaultsBeyondHorizon { fail_window, horizon });
+            }
+        }
+        Ok(Simulation {
+            graph: self.graph,
+            policy: self.policy,
+            latency: self.latency,
+            faults: self.faults,
+            config: self.config,
+            shards: self.shards,
+        })
+    }
+}
+
+/// A configured simulator, ready to run streaming [`Workload`]s.
+/// Generic over the policy and latency model; the graph is borrowed so
+/// one graph can serve many simulations. Build with [`SimBuilder`].
 pub struct Simulation<'g, P, L = UnitLatency> {
     graph: &'g Graph,
     policy: P,
     latency: L,
     faults: FaultPlan,
     config: SimConfig,
+    /// `None`: follow `SMALLWORLD_THREADS` at run time.
+    shards: Option<usize>,
 }
 
 impl<P: std::fmt::Debug, L: std::fmt::Debug> std::fmt::Debug for Simulation<'_, P, L> {
@@ -362,13 +542,16 @@ impl<P: std::fmt::Debug, L: std::fmt::Debug> std::fmt::Debug for Simulation<'_, 
             .field("latency", &self.latency)
             .field("faults", &self.faults)
             .field("config", &self.config)
+            .field("shards", &self.shards)
             .finish()
     }
 }
 
 impl<'g, P: HopPolicy> Simulation<'g, P, UnitLatency> {
-    /// A simulation of `policy` on `graph` with unit latencies, no
-    /// faults, and the default [`SimConfig`].
+    /// A *serial* simulation of `policy` on `graph` with unit latencies,
+    /// no faults, and the default [`SimConfig`] — the zero-ceremony
+    /// constructor for tests and single-packet wrappers. Use
+    /// [`SimBuilder`] to configure anything else (including sharding).
     pub fn new(graph: &'g Graph, policy: P) -> Self {
         Simulation {
             graph,
@@ -376,12 +559,14 @@ impl<'g, P: HopPolicy> Simulation<'g, P, UnitLatency> {
             latency: UnitLatency,
             faults: FaultPlan::none(),
             config: SimConfig::default(),
+            shards: Some(1),
         }
     }
 }
 
 impl<'g, P: HopPolicy, L: LatencyModel> Simulation<'g, P, L> {
     /// Replaces the latency model.
+    #[deprecated(note = "assemble with SimBuilder::latency, which validates in build()")]
     pub fn with_latency<L2: LatencyModel>(self, latency: L2) -> Simulation<'g, P, L2> {
         Simulation {
             graph: self.graph,
@@ -389,16 +574,19 @@ impl<'g, P: HopPolicy, L: LatencyModel> Simulation<'g, P, L> {
             latency,
             faults: self.faults,
             config: self.config,
+            shards: self.shards,
         }
     }
 
     /// Replaces the fault plan.
+    #[deprecated(note = "assemble with SimBuilder::faults, which validates in build()")]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
         self
     }
 
     /// Replaces the configuration.
+    #[deprecated(note = "assemble with SimBuilder::config, which validates in build()")]
     pub fn with_config(mut self, config: SimConfig) -> Self {
         self.config = config;
         self
@@ -409,281 +597,104 @@ impl<'g, P: HopPolicy, L: LatencyModel> Simulation<'g, P, L> {
         &self.config
     }
 
-    /// Runs `injections` to completion and returns one record per packet
-    /// (in injection order). Deterministic: equal inputs give equal
-    /// reports, bit for bit, regardless of thread count or prior runs.
+    /// The shard count [`run`](Self::run) will use: the explicit
+    /// [`SimBuilder::shards`] value, otherwise `SMALLWORLD_THREADS` /
+    /// available parallelism (capped by the node count either way).
+    pub fn shard_count(&self) -> usize {
+        self.shards
+            .unwrap_or_else(thread_count)
+            .clamp(1, self.graph.node_count().max(1))
+    }
+
+    fn engine(&self) -> EngineConfig<'_, P, L> {
+        EngineConfig {
+            graph: self.graph,
+            policy: &self.policy,
+            latency: &self.latency,
+            faults: &self.faults,
+            config: &self.config,
+        }
+    }
+
+    fn report(out: EngineOutput) -> SimReport {
+        SimReport {
+            packets: out.records,
+            events: out.events,
+            final_time: out.final_time,
+            timeline: out.timeline,
+        }
+    }
+
+    fn summary(out: EngineOutput) -> SimSummary {
+        let t = out.totals;
+        SimSummary {
+            injected: t.injected,
+            delivered: t.delivered,
+            dead_end: t.dead_end,
+            expired: t.expired,
+            lost_link: t.lost_link,
+            lost_node: t.lost_node,
+            overflow: t.overflow,
+            hops_sum: t.hops_sum,
+            latency_sum: t.latency_sum,
+            retries: t.retries,
+            latency_hdr: t.latency_hdr,
+            events: out.events,
+            final_time: out.final_time,
+            timeline: out.timeline,
+        }
+    }
+
+    /// Runs `workload` to completion and returns one record per packet,
+    /// in packet-id (stream) order. Uses [`shard_count`](Self::shard_count)
+    /// shards; results are bitwise identical at any shard count.
     ///
     /// # Panics
     ///
     /// Panics with a "locality violation" message if the policy forwards
-    /// to a node that was not offered as a candidate.
-    pub fn run(&self, injections: &[Injection]) -> SimReport {
+    /// to a node that was not offered as a candidate, and if the
+    /// workload yields injections with decreasing times.
+    pub fn run<W: Workload + Send>(&self, workload: W) -> SimReport
+    where
+        P: Sync,
+        P::State: Send,
+        L: Sync,
+    {
         let _span = Span::enter("net.run");
-        assert!(
-            u32::try_from(injections.len()).is_ok(),
-            "at most u32::MAX packets per batch"
-        );
-        metrics::counter("net.injected").add(injections.len() as u64);
-
-        let mut packets: Vec<PacketState<P::State>> = injections
-            .iter()
-            .map(|inj| PacketState {
-                source: inj.source,
-                target: inj.target,
-                injected_at: inj.at,
-                path: Vec::new(),
-                retries: 0,
-                done: None,
-                policy: P::State::default(),
-            })
-            .collect();
-        let mut nodes: Vec<NodeState> = (0..self.graph.node_count())
-            .map(|_| NodeState {
-                queue: VecDeque::new(),
-                busy: false,
-            })
-            .collect();
-
-        let mut queue: EventQueue<Event> = EventQueue::new();
-        for (id, inj) in injections.iter().enumerate() {
-            queue.push(
-                inj.at,
-                Event::Arrive {
-                    packet: id as u32,
-                    node: inj.source,
-                },
-            );
-        }
-
-        let queue_depth = metrics::histogram("net.queue_depth");
-        let hop_latency = metrics::histogram("net.hop_latency");
-        let mut events = 0u64;
-        let mut final_time = 0;
-        let mut candidates: Vec<NodeId> = Vec::new();
-        let mut progress = Progress::default();
-        let mut recorder = self.config.timeline_interval.map(TimelineRecorder::new);
-
-        while let Some((now, event)) = queue.pop() {
-            events += 1;
-            final_time = now;
-            if let Some(rec) = recorder.as_mut() {
-                rec.observe(now, &progress);
-            }
-            match event {
-                Event::Arrive { packet, node } => {
-                    let pk = &mut packets[packet as usize];
-                    if pk.done.is_some() {
-                        continue;
-                    }
-                    if pk.path.is_empty() {
-                        progress.started += 1;
-                    }
-                    pk.path.push(node);
-                    if node == pk.target {
-                        pk.done = Some((PacketOutcome::Delivered, now));
-                        progress.finish(PacketOutcome::Delivered);
-                        continue;
-                    }
-                    // a permanently dead node swallows what it receives;
-                    // a transiently dead one holds it until repair
-                    if self.faults.down_until(node, now) == Some(Time::MAX) {
-                        pk.done = Some((PacketOutcome::LostNode, now));
-                        progress.finish(PacketOutcome::LostNode);
-                        continue;
-                    }
-                    let st = &mut nodes[node.index()];
-                    if self
-                        .config
-                        .queue_capacity
-                        .is_some_and(|cap| st.queue.len() >= cap)
-                    {
-                        pk.done = Some((PacketOutcome::Overflow, now));
-                        progress.finish(PacketOutcome::Overflow);
-                        continue;
-                    }
-                    st.queue.push_back(packet);
-                    progress.queued += 1;
-                    queue_depth.record(st.queue.len() as u64);
-                    if !st.busy {
-                        st.busy = true;
-                        queue.push(now + self.config.service_time, Event::Serve { node });
-                    }
-                }
-                Event::Serve { node } => {
-                    if let Some(repair) = self.faults.down_until(node, now) {
-                        let st = &mut nodes[node.index()];
-                        if repair == Time::MAX {
-                            // drain: everything queued here is lost
-                            while let Some(p) = st.queue.pop_front() {
-                                progress.queued -= 1;
-                                let pk = &mut packets[p as usize];
-                                if pk.done.is_none() {
-                                    pk.done = Some((PacketOutcome::LostNode, now));
-                                    progress.finish(PacketOutcome::LostNode);
-                                }
-                            }
-                            st.busy = false;
-                        } else {
-                            // stall until repair
-                            queue.push(repair, Event::Serve { node });
-                        }
-                        continue;
-                    }
-                    let Some(packet) = nodes[node.index()].queue.pop_front() else {
-                        nodes[node.index()].busy = false;
-                        continue;
-                    };
-                    progress.queued -= 1;
-                    self.serve_packet(
-                        packet,
-                        node,
-                        now,
-                        &mut packets,
-                        &mut candidates,
-                        &mut queue,
-                        &hop_latency,
-                        &mut progress,
-                    );
-                    let st = &mut nodes[node.index()];
-                    if st.queue.is_empty() {
-                        st.busy = false;
-                    } else {
-                        queue.push(now + self.config.service_time, Event::Serve { node });
-                    }
-                }
-            }
-        }
-
-        let records: Vec<PacketRecord> = packets
-            .into_iter()
-            .enumerate()
-            .map(|(id, pk)| {
-                let (outcome, finished_at) = pk
-                    .done
-                    .expect("event loop drained with an unfinished packet");
-                PacketRecord {
-                    id: id as u64,
-                    source: pk.source,
-                    target: pk.target,
-                    outcome,
-                    path: pk.path,
-                    injected_at: pk.injected_at,
-                    finished_at,
-                    retries: pk.retries,
-                }
-            })
-            .collect();
-
-        // register every outcome counter up front so artifacts always
-        // carry the full schema, even when a run has no drops
-        let packet_latency = metrics::histogram("net.packet_latency");
-        let delivered = metrics::counter("net.delivered");
-        let dead_end = metrics::counter("net.dead_end");
-        let expired = metrics::counter("net.expired");
-        let lost = metrics::counter("net.lost");
-        let overflow = metrics::counter("net.overflow");
-        for r in &records {
-            match r.outcome {
-                PacketOutcome::Delivered => {
-                    delivered.add(1);
-                    packet_latency.record(r.latency());
-                }
-                PacketOutcome::DeadEnd => dead_end.add(1),
-                PacketOutcome::Expired => expired.add(1),
-                PacketOutcome::LostLink | PacketOutcome::LostNode => lost.add(1),
-                PacketOutcome::Overflow => overflow.add(1),
-            }
-        }
-
-        SimReport {
-            packets: records,
-            events,
-            final_time,
-            timeline: recorder
-                .map(|r| r.finish(final_time, &progress))
-                .unwrap_or_default(),
+        let shards = self.shard_count();
+        if shards <= 1 {
+            Self::report(run_serial(&self.engine(), workload, true))
+        } else {
+            Self::report(run_sharded(&self.engine(), workload, shards, true))
         }
     }
 
-    /// Forwards one packet sitting at `node`: TTL check, candidate
-    /// filtering, policy decision, loss/retry resolution, and the arrival
-    /// event for the chosen neighbor.
-    #[allow(clippy::too_many_arguments)]
-    fn serve_packet(
-        &self,
-        packet: u32,
-        node: NodeId,
-        now: Time,
-        packets: &mut [PacketState<P::State>],
-        candidates: &mut Vec<NodeId>,
-        queue: &mut EventQueue<Event>,
-        hop_latency: &smallworld_obs::Histogram,
-        progress: &mut Progress,
-    ) {
-        let pk = &mut packets[packet as usize];
-        if pk.done.is_some() {
-            return;
+    /// Like [`run`](Self::run), but returns only aggregates (outcome
+    /// counters, hop/latency sums, an HDR latency distribution, the
+    /// timeline) — memory stays proportional to the in-flight packet
+    /// count, so 10M+ packet runs are cheap.
+    pub fn run_summary<W: Workload + Send>(&self, workload: W) -> SimSummary
+    where
+        P: Sync,
+        P::State: Send,
+        L: Sync,
+    {
+        let _span = Span::enter("net.run");
+        let shards = self.shard_count();
+        if shards <= 1 {
+            Self::summary(run_serial(&self.engine(), workload, false))
+        } else {
+            Self::summary(run_sharded(&self.engine(), workload, shards, false))
         }
-        let hops = (pk.path.len() - 1) as u32;
-        if hops >= self.config.ttl {
-            pk.done = Some((PacketOutcome::Expired, now));
-            progress.finish(PacketOutcome::Expired);
-            return;
-        }
-        candidates.clear();
-        candidates.extend(
-            self.graph
-                .neighbors(node)
-                .iter()
-                .copied()
-                .filter(|&v| self.faults.node_up(v, now) && self.faults.edge_up(node, v, now)),
-        );
-        let view = HopView {
-            current: node,
-            target: pk.target,
-            candidates: candidates.as_slice(),
-            now,
-            hops,
-        };
-        match self.policy.next_hop(&view, &mut pk.policy) {
-            HopChoice::Drop => {
-                pk.done = Some((PacketOutcome::DeadEnd, now));
-                progress.finish(PacketOutcome::DeadEnd);
-            }
-            HopChoice::Forward(next) => {
-                assert!(
-                    candidates.contains(&next),
-                    "locality violation: {next} is not a live neighbor of {node}"
-                );
-                // resolve loss and retries now — the outcome is a pure
-                // function of (packet, hop, attempt), not of event order
-                let mut delay = 0;
-                let mut attempt = 0u32;
-                loop {
-                    if !self.faults.lose_transmission(packet as u64, hops, attempt) {
-                        break;
-                    }
-                    if attempt >= self.config.max_retries {
-                        pk.done = Some((PacketOutcome::LostLink, now + delay));
-                        progress.finish(PacketOutcome::LostLink);
-                        return;
-                    }
-                    attempt += 1;
-                    pk.retries += 1;
-                    delay += self.config.retry_backoff;
-                }
-                let lat = self.latency.latency(node, next);
-                assert!(lat >= 1, "latency model returned zero ticks");
-                hop_latency.record(lat);
-                queue.push(
-                    now + delay + lat,
-                    Event::Arrive {
-                        packet,
-                        node: next,
-                    },
-                );
-            }
-        }
+    }
+
+    /// Strictly serial [`run`](Self::run) with no thread-safety bounds:
+    /// the escape hatch for policies with interior mutability (e.g.
+    /// `Cell`-based instrumentation) that cannot cross threads. Produces
+    /// exactly what `run` produces for the same inputs.
+    pub fn run_local<W: Workload>(&self, workload: W) -> SimReport {
+        let _span = Span::enter("net.run");
+        Self::report(run_serial(&self.engine(), workload, true))
     }
 }
 
@@ -692,7 +703,8 @@ mod tests {
     use super::*;
     use crate::fault::FaultSpec;
     use crate::link::SeededLatency;
-    use crate::policy::{GreedyPolicy, PatchingPolicy};
+    use crate::policy::{GreedyPolicy, HopChoice, HopView, PatchingPolicy};
+    use crate::workload::SliceWorkload;
 
     /// Score towards larger ids; the target is infinitely attractive.
     fn id_score(v: NodeId, t: NodeId) -> f64 {
@@ -719,7 +731,7 @@ mod tests {
     fn single_packet_walks_the_path() {
         let g = path_graph(5);
         let sim = Simulation::new(&g, GreedyPolicy::new(id_score));
-        let report = sim.run(&[inject(0, 4, 0)]);
+        let report = sim.run(SliceWorkload::new(&[inject(0, 4, 0)]));
         let p = &report.packets[0];
         assert_eq!(p.outcome, PacketOutcome::Delivered);
         assert_eq!(
@@ -737,7 +749,7 @@ mod tests {
     fn source_equals_target_is_immediate_delivery() {
         let g = path_graph(3);
         let sim = Simulation::new(&g, GreedyPolicy::new(id_score));
-        let report = sim.run(&[inject(1, 1, 7)]);
+        let report = sim.run(SliceWorkload::new(&[inject(1, 1, 7)]));
         let p = &report.packets[0];
         assert_eq!(p.outcome, PacketOutcome::Delivered);
         assert_eq!(p.path, vec![NodeId::new(1)]);
@@ -750,7 +762,7 @@ mod tests {
         // from 2, target 0: id-score only increases, so greedy is stuck
         let g = path_graph(5);
         let sim = Simulation::new(&g, GreedyPolicy::new(id_score));
-        let report = sim.run(&[inject(2, 0, 0)]);
+        let report = sim.run(SliceWorkload::new(&[inject(2, 0, 0)]));
         assert_eq!(report.packets[0].outcome, PacketOutcome::DeadEnd);
         assert_eq!(report.count(PacketOutcome::DeadEnd), 1);
     }
@@ -762,26 +774,34 @@ mod tests {
             ttl: 3,
             ..SimConfig::default()
         };
-        let sim = Simulation::new(&g, GreedyPolicy::new(id_score)).with_config(cfg);
-        let report = sim.run(&[inject(0, 9, 0)]);
+        let sim = SimBuilder::new(&g, GreedyPolicy::new(id_score))
+            .config(cfg)
+            .shards(1)
+            .build()
+            .unwrap();
+        let report = sim.run(SliceWorkload::new(&[inject(0, 9, 0)]));
         assert_eq!(report.packets[0].outcome, PacketOutcome::Expired);
         assert_eq!(report.packets[0].hops(), 3);
     }
 
     #[test]
     fn bounded_queue_overflows_under_burst() {
-        // star: center 9 is everyone's best next hop towards target 9...
-        // use a path where all packets funnel through node 1
+        // all packets funnel through node 1 on a path; capacity 1 drops
+        // most of a simultaneous burst
         let g = path_graph(4);
         let cfg = SimConfig {
             queue_capacity: Some(1),
             ..SimConfig::default()
         };
-        let sim = Simulation::new(&g, GreedyPolicy::new(id_score)).with_config(cfg);
+        let sim = SimBuilder::new(&g, GreedyPolicy::new(id_score))
+            .config(cfg)
+            .shards(1)
+            .build()
+            .unwrap();
         // five simultaneous packets from 0 to 3: they all arrive at 1
         // in one burst; capacity 1 drops most of them
         let inj: Vec<Injection> = (0..5).map(|_| inject(0, 3, 0)).collect();
-        let report = sim.run(&inj);
+        let report = sim.run(SliceWorkload::new(&inj));
         assert!(report.count(PacketOutcome::Overflow) >= 3, "burst should overflow");
         assert!(report.delivered() >= 1, "head of line still delivers");
     }
@@ -791,7 +811,7 @@ mod tests {
         let g = path_graph(4);
         let inj: Vec<Injection> = (0..50).map(|_| inject(0, 3, 0)).collect();
         let sim = Simulation::new(&g, GreedyPolicy::new(id_score));
-        let report = sim.run(&inj);
+        let report = sim.run(SliceWorkload::new(&inj));
         assert_eq!(report.delivered(), 50);
         // congestion is visible in latency: later packets wait for service
         let lat: Vec<Time> = report.packets.iter().map(|p| p.latency()).collect();
@@ -799,16 +819,19 @@ mod tests {
     }
 
     #[test]
-    fn injections_keep_batch_order_in_report() {
+    fn unsorted_batches_stream_in_time_order() {
+        // SliceWorkload sorts by time; packet ids follow *stream* order,
+        // so the report comes back time-sorted, not slice-sorted
         let g = path_graph(4);
         let sim = Simulation::new(&g, GreedyPolicy::new(id_score));
         let inj = [inject(0, 3, 5), inject(1, 3, 0), inject(2, 3, 9)];
-        let report = sim.run(&inj);
+        let report = sim.run(SliceWorkload::new(&inj));
         assert_eq!(report.packets.len(), 3);
+        let stream_order = [inj[1], inj[0], inj[2]];
         for (i, p) in report.packets.iter().enumerate() {
             assert_eq!(p.id, i as u64);
-            assert_eq!(p.source, inj[i].source);
-            assert_eq!(p.injected_at, inj[i].at);
+            assert_eq!(p.source, stream_order[i].source);
+            assert_eq!(p.injected_at, stream_order[i].at);
         }
     }
 
@@ -819,9 +842,12 @@ mod tests {
             loss_rate: 1.0,
             ..FaultSpec::none()
         };
-        let sim = Simulation::new(&g, GreedyPolicy::new(id_score))
-            .with_faults(FaultPlan::new(spec, 1));
-        let report = sim.run(&[inject(0, 2, 0)]);
+        let sim = SimBuilder::new(&g, GreedyPolicy::new(id_score))
+            .faults(FaultPlan::new(spec, 1))
+            .shards(1)
+            .build()
+            .unwrap();
+        let report = sim.run(SliceWorkload::new(&[inject(0, 2, 0)]));
         assert_eq!(report.packets[0].outcome, PacketOutcome::LostLink);
     }
 
@@ -836,10 +862,13 @@ mod tests {
             max_retries: 20,
             ..SimConfig::default()
         };
-        let sim = Simulation::new(&g, GreedyPolicy::new(id_score))
-            .with_faults(FaultPlan::new(spec, 1))
-            .with_config(cfg);
-        let report = sim.run(&[inject(0, 5, 0)]);
+        let sim = SimBuilder::new(&g, GreedyPolicy::new(id_score))
+            .faults(FaultPlan::new(spec, 1))
+            .config(cfg)
+            .shards(1)
+            .build()
+            .unwrap();
+        let report = sim.run(SliceWorkload::new(&[inject(0, 5, 0)]));
         let p = &report.packets[0];
         assert_eq!(p.outcome, PacketOutcome::Delivered);
         assert!(p.retries > 0, "a 40% loss rate over 5 hops should retry");
@@ -854,9 +883,12 @@ mod tests {
             repair_after: None,
             ..FaultSpec::none()
         };
-        let sim = Simulation::new(&g, GreedyPolicy::new(id_score))
-            .with_faults(FaultPlan::new(spec, 1));
-        let report = sim.run(&[inject(0, 3, 0)]);
+        let sim = SimBuilder::new(&g, GreedyPolicy::new(id_score))
+            .faults(FaultPlan::new(spec, 1))
+            .shards(1)
+            .build()
+            .unwrap();
+        let report = sim.run(SliceWorkload::new(&[inject(0, 3, 0)]));
         // the source itself is permanently dead: the packet is lost there
         assert_eq!(report.packets[0].outcome, PacketOutcome::LostNode);
     }
@@ -870,9 +902,12 @@ mod tests {
             repair_after: Some(50),
             ..FaultSpec::none()
         };
-        let sim = Simulation::new(&g, GreedyPolicy::new(id_score))
-            .with_faults(FaultPlan::new(spec, 1));
-        let report = sim.run(&[inject(0, 2, 0)]);
+        let sim = SimBuilder::new(&g, GreedyPolicy::new(id_score))
+            .faults(FaultPlan::new(spec, 1))
+            .shards(1)
+            .build()
+            .unwrap();
+        let report = sim.run(SliceWorkload::new(&[inject(0, 2, 0)]));
         let p = &report.packets[0];
         assert_eq!(p.outcome, PacketOutcome::Delivered);
         assert!(
@@ -884,24 +919,29 @@ mod tests {
 
     #[test]
     fn patching_survives_what_kills_greedy() {
-        // grid-ish detour: 0-1-4 is the greedy path (ids increase), kill
-        // nothing but give greedy a trap: 0-3-2-4 requires going *down*
-        // from 3 to 2 — greedy refuses, patching detours
+        // greedy trap: 0-3-2-4 requires going *down* from 3 to 2 —
+        // greedy refuses, patching detours
         let g = Graph::from_edges(5, [(0u32, 3u32), (3, 2), (2, 4)]).unwrap();
         let greedy = Simulation::new(&g, GreedyPolicy::new(id_score));
         let patching = Simulation::new(&g, PatchingPolicy::new(id_score));
         let inj = [inject(0, 4, 0)];
-        assert_eq!(greedy.run(&inj).packets[0].outcome, PacketOutcome::DeadEnd);
-        let p = patching.run(&inj);
+        assert_eq!(
+            greedy.run(SliceWorkload::new(&inj)).packets[0].outcome,
+            PacketOutcome::DeadEnd
+        );
+        let p = patching.run(SliceWorkload::new(&inj));
         assert_eq!(p.packets[0].outcome, PacketOutcome::Delivered);
     }
 
     #[test]
     fn seeded_latency_shows_up_in_virtual_time() {
         let g = path_graph(3);
-        let sim = Simulation::new(&g, GreedyPolicy::new(id_score))
-            .with_latency(SeededLatency::new(10, 0, 0));
-        let report = sim.run(&[inject(0, 2, 0)]);
+        let sim = SimBuilder::new(&g, GreedyPolicy::new(id_score))
+            .latency(SeededLatency::new(10, 0, 0))
+            .shards(1)
+            .build()
+            .unwrap();
+        let report = sim.run(SliceWorkload::new(&[inject(0, 2, 0)]));
         let p = &report.packets[0];
         assert_eq!(p.outcome, PacketOutcome::Delivered);
         // 2 hops * (1 service + 10 link)
@@ -927,10 +967,13 @@ mod tests {
             .map(|i| inject(i % 20, (i * 7 + 3) % 20, (i / 4) as Time))
             .collect();
         let run = || {
-            Simulation::new(&g, PatchingPolicy::new(id_score))
-                .with_faults(FaultPlan::new(spec, 11))
-                .with_config(cfg)
-                .run(&inj)
+            SimBuilder::new(&g, PatchingPolicy::new(id_score))
+                .faults(FaultPlan::new(spec, 11))
+                .config(cfg)
+                .shards(1)
+                .build()
+                .unwrap()
+                .run(SliceWorkload::new(&inj))
         };
         let a = run();
         let b = run();
@@ -947,8 +990,12 @@ mod tests {
             ..SimConfig::default()
         };
         let inj: Vec<Injection> = (0..20).map(|_| inject(0, 3, 0)).collect();
-        let sim = Simulation::new(&g, GreedyPolicy::new(id_score)).with_config(cfg);
-        let report = sim.run(&inj);
+        let sim = SimBuilder::new(&g, GreedyPolicy::new(id_score))
+            .config(cfg)
+            .shards(1)
+            .build()
+            .unwrap();
+        let report = sim.run(SliceWorkload::new(&inj));
         let tl = &report.timeline;
         assert!(!tl.is_empty());
         // strictly increasing sample times
@@ -983,27 +1030,33 @@ mod tests {
             .map(|i| inject(i % 7, 7, (i % 5) as Time))
             .collect();
         let base = Simulation::new(&g, GreedyPolicy::new(id_score));
-        assert!(base.run(&inj).timeline.is_empty());
+        assert!(base.run(SliceWorkload::new(&inj)).timeline.is_empty());
         let cfg = SimConfig {
             timeline_interval: Some(3),
             queue_capacity: Some(2),
             ..SimConfig::default()
         };
         let run = || {
-            Simulation::new(&g, GreedyPolicy::new(id_score))
-                .with_config(cfg)
-                .run(&inj)
+            SimBuilder::new(&g, GreedyPolicy::new(id_score))
+                .config(cfg)
+                .shards(1)
+                .build()
+                .unwrap()
+                .run(SliceWorkload::new(&inj))
         };
         let (a, b) = (run(), run());
         assert_eq!(a.timeline, b.timeline);
         assert!(!a.timeline.is_empty());
         // the timeline does not perturb packet outcomes
-        let plain = Simulation::new(&g, GreedyPolicy::new(id_score))
-            .with_config(SimConfig {
+        let plain = SimBuilder::new(&g, GreedyPolicy::new(id_score))
+            .config(SimConfig {
                 timeline_interval: None,
                 ..cfg
             })
-            .run(&inj);
+            .shards(1)
+            .build()
+            .unwrap()
+            .run(SliceWorkload::new(&inj));
         assert_eq!(plain.packets, a.packets);
     }
 
@@ -1021,6 +1074,211 @@ mod tests {
             }
         }
         let g = path_graph(5);
-        Simulation::new(&g, Teleport).run(&[inject(0, 4, 0)]);
+        Simulation::new(&g, Teleport).run(SliceWorkload::new(&[inject(0, 4, 0)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing time order")]
+    fn time_travelling_workloads_are_rejected() {
+        let g = path_graph(3);
+        // bypass SliceWorkload's sort with a raw iterator workload
+        let inj = [inject(0, 2, 9), inject(0, 2, 0)];
+        Simulation::new(&g, GreedyPolicy::new(id_score)).run(inj.into_iter());
+    }
+
+    #[test]
+    fn builder_rejects_bad_configurations() {
+        let g = path_graph(3);
+        let mk = || SimBuilder::new(&g, GreedyPolicy::new(id_score));
+        assert_eq!(
+            mk().config(SimConfig {
+                timeline_interval: Some(0),
+                ..SimConfig::default()
+            })
+            .build()
+            .err(),
+            Some(SimBuildError::ZeroTimelineInterval)
+        );
+        assert_eq!(mk().shards(0).build().err(), Some(SimBuildError::ZeroShards));
+        let plan = FaultPlan::new(
+            FaultSpec {
+                node_fail_rate: 0.5,
+                fail_window: 1000,
+                ..FaultSpec::none()
+            },
+            7,
+        );
+        assert_eq!(
+            mk().faults(plan).horizon(10).build().err(),
+            Some(SimBuildError::FaultsBeyondHorizon {
+                fail_window: 1000,
+                horizon: 10
+            })
+        );
+        // a matching horizon is fine
+        let plan = FaultPlan::new(
+            FaultSpec {
+                node_fail_rate: 0.5,
+                fail_window: 1000,
+                ..FaultSpec::none()
+            },
+            7,
+        );
+        assert!(mk().faults(plan).horizon(2000).build().is_ok());
+
+        struct ZeroLatency;
+        impl LatencyModel for ZeroLatency {
+            fn latency(&self, _u: NodeId, _v: NodeId) -> Time {
+                0
+            }
+            fn min_latency(&self) -> Time {
+                0
+            }
+        }
+        assert_eq!(
+            mk().latency(ZeroLatency).build().err(),
+            Some(SimBuildError::ZeroMinLatency)
+        );
+    }
+
+    #[test]
+    fn deprecated_setters_still_work() {
+        #![allow(deprecated)]
+        let g = path_graph(4);
+        let cfg = SimConfig {
+            ttl: 2,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&g, GreedyPolicy::new(id_score))
+            .with_faults(FaultPlan::none())
+            .with_config(cfg);
+        let report = sim.run(SliceWorkload::new(&[inject(0, 3, 0)]));
+        assert_eq!(report.packets[0].outcome, PacketOutcome::Expired);
+    }
+
+    #[test]
+    fn run_local_matches_run() {
+        let g = path_graph(12);
+        let spec = FaultSpec {
+            loss_rate: 0.1,
+            node_fail_rate: 0.1,
+            fail_window: 20,
+            repair_after: Some(5),
+            ..FaultSpec::none()
+        };
+        let inj: Vec<Injection> = (0..30)
+            .map(|i| inject(i % 12, (i * 5 + 1) % 12, (i / 3) as Time))
+            .collect();
+        let build = |shards| {
+            SimBuilder::new(&g, PatchingPolicy::new(id_score))
+                .faults(FaultPlan::new(spec, 3))
+                .config(SimConfig {
+                    max_retries: 2,
+                    ..SimConfig::default()
+                })
+                .shards(shards)
+                .build()
+                .unwrap()
+        };
+        let serial = build(1).run_local(SliceWorkload::new(&inj));
+        let threaded = build(3).run(SliceWorkload::new(&inj));
+        assert_eq!(serial.packets, threaded.packets);
+        assert_eq!(serial.events, threaded.events);
+        assert_eq!(serial.final_time, threaded.final_time);
+    }
+
+    #[test]
+    fn summary_agrees_with_report() {
+        let g = path_graph(10);
+        let spec = FaultSpec {
+            loss_rate: 0.2,
+            node_fail_rate: 0.2,
+            fail_window: 15,
+            repair_after: None,
+            ..FaultSpec::none()
+        };
+        let inj: Vec<Injection> = (0..60)
+            .map(|i| inject(i % 10, (i * 3 + 1) % 10, (i / 6) as Time))
+            .collect();
+        let build = |shards| {
+            SimBuilder::new(&g, GreedyPolicy::new(id_score))
+                .faults(FaultPlan::new(spec, 9))
+                .config(SimConfig {
+                    max_retries: 1,
+                    timeline_interval: Some(4),
+                    ..SimConfig::default()
+                })
+                .shards(shards)
+                .build()
+                .unwrap()
+        };
+        let report = build(1).run(SliceWorkload::new(&inj));
+        for shards in [1usize, 2, 4] {
+            let s = build(shards).run_summary(SliceWorkload::new(&inj));
+            assert_eq!(s.injected, 60, "shards={shards}");
+            assert_eq!(s.delivered as usize, report.delivered());
+            assert_eq!(s.dead_end as usize, report.count(PacketOutcome::DeadEnd));
+            assert_eq!(s.expired as usize, report.count(PacketOutcome::Expired));
+            assert_eq!(s.lost_link as usize, report.count(PacketOutcome::LostLink));
+            assert_eq!(s.lost_node as usize, report.count(PacketOutcome::LostNode));
+            assert_eq!(s.overflow as usize, report.count(PacketOutcome::Overflow));
+            assert_eq!(s.events, report.events);
+            assert_eq!(s.final_time, report.final_time);
+            assert_eq!(s.timeline, report.timeline);
+            let hops: u64 = report
+                .packets
+                .iter()
+                .filter(|p| p.is_success())
+                .map(|p| p.hops() as u64)
+                .sum();
+            let lat: u64 = report
+                .packets
+                .iter()
+                .filter(|p| p.is_success())
+                .map(|p| p.latency())
+                .sum();
+            let retries: u64 = report.packets.iter().map(|p| p.retries as u64).sum();
+            assert_eq!(s.hops_sum, hops);
+            assert_eq!(s.latency_sum, lat);
+            assert_eq!(s.retries, retries);
+            assert_eq!(s.latency_hdr.count, s.delivered);
+        }
+    }
+
+    #[test]
+    fn sharded_runs_match_serial_exactly() {
+        let g = path_graph(16);
+        let spec = FaultSpec {
+            loss_rate: 0.15,
+            node_fail_rate: 0.1,
+            edge_fail_rate: 0.05,
+            fail_window: 25,
+            repair_after: Some(8),
+        };
+        let inj: Vec<Injection> = (0..80)
+            .map(|i| inject(i % 16, (i * 7 + 2) % 16, (i / 5) as Time))
+            .collect();
+        let run = |shards| {
+            SimBuilder::new(&g, PatchingPolicy::new(id_score))
+                .faults(FaultPlan::new(spec, 21))
+                .config(SimConfig {
+                    max_retries: 2,
+                    queue_capacity: Some(3),
+                    timeline_interval: Some(5),
+                    ..SimConfig::default()
+                })
+                .shards(shards)
+                .build()
+                .unwrap()
+                .run(SliceWorkload::new(&inj))
+        };
+        let serial = run(1);
+        for shards in [2usize, 3, 4, 7] {
+            let sharded = run(shards);
+            assert_eq!(serial.packets, sharded.packets, "shards={shards}");
+            assert_eq!(serial.events, sharded.events, "shards={shards}");
+            assert_eq!(serial.final_time, sharded.final_time, "shards={shards}");
+            assert_eq!(serial.timeline, sharded.timeline, "shards={shards}");
+        }
     }
 }

@@ -1,14 +1,26 @@
-//! Traffic workloads: seeded batches of [`Injection`]s.
+//! Traffic workloads: streamed, seeded schedules of [`Injection`]s.
 //!
-//! A [`Workload`] turns `(count, rate, seed)` into a deterministic
-//! injection schedule: packet `i` enters at tick `⌊i / rate⌋`, with
-//! source and target drawn (source ≠ target) from an *eligible* node
-//! set — typically the giant survivor component from
-//! [`FaultPlan::survivor_mask`](crate::fault::FaultPlan::survivor_mask),
-//! so that "the failures disconnected the pair" and "the protocol got
-//! stuck" stay separable. Draws are pure SplitMix64 hashes of
-//! `(seed, i)`, so a workload is reproducible across runs, platforms,
-//! and thread counts.
+//! A [`Workload`] is anything that yields injections in nondecreasing
+//! virtual-time order — the simulator pulls them lazily as the event
+//! loop advances, so a 10M-packet run never materializes a 10M-element
+//! vector. Packet ids are assigned in stream order.
+//!
+//! Two implementations cover the existing call sites:
+//!
+//! * [`UniformPairs`] — the seeded uniform-pair generator (packet `i`
+//!   enters at tick `⌊i / rate⌋`, endpoints drawn source ≠ target from
+//!   an *eligible* node set, typically the giant survivor component from
+//!   [`FaultPlan::survivor_mask`](crate::fault::FaultPlan::survivor_mask)).
+//!   [`UniformPairs::over`] streams it; `injections` still collects a
+//!   batch for small runs and tests.
+//! * [`SliceWorkload`] — adapts a pre-built `&[Injection]` slice, the
+//!   one-line migration for callers that already hold a batch.
+//!
+//! Any `Iterator<Item = Injection>` is a `Workload` via the blanket
+//! impl, so ad-hoc generators (`injections.iter().copied()`, custom
+//! closures over `std::iter::from_fn`) plug straight in. Draws are pure
+//! SplitMix64 hashes of `(seed, i)`, so a workload is reproducible
+//! across runs, platforms, and thread counts.
 
 use smallworld_graph::NodeId;
 use smallworld_par::split_seed;
@@ -16,15 +28,113 @@ use smallworld_par::split_seed;
 use crate::event::Time;
 use crate::sim::Injection;
 
-/// A seeded, paced stream of source/target injections.
+/// A stream of injections in nondecreasing virtual-time order.
+///
+/// The simulator pulls the next injection only once the event loop has
+/// caught up to the previous one, keeping memory proportional to the
+/// in-flight packet count instead of the total offered load. The `at`
+/// times must be nondecreasing — the engine asserts this, because an
+/// out-of-order injection would have to enter a past that the sharded
+/// engine may have already sealed behind a window barrier.
+///
+/// Every `Iterator<Item = Injection>` is a `Workload` (blanket impl);
+/// implement the trait directly only when you need a custom
+/// [`remaining_hint`](Workload::remaining_hint).
+pub trait Workload {
+    /// The next injection, or `None` when the workload is exhausted.
+    fn next_injection(&mut self) -> Option<Injection>;
+
+    /// How many injections remain, if cheaply known. Purely an
+    /// allocation hint; `None` is always correct.
+    fn remaining_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+impl<I: Iterator<Item = Injection>> Workload for I {
+    fn next_injection(&mut self) -> Option<Injection> {
+        self.next()
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        match self.size_hint() {
+            (lo, Some(hi)) if lo == hi => Some(hi),
+            _ => None,
+        }
+    }
+}
+
+/// A [`Workload`] over a pre-built injection slice.
+///
+/// If the slice is already sorted by injection time it streams with zero
+/// copies; otherwise it stable-sorts an index once at construction, so
+/// the stream is ordered by `(at, slice position)`. Either way, packet
+/// ids follow *stream* order — for an unsorted slice the report order is
+/// the time-sorted order, not the slice order.
+#[derive(Debug)]
+pub struct SliceWorkload<'a> {
+    injections: &'a [Injection],
+    /// Present only when the slice needed sorting: indices into
+    /// `injections`, stable-sorted by `at`.
+    order: Option<Vec<u32>>,
+    next: usize,
+}
+
+impl<'a> SliceWorkload<'a> {
+    /// Wraps `injections`, sorting by time (stably) if needed.
+    pub fn new(injections: &'a [Injection]) -> Self {
+        let sorted = injections.windows(2).all(|w| w[0].at <= w[1].at);
+        let order = if sorted {
+            None
+        } else {
+            assert!(
+                injections.len() <= u32::MAX as usize,
+                "injection batch too large to index"
+            );
+            let mut idx: Vec<u32> = (0..injections.len() as u32).collect();
+            idx.sort_by_key(|&i| injections[i as usize].at);
+            Some(idx)
+        };
+        SliceWorkload {
+            injections,
+            order,
+            next: 0,
+        }
+    }
+}
+
+impl Workload for SliceWorkload<'_> {
+    fn next_injection(&mut self) -> Option<Injection> {
+        let i = match &self.order {
+            Some(order) => *order.get(self.next)? as usize,
+            None => {
+                if self.next >= self.injections.len() {
+                    return None;
+                }
+                self.next
+            }
+        };
+        self.next += 1;
+        Some(self.injections[i])
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        Some(self.injections.len() - self.next)
+    }
+}
+
+/// The seeded uniform-pair generator (formerly `Workload`, now a
+/// [`Workload`]-trait *source*): `count` packets at `rate` packets per
+/// tick, endpoints drawn uniformly (source ≠ target) from an eligible
+/// node set.
 #[derive(Clone, Copy, Debug, PartialEq)]
-pub struct Workload {
+pub struct UniformPairs {
     count: usize,
     rate: f64,
     seed: u64,
 }
 
-impl Workload {
+impl UniformPairs {
     /// `count` packets at `rate` packets per tick (rates below one spread
     /// packets out; above one, several share a tick), drawn under `seed`.
     ///
@@ -36,7 +146,7 @@ impl Workload {
             rate.is_finite() && rate > 0.0,
             "offered load must be finite and positive"
         );
-        Workload { count, rate, seed }
+        UniformPairs { count, rate, seed }
     }
 
     /// Number of packets this workload injects.
@@ -49,39 +159,81 @@ impl Workload {
         self.rate
     }
 
-    /// The injection batch over `eligible` endpoints. Pair `i` is a pure
-    /// function of `(seed, i)`; injection times are evenly paced at the
-    /// offered rate.
+    /// Streams the workload over `eligible` endpoints: pair `i` is a
+    /// pure function of `(seed, i)`, injected at tick `⌊i / rate⌋`. The
+    /// returned iterator is a [`Workload`] via the blanket impl.
     ///
     /// # Panics
     ///
     /// Panics if fewer than two eligible nodes are given (no source ≠
     /// target pair exists).
-    pub fn injections(&self, eligible: &[NodeId]) -> Vec<Injection> {
+    pub fn over<'a>(&self, eligible: &'a [NodeId]) -> UniformPairsIter<'a> {
         assert!(
             eligible.len() >= 2,
             "need at least two eligible nodes to draw pairs"
         );
-        (0..self.count)
-            .map(|i| {
-                let hs = split_seed(self.seed, 2 * i as u64);
-                let ht = split_seed(self.seed, 2 * i as u64 + 1);
-                let s = eligible[(hs % eligible.len() as u64) as usize];
-                let mut t = eligible[(ht % eligible.len() as u64) as usize];
-                if t == s {
-                    // shift to the next eligible node, wrapping
-                    let idx = (ht % eligible.len() as u64) as usize;
-                    t = eligible[(idx + 1) % eligible.len()];
-                }
-                Injection {
-                    source: s,
-                    target: t,
-                    at: (i as f64 / self.rate).floor() as Time,
-                }
-            })
-            .collect()
+        UniformPairsIter {
+            eligible,
+            count: self.count,
+            rate: self.rate,
+            seed: self.seed,
+            next: 0,
+        }
+    }
+
+    /// Collects the whole batch into a vector — convenient for small
+    /// runs and tests; prefer [`over`](Self::over) at scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two eligible nodes are given.
+    pub fn injections(&self, eligible: &[NodeId]) -> Vec<Injection> {
+        self.over(eligible).collect()
     }
 }
+
+/// The streaming form of [`UniformPairs::over`].
+#[derive(Clone, Debug)]
+pub struct UniformPairsIter<'a> {
+    eligible: &'a [NodeId],
+    count: usize,
+    rate: f64,
+    seed: u64,
+    next: usize,
+}
+
+impl Iterator for UniformPairsIter<'_> {
+    type Item = Injection;
+
+    fn next(&mut self) -> Option<Injection> {
+        if self.next >= self.count {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        let hs = split_seed(self.seed, 2 * i as u64);
+        let ht = split_seed(self.seed, 2 * i as u64 + 1);
+        let s = self.eligible[(hs % self.eligible.len() as u64) as usize];
+        let mut t = self.eligible[(ht % self.eligible.len() as u64) as usize];
+        if t == s {
+            // shift to the next eligible node, wrapping
+            let idx = (ht % self.eligible.len() as u64) as usize;
+            t = self.eligible[(idx + 1) % self.eligible.len()];
+        }
+        Some(Injection {
+            source: s,
+            target: t,
+            at: (i as f64 / self.rate).floor() as Time,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.count - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for UniformPairsIter<'_> {}
 
 /// The node ids selected by a boolean mask (as produced by
 /// [`FaultPlan::survivor_mask`](crate::fault::FaultPlan::survivor_mask)).
@@ -103,13 +255,13 @@ mod tests {
 
     #[test]
     fn injections_are_paced_by_rate() {
-        let w = Workload::new(10, 0.5, 1);
+        let w = UniformPairs::new(10, 0.5, 1);
         let inj = w.injections(&ids(&[0, 1, 2, 3]));
         assert_eq!(inj.len(), 10);
         for (i, x) in inj.iter().enumerate() {
             assert_eq!(x.at, (i * 2) as Time, "rate 0.5 = one packet per 2 ticks");
         }
-        let w = Workload::new(6, 3.0, 1);
+        let w = UniformPairs::new(6, 3.0, 1);
         let inj = w.injections(&ids(&[0, 1, 2, 3]));
         for (i, x) in inj.iter().enumerate() {
             assert_eq!(x.at, (i / 3) as Time, "rate 3 = three packets per tick");
@@ -118,7 +270,7 @@ mod tests {
 
     #[test]
     fn sources_never_equal_targets() {
-        let w = Workload::new(500, 1.0, 7);
+        let w = UniformPairs::new(500, 1.0, 7);
         for x in w.injections(&ids(&[3, 9])) {
             assert_ne!(x.source, x.target);
         }
@@ -130,7 +282,7 @@ mod tests {
     #[test]
     fn endpoints_come_from_the_eligible_set() {
         let eligible = ids(&[2, 5, 11, 17]);
-        let w = Workload::new(200, 2.0, 3);
+        let w = UniformPairs::new(200, 2.0, 3);
         for x in w.injections(&eligible) {
             assert!(eligible.contains(&x.source));
             assert!(eligible.contains(&x.target));
@@ -140,11 +292,61 @@ mod tests {
     #[test]
     fn workload_is_deterministic_in_seed() {
         let e = ids(&[0, 1, 2, 3, 4]);
-        let a = Workload::new(100, 1.0, 5).injections(&e);
-        let b = Workload::new(100, 1.0, 5).injections(&e);
-        let c = Workload::new(100, 1.0, 6).injections(&e);
+        let a = UniformPairs::new(100, 1.0, 5).injections(&e);
+        let b = UniformPairs::new(100, 1.0, 5).injections(&e);
+        let c = UniformPairs::new(100, 1.0, 6).injections(&e);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn streaming_matches_collected_batch() {
+        let e = ids(&[0, 1, 2, 3, 4, 5, 6]);
+        let w = UniformPairs::new(250, 0.7, 42);
+        let batch = w.injections(&e);
+        let mut stream = w.over(&e);
+        assert_eq!(Workload::remaining_hint(&stream), Some(250));
+        let mut pulled = Vec::new();
+        while let Some(x) = stream.next_injection() {
+            pulled.push(x);
+        }
+        assert_eq!(pulled, batch);
+        assert_eq!(Workload::remaining_hint(&stream), Some(0));
+    }
+
+    #[test]
+    fn slice_workload_streams_sorted_slices_verbatim() {
+        let inj: Vec<Injection> = (0..20)
+            .map(|i| Injection {
+                source: NodeId::new(i),
+                target: NodeId::new(i + 1),
+                at: (i / 3) as Time,
+            })
+            .collect();
+        let mut w = SliceWorkload::new(&inj);
+        assert_eq!(w.remaining_hint(), Some(20));
+        let mut out = Vec::new();
+        while let Some(x) = w.next_injection() {
+            out.push(x);
+        }
+        assert_eq!(out, inj);
+    }
+
+    #[test]
+    fn slice_workload_sorts_unsorted_slices_stably() {
+        let mk = |s: u32, at: Time| Injection {
+            source: NodeId::new(s),
+            target: NodeId::new(s + 100),
+            at,
+        };
+        let inj = vec![mk(0, 5), mk(1, 0), mk(2, 9), mk(3, 0), mk(4, 5)];
+        let mut w = SliceWorkload::new(&inj);
+        let mut out = Vec::new();
+        while let Some(x) = w.next_injection() {
+            out.push(x.source.raw());
+        }
+        // time order, original position breaking ties
+        assert_eq!(out, vec![1, 3, 0, 4, 2]);
     }
 
     #[test]
@@ -156,12 +358,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two eligible")]
     fn single_node_set_is_rejected() {
-        Workload::new(1, 1.0, 0).injections(&ids(&[4]));
+        UniformPairs::new(1, 1.0, 0).injections(&ids(&[4]));
     }
 
     #[test]
     #[should_panic(expected = "finite and positive")]
     fn zero_rate_is_rejected() {
-        Workload::new(1, 0.0, 0);
+        UniformPairs::new(1, 0.0, 0);
     }
 }

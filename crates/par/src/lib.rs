@@ -170,6 +170,43 @@ impl Pool {
             .collect()
     }
 
+    /// Spawns exactly [`Pool::threads`] long-lived scoped workers, each
+    /// running `f(worker_index)` once, and joins them all. Unlike
+    /// [`Pool::map`] there is no task cursor: this is the primitive for
+    /// engines that keep workers alive across many synchronization
+    /// rounds (e.g. barrier-phased simulation shards), where respawning
+    /// per round would dominate the round cost. Workers adopt the
+    /// caller's span path like every other pool entry point; with one
+    /// thread, `f(0)` runs inline on the caller's thread.
+    ///
+    /// Determinism is the caller's contract: `f` must make its observable
+    /// results depend only on `worker_index` and shared input, never on
+    /// scheduling (the workspace discipline).
+    pub fn run_workers<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.threads <= 1 {
+            f(0);
+            return;
+        }
+        let f = &f;
+        let span_path = smallworld_obs::span::current_path();
+        let span_path = &span_path;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.threads);
+            for w in 0..self.threads {
+                handles.push(scope.spawn(move || {
+                    let _span_ctx = smallworld_obs::span::adopt_parent(span_path);
+                    f(w);
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("pool worker panicked");
+            }
+        });
+    }
+
     /// Like [`Pool::map`], but each task also receives a seed derived from
     /// `master_seed` via [`split_seed`]. The seed for task `i` depends only
     /// on `(master_seed, i)`, never on the thread count, so results are
@@ -334,6 +371,34 @@ mod tests {
             assert_eq!(covered, len, "len={len} parts={parts}");
             assert!(ranges.len() <= parts.max(1));
         }
+    }
+
+    #[test]
+    fn run_workers_runs_each_index_once() {
+        for threads in [1usize, 2, 4, 7] {
+            let ran: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
+            Pool::with_threads(threads).run_workers(|w| {
+                ran[w].fetch_add(1, Ordering::SeqCst);
+            });
+            for (w, r) in ran.iter().enumerate() {
+                assert_eq!(r.load(Ordering::SeqCst), 1, "threads={threads} worker={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_workers_synchronizes_through_barriers() {
+        // the intended usage: workers coordinate rounds via a barrier
+        let threads = 4;
+        let barrier = std::sync::Barrier::new(threads);
+        let round_sum = AtomicUsize::new(0);
+        Pool::with_threads(threads).run_workers(|w| {
+            for _round in 0..10 {
+                round_sum.fetch_add(w + 1, Ordering::SeqCst);
+                barrier.wait();
+            }
+        });
+        assert_eq!(round_sum.load(Ordering::SeqCst), 10 * (1 + 2 + 3 + 4));
     }
 
     #[test]

@@ -69,4 +69,5 @@ pub mod prelude {
     pub use smallworld_graph::{Components, Graph, NodeId};
     pub use smallworld_models::girg::GirgBuilder;
     pub use smallworld_models::{HrgBuilder, KleinbergLattice};
+    pub use smallworld_net::{SimBuilder, Simulation, SliceWorkload, UniformPairs, Workload};
 }
