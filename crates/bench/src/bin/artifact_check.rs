@@ -478,6 +478,71 @@ fn check(contents: &str) -> Result<String, String> {
         }
     }
 
+    // a store-benchmark artifact must carry the compression table; every
+    // row must compress below the raw CSR footprint, and at full scale the
+    // mmap reload must clear the 10x acceptance bound over resampling
+    let is_bench_store = records[0]
+        .1
+        .get("binary")
+        .and_then(JsonValue::as_str)
+        .map(|b| b == "bench_store")
+        .unwrap_or(false);
+    if is_bench_store {
+        let store_table = records
+            .iter()
+            .find(|(kind, record)| {
+                kind == "table"
+                    && record
+                        .get("headers")
+                        .and_then(JsonValue::as_array)
+                        .is_some_and(|h| h.iter().any(|c| c.as_str() == Some("swg B/edge")))
+            })
+            .ok_or("bench_store artifact has no compression table")?;
+        let headers = store_table.1.get("headers").and_then(JsonValue::as_array);
+        let rows = store_table.1.get("rows").and_then(JsonValue::as_array);
+        let (Some(headers), Some(rows)) = (headers, rows) else {
+            return Err("store compression table malformed".into());
+        };
+        if rows.is_empty() {
+            return Err("store compression table has no rows".into());
+        }
+        let column = |name: &str| {
+            headers
+                .iter()
+                .position(|h| h.as_str() == Some(name))
+                .ok_or_else(|| format!("store table missing column {name:?}"))
+        };
+        let (raw_c, swg_c) = (column("raw B/edge")?, column("swg B/edge")?);
+        let speedup_c = column("speedup")?;
+        let number = |row: &JsonValue, c: usize| -> Result<f64, String> {
+            let cell = row
+                .as_array()
+                .and_then(|r| r.get(c))
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| "store table cell is not a string".to_string())?;
+            cell.parse()
+                .map_err(|_| format!("store table cell {cell:?} is not numeric"))
+        };
+        let full_scale = records[0].1.get("scale").and_then(JsonValue::as_str) == Some("full");
+        for row in rows {
+            let (raw, swg) = (number(row, raw_c)?, number(row, swg_c)?);
+            if !(swg > 0.0 && raw > 0.0 && swg < raw) {
+                return Err(format!(
+                    "store row compresses to {swg} B/edge, not below the raw {raw} B/edge"
+                ));
+            }
+            let speedup = number(row, speedup_c)?;
+            if speedup <= 0.0 {
+                return Err(format!("store reload speedup {speedup} not positive"));
+            }
+            if full_scale && speedup < 10.0 {
+                return Err(format!(
+                    "store reload speedup {speedup} below the 10x acceptance bound"
+                ));
+            }
+        }
+    }
+
     // any artifact that ran a traffic suite must carry the simulator's
     // delivery/drop counters, with at least one packet injected
     let ran_traffic = records.iter().any(|(kind, record)| {

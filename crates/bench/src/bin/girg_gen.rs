@@ -1,12 +1,12 @@
 //! Command-line graph generator: sample any model behind
 //! [`smallworld_models::GraphModel`] and print summary statistics, with
-//! optional greedy-routing trials and (for GIRGs) a saved text-format graph.
+//! optional greedy-routing trials and (for GIRGs) a saved graph.
 //!
 //! ```console
 //! cargo run --release -p smallworld-bench --bin girg_gen -- \
-//!     --n 100000 --beta 2.5 --alpha 2.0 --degree 10 --seed 42 --out girg.txt
+//!     --n 100000 --beta 2.5 --alpha 2.0 --degree 10 --seed 42 --out girg.swg
 //! cargo run --release -p smallworld-bench --bin girg_gen -- \
-//!     --model hrg --n 50000 --route 200 --json hrg.json
+//!     --load girg.swg --seed 42 --route 200 --json reload.json
 //! ```
 //!
 //! `--model` picks the generator (`girg`, `hrg`, `kleinberg`, `chung-lu`);
@@ -16,8 +16,16 @@
 //! (`SMALLWORLD_THREADS` workers) — deterministic in `--seed` at any thread
 //! count. Omit `--out` to print statistics only. `--degree` calibrates λ via
 //! the Lemma 7.1 marginal; pass `--lambda` instead for a raw kernel constant.
+//!
+//! `--out` saves a sampled GIRG through `smallworld-store`: a `.swg` path
+//! writes the compressed binary store (add `--shards <k>` to embed a
+//! geometric shard partition), any other extension writes the legacy text
+//! format. `--load` replaces sampling with a store read — the loaded graph,
+//! geometry, params, and greedy routes are bitwise those of the generating
+//! run, so the report tables match modulo the wall-clock columns (`swreport
+//! --diff --ignore "sample secs,route secs"` verifies this in CI).
 
-use std::io::BufWriter;
+use std::path::Path;
 use std::process::ExitCode;
 
 use smallworld_analysis::Table;
@@ -28,9 +36,8 @@ use smallworld_core::{
 };
 use smallworld_graph::analytics::par_components;
 use smallworld_graph::{Components, Graph};
-use smallworld_models::girg::GirgBuilder;
+use smallworld_models::girg::{Girg, GirgBuilder};
 use smallworld_models::hyperbolic::HrgBuilder;
-use smallworld_models::io::write_girg;
 use smallworld_models::{Alpha, ChungLuBuilder, GraphInstance, GraphModel, KleinbergLatticeBuilder};
 use smallworld_obs::Span;
 use smallworld_par::Pool;
@@ -46,6 +53,8 @@ struct Options {
     seed: u64,
     route: usize,
     out: Option<String>,
+    load: Option<String>,
+    shards: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -60,6 +69,8 @@ fn parse_args() -> Result<Options, String> {
         seed: 1,
         route: 0,
         out: None,
+        load: None,
+        shards: 1,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -94,6 +105,13 @@ fn parse_args() -> Result<Options, String> {
             "--seed" => opts.seed = value.parse().map_err(|_| bad(value))?,
             "--route" => opts.route = value.parse().map_err(|_| bad(value))?,
             "--out" => opts.out = Some(value.clone()),
+            "--load" => opts.load = Some(value.clone()),
+            "--shards" => {
+                opts.shards = value.parse().map_err(|_| bad(value))?;
+                if opts.shards == 0 {
+                    return Err(bad("shard count must be positive"));
+                }
+            }
             "--json" => {} // consumed by the artifact sink (smallworld_obs::sink)
             other => return Err(format!("unknown flag {other}")),
         }
@@ -111,6 +129,14 @@ fn parse_args() -> Result<Options, String> {
     if opts.out.is_some() && opts.model != "girg" {
         return Err("--out is only supported for --model girg".into());
     }
+    if opts.load.is_some() {
+        if opts.model != "girg" {
+            return Err("--load is only supported for --model girg".into());
+        }
+        if opts.out.is_some() {
+            return Err("--load and --out are mutually exclusive".into());
+        }
+    }
     if opts.route > 0 && opts.model == "chung-lu" {
         return Err("--route needs a geometric objective; chung-lu has none".into());
     }
@@ -123,12 +149,56 @@ fn usage() {
          flags: [--model girg|hrg|kleinberg|chung-lu] --n <u64> \
          --beta <f64 in (2,3)> --alpha <f64 or inf> \
          [--lambda <f64> | --degree <f64>] [--wmin <f64>] [--seed <u64>] \
-         [--route <pairs>] [--out <path>] [--json <path>]"
+         [--route <pairs>] [--out <path>] [--load <path>] [--shards <k>] \
+         [--json <path>]\n\
+         `.swg` paths use the smallworld-store binary format; other \
+         extensions use the legacy text format"
     );
 }
 
-/// Samples `model` through the [`GraphModel`] trait and builds the
-/// model-agnostic statistics table every generator shares.
+/// The GIRG parameter label shared by the sample and load paths: the loaded
+/// run rebuilds it from the stored `GirgParams`, and `f64` `Display` prints
+/// whole numbers without a decimal point and infinity as `inf`, so a reload
+/// reproduces the generating run's label character for character.
+fn girg_params_label(n: f64, beta: f64, alpha: f64, lambda: f64) -> String {
+    format!("n={n} beta={beta} alpha={alpha} lambda={lambda}")
+}
+
+/// Builds the model-agnostic statistics table every generator (and the
+/// store load path) shares.
+fn summary_table(
+    name: &str,
+    params: &str,
+    seed: u64,
+    graph: &Graph,
+    comps: &Components,
+    elapsed: f64,
+) -> Table {
+    let mut table = Table::new([
+        "model",
+        "params",
+        "seed",
+        "vertices",
+        "edges",
+        "avg degree",
+        "giant frac",
+        "sample secs",
+    ])
+    .title("girg_gen: sampled graph");
+    table.row([
+        name.to_string(),
+        params.to_string(),
+        seed.to_string(),
+        graph.node_count().to_string(),
+        graph.edge_count().to_string(),
+        format!("{:.3}", graph.average_degree()),
+        format!("{:.4}", comps.giant_fraction()),
+        format!("{elapsed:.3}"),
+    ]);
+    table
+}
+
+/// Samples `model` through the [`GraphModel`] trait and summarizes it.
 fn sample_and_summarize<M: GraphModel>(
     model: &M,
     params: &str,
@@ -153,28 +223,35 @@ fn sample_and_summarize<M: GraphModel>(
         graph.average_degree(),
         100.0 * comps.giant_fraction()
     );
-    let mut table = Table::new([
-        "model",
-        "params",
-        "seed",
-        "vertices",
-        "edges",
-        "avg degree",
-        "giant frac",
-        "sample secs",
-    ])
-    .title("girg_gen: sampled graph");
-    table.row([
-        model.name().to_string(),
-        params.to_string(),
-        seed.to_string(),
-        graph.node_count().to_string(),
-        graph.edge_count().to_string(),
-        format!("{:.3}", graph.average_degree()),
-        format!("{:.4}", comps.giant_fraction()),
-        format!("{elapsed:.3}"),
-    ]);
+    let table = summary_table(model.name(), params, seed, graph, &comps, elapsed);
     Ok((instance, comps, table))
+}
+
+/// Loads a GIRG from a store file and summarizes it with the load time in
+/// the `sample secs` column; the params label is rebuilt from the stored
+/// parameters so the table matches the generating run's.
+fn load_and_summarize(path: &str, seed: u64) -> Result<(Girg<2>, Components, Table), String> {
+    let start = std::time::Instant::now();
+    let girg: Girg<2> = {
+        let _span = Span::enter("load_graph");
+        smallworld_store::load_girg(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+    let graph = girg.graph();
+    let comps = par_components(graph, &Pool::from_env());
+    let p = girg.params();
+    let alpha = match p.alpha {
+        Alpha::Finite(a) => a,
+        Alpha::Threshold => f64::INFINITY,
+    };
+    let params = girg_params_label(p.intensity, p.beta, alpha, p.lambda);
+    eprintln!(
+        "loaded girg ({params}) from {path}: {} vertices, {} edges in {elapsed:.3}s",
+        graph.node_count(),
+        graph.edge_count()
+    );
+    let table = summary_table("girg", &params, seed, graph, &comps, elapsed);
+    Ok((girg, comps, table))
 }
 
 /// Runs `pairs` greedy trials on the shared pool and tabulates the result;
@@ -249,16 +326,25 @@ fn main() -> ExitCode {
         }
         match opts.model.as_str() {
             "girg" => {
-                let model = GirgBuilder::<2>::new(opts.n)
-                    .beta(opts.beta)
-                    .alpha(Alpha::from(opts.alpha))
-                    .wmin(opts.wmin)
-                    .lambda(lambda);
-                let params = format!(
-                    "n={} beta={} alpha={} lambda={lambda}",
-                    opts.n, opts.beta, opts.alpha
-                );
-                let (girg, comps, table) = try_sample!(model, params);
+                let (girg, comps, table) = if let Some(path) = &opts.load {
+                    match load_and_summarize(path, opts.seed) {
+                        Ok(parts) => parts,
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            exit = ExitCode::FAILURE;
+                            return Vec::new();
+                        }
+                    }
+                } else {
+                    let model = GirgBuilder::<2>::new(opts.n)
+                        .beta(opts.beta)
+                        .alpha(Alpha::from(opts.alpha))
+                        .wmin(opts.wmin)
+                        .lambda(lambda);
+                    let params =
+                        girg_params_label(opts.n as f64, opts.beta, opts.alpha, lambda);
+                    try_sample!(model, params)
+                };
                 let mut tables = vec![table];
                 if opts.route > 0 {
                     let obj = GirgObjective::new(&girg);
@@ -266,20 +352,17 @@ fn main() -> ExitCode {
                 }
                 if let Some(path) = &opts.out {
                     let _span = Span::enter("write_girg");
-                    let file = match std::fs::File::create(path) {
-                        Ok(f) => f,
+                    match smallworld_store::save_girg(&girg, Path::new(path), opts.shards) {
+                        Ok(Some(stats)) => eprintln!(
+                            "wrote {path}: {} bytes ({} compressed / {} raw CSR bytes)",
+                            stats.file_bytes, stats.compressed_csr_bytes, stats.raw_csr_bytes
+                        ),
+                        Ok(None) => eprintln!("wrote {path} (legacy text format)"),
                         Err(e) => {
-                            eprintln!("error: cannot create {path}: {e}");
+                            eprintln!("error: writing {path}: {e}");
                             exit = ExitCode::FAILURE;
-                            return tables;
                         }
-                    };
-                    if let Err(e) = write_girg(&girg, BufWriter::new(file)) {
-                        eprintln!("error: writing {path}: {e}");
-                        exit = ExitCode::FAILURE;
-                        return tables;
                     }
-                    eprintln!("wrote {path}");
                 }
                 tables
             }

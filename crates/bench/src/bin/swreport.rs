@@ -5,10 +5,14 @@
 //! * `swreport <artifact.jsonl>` — write a markdown run report to stdout:
 //!   the run header, every results table, timeline excerpts, the phase
 //!   tree with wall-clock timings, HDR quantiles, and the summary.
-//! * `swreport --diff <a.jsonl> <b.jsonl>` — compare two artifacts
-//!   structurally (tables by suite/title, cell by cell; summary counters
-//!   key by key) and print the differences. Exits 0 when equivalent, 1
-//!   when they differ, 2 on malformed input — CI runs this non-gating
+//! * `swreport --diff <a.jsonl> <b.jsonl> [--ignore "col1,col2"]` —
+//!   compare two artifacts structurally (tables by suite/title, cell by
+//!   cell; summary counters key by key) and print the differences.
+//!   `--ignore` names table columns to exclude from the comparison —
+//!   wall-clock columns like `sample secs` vary between runs of a
+//!   deterministic experiment, so CI's generate-once/load-twice check
+//!   passes `--ignore "sample secs,route secs"`. Exits 0 when equivalent,
+//!   1 when they differ, 2 on malformed input — CI runs this non-gating
 //!   against committed baselines to surface drift without blocking.
 //!
 //! Works on any artifact version: records with unknown types are listed
@@ -340,8 +344,9 @@ fn tables_of(records: &[JsonValue]) -> Vec<(String, &JsonValue)> {
 /// Compares two artifacts; returns human-readable differences (empty when
 /// equivalent). Tables are matched by suite+title and compared cell by
 /// cell; summary counters key by key. Wall-clock fields and span timings
-/// are machine-dependent and deliberately ignored.
-fn diff(a: &[JsonValue], b: &[JsonValue]) -> Vec<String> {
+/// are machine-dependent and deliberately ignored, and columns named in
+/// `ignore` are skipped cell-wise (headers must still agree).
+fn diff(a: &[JsonValue], b: &[JsonValue], ignore: &[String]) -> Vec<String> {
     let mut out = Vec::new();
     let ta = tables_of(a);
     let tb = tables_of(b);
@@ -379,8 +384,11 @@ fn diff(a: &[JsonValue], b: &[JsonValue]) -> Vec<String> {
         }
         for (i, (row_a, row_b)) in rows_a.iter().zip(&rows_b).enumerate() {
             for (c, (cell_a, cell_b)) in row_a.iter().zip(row_b).enumerate() {
+                let col = ha.get(c).map(String::as_str).unwrap_or("?");
+                if ignore.iter().any(|ig| ig == col) {
+                    continue;
+                }
                 if cell_a != cell_b {
-                    let col = ha.get(c).map(String::as_str).unwrap_or("?");
                     out.push(format!(
                         "{key}: row {} column {col:?}: {cell_a:?} vs {cell_b:?}",
                         i + 1
@@ -445,15 +453,32 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
-        [flag, a, b] if flag == "--diff" => {
-            let (ra, rb) = match (load(a), load(b)) {
+        [flag, rest @ ..] if flag == "--diff" => {
+            let (paths, ignore): (&[String], Vec<String>) = match rest {
+                [_, _] => (rest, Vec::new()),
+                [_, _, ig_flag, cols] if ig_flag == "--ignore" => (
+                    &rest[..2],
+                    cols.split(',')
+                        .map(|c| c.trim().to_string())
+                        .filter(|c| !c.is_empty())
+                        .collect(),
+                ),
+                _ => {
+                    eprintln!(
+                        "usage: swreport --diff <a.jsonl> <b.jsonl> [--ignore \"col1,col2\"]"
+                    );
+                    return ExitCode::from(2);
+                }
+            };
+            let (ra, rb) = match (load(&paths[0]), load(&paths[1])) {
                 (Ok(ra), Ok(rb)) => (ra, rb),
                 (Err(e), _) | (_, Err(e)) => {
                     eprintln!("error: {e}");
                     return ExitCode::from(2);
                 }
             };
-            let differences = diff(&ra, &rb);
+            let (a, b) = (&paths[0], &paths[1]);
+            let differences = diff(&ra, &rb, &ignore);
             if differences.is_empty() {
                 println!("{a} and {b}: equivalent (tables and counters match)");
                 ExitCode::SUCCESS
@@ -467,7 +492,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!("usage: swreport <artifact.jsonl>");
-            eprintln!("       swreport --diff <a.jsonl> <b.jsonl>");
+            eprintln!("       swreport --diff <a.jsonl> <b.jsonl> [--ignore \"col1,col2\"]");
             ExitCode::from(2)
         }
     }
@@ -513,11 +538,22 @@ mod tests {
     fn diff_reports_cell_and_counter_changes() {
         let a = sample_artifact("0.900");
         let b = sample_artifact("0.950");
-        assert!(diff(&a, &a).is_empty());
-        let differences = diff(&a, &b);
+        assert!(diff(&a, &a, &[]).is_empty());
+        let differences = diff(&a, &b, &[]);
         assert_eq!(differences.len(), 1);
         assert!(differences[0].contains("\"delivered\""));
         assert!(differences[0].contains("\"0.900\" vs \"0.950\""));
+    }
+
+    #[test]
+    fn ignored_columns_are_skipped() {
+        let a = sample_artifact("0.900");
+        let b = sample_artifact("0.950");
+        let ignore = vec!["delivered".to_string()];
+        assert!(diff(&a, &b, &ignore).is_empty());
+        // ignoring an unrelated column still reports the difference
+        let other = vec!["load".to_string()];
+        assert_eq!(diff(&a, &b, &other).len(), 1);
     }
 
     #[test]
@@ -525,7 +561,7 @@ mod tests {
         let a = sample_artifact("0.900");
         let mut b = a.clone();
         b.retain(|r| record_type(r) != "table");
-        let differences = diff(&a, &b);
+        let differences = diff(&a, &b, &[]);
         assert!(differences
             .iter()
             .any(|d| d.contains("only in first artifact")));

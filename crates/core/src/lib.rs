@@ -18,6 +18,9 @@
 //! * [`index`] — the opt-in edge-packed routing index: per-edge copies of
 //!   neighbor positions and weights, so the hop scan is one sequential
 //!   sweep with no random gathers (bitwise-identical routes, enforced).
+//! * [`packed`] — the φ objective over packed (flat `f64`) geometry, as
+//!   exposed by a memory-mapped `smallworld-store` file: same bitwise
+//!   scores, zero geometry copies.
 //! * [`observe`] — per-hop routing probes: every router reports hops,
 //!   objective values, backtracks and dead ends to a [`RouteObserver`];
 //!   the no-op default monomorphizes to zero cost.
@@ -60,6 +63,7 @@ pub mod lookahead;
 pub mod objective;
 pub mod observe;
 pub mod observers;
+pub mod packed;
 pub mod patching;
 pub mod router;
 pub mod stretch;
@@ -78,6 +82,7 @@ pub use objective::{
     Objective, PreparedObjective, QuantizedHopKernel, QuantizedObjective, RelaxedHopKernel,
     RelaxedObjective, ScoreKernel,
 };
+pub use packed::{PackedGirgHopKernel, PackedGirgObjective};
 pub use patching::{GravityPressureRouter, HistoryRouter, PhiDfsRouter};
 pub use router::{RouteScratch, Router, RouterKind};
 pub use stretch::{stretch, stretch_many};

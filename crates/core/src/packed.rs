@@ -1,0 +1,218 @@
+//! Objectives that score straight off packed (flat `f64`) geometry.
+//!
+//! The on-disk store (`smallworld-store`) keeps vertex positions as one flat
+//! little-endian `f64` array of length `n · d` and weights as a plain `f64`
+//! array — the natural zero-copy view of a memory-mapped file. Rebuilding
+//! `Vec<Point<D>>` from those sections just to construct a
+//! [`GirgObjective`](crate::GirgObjective) would copy the whole geometry and
+//! double the resident set; [`PackedGirgObjective`] instead borrows the flat
+//! slices directly and materializes each `Point` in registers at score time.
+//!
+//! Scores are **bitwise identical** to [`GirgObjective`](crate::GirgObjective):
+//! the op order of φ is replicated exactly, and reconstructing a point from
+//! its canonical coordinates (`0.0 ≤ c < 1.0`, which the store validates on
+//! load) is the identity — [`Point::new`]'s torus wrap maps canonical
+//! coordinates to themselves bit for bit.
+
+use smallworld_geometry::Point;
+use smallworld_graph::NodeId;
+
+use crate::objective::{Objective, ScoreKernel};
+
+/// The paper's objective `φ(v) = w_v / (w_min · n · ‖x_v − x_t‖^d)` (§2.2),
+/// evaluated over packed geometry: a flat `f64` position array (`n · d`
+/// entries, vertex-major) and a weight array, as exposed by a mapped
+/// `.swg` store.
+///
+/// # Examples
+///
+/// ```
+/// use smallworld_core::{Objective, PackedGirgObjective};
+/// use smallworld_graph::NodeId;
+///
+/// // two vertices on the unit torus, packed vertex-major
+/// let positions = [0.25, 0.25, 0.75, 0.75];
+/// let weights = [1.0, 2.0];
+/// let obj = PackedGirgObjective::<2>::new(&positions, &weights, 2.0);
+/// assert!(obj.score(NodeId::new(1), NodeId::new(1)).is_infinite());
+/// assert!(obj.score(NodeId::new(0), NodeId::new(1)) > 0.0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct PackedGirgObjective<'a, const D: usize> {
+    positions: &'a [f64],
+    weights: &'a [f64],
+    norm: f64,
+}
+
+/// Loads vertex `v`'s position out of a flat vertex-major array.
+///
+/// Canonical coordinates pass through [`Point::new`]'s wrap unchanged, so
+/// this reproduces the original `Point` bitwise.
+#[inline]
+fn unpack<const D: usize>(positions: &[f64], v: usize) -> Point<D> {
+    let mut coords = [0.0f64; D];
+    coords.copy_from_slice(&positions[v * D..v * D + D]);
+    Point::new(coords)
+}
+
+impl<'a, const D: usize> PackedGirgObjective<'a, D> {
+    /// Creates the objective over packed geometry with normalization
+    /// `w_min · n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions.len() != weights.len() * D` or the
+    /// normalization is not positive.
+    pub fn new(positions: &'a [f64], weights: &'a [f64], wmin_times_n: f64) -> Self {
+        assert_eq!(
+            positions.len(),
+            weights.len() * D,
+            "positions must hold D coordinates per vertex"
+        );
+        assert!(wmin_times_n > 0.0, "normalization must be positive");
+        PackedGirgObjective {
+            positions,
+            weights,
+            norm: wmin_times_n,
+        }
+    }
+
+    /// Number of vertices the objective covers.
+    pub fn node_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The raw φ value (same as [`Objective::score`] without the
+    /// `v == target` short-circuit).
+    pub fn phi(&self, v: NodeId, target: NodeId) -> f64 {
+        let target_pos = unpack::<D>(self.positions, target.index());
+        let dist_pow_d = unpack::<D>(self.positions, v.index()).distance_pow_d(&target_pos);
+        if dist_pow_d == 0.0 {
+            f64::INFINITY
+        } else {
+            self.weights[v.index()] / (self.norm * dist_pow_d)
+        }
+    }
+}
+
+impl<const D: usize> Objective for PackedGirgObjective<'_, D> {
+    fn score(&self, v: NodeId, target: NodeId) -> f64 {
+        if v == target {
+            return f64::INFINITY;
+        }
+        self.phi(v, target)
+    }
+
+    type Kernel<'k>
+        = PackedGirgHopKernel<'k, D>
+    where
+        Self: 'k;
+
+    fn prepare(&self, target: NodeId) -> Self::Kernel<'_> {
+        PackedGirgHopKernel {
+            positions: self.positions,
+            weights: self.weights,
+            norm: self.norm,
+            target,
+            target_pos: unpack::<D>(self.positions, target.index()),
+        }
+    }
+}
+
+/// Prepared kernel of [`PackedGirgObjective`] with the target position
+/// hoisted into a register copy.
+#[derive(Clone, Copy, Debug)]
+pub struct PackedGirgHopKernel<'k, const D: usize> {
+    positions: &'k [f64],
+    weights: &'k [f64],
+    norm: f64,
+    target: NodeId,
+    target_pos: Point<D>,
+}
+
+impl<const D: usize> ScoreKernel for PackedGirgHopKernel<'_, D> {
+    fn target(&self) -> NodeId {
+        self.target
+    }
+
+    #[inline]
+    fn score(&self, v: NodeId) -> f64 {
+        if v == self.target {
+            return f64::INFINITY;
+        }
+        let dist_pow_d = unpack::<D>(self.positions, v.index()).distance_pow_d(&self.target_pos);
+        if dist_pow_d == 0.0 {
+            f64::INFINITY
+        } else {
+            self.weights[v.index()] / (self.norm * dist_pow_d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GirgObjective;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use smallworld_models::girg::{Girg, GirgBuilder};
+
+    fn pack<const D: usize>(girg: &Girg<D>) -> Vec<f64> {
+        girg.positions()
+            .iter()
+            .flat_map(|p| p.coords().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn scores_match_point_based_objective_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let girg: Girg<2> = GirgBuilder::new(500).sample(&mut rng).unwrap();
+        let flat = pack(&girg);
+        let packed = PackedGirgObjective::<2>::new(&flat, girg.weights(), {
+            let p = girg.params();
+            p.wmin * p.intensity
+        });
+        let reference = GirgObjective::new(&girg);
+        let n = girg.node_count();
+        for t in (0..n).step_by(17) {
+            let t = NodeId::new(t as u32);
+            let kernel = packed.prepare(t);
+            let ref_kernel = reference.prepare(t);
+            for v in 0..n as u32 {
+                let v = NodeId::new(v);
+                let a = reference.score(v, t);
+                let b = packed.score(v, t);
+                assert!(
+                    a.to_bits() == b.to_bits(),
+                    "score mismatch at v={v:?} t={t:?}: {a} vs {b}"
+                );
+                assert_eq!(kernel.score(v).to_bits(), ref_kernel.score(v).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn one_dimensional_geometry_unpacks() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let girg: Girg<1> = GirgBuilder::new(200).sample(&mut rng).unwrap();
+        let flat = pack(&girg);
+        let p = girg.params();
+        let packed = PackedGirgObjective::<1>::new(&flat, girg.weights(), p.wmin * p.intensity);
+        let reference = GirgObjective::new(&girg);
+        let t = NodeId::new(0);
+        for v in 0..girg.node_count() as u32 {
+            let v = NodeId::new(v);
+            assert_eq!(
+                packed.score(v, t).to_bits(),
+                reference.score(v, t).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positions must hold D coordinates")]
+    fn mismatched_lengths_panic() {
+        let _ = PackedGirgObjective::<2>::new(&[0.0; 5], &[1.0; 2], 1.0);
+    }
+}

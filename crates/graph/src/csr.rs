@@ -78,6 +78,12 @@ pub enum GraphError {
         /// The node with the loop.
         node: NodeId,
     },
+    /// Pre-built CSR arrays handed to [`Graph::from_sorted_csr`] violated
+    /// the representation invariants.
+    MalformedCsr {
+        /// Which invariant failed.
+        detail: &'static str,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -87,6 +93,7 @@ impl fmt::Display for GraphError {
                 write!(f, "node {node} out of range for graph with {node_count} nodes")
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::MalformedCsr { detail } => write!(f, "malformed CSR arrays: {detail}"),
         }
     }
 }
@@ -275,6 +282,74 @@ impl Graph {
             offsets: new_offsets,
             targets: targets.into_iter().map(NodeId::new).collect(),
         })
+    }
+
+    /// Builds a graph directly from pre-validated CSR arrays, skipping the
+    /// edge-list sort/dedup pipeline — the decode path of the compressed
+    /// on-disk store (`smallworld-store`), where the arrays were produced
+    /// from a valid [`Graph`] in the first place.
+    ///
+    /// The representation invariants are re-checked in one linear pass
+    /// (monotone offsets covering `targets`, each neighbor list strictly
+    /// increasing, ids in range, no self-loops). Symmetry of the adjacency
+    /// relation is **not** re-verified — checking it costs a binary search
+    /// per half-edge, and the store's per-section checksums already guard
+    /// against corruption; callers constructing arrays by hand must supply
+    /// both directions of every edge themselves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MalformedCsr`] if the arrays violate any of
+    /// the checked invariants.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use smallworld_graph::{Graph, NodeId};
+    ///
+    /// let offsets = vec![0, 1, 2];
+    /// let targets = vec![NodeId::new(1), NodeId::new(0)];
+    /// let g = Graph::from_sorted_csr(offsets, targets)?;
+    /// assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+    /// # Ok::<(), smallworld_graph::GraphError>(())
+    /// ```
+    pub fn from_sorted_csr(
+        offsets: Vec<usize>,
+        targets: Vec<NodeId>,
+    ) -> Result<Graph, GraphError> {
+        let malformed = |detail| Err(GraphError::MalformedCsr { detail });
+        if offsets.is_empty() {
+            return malformed("offsets array is empty");
+        }
+        if offsets[0] != 0 {
+            return malformed("offsets must start at 0");
+        }
+        if *offsets.last().expect("non-empty") != targets.len() {
+            return malformed("offsets must end at targets.len()");
+        }
+        let n = offsets.len() - 1;
+        for v in 0..n {
+            let (lo, hi) = (offsets[v], offsets[v + 1]);
+            if lo > hi {
+                return malformed("offsets must be nondecreasing");
+            }
+            if hi > targets.len() {
+                return malformed("offset beyond targets.len()");
+            }
+            let list = &targets[lo..hi];
+            for (i, &t) in list.iter().enumerate() {
+                if t.index() >= n {
+                    return malformed("neighbor id out of range");
+                }
+                if t.index() == v {
+                    return malformed("self-loop in neighbor list");
+                }
+                if i > 0 && list[i - 1] >= t {
+                    return malformed("neighbor list not strictly increasing");
+                }
+            }
+        }
+        Ok(Graph { offsets, targets })
     }
 
     /// Number of nodes.
@@ -742,6 +817,34 @@ mod tests {
         let v: NodeId = 3u32.into();
         assert_eq!(v, NodeId::from_index(3));
         assert_eq!(format!("{v}"), "v3");
+    }
+
+    #[test]
+    fn from_sorted_csr_roundtrips_a_built_graph() {
+        let g = Graph::from_edges(6, [(0u32, 1u32), (1, 2), (2, 3), (0, 5), (4, 1)]).unwrap();
+        let offsets = g.offsets().to_vec();
+        let targets = g.targets.clone();
+        let rebuilt = Graph::from_sorted_csr(offsets, targets).unwrap();
+        assert_eq!(rebuilt, g);
+    }
+
+    #[test]
+    fn from_sorted_csr_rejects_invariant_violations() {
+        let bad = |offsets: Vec<usize>, targets: Vec<u32>, what: &str| {
+            let targets = targets.into_iter().map(NodeId::new).collect();
+            let err = Graph::from_sorted_csr(offsets, targets).unwrap_err();
+            assert!(
+                matches!(err, GraphError::MalformedCsr { .. }),
+                "{what}: {err}"
+            );
+        };
+        bad(vec![], vec![], "empty offsets");
+        bad(vec![1, 2], vec![1, 0], "nonzero start");
+        bad(vec![0, 1], vec![1, 0], "short final offset");
+        bad(vec![0, 2, 1], vec![1], "decreasing offsets");
+        bad(vec![0, 1, 2], vec![5, 0], "target out of range");
+        bad(vec![0, 1, 2], vec![0, 0], "self-loop");
+        bad(vec![0, 2, 2], vec![1, 1], "duplicate neighbor");
     }
 
     #[test]

@@ -16,6 +16,13 @@
 //!
 //! Floating point values round-trip exactly (written with `{:?}`, Rust's
 //! shortest-exact formatting).
+//!
+//! This text format stays as the debuggable, tool-friendly interchange
+//! path. For anything performance-sensitive, prefer the `smallworld-store`
+//! crate's binary `.swg` container (compressed CSR, checksummed sections,
+//! zero-copy mmap loads) — its `save_girg`/`load_girg` dispatch on the
+//! file extension and route *this* format through the same unified API
+//! and error type, so callers never need to use this module directly.
 
 use std::io::{BufRead, Write};
 

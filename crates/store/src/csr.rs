@@ -1,0 +1,269 @@
+//! In-memory compressed CSR: delta+varint neighbor streams behind a
+//! fixed-width byte-offset index.
+//!
+//! The layout mirrors an ordinary CSR — `offsets[v]..offsets[v+1]` delimits
+//! vertex `v`'s data — except the per-vertex payload is the
+//! [`varint`](crate::varint) delta stream of its sorted neighbor list
+//! instead of raw `u32`s. Random access to any single vertex's neighbors
+//! therefore stays O(degree), while a Morton-relabeled graph compresses to
+//! a fraction of the raw 4 bytes per half-edge.
+
+use smallworld_graph::{Graph, NodeId};
+
+use crate::varint;
+use crate::StoreError;
+
+/// A compressed CSR adjacency: the in-memory form of the `.swg` OFFSETS and
+/// NBR sections.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompressedCsr {
+    node_count: usize,
+    /// Total neighbor-list entries (`2m` for an undirected graph).
+    target_count: usize,
+    /// `offsets[v]..offsets[v+1]` delimits `data` for vertex `v`;
+    /// `offsets.len() == node_count + 1`.
+    offsets: Vec<u64>,
+    /// Concatenated varint delta streams.
+    data: Vec<u8>,
+}
+
+impl CompressedCsr {
+    /// Compresses a graph's adjacency. The graph is not consumed; the
+    /// result is independent of it.
+    pub fn from_graph(graph: &Graph) -> CompressedCsr {
+        let n = graph.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        // Morton-relabeled graphs average ~1–2 bytes per entry; reserve a
+        // middle-ground estimate to avoid rehash-like regrowth.
+        let mut data = Vec::with_capacity(graph.edge_count().saturating_mul(4));
+        let mut target_count = 0usize;
+        offsets.push(0);
+        let mut scratch: Vec<u32> = Vec::new();
+        for v in graph.nodes() {
+            scratch.clear();
+            scratch.extend(graph.neighbors(v).iter().map(|t| t.raw()));
+            varint::encode_sorted(&scratch, &mut data);
+            target_count += scratch.len();
+            offsets.push(data.len() as u64);
+        }
+        CompressedCsr {
+            node_count: n,
+            target_count,
+            offsets,
+            data,
+        }
+    }
+
+    /// Reassembles a compressed CSR from its stored arrays, validating the
+    /// offset index (the data streams themselves are validated on decode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Corrupt`] if the offsets are not a monotone
+    /// cover of `data`.
+    pub fn from_raw_parts(
+        offsets: Vec<u64>,
+        data: Vec<u8>,
+        target_count: usize,
+    ) -> Result<CompressedCsr, StoreError> {
+        if offsets.is_empty() {
+            return Err(StoreError::Corrupt("empty compressed offset index".into()));
+        }
+        if offsets[0] != 0 {
+            return Err(StoreError::Corrupt("compressed offsets must start at 0".into()));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(StoreError::Corrupt("compressed offsets decrease".into()));
+        }
+        if *offsets.last().expect("non-empty") != data.len() as u64 {
+            return Err(StoreError::Corrupt(
+                "compressed offsets do not cover the data stream".into(),
+            ));
+        }
+        Ok(CompressedCsr {
+            node_count: offsets.len() - 1,
+            target_count,
+            offsets,
+            data,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Total neighbor-list entries across all vertices (`2m`).
+    pub fn target_count(&self) -> usize {
+        self.target_count
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.target_count / 2
+    }
+
+    /// The byte-offset index (length `node_count + 1`).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The concatenated varint streams.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Total in-memory footprint of the compressed form: data bytes plus
+    /// the 8-byte-per-vertex offset index.
+    pub fn byte_len(&self) -> usize {
+        self.data.len() + self.offsets.len() * 8
+    }
+
+    /// The raw (uncompressed) CSR footprint of the same adjacency:
+    /// `usize` offsets plus `u32` targets — the baseline the compression
+    /// ratio is measured against.
+    pub fn raw_byte_len(&self) -> usize {
+        (self.node_count + 1) * std::mem::size_of::<usize>() + self.target_count * 4
+    }
+
+    /// Decodes one vertex's neighbor list, appending to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Corrupt`] on a malformed stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= node_count`.
+    pub fn decode_list(&self, v: usize, out: &mut Vec<u32>) -> Result<(), StoreError> {
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        varint::decode_sorted(&self.data[lo..hi], out)
+    }
+
+    /// Decodes the full adjacency back into a [`Graph`], re-validating the
+    /// CSR invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Corrupt`] on malformed streams or
+    /// [`StoreError::Graph`] if the decoded arrays violate the graph's
+    /// invariants (out-of-range ids, self-loops, unsorted lists).
+    pub fn decode(&self) -> Result<Graph, StoreError> {
+        let n = self.node_count;
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets: Vec<u32> = Vec::with_capacity(self.target_count);
+        offsets.push(0usize);
+        for v in 0..n {
+            self.decode_list(v, &mut targets)?;
+            offsets.push(targets.len());
+        }
+        if targets.len() != self.target_count {
+            return Err(StoreError::Corrupt(format!(
+                "decoded {} adjacency entries, header claims {}",
+                targets.len(),
+                self.target_count
+            )));
+        }
+        let targets: Vec<NodeId> = targets.into_iter().map(NodeId::new).collect();
+        Ok(Graph::from_sorted_csr(offsets, targets)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> Graph {
+        Graph::from_edges(
+            8,
+            [
+                (0u32, 1u32),
+                (0, 7),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (1, 6),
+                (2, 5),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = sample_graph();
+        let c = CompressedCsr::from_graph(&g);
+        assert_eq!(c.node_count(), g.node_count());
+        assert_eq!(c.edge_count(), g.edge_count());
+        assert_eq!(c.decode().unwrap(), g);
+    }
+
+    #[test]
+    fn empty_and_isolated_graphs_roundtrip() {
+        let empty = Graph::from_edges(0, Vec::<(u32, u32)>::new()).unwrap();
+        assert_eq!(CompressedCsr::from_graph(&empty).decode().unwrap(), empty);
+        let isolated = Graph::from_edges(5, [(1u32, 3u32)]).unwrap();
+        let c = CompressedCsr::from_graph(&isolated);
+        assert_eq!(c.decode().unwrap(), isolated);
+        assert_eq!(c.target_count(), 2);
+    }
+
+    #[test]
+    fn compresses_dense_id_neighborhoods() {
+        // a path graph has gaps of at most 2: every entry fits one byte
+        let n = 10_000u32;
+        let g = Graph::from_edges(n as usize, (0..n - 1).map(|i| (i, i + 1))).unwrap();
+        let c = CompressedCsr::from_graph(&g);
+        // the varint streams shrink the 4-byte targets by >2× even before
+        // accounting for the offset index…
+        assert!(
+            c.data().len() * 2 < c.target_count() * 4,
+            "data {} targets raw {}",
+            c.data().len(),
+            c.target_count() * 4
+        );
+        // …and the total stays below raw even at this pathological average
+        // degree of 2, where the fixed offset index dominates
+        assert!(
+            c.byte_len() < c.raw_byte_len(),
+            "compressed {} raw {}",
+            c.byte_len(),
+            c.raw_byte_len()
+        );
+        assert_eq!(c.decode().unwrap(), g);
+    }
+
+    #[test]
+    fn raw_parts_validation() {
+        let g = sample_graph();
+        let c = CompressedCsr::from_graph(&g);
+        let ok = CompressedCsr::from_raw_parts(
+            c.offsets().to_vec(),
+            c.data().to_vec(),
+            c.target_count(),
+        )
+        .unwrap();
+        assert_eq!(ok, c);
+        assert!(CompressedCsr::from_raw_parts(vec![], vec![], 0).is_err());
+        assert!(CompressedCsr::from_raw_parts(vec![1, 1], vec![0], 1).is_err());
+        assert!(CompressedCsr::from_raw_parts(vec![0, 2, 1], vec![0, 0], 2).is_err());
+        assert!(CompressedCsr::from_raw_parts(vec![0, 1], vec![0, 0], 1).is_err());
+    }
+
+    #[test]
+    fn wrong_target_count_is_rejected() {
+        let g = sample_graph();
+        let c = CompressedCsr::from_graph(&g);
+        let lying = CompressedCsr::from_raw_parts(
+            c.offsets().to_vec(),
+            c.data().to_vec(),
+            c.target_count() + 1,
+        )
+        .unwrap();
+        assert!(lying.decode().is_err());
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`core`] — greedy routing, patching protocols and trajectory analysis,
 //! * [`net`] — discrete-event simulation of concurrent packets with
 //!   latency, queues, and seeded faults,
+//! * [`store`] — the compressed, checksummed, mmap-able `.swg` on-disk
+//!   graph store with geometric shard partitions,
 //! * [`analysis`] — statistics used by the experiment harness.
 //!
 //! # Quickstart
@@ -41,6 +43,7 @@ pub use smallworld_geometry as geometry;
 pub use smallworld_graph as graph;
 pub use smallworld_models as models;
 pub use smallworld_net as net;
+pub use smallworld_store as store;
 
 /// Convenience re-exports for the common workflow: sample a model, route,
 /// measure.
