@@ -377,7 +377,10 @@ fn check(contents: &str) -> Result<String, String> {
                     && record
                         .get("headers")
                         .and_then(JsonValue::as_array)
-                        .is_some_and(|h| h.iter().any(|c| c.as_str() == Some("hops/sec")))
+                        .is_some_and(|h| {
+                            h.iter().any(|c| c.as_str() == Some("hops/sec"))
+                                && h.iter().any(|c| c.as_str() == Some("variant"))
+                        })
             })
             .ok_or("bench_routing artifact has no throughput table")?;
         let headers = throughput.1.get("headers").and_then(JsonValue::as_array);
@@ -385,21 +388,111 @@ fn check(contents: &str) -> Result<String, String> {
         let (Some(headers), Some(rows)) = (headers, rows) else {
             return Err("throughput table malformed".into());
         };
-        for column in ["hops/sec", "speedup"] {
-            let c = headers
+        let column = |name: &str| {
+            headers
                 .iter()
-                .position(|h| h.as_str() == Some(column))
-                .ok_or_else(|| format!("throughput table missing column {column:?}"))?;
+                .position(|h| h.as_str() == Some(name))
+                .ok_or_else(|| format!("throughput table missing column {name:?}"))
+        };
+        let cell = |row: &JsonValue, c: usize| -> Result<String, String> {
+            row.as_array()
+                .and_then(|r| r.get(c))
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| "throughput cell is not a string".to_string())
+        };
+        let numeric = |v: &str| -> Result<f64, String> {
+            v.parse()
+                .map_err(|_| format!("throughput cell {v:?} is not numeric"))
+        };
+        for column_name in ["hops/sec", "speedup"] {
+            let c = column(column_name)?;
             for row in rows {
-                let cell = row
-                    .as_array()
-                    .and_then(|r| r[c].as_str())
-                    .ok_or_else(|| format!("throughput cell in {column:?} is not a string"))?;
-                let value: f64 = cell
-                    .parse()
-                    .map_err(|_| format!("throughput cell {cell:?} is not numeric"))?;
+                let value = numeric(&cell(row, c)?)?;
                 if value <= 0.0 {
-                    return Err(format!("throughput {column:?} value {value} not positive"));
+                    return Err(format!("throughput {column_name:?} value {value} not positive"));
+                }
+            }
+        }
+        let full_scale = records[0].1.get("scale").and_then(JsonValue::as_str) == Some("full");
+        // the SoA-index variant is the tentpole: it must be present, and
+        // at full scale it must clear the 5x acceptance bound over naive
+        let (variant_c, speedup_c) = (column("variant")?, column("speedup")?);
+        let mut soa_speedup = None;
+        for row in rows {
+            if cell(row, variant_c)? == "kernel+soa-index" {
+                soa_speedup = Some(numeric(&cell(row, speedup_c)?)?);
+            }
+        }
+        let soa_speedup =
+            soa_speedup.ok_or("throughput table has no \"kernel+soa-index\" row")?;
+        if full_scale && soa_speedup < 5.0 {
+            return Err(format!(
+                "kernel+soa-index speedup {soa_speedup} below the 5x acceptance bound"
+            ));
+        }
+        // the thread-scaling table pins the batched path: identical hops
+        // at every thread count, a unit baseline row, and (at full scale,
+        // for thread counts the host can actually run in parallel) >= 0.7
+        // parallel efficiency
+        let scaling = records
+            .iter()
+            .find(|(kind, record)| {
+                kind == "table"
+                    && record
+                        .get("headers")
+                        .and_then(JsonValue::as_array)
+                        .is_some_and(|h| h.iter().any(|c| c.as_str() == Some("efficiency")))
+            })
+            .ok_or("bench_routing artifact has no thread-scaling table (no \"efficiency\" column)")?;
+        let sheaders = scaling.1.get("headers").and_then(JsonValue::as_array);
+        let srows = scaling.1.get("rows").and_then(JsonValue::as_array);
+        let (Some(sheaders), Some(srows)) = (sheaders, srows) else {
+            return Err("thread-scaling table malformed".into());
+        };
+        let scolumn = |name: &str| {
+            sheaders
+                .iter()
+                .position(|h| h.as_str() == Some(name))
+                .ok_or_else(|| format!("thread-scaling table missing column {name:?}"))
+        };
+        let scell = |row: &JsonValue, c: usize| -> Result<String, String> {
+            row.as_array()
+                .and_then(|r| r.get(c))
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| "thread-scaling cell is not a string".to_string())
+        };
+        let threads_c = scolumn("threads")?;
+        let hops_c = scolumn("hops")?;
+        let sspeedup_c = scolumn("speedup")?;
+        let efficiency_c = scolumn("efficiency")?;
+        let cores_c = scolumn("host cores")?;
+        if srows.is_empty() {
+            return Err("thread-scaling table has no rows".into());
+        }
+        let reference_hops = scell(&srows[0], hops_c)?;
+        for row in srows {
+            let hops = scell(row, hops_c)?;
+            if hops != reference_hops {
+                return Err(format!(
+                    "thread-scaling hops {hops} differ from {reference_hops}: the batched path is not thread-count invariant"
+                ));
+            }
+            let threads: f64 = numeric(&scell(row, threads_c)?)?;
+            let speedup: f64 = numeric(&scell(row, sspeedup_c)?)?;
+            let cores: f64 = numeric(&scell(row, cores_c)?)?;
+            if threads == 1.0 && speedup != 1.0 {
+                return Err(format!(
+                    "thread-scaling baseline row has speedup {speedup}, expected exactly 1.000"
+                ));
+            }
+            if full_scale && threads > 1.0 && threads <= cores {
+                let efficiency: f64 = numeric(&scell(row, efficiency_c)?)?;
+                if efficiency < 0.7 {
+                    return Err(format!(
+                        "parallel efficiency {efficiency} at {threads} threads below the 0.7 acceptance bound"
+                    ));
                 }
             }
         }

@@ -1,7 +1,8 @@
 //! Routing-throughput benchmark: hops per second on a pre-sampled GIRG,
 //! comparing the naive per-candidate score path against the prepared-kernel
-//! hot path and the edge-packed routing index (with and without
-//! Morton-order vertex relabeling).
+//! hot path and the SoA routing index (with and without Morton-order
+//! vertex relabeling), plus a thread-scaling matrix over the batched
+//! `TrialBatch` path.
 //!
 //! ```console
 //! cargo run --release -p smallworld-bench --bin bench_routing -- \
@@ -13,10 +14,14 @@
 //! equivalence guarantees of `smallworld-core` (enforced in
 //! `tests/kernel_equivalence.rs`), produce bitwise-identical routes — so
 //! the hop totals must agree across variants and only the wall-clock may
-//! differ. The benchmark asserts exactly that before reporting.
+//! differ. The benchmark asserts exactly that before reporting. The same
+//! invariance holds across thread counts in the scaling table: trial RNG
+//! is seeded per trial, so hops are identical at every row.
 //!
-//! Trials run on one thread: the point is per-hop cost, not pool scaling,
+//! Throughput trials run on one thread: the point there is per-hop cost,
 //! and single-threaded wall-clock keeps the speedup column noise-free.
+//! The scaling table then holds the fastest variant fixed and sweeps the
+//! pool width.
 
 use std::time::Instant;
 
@@ -90,14 +95,14 @@ fn throughput_table(girg: &Girg<2>, pairs: usize, seed: u64) -> Vec<Table> {
         ),
         measure("kernel", &batch, &GirgObjective::new(girg), seed, &pool),
         measure(
-            "kernel+index",
+            "kernel+soa-index",
             &batch,
             &IndexedGirgObjective::new(GirgObjective::new(girg), &index),
             seed,
             &pool,
         ),
         measure(
-            "kernel+index+morton",
+            "kernel+soa-index+morton",
             &batch_re,
             &IndexedGirgObjective::new(GirgObjective::new(&relabeled), &index_re),
             seed,
@@ -128,16 +133,65 @@ fn throughput_table(girg: &Girg<2>, pairs: usize, seed: u64) -> Vec<Table> {
         ]);
     }
 
-    let mut memory = Table::new(["vertices", "edge slots", "index bytes", "bytes/slot"])
-        .title("routing index memory");
-    memory.row([
-        index.node_count().to_string(),
-        index.entry_count().to_string(),
-        index.bytes().to_string(),
-        format!("{:.1}", index.bytes() as f64 / index.entry_count().max(1) as f64),
-    ]);
+    // the scaling matrix holds the SoA-indexed variant fixed and sweeps
+    // pool width over the batched TrialBatch path; trial seeding makes the
+    // hop totals thread-count invariant, so only wall-clock may move
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let objective = IndexedGirgObjective::new(GirgObjective::new(girg), &index);
+    let mut scaled = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let pool = Pool::with_threads(threads);
+        let m = measure("kernel+soa-index", &batch, &objective, seed, &pool);
+        assert_eq!(
+            m.hops, measurements[0].hops,
+            "thread count {threads} changed the routed hops"
+        );
+        scaled.push((threads, m));
+    }
+    let base_rate = scaled[0].1.hops_per_sec();
+    let mut scaling = Table::new([
+        "threads",
+        "pairs",
+        "hops",
+        "wall secs",
+        "hops/sec",
+        "speedup",
+        "efficiency",
+        "host cores",
+    ])
+    .title("batched trial scaling (kernel+soa-index)");
+    for (threads, m) in &scaled {
+        let speedup = m.hops_per_sec() / base_rate;
+        scaling.row([
+            threads.to_string(),
+            pairs.to_string(),
+            m.hops.to_string(),
+            format!("{:.4}", m.wall_secs),
+            format!("{:.0}", m.hops_per_sec()),
+            format!("{:.3}", speedup),
+            format!("{:.3}", speedup / *threads as f64),
+            host_cores.to_string(),
+        ]);
+    }
 
-    vec![table, memory]
+    // weight lane is optional (satellite: positions-only objectives skip
+    // it), so the memory table reports both layouts
+    let lean = RoutingIndex::for_girg_positions_only(girg);
+    let mut memory = Table::new(["layout", "vertices", "edge slots", "index bytes", "bytes/slot"])
+        .title("routing index memory");
+    for (layout, ix) in [("weighted", &index), ("positions-only", &lean)] {
+        memory.row([
+            layout.to_string(),
+            ix.node_count().to_string(),
+            ix.entry_count().to_string(),
+            ix.bytes().to_string(),
+            format!("{:.1}", ix.bytes() as f64 / ix.entry_count().max(1) as f64),
+        ]);
+    }
+
+    vec![table, scaling, memory]
 }
 
 fn main() {

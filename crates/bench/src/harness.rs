@@ -527,6 +527,11 @@ impl<'a> TrialBatch<'a> {
     /// across its whole chunk. Trial `i`'s RNG is still seeded from
     /// `(master_seed, i)` alone, so results are independent of both the
     /// thread count and the chunking.
+    ///
+    /// Each chunk draws all of its endpoint pairs up front and prepares the
+    /// targets in one [`Objective::prepare_batch`] call; the routing loop
+    /// then runs over the prepared kernels via [`Router::route_prepared`],
+    /// amortizing per-target setup without touching the trial RNG stream.
     fn run_chunked<R, O>(
         &self,
         router: &R,
@@ -557,25 +562,36 @@ impl<'a> TrialBatch<'a> {
             let hop_hdr = smallworld_obs::metrics::hdr("route.hops");
             let mut out = Vec::with_capacity(range.len());
             let mut stretches = StretchBatch::new(self.measure_stretch);
-            for i in range {
-                let mut rng = StdRng::seed_from_u64(split_seed(master_seed, i as u64));
-                let (s, t) = loop {
-                    let s = NodeId::from_index(rng.gen_range(0..n));
-                    let t = NodeId::from_index(rng.gen_range(0..n));
-                    if t == s {
-                        continue;
+            // phase 1: draw every trial's endpoints exactly as the scalar
+            // path did — the RNG stream per trial is untouched, so the pair
+            // sequence is bitwise-identical to pre-batched runs
+            let endpoints: Vec<(NodeId, NodeId)> = range
+                .clone()
+                .map(|i| {
+                    let mut rng = StdRng::seed_from_u64(split_seed(master_seed, i as u64));
+                    loop {
+                        let s = NodeId::from_index(rng.gen_range(0..n));
+                        let t = NodeId::from_index(rng.gen_range(0..n));
+                        if t == s {
+                            continue;
+                        }
+                        let (s, t) = match self.id_map {
+                            Some(perm) => (perm.forward(s), perm.forward(t)),
+                            None => (s, t),
+                        };
+                        if self.connected_only && !self.components.same_component(s, t) {
+                            continue;
+                        }
+                        break (s, t);
                     }
-                    let (s, t) = match self.id_map {
-                        Some(perm) => (perm.forward(s), perm.forward(t)),
-                        None => (s, t),
-                    };
-                    if self.connected_only && !self.components.same_component(s, t) {
-                        continue;
-                    }
-                    break (s, t);
-                };
+                })
+                .collect();
+            // phase 2: prepare all targets at once, then route each trial
+            // against its prepared kernel
+            let prepared = objective.prepare_batch(endpoints.iter().map(|&(_, t)| t));
+            for (k, &(s, t)) in endpoints.iter().enumerate() {
                 let record =
-                    router.route_with(self.graph, objective, s, t, &mut obs, &mut scratch);
+                    router.route_prepared(self.graph, prepared.kernel(k), s, &mut obs, &mut scratch);
                 if record.is_success() {
                     hop_hdr.record(record.hops() as u64);
                 }
@@ -805,6 +821,30 @@ mod tests {
         let plain = batch.run_recorded(&router, &obj, 0x1D5, &Pool::with_threads(1));
         let fast = batch.run_recorded(&router, &indexed, 0x1D5, &Pool::with_threads(4));
         assert_eq!(plain, fast);
+    }
+
+    /// The batched prepare-then-route path is thread-count invariant over
+    /// the blocked SoA sweep: 1, 2, and 8 worker threads must produce
+    /// bitwise-identical records (the per-trial RNG seeding makes the pair
+    /// sequence independent of chunking).
+    #[test]
+    fn trial_batch_batched_path_is_invariant_at_1_2_and_8_threads() {
+        use smallworld_core::{IndexedGirgObjective, RoutingIndex};
+        let mut rng = StdRng::seed_from_u64(29);
+        let girg = GirgBuilder::<2>::new(900).sample(&mut rng).unwrap();
+        let comps = Components::compute(girg.graph());
+        let index = RoutingIndex::for_girg(&girg);
+        let indexed = IndexedGirgObjective::new(GirgObjective::new(&girg), &index);
+        let batch = TrialBatch::new(girg.graph(), &comps, 96)
+            .measure_stretch(true)
+            .connected_only(true);
+        let router = GreedyRouter::new();
+        let one = batch.run_recorded(&router, &indexed, 0xBA7C, &Pool::with_threads(1));
+        let two = batch.run_recorded(&router, &indexed, 0xBA7C, &Pool::with_threads(2));
+        let eight = batch.run_recorded(&router, &indexed, 0xBA7C, &Pool::with_threads(8));
+        assert_eq!(one.len(), 96);
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
     }
 
     /// Successful trials land their hop counts in the global `route.hops`

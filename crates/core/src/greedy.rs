@@ -125,22 +125,21 @@ impl Default for GreedyRouter {
     }
 }
 
-impl crate::router::Router for GreedyRouter {
-    fn name(&self) -> &'static str {
-        "greedy"
-    }
-
-    fn route_with<O: Objective, Obs: RouteObserver>(
+impl GreedyRouter {
+    /// The kernel-level greedy loop shared by [`Router::route_with`] (which
+    /// prepares per call) and [`Router::route_prepared`] (which enters with
+    /// a batch-prepared kernel): both paths run this exact code, so their
+    /// records and observer events agree bitwise.
+    fn route_kernel<K: ScoreKernel, Obs: RouteObserver>(
         &self,
         graph: &Graph,
-        objective: &O,
+        kernel: &K,
         s: NodeId,
-        t: NodeId,
         obs: &mut Obs,
         scratch: &mut RouteScratch,
     ) -> RouteRecord {
+        let t = kernel.target();
         obs.on_start(s, t);
-        let kernel = objective.prepare(t);
         let mut path = scratch.take_path();
         path.push(s);
         let mut current = s;
@@ -178,6 +177,36 @@ impl crate::router::Router for GreedyRouter {
                 }
             }
         }
+    }
+}
+
+impl crate::router::Router for GreedyRouter {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn route_with<O: Objective, Obs: RouteObserver>(
+        &self,
+        graph: &Graph,
+        objective: &O,
+        s: NodeId,
+        t: NodeId,
+        obs: &mut Obs,
+        scratch: &mut RouteScratch,
+    ) -> RouteRecord {
+        let kernel = objective.prepare(t);
+        self.route_kernel(graph, &kernel, s, obs, scratch)
+    }
+
+    fn route_prepared<K: ScoreKernel, Obs: RouteObserver>(
+        &self,
+        graph: &Graph,
+        kernel: &K,
+        s: NodeId,
+        obs: &mut Obs,
+        scratch: &mut RouteScratch,
+    ) -> RouteRecord {
+        self.route_kernel(graph, kernel, s, obs, scratch)
     }
 }
 

@@ -1,4 +1,5 @@
-//! An opt-in edge-packed routing index: the hot-path layout for greedy hops.
+//! An opt-in structure-of-arrays routing index: the hot-path layout for
+//! greedy hops.
 //!
 //! Greedy routing spends essentially all of its time in one loop: scan the
 //! neighbors of the current vertex and score each against the target. With
@@ -8,58 +9,63 @@
 //! prefetcher cannot help and most of the hop is spent waiting on cache
 //! misses.
 //!
-//! [`RoutingIndex`] trades memory for locality: it is built once per graph
-//! and stores, for every CSR edge slot, a copy of the neighbor's position,
-//! weight, and id. The per-hop scan then reads one contiguous slice of
-//! [`size_of::<EdgeEntry<D>>`](std::mem::size_of) bytes per neighbor —
-//! purely sequential, no gathers. The cost is ~32 bytes per *directed* edge
-//! slot for `D = 2` (versus 4 bytes for the bare adjacency entry), reported
-//! exactly by [`RoutingIndex::bytes`].
+//! [`RoutingIndex`] trades memory for locality *and* vectorizability: it is
+//! built once per graph and stores, in CSR slot order, one contiguous f64
+//! lane per position dimension, an optional weight lane, and a neighbor-id
+//! lane. The per-hop scan then sweeps [`BLOCK_WIDTH`](crate::block)-slot
+//! blocks of each lane with the straight-line kernels of [`crate::block`]
+//! — sequential loads LLVM auto-vectorizes, plus software prefetch of the
+//! next block. Cost: 28 bytes per *directed* edge slot for a weighted
+//! `D = 2` index, 20 bytes without the weight lane (see
+//! [`RoutingIndex::positions_only`]), reported exactly by
+//! [`RoutingIndex::bytes`].
 //!
 //! The index plugs in through the same [`Objective`]/[`ScoreKernel`] pair as
 //! everything else: [`IndexedGirgObjective`] and [`IndexedDistanceObjective`]
 //! wrap their base objectives and return kernels whose
-//! [`ScoreKernel::best_neighbor`] override sweeps the packed entries.
-//! Because each entry holds bit-copies of the same coordinates the base
-//! objective reads, and the sweep performs the identical operations in
-//! identical (adjacency) order, the override is bitwise-faithful: routers
-//! produce byte-identical `RouteRecord`s with the index on or off (enforced
-//! by the `kernel_equivalence` suite).
+//! [`ScoreKernel::best_neighbor`] override sweeps the packed lanes. Because
+//! each slot holds bit-copies of the same coordinates the base objective
+//! reads, the blocked kernels perform the identical per-slot operation
+//! chains (see [`crate::block`]), and the argmax fold preserves the
+//! first-best-in-adjacency-order tie-break, the override is bitwise-faithful:
+//! routers produce byte-identical `RouteRecord`s with the index on or off
+//! (enforced by the `kernel_equivalence` suite).
+
+use std::ops::Range;
 
 use smallworld_geometry::Point;
 use smallworld_graph::{Graph, NodeId};
 use smallworld_models::girg::Girg;
 
+use crate::block;
 use crate::objective::{
     DistanceHopKernel, DistanceObjective, GirgHopKernel, GirgObjective, Objective, ScoreKernel,
 };
 
-/// One packed edge slot: everything a hop needs to score this neighbor.
-#[derive(Clone, Copy, Debug)]
-struct EdgeEntry<const D: usize> {
-    /// Bit-copy of the neighbor's position.
-    pos: Point<D>,
-    /// Bit-copy of the neighbor's weight.
-    weight: f64,
-    /// The neighbor's id, for reporting the argmax.
-    node: NodeId,
-}
-
-/// The edge-packed routing index; see the [module docs](self).
+/// The structure-of-arrays routing index; see the [module docs](self).
 ///
-/// Built once per graph with [`RoutingIndex::build`] (or
-/// [`RoutingIndex::for_girg`]) and shared immutably by any number of
-/// concurrent routing workers.
+/// Built once per graph with [`RoutingIndex::build`] /
+/// [`RoutingIndex::positions_only`] (or [`RoutingIndex::for_girg`]) and
+/// shared immutably by any number of concurrent routing workers.
 #[derive(Clone, Debug)]
 pub struct RoutingIndex<const D: usize> {
+    /// CSR offsets: slots of vertex `v` are `offsets[v]..offsets[v + 1]`.
     offsets: Vec<usize>,
-    entries: Vec<EdgeEntry<D>>,
+    /// One lane per position dimension; `lanes[k][s]` is coordinate `k` of
+    /// the neighbor in slot `s`.
+    lanes: [Vec<f64>; D],
+    /// Neighbor weights, present only for weight-aware objectives —
+    /// distance/Kleinberg-style objectives should not pay for this lane.
+    weights: Option<Vec<f64>>,
+    /// Neighbor ids, for reporting the argmax.
+    nodes: Vec<NodeId>,
 }
 
 impl<const D: usize> RoutingIndex<D> {
-    /// Packs `graph`'s adjacency with per-neighbor positions and weights.
+    /// Packs `graph`'s adjacency into per-axis coordinate lanes, a weight
+    /// lane, and an id lane.
     ///
-    /// Entries for each vertex appear in the same order as
+    /// Slots for each vertex appear in the same order as
     /// [`Graph::neighbors`], which is what keeps the sweep's first-best
     /// argmax identical to the unindexed scan.
     ///
@@ -68,28 +74,56 @@ impl<const D: usize> RoutingIndex<D> {
     /// Panics if `positions` or `weights` does not have exactly one entry
     /// per graph vertex.
     pub fn build(graph: &Graph, positions: &[Point<D>], weights: &[f64]) -> Self {
-        let n = graph.node_count();
-        assert_eq!(positions.len(), n, "one position per vertex");
-        assert_eq!(weights.len(), n, "one weight per vertex");
-        let mut offsets = Vec::with_capacity(n + 1);
-        offsets.push(0usize);
-        let mut entries = Vec::with_capacity(graph.edge_count() * 2);
-        for v in graph.nodes() {
-            for &u in graph.neighbors(v) {
-                entries.push(EdgeEntry {
-                    pos: positions[u.index()],
-                    weight: weights[u.index()],
-                    node: u,
-                });
-            }
-            offsets.push(entries.len());
-        }
-        RoutingIndex { offsets, entries }
+        assert_eq!(weights.len(), graph.node_count(), "one weight per vertex");
+        Self::build_impl(graph, positions, Some(weights))
     }
 
-    /// Convenience: [`build`](RoutingIndex::build) from a sampled GIRG.
+    /// Like [`build`](RoutingIndex::build), but without the weight lane —
+    /// 8 bytes per slot cheaper, for objectives that only read geometry
+    /// (e.g. [`IndexedDistanceObjective`]).
+    pub fn positions_only(graph: &Graph, positions: &[Point<D>]) -> Self {
+        Self::build_impl(graph, positions, None)
+    }
+
+    fn build_impl(graph: &Graph, positions: &[Point<D>], weights: Option<&[f64]>) -> Self {
+        let n = graph.node_count();
+        assert_eq!(positions.len(), n, "one position per vertex");
+        let slot_count = graph.edge_count() * 2;
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut lanes: [Vec<f64>; D] = std::array::from_fn(|_| Vec::with_capacity(slot_count));
+        let mut weight_lane = weights.map(|_| Vec::with_capacity(slot_count));
+        let mut nodes = Vec::with_capacity(slot_count);
+        for v in graph.nodes() {
+            for &u in graph.neighbors(v) {
+                let coords = positions[u.index()].coords();
+                for (k, lane) in lanes.iter_mut().enumerate() {
+                    lane.push(coords[k]);
+                }
+                if let (Some(lane), Some(w)) = (weight_lane.as_mut(), weights) {
+                    lane.push(w[u.index()]);
+                }
+                nodes.push(u);
+            }
+            offsets.push(nodes.len());
+        }
+        RoutingIndex {
+            offsets,
+            lanes,
+            weights: weight_lane,
+            nodes,
+        }
+    }
+
+    /// Convenience: weighted [`build`](RoutingIndex::build) from a GIRG.
     pub fn for_girg(girg: &Girg<D>) -> Self {
         RoutingIndex::build(girg.graph(), girg.positions(), girg.weights())
+    }
+
+    /// Convenience: [`positions_only`](RoutingIndex::positions_only) from a
+    /// GIRG, for the degree-agnostic objectives.
+    pub fn for_girg_positions_only(girg: &Girg<D>) -> Self {
+        RoutingIndex::positions_only(girg.graph(), girg.positions())
     }
 
     /// Number of vertices the index covers.
@@ -99,20 +133,46 @@ impl<const D: usize> RoutingIndex<D> {
 
     /// Number of packed directed edge slots.
     pub fn entry_count(&self) -> usize {
-        self.entries.len()
+        self.nodes.len()
+    }
+
+    /// Whether the index carries a weight lane (required by
+    /// [`IndexedGirgObjective`]).
+    pub fn has_weights(&self) -> bool {
+        self.weights.is_some()
     }
 
     /// Heap memory held by the index, in bytes — the figure to quote when
     /// deciding whether the opt-in is worth it for a given graph.
     pub fn bytes(&self) -> usize {
-        self.entries.len() * std::mem::size_of::<EdgeEntry<D>>()
+        let slots = self.nodes.len();
+        let weight_bytes = if self.weights.is_some() {
+            slots * std::mem::size_of::<f64>()
+        } else {
+            0
+        };
+        slots * D * std::mem::size_of::<f64>()
+            + weight_bytes
+            + slots * std::mem::size_of::<NodeId>()
             + self.offsets.len() * std::mem::size_of::<usize>()
     }
 
-    /// The packed neighborhood of `v`, in adjacency order.
+    /// The slot range of `v`'s packed neighborhood, in adjacency order.
     #[inline]
-    fn slots(&self, v: NodeId) -> &[EdgeEntry<D>] {
-        &self.entries[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    fn slot_range(&self, v: NodeId) -> Range<usize> {
+        self.offsets[v.index()]..self.offsets[v.index() + 1]
+    }
+
+    /// Per-axis views of the given slot range.
+    #[inline]
+    fn lane_views(&self, range: Range<usize>) -> [&[f64]; D] {
+        std::array::from_fn(|k| &self.lanes[k][range.clone()])
+    }
+
+    /// The neighbor ids packed for `v`, in adjacency order.
+    #[cfg(test)]
+    fn nodes_of(&self, v: NodeId) -> &[NodeId] {
+        &self.nodes[self.slot_range(v)]
     }
 }
 
@@ -120,7 +180,7 @@ impl<const D: usize> RoutingIndex<D> {
 ///
 /// Scores are bitwise-identical to the base objective; only
 /// [`ScoreKernel::best_neighbor`] changes, from a gather-per-neighbor scan
-/// to a sequential sweep of the packed entries.
+/// to a blocked sweep of the SoA lanes.
 ///
 /// # Examples
 ///
@@ -147,6 +207,7 @@ impl<const D: usize> RoutingIndex<D> {
 pub struct IndexedGirgObjective<'a, const D: usize> {
     base: GirgObjective<'a, D>,
     index: &'a RoutingIndex<D>,
+    weights: &'a [f64],
 }
 
 impl<'a, const D: usize> IndexedGirgObjective<'a, D> {
@@ -155,14 +216,23 @@ impl<'a, const D: usize> IndexedGirgObjective<'a, D> {
     /// # Panics
     ///
     /// Panics if the index covers a different number of vertices than the
-    /// objective.
+    /// objective, or was built without a weight lane
+    /// ([`RoutingIndex::positions_only`]) — φ is weight-aware.
     pub fn new(base: GirgObjective<'a, D>, index: &'a RoutingIndex<D>) -> Self {
         assert_eq!(
             base.node_count(),
             index.node_count(),
             "index and objective must cover the same graph"
         );
-        IndexedGirgObjective { base, index }
+        let weights = index
+            .weights
+            .as_deref()
+            .expect("the φ objective needs an index with a weight lane (RoutingIndex::build)");
+        IndexedGirgObjective {
+            base,
+            index,
+            weights,
+        }
     }
 }
 
@@ -180,16 +250,18 @@ impl<const D: usize> Objective for IndexedGirgObjective<'_, D> {
         IndexedGirgHopKernel {
             base: self.base.prepare(target),
             index: self.index,
+            weights: self.weights,
         }
     }
 }
 
 /// Prepared kernel of [`IndexedGirgObjective`]: scores via the base
-/// [`GirgHopKernel`], sweeps the packed index for the argmax.
+/// [`GirgHopKernel`], block-sweeps the SoA lanes for the argmax.
 #[derive(Clone, Copy, Debug)]
 pub struct IndexedGirgHopKernel<'k, const D: usize> {
     base: GirgHopKernel<'k, D>,
     index: &'k RoutingIndex<D>,
+    weights: &'k [f64],
 }
 
 impl<const D: usize> ScoreKernel for IndexedGirgHopKernel<'_, D> {
@@ -203,34 +275,33 @@ impl<const D: usize> ScoreKernel for IndexedGirgHopKernel<'_, D> {
     }
 
     #[inline]
+    fn score_block(&self, vs: &[NodeId], out: &mut [f64]) {
+        self.base.score_block(vs, out);
+    }
+
+    #[inline]
     fn best_neighbor(&self, graph: &Graph, v: NodeId) -> Option<(f64, NodeId)> {
         debug_assert_eq!(graph.node_count(), self.index.node_count());
-        let target_pos = self.base.target_pos;
-        let mut best: Option<(f64, NodeId)> = None;
-        for entry in self.index.slots(v) {
-            // Same operations, in the same order, on bit-copies of the same
-            // operands as GirgHopKernel::phi — so the sweep agrees bitwise.
-            // No target branch needed: the target's entry bit-copies its own
-            // position, the torus distance of a point to itself is exactly 0,
-            // and φ at distance 0 is +∞, matching ScoreKernel::score.
-            let dist_pow_d = entry.pos.distance_pow_d(&target_pos);
-            let score = if dist_pow_d == 0.0 {
-                f64::INFINITY
-            } else {
-                entry.weight / (self.base.norm * dist_pow_d)
-            };
-            if best.is_none_or(|(b, _)| score > b) {
-                best = Some((score, entry.node));
-            }
-        }
-        best
+        let range = self.index.slot_range(v);
+        let lanes = self.index.lane_views(range.clone());
+        let weights = &self.weights[range.clone()];
+        let nodes = &self.index.nodes[range];
+        let target = self.base.target_pos;
+        let target = target.coords();
+        let norm = self.base.norm;
+        // No target branch needed: the target's slot bit-copies its own
+        // position, the torus distance of a point to itself is exactly 0,
+        // and φ at distance 0 is +∞, matching ScoreKernel::score.
+        block::girg_best_neighbor::<D>(&lanes, weights, nodes, target, norm)
     }
 }
 
 /// [`DistanceObjective`] accelerated by a [`RoutingIndex`].
 ///
-/// The packed weights are ignored — the index is shareable between the
-/// weight-aware and degree-agnostic objectives of the same graph.
+/// The weight lane, if present, is ignored — a weighted index is shareable
+/// between the weight-aware and degree-agnostic objectives of the same
+/// graph, and a [`RoutingIndex::positions_only`] index serves this
+/// objective at 8 bytes per slot less.
 #[derive(Clone, Copy, Debug)]
 pub struct IndexedDistanceObjective<'a, const D: usize> {
     base: DistanceObjective<'a, D>,
@@ -290,24 +361,19 @@ impl<const D: usize> ScoreKernel for IndexedDistanceHopKernel<'_, D> {
     }
 
     #[inline]
+    fn score_block(&self, vs: &[NodeId], out: &mut [f64]) {
+        self.base.score_block(vs, out);
+    }
+
+    #[inline]
     fn best_neighbor(&self, graph: &Graph, v: NodeId) -> Option<(f64, NodeId)> {
         debug_assert_eq!(graph.node_count(), self.index.node_count());
+        let range = self.index.slot_range(v);
+        let lanes = self.index.lane_views(range.clone());
+        let nodes = &self.index.nodes[range];
         let target = self.base.target();
         let target_pos = self.base.target_pos;
-        let mut best: Option<(f64, NodeId)> = None;
-        for entry in self.index.slots(v) {
-            // Unlike φ, the negated distance of the target to itself is
-            // −0.0, not +∞ — the target branch is load-bearing here.
-            let score = if entry.node == target {
-                f64::INFINITY
-            } else {
-                -entry.pos.distance(&target_pos)
-            };
-            if best.is_none_or(|(b, _)| score > b) {
-                best = Some((score, entry.node));
-            }
-        }
-        best
+        block::distance_best_neighbor::<D>(&lanes, nodes, target, target_pos.coords())
     }
 }
 
@@ -336,10 +402,27 @@ mod tests {
         let index = RoutingIndex::for_girg(&g);
         assert_eq!(index.node_count(), g.graph().node_count());
         assert_eq!(index.entry_count(), g.graph().edge_count() * 2);
+        assert!(index.has_weights());
+        // weighted D=2: two coordinate lanes + weight lane + id lane = 28 B/slot
         assert!(index.bytes() >= index.entry_count() * 28);
         for v in g.graph().nodes() {
-            let packed: Vec<NodeId> = index.slots(v).iter().map(|e| e.node).collect();
-            assert_eq!(packed, g.graph().neighbors(v));
+            assert_eq!(index.nodes_of(v), g.graph().neighbors(v));
+        }
+    }
+
+    #[test]
+    fn positions_only_index_drops_the_weight_lane() {
+        let g = girg();
+        let weighted = RoutingIndex::for_girg(&g);
+        let lean = RoutingIndex::for_girg_positions_only(&g);
+        assert!(!lean.has_weights());
+        assert_eq!(lean.entry_count(), weighted.entry_count());
+        assert_eq!(
+            lean.bytes() + lean.entry_count() * std::mem::size_of::<f64>(),
+            weighted.bytes(),
+        );
+        for v in g.graph().nodes() {
+            assert_eq!(lean.nodes_of(v), weighted.nodes_of(v));
         }
     }
 
@@ -347,10 +430,11 @@ mod tests {
     fn indexed_sweeps_match_default_scan_bitwise() {
         let g = girg();
         let index = RoutingIndex::for_girg(&g);
+        let lean = RoutingIndex::for_girg_positions_only(&g);
         let girg_obj = GirgObjective::new(&g);
         let dist_obj = DistanceObjective::for_girg(&g);
         let idx_girg = IndexedGirgObjective::new(girg_obj, &index);
-        let idx_dist = IndexedDistanceObjective::new(dist_obj, &index);
+        let idx_dist = IndexedDistanceObjective::new(dist_obj, &lean);
         let n = g.graph().node_count() as u32;
         for t in [0, 7 % n, n / 2, n - 1] {
             let t = NodeId::new(t);
@@ -403,6 +487,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let other = GirgBuilder::<2>::new(100).sample(&mut rng).unwrap();
         let index = RoutingIndex::for_girg(&other);
+        let _ = IndexedGirgObjective::new(GirgObjective::new(&g), &index);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight lane")]
+    fn weightless_index_is_rejected_by_phi() {
+        let g = girg();
+        let index = RoutingIndex::for_girg_positions_only(&g);
         let _ = IndexedGirgObjective::new(GirgObjective::new(&g), &index);
     }
 }

@@ -15,9 +15,13 @@
 //!   awake at a time" claim, made structural.
 //! * [`lookahead`] — the one-hop "know thy neighbor's neighbor" variant
 //!   cited among the Kleinberg-model refinements.
-//! * [`index`] — the opt-in edge-packed routing index: per-edge copies of
-//!   neighbor positions and weights, so the hop scan is one sequential
-//!   sweep with no random gathers (bitwise-identical routes, enforced).
+//! * [`index`] — the opt-in structure-of-arrays routing index: per-axis
+//!   coordinate lanes (plus optional weight lane) in CSR slot order, so the
+//!   hop scan is a blocked, auto-vectorizable sweep with no random gathers
+//!   (bitwise-identical routes, enforced).
+//! * [`block`] — the blocked scoring primitives behind it: fixed-width
+//!   distance/φ loops per norm and dimension, software prefetch, and the
+//!   tie-break-preserving argmax fold.
 //! * [`packed`] — the φ objective over packed (flat `f64`) geometry, as
 //!   exposed by a memory-mapped `smallworld-store` file: same bitwise
 //!   scores, zero geometry copies.
@@ -56,6 +60,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod block;
 pub mod distributed;
 pub mod greedy;
 pub mod index;
@@ -77,10 +82,10 @@ pub use lookahead::LookaheadRouter;
 pub use observe::{NoopObserver, RouteObserver};
 pub use observers::{CountingObserver, MetricsRouteObserver};
 pub use objective::{
-    DistanceHopKernel, DistanceObjective, GirgHopKernel, GirgObjective, HyperbolicHopKernel,
-    HyperbolicObjective, KleinbergHopKernel, KleinbergObjective, NaiveKernel, NaiveObjective,
-    Objective, PreparedObjective, QuantizedHopKernel, QuantizedObjective, RelaxedHopKernel,
-    RelaxedObjective, ScoreKernel,
+    DistanceHopKernel, DistanceObjective, ForwardKernel, GirgHopKernel, GirgObjective,
+    HyperbolicHopKernel, HyperbolicObjective, KernelObjective, KleinbergHopKernel,
+    KleinbergObjective, NaiveKernel, NaiveObjective, Objective, PreparedBatch, PreparedObjective,
+    QuantizedHopKernel, QuantizedObjective, RelaxedHopKernel, RelaxedObjective, ScoreKernel,
 };
 pub use packed::{PackedGirgHopKernel, PackedGirgObjective};
 pub use patching::{GravityPressureRouter, HistoryRouter, PhiDfsRouter};

@@ -19,7 +19,7 @@
 use smallworld_graph::{Graph, NodeId};
 
 use crate::greedy::{RouteOutcome, RouteRecord, DEFAULT_MAX_STEPS};
-use crate::objective::Objective;
+use crate::objective::{Objective, ScoreKernel};
 use crate::observe::RouteObserver;
 use crate::router::{RouteScratch, Router};
 
@@ -72,22 +72,20 @@ impl Default for LookaheadRouter {
     }
 }
 
-impl Router for LookaheadRouter {
-    fn name(&self) -> &'static str {
-        "lookahead"
-    }
-
-    fn route_with<O: Objective, Obs: RouteObserver>(
+impl LookaheadRouter {
+    /// The kernel-level lookahead loop shared by [`Router::route_with`] and
+    /// [`Router::route_prepared`]: both paths run this exact code, so their
+    /// records and observer events agree bitwise.
+    fn route_kernel<K: ScoreKernel, Obs: RouteObserver>(
         &self,
         graph: &Graph,
-        objective: &O,
+        kernel: &K,
         s: NodeId,
-        t: NodeId,
         obs: &mut Obs,
         scratch: &mut RouteScratch,
     ) -> RouteRecord {
+        let t = kernel.target();
         obs.on_start(s, t);
-        let kernel = objective.prepare(t);
         let mut path = scratch.take_path();
         path.push(s);
         let mut current = s;
@@ -111,15 +109,15 @@ impl Router for LookaheadRouter {
             // scored at most once per hop (O(Σ deg) instead of O(deg²)),
             // returning the identical bits a fresh evaluation would.
             scratch.begin_hop(graph.node_count());
-            let current_score = scratch.cached_score(&kernel, current);
+            let current_score = scratch.cached_score(kernel, current);
             // rank neighbors by (reachable-in-one-more-hop, own score, -id)
             let mut best: Option<(f64, f64, NodeId)> = None;
             for &u in graph.neighbors(current) {
-                let own = scratch.cached_score(&kernel, u);
+                let own = scratch.cached_score(kernel, u);
                 let reachable = graph
                     .neighbors(u)
                     .iter()
-                    .map(|&w| scratch.cached_score(&kernel, w))
+                    .map(|&w| scratch.cached_score(kernel, w))
                     .fold(own, f64::max);
                 let candidate = (reachable, own, u);
                 let better = match best {
@@ -155,6 +153,36 @@ impl Router for LookaheadRouter {
                 }
             }
         }
+    }
+}
+
+impl Router for LookaheadRouter {
+    fn name(&self) -> &'static str {
+        "lookahead"
+    }
+
+    fn route_with<O: Objective, Obs: RouteObserver>(
+        &self,
+        graph: &Graph,
+        objective: &O,
+        s: NodeId,
+        t: NodeId,
+        obs: &mut Obs,
+        scratch: &mut RouteScratch,
+    ) -> RouteRecord {
+        let kernel = objective.prepare(t);
+        self.route_kernel(graph, &kernel, s, obs, scratch)
+    }
+
+    fn route_prepared<K: ScoreKernel, Obs: RouteObserver>(
+        &self,
+        graph: &Graph,
+        kernel: &K,
+        s: NodeId,
+        obs: &mut Obs,
+        scratch: &mut RouteScratch,
+    ) -> RouteRecord {
+        self.route_kernel(graph, kernel, s, obs, scratch)
     }
 }
 

@@ -56,6 +56,157 @@ pub trait Objective {
     /// loaded once. Implementations with no precomputation to exploit can
     /// use [`NaiveKernel`] via [`crate::impl_naive_kernel!`].
     fn prepare(&self, target: NodeId) -> Self::Kernel<'_>;
+
+    /// Compiles kernels for a whole batch of targets in one pass.
+    ///
+    /// Trial harnesses route many `(source, target)` pairs back to back;
+    /// preparing every target up front amortizes the per-target hoisting
+    /// (position/weight gathers, normalization) across the batch instead of
+    /// interleaving it with routing. `batch.kernel(i)` is the kernel for
+    /// the `i`-th yielded target, each bitwise-identical to
+    /// [`prepare`](Objective::prepare)`(target_i)`.
+    fn prepare_batch<I>(&self, targets: I) -> PreparedBatch<'_, Self>
+    where
+        Self: Sized,
+        I: IntoIterator<Item = NodeId>,
+    {
+        PreparedBatch {
+            kernels: targets.into_iter().map(|t| self.prepare(t)).collect(),
+        }
+    }
+}
+
+/// A batch of prepared per-target kernels — see
+/// [`Objective::prepare_batch`].
+pub struct PreparedBatch<'a, O: Objective + ?Sized + 'a> {
+    kernels: Vec<O::Kernel<'a>>,
+}
+
+impl<'a, O: Objective + ?Sized + 'a> PreparedBatch<'a, O> {
+    /// The kernel prepared for the `i`-th target of the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn kernel(&self, i: usize) -> &O::Kernel<'a> {
+        &self.kernels[i]
+    }
+
+    /// Number of prepared targets.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+}
+
+impl<'a, O: Objective + ?Sized + 'a> fmt::Debug for PreparedBatch<'a, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PreparedBatch")
+            .field("len", &self.kernels.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Views an already-prepared [`ScoreKernel`] as an [`Objective`], so the
+/// [`Router`](crate::router::Router) machinery can route with a kernel from
+/// a [`PreparedBatch`] without re-preparing per trial.
+///
+/// [`prepare`](Objective::prepare) hands out a zero-cost forwarding kernel
+/// and must be called with the wrapped kernel's own target.
+pub struct KernelObjective<'a, K>(&'a K);
+
+impl<'a, K: ScoreKernel> KernelObjective<'a, K> {
+    /// Wraps a prepared kernel.
+    pub fn new(kernel: &'a K) -> Self {
+        KernelObjective(kernel)
+    }
+}
+
+impl<K> Clone for KernelObjective<'_, K> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<K> Copy for KernelObjective<'_, K> {}
+
+impl<K: ScoreKernel> fmt::Debug for KernelObjective<'_, K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KernelObjective")
+            .field("target", &self.0.target())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: ScoreKernel> Objective for KernelObjective<'_, K> {
+    fn score(&self, v: NodeId, target: NodeId) -> f64 {
+        debug_assert_eq!(
+            target,
+            self.0.target(),
+            "kernel was prepared for a different target"
+        );
+        self.0.score(v)
+    }
+
+    type Kernel<'k>
+        = ForwardKernel<'k, K>
+    where
+        Self: 'k;
+
+    fn prepare(&self, target: NodeId) -> Self::Kernel<'_> {
+        assert_eq!(
+            target,
+            self.0.target(),
+            "kernel was prepared for a different target"
+        );
+        ForwardKernel(self.0)
+    }
+}
+
+/// Kernel of [`KernelObjective`]: forwards every call — including the
+/// blocked and argmax fast paths — to the wrapped kernel.
+pub struct ForwardKernel<'k, K>(&'k K);
+
+impl<K> Clone for ForwardKernel<'_, K> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<K> Copy for ForwardKernel<'_, K> {}
+
+impl<K: ScoreKernel> fmt::Debug for ForwardKernel<'_, K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ForwardKernel")
+            .field("target", &self.0.target())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: ScoreKernel> ScoreKernel for ForwardKernel<'_, K> {
+    fn target(&self) -> NodeId {
+        self.0.target()
+    }
+
+    #[inline]
+    fn score(&self, v: NodeId) -> f64 {
+        self.0.score(v)
+    }
+
+    #[inline]
+    fn score_block(&self, vs: &[NodeId], out: &mut [f64]) {
+        self.0.score_block(vs, out);
+    }
+
+    #[inline]
+    fn best_neighbor(&self, graph: &Graph, v: NodeId) -> Option<(f64, NodeId)> {
+        self.0.best_neighbor(graph, v)
+    }
 }
 
 /// A routing objective specialized to one target: the hop-loop view of an
@@ -67,6 +218,23 @@ pub trait ScoreKernel {
     /// Score of vertex `v`; bitwise-identical to the originating
     /// [`Objective::score`]`(v, target)`.
     fn score(&self, v: NodeId) -> f64;
+
+    /// Scores a block of vertices: `out[j] = self.score(vs[j])` for every
+    /// `j < vs.len()`, **bitwise-identical** to calling [`Self::score`]
+    /// slot by slot.
+    ///
+    /// The default is the scalar loop. Kernels whose score is a short
+    /// branch-light f64 chain override it with loops the compiler can
+    /// unroll and vectorize across slots (see [`crate::block`] for the
+    /// SoA-lane variants the indexed kernels use). `out` must be at least
+    /// as long as `vs`; slots past `vs.len()` are left untouched.
+    #[inline]
+    fn score_block(&self, vs: &[NodeId], out: &mut [f64]) {
+        debug_assert!(out.len() >= vs.len());
+        for (o, &v) in out.iter_mut().zip(vs) {
+            *o = self.score(v);
+        }
+    }
 
     /// The greedy argmax over `v`'s neighborhood: the first neighbor (in
     /// adjacency order) attaining the strictly largest score, or `None` for
@@ -237,6 +405,11 @@ impl<O: Objective> smallworld_net::HopScore for PreparedObjective<'_, O> {
         let kernel = self.0.prepare(target);
         move |v| kernel.score(v)
     }
+
+    #[inline]
+    fn score_block(&self, target: NodeId, candidates: &[NodeId], out: &mut [f64]) {
+        self.0.prepare(target).score_block(candidates, out);
+    }
 }
 
 /// The paper's objective `φ(v) = w_v / (w_min · n · ‖x_v − x_t‖^d)` (§2.2).
@@ -373,6 +546,18 @@ impl<const D: usize> ScoreKernel for GirgHopKernel<'_, D> {
         }
         self.phi(v)
     }
+
+    #[inline]
+    fn score_block(&self, vs: &[NodeId], out: &mut [f64]) {
+        debug_assert!(out.len() >= vs.len());
+        // Same per-slot chain as `score`, written branch-light (the target
+        // check becomes a select) so the position/weight gathers and the
+        // divides pipeline across slots.
+        for (o, &v) in out.iter_mut().zip(vs) {
+            let s = self.phi(v);
+            *o = if v == self.target { f64::INFINITY } else { s };
+        }
+    }
 }
 
 /// Degree-agnostic *geometric* routing (§4): score is the negated torus
@@ -457,6 +642,15 @@ impl<const D: usize> ScoreKernel for DistanceHopKernel<'_, D> {
             return f64::INFINITY;
         }
         -self.positions[v.index()].distance(&self.target_pos)
+    }
+
+    #[inline]
+    fn score_block(&self, vs: &[NodeId], out: &mut [f64]) {
+        debug_assert!(out.len() >= vs.len());
+        for (o, &v) in out.iter_mut().zip(vs) {
+            let s = -self.positions[v.index()].distance(&self.target_pos);
+            *o = if v == self.target { f64::INFINITY } else { s };
+        }
     }
 }
 

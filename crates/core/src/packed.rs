@@ -147,6 +147,23 @@ impl<const D: usize> ScoreKernel for PackedGirgHopKernel<'_, D> {
             self.weights[v.index()] / (self.norm * dist_pow_d)
         }
     }
+
+    #[inline]
+    fn score_block(&self, vs: &[NodeId], out: &mut [f64]) {
+        debug_assert!(out.len() >= vs.len());
+        // Same per-slot chain as `score`, with the target check as a final
+        // select so the gathers and divides pipeline across slots.
+        for (o, &v) in out.iter_mut().zip(vs) {
+            let dist_pow_d =
+                unpack::<D>(self.positions, v.index()).distance_pow_d(&self.target_pos);
+            let s = if dist_pow_d == 0.0 {
+                f64::INFINITY
+            } else {
+                self.weights[v.index()] / (self.norm * dist_pow_d)
+            };
+            *o = if v == self.target { f64::INFINITY } else { s };
+        }
+    }
 }
 
 #[cfg(test)]

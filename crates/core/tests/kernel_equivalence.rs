@@ -13,14 +13,100 @@ use proptest::prelude::ProptestConfig;
 use proptest::proptest;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use smallworld_core::block::{girg_phi_block, norm_distance_block, BLOCK_WIDTH};
 use smallworld_core::{
     DistanceObjective, GirgObjective, GravityPressureRouter, GreedyRouter, HistoryRouter,
     HyperbolicObjective, IndexedDistanceObjective, IndexedGirgObjective, KleinbergObjective,
     LookaheadRouter, NaiveObjective, Objective, PhiDfsRouter, Router, RouterKind, RoutingIndex,
 };
+use smallworld_geometry::{Norm, Point};
 use smallworld_graph::{Graph, NodeId};
 use smallworld_models::girg::GirgBuilder;
 use smallworld_models::{HrgBuilder, KleinbergLattice};
+
+/// Random canonical (`[0, 1)`) points, their SoA lanes, and a target.
+fn random_soa<const D: usize>(rng: &mut StdRng, count: usize) -> (Vec<Point<D>>, Vec<Vec<f64>>, Point<D>) {
+    let points: Vec<Point<D>> = (0..count)
+        .map(|_| Point::new(std::array::from_fn(|_| rng.gen_range(0.0..1.0))))
+        .collect();
+    let lanes: Vec<Vec<f64>> = (0..D)
+        .map(|k| points.iter().map(|p| p.coords()[k]).collect())
+        .collect();
+    let target = Point::new(std::array::from_fn(|_| rng.gen_range(0.0..1.0)));
+    (points, lanes, target)
+}
+
+/// Pins [`norm_distance_block`] bitwise to the scalar [`Norm::distance`]
+/// over every norm and a slot count whose remainder block is 1..=7.
+fn check_distance_blocks<const D: usize>(rng: &mut StdRng) {
+    let count = BLOCK_WIDTH + rng.gen_range(1..BLOCK_WIDTH);
+    let (points, lanes, target) = random_soa::<D>(rng, count);
+    let views: [&[f64]; D] = std::array::from_fn(|k| lanes[k].as_slice());
+    for norm in [Norm::Max, Norm::L1, Norm::L2] {
+        let mut out = [0.0; BLOCK_WIDTH];
+        let mut base = 0;
+        while base < count {
+            let len = (count - base).min(BLOCK_WIDTH);
+            norm_distance_block::<D>(norm, &views, target.coords(), base, &mut out[..len]);
+            for (j, o) in out[..len].iter().enumerate() {
+                let scalar = norm.distance(&points[base + j], &target);
+                assert_eq!(
+                    o.to_bits(),
+                    scalar.to_bits(),
+                    "{norm:?} D={D} slot {}: {o} vs {scalar}",
+                    base + j
+                );
+            }
+            base += len;
+        }
+    }
+}
+
+/// Pins [`girg_phi_block`] bitwise to the scalar φ chain
+/// (`w / (norm_const · dist^D)` with the zero-distance guard) for edge
+/// weights `±0.0` and `+∞` and a zero-distance slot.
+fn check_phi_blocks<const D: usize>(rng: &mut StdRng) {
+    let count = BLOCK_WIDTH + rng.gen_range(1..BLOCK_WIDTH);
+    let (mut points, mut lanes, target) = random_soa::<D>(rng, count);
+    // force one slot onto the target: distance exactly 0, φ exactly +∞
+    let zero_slot = rng.gen_range(0..count);
+    points[zero_slot] = target;
+    for (k, lane) in lanes.iter_mut().enumerate() {
+        lane[zero_slot] = target.coords()[k];
+    }
+    let weights: Vec<f64> = (0..count)
+        .map(|_| match rng.gen_range(0..5) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::INFINITY,
+            _ => rng.gen_range(0.5..50.0),
+        })
+        .collect();
+    let norm_const = rng.gen_range(0.1..1e6);
+    let views: [&[f64]; D] = std::array::from_fn(|k| lanes[k].as_slice());
+    let mut out = [0.0; BLOCK_WIDTH];
+    let mut base = 0;
+    while base < count {
+        let len = (count - base).min(BLOCK_WIDTH);
+        girg_phi_block::<D>(&views, &weights, target.coords(), norm_const, base, &mut out[..len]);
+        for (j, o) in out[..len].iter().enumerate() {
+            let slot = base + j;
+            let dist_pow_d = points[slot].distance_pow_d(&target);
+            let scalar = if dist_pow_d == 0.0 {
+                f64::INFINITY
+            } else {
+                weights[slot] / (norm_const * dist_pow_d)
+            };
+            assert_eq!(
+                o.to_bits(),
+                scalar.to_bits(),
+                "φ D={D} slot {slot} w={}: {o} vs {scalar}",
+                weights[slot]
+            );
+        }
+        base += len;
+    }
+}
 
 fn routers() -> [RouterKind; 5] {
     [
@@ -134,6 +220,26 @@ proptest! {
                 seed ^ 0x2222,
             );
         }
+    }
+
+    /// Blocked distance kernels are bitwise the scalar [`Norm::distance`]
+    /// for every norm, dimension 1–3, and every remainder block length.
+    #[test]
+    fn prop_distance_blocks_match_scalar_bitwise(seed in 0u64..1 << 32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        check_distance_blocks::<1>(&mut rng);
+        check_distance_blocks::<2>(&mut rng);
+        check_distance_blocks::<3>(&mut rng);
+    }
+
+    /// The blocked φ kernel is bitwise the scalar φ chain even for ±0.0
+    /// and infinite edge weights and a zero-distance (target) slot.
+    #[test]
+    fn prop_phi_block_matches_scalar_with_edge_weights(seed in 0u64..1 << 32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        check_phi_blocks::<1>(&mut rng);
+        check_phi_blocks::<2>(&mut rng);
+        check_phi_blocks::<3>(&mut rng);
     }
 
     /// Morton relabeling is invisible through the permutation: routing the

@@ -39,6 +39,24 @@ pub trait HopScore {
 
     /// The single-target view used inside one hop's candidate scan.
     fn prepare(&self, target: NodeId) -> impl Fn(NodeId) -> f64 + '_;
+
+    /// Scores a block of candidates against one target:
+    /// `out[j] = self.score(candidates[j], target)` for every
+    /// `j < candidates.len()`, **bitwise-identical** to the scalar calls.
+    ///
+    /// The default prepares once and loops. Implementations backed by a
+    /// batched kernel (e.g. `smallworld-core`'s `PreparedObjective`)
+    /// forward to their `ScoreKernel::score_block`, so policies scanning
+    /// candidates in blocks inherit the vectorized scoring loops. `out`
+    /// must be at least as long as `candidates`.
+    #[inline]
+    fn score_block(&self, target: NodeId, candidates: &[NodeId], out: &mut [f64]) {
+        debug_assert!(out.len() >= candidates.len());
+        let score = self.prepare(target);
+        for (o, &v) in out.iter_mut().zip(candidates) {
+            *o = score(v);
+        }
+    }
 }
 
 impl<S: Fn(NodeId, NodeId) -> f64> HopScore for S {
@@ -141,15 +159,24 @@ impl<S: HopScore> HopPolicy for GreedyPolicy<S> {
         // target: like `GreedyRouter`, we rely on the score function
         // ranking the target itself maximally, so the two stay hop-for-hop
         // identical under the same objective
-        let score = self.score.prepare(view.target);
+        //
+        // candidates are scanned in blocks through HopScore::score_block so
+        // kernel-backed scores batch their gathers and divides; the fold
+        // stays first-best-in-adjacency-order, matching the scalar scan
+        // bitwise
+        const BLOCK: usize = 8;
         let mut best: Option<(f64, NodeId)> = None;
-        for &v in view.candidates {
-            let s = score(v);
-            if best.is_none_or(|(b, _)| s > b) {
-                best = Some((s, v));
+        let mut scores = [0.0f64; BLOCK];
+        for chunk in view.candidates.chunks(BLOCK) {
+            self.score
+                .score_block(view.target, chunk, &mut scores[..chunk.len()]);
+            for (&s, &v) in scores[..chunk.len()].iter().zip(chunk) {
+                if best.is_none_or(|(b, _)| s > b) {
+                    best = Some((s, v));
+                }
             }
         }
-        let here = score(view.current);
+        let here = self.score.score(view.current, view.target);
         match best {
             Some((s, v)) if s > here => HopChoice::Forward(v),
             _ => HopChoice::Drop,
