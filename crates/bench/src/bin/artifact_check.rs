@@ -634,6 +634,122 @@ fn check(contents: &str) -> Result<String, String> {
                 ));
             }
         }
+
+        // the decode-free routing comparison must be present; every variant
+        // must route, at full scale the mapped row must clear the
+        // 0.5x-of-decoded throughput bound, and the sharded row must have
+        // actually handed routes across shard boundaries
+        let routing_table = records
+            .iter()
+            .find(|(kind, record)| {
+                kind == "table"
+                    && record
+                        .get("headers")
+                        .and_then(JsonValue::as_array)
+                        .is_some_and(|h| h.iter().any(|c| c.as_str() == Some("vs decoded")))
+            })
+            .ok_or("bench_store artifact has no mapped-vs-decoded routing table")?;
+        let headers = routing_table.1.get("headers").and_then(JsonValue::as_array);
+        let rows = routing_table.1.get("rows").and_then(JsonValue::as_array);
+        let (Some(headers), Some(rows)) = (headers, rows) else {
+            return Err("mapped-vs-decoded routing table malformed".into());
+        };
+        let column = |name: &str| {
+            headers
+                .iter()
+                .position(|h| h.as_str() == Some(name))
+                .ok_or_else(|| format!("routing table missing column {name:?}"))
+        };
+        let (variant_c, frac_c) = (column("variant")?, column("vs decoded")?);
+        let (success_c, handoffs_c) = (column("success rate")?, column("handoffs")?);
+        let cell = |row: &JsonValue, c: usize| -> Result<String, String> {
+            row.as_array()
+                .and_then(|r| r.get(c))
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| "routing table cell is not a string".to_string())
+        };
+        let number = |row: &JsonValue, c: usize| -> Result<f64, String> {
+            let cell = cell(row, c)?;
+            cell.parse()
+                .map_err(|_| format!("routing table cell {cell:?} is not numeric"))
+        };
+        let (mut saw_mapped, mut saw_sharded) = (false, false);
+        for row in rows {
+            let variant = cell(row, variant_c)?;
+            let frac = number(row, frac_c)?;
+            if number(row, success_c)? <= 0.0 {
+                return Err(format!("routing variant {variant:?} delivered nothing"));
+            }
+            if frac <= 0.0 {
+                return Err(format!("routing variant {variant:?} throughput not positive"));
+            }
+            if variant == "mapped" {
+                saw_mapped = true;
+                if full_scale && frac < 0.5 {
+                    return Err(format!(
+                        "mapped routing at {frac}x decoded, below the 0.5x acceptance bound"
+                    ));
+                }
+            }
+            if variant.starts_with("sharded") {
+                saw_sharded = true;
+                if full_scale && number(row, handoffs_c)? <= 0.0 {
+                    return Err("sharded routing never crossed a shard boundary".into());
+                }
+            }
+        }
+        if !(saw_mapped && saw_sharded) {
+            return Err("routing table is missing the mapped or sharded variant".into());
+        }
+
+        // the out-of-core ladder must keep every rung's streamed peak RSS
+        // under the O(vertices) ceiling, and at full scale the streamed
+        // sampler must peak at no more than 35% of the in-RAM sampler
+        let ladder_table = records
+            .iter()
+            .find(|(kind, record)| {
+                kind == "table"
+                    && record
+                        .get("headers")
+                        .and_then(JsonValue::as_array)
+                        .is_some_and(|h| h.iter().any(|c| c.as_str() == Some("within ceiling")))
+            })
+            .ok_or("bench_store artifact has no out-of-core sampling ladder")?;
+        let headers = ladder_table.1.get("headers").and_then(JsonValue::as_array);
+        let rows = ladder_table.1.get("rows").and_then(JsonValue::as_array);
+        let (Some(headers), Some(rows)) = (headers, rows) else {
+            return Err("out-of-core ladder table malformed".into());
+        };
+        if rows.is_empty() {
+            return Err("out-of-core ladder table has no rows".into());
+        }
+        let column = |name: &str| {
+            headers
+                .iter()
+                .position(|h| h.as_str() == Some(name))
+                .ok_or_else(|| format!("ladder table missing column {name:?}"))
+        };
+        let (n_c, within_c, frac_c) = (
+            column("vertices")?,
+            column("within ceiling")?,
+            column("rss frac")?,
+        );
+        for row in rows {
+            let n = cell(row, n_c)?;
+            if cell(row, within_c)? != "true" {
+                return Err(format!(
+                    "streamed sampling at n={n} exceeded its peak-RSS ceiling"
+                ));
+            }
+            let frac = number(row, frac_c)?;
+            if full_scale && frac > 0.35 {
+                return Err(format!(
+                    "streamed sampling at n={n} peaked at {frac} of in-RAM RSS, \
+                     above the 0.35 acceptance bound"
+                ));
+            }
+        }
     }
 
     // any artifact that ran a traffic suite must carry the simulator's

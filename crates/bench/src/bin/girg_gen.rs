@@ -24,15 +24,22 @@
 //! geometry, params, and greedy routes are bitwise those of the generating
 //! run, so the report tables match modulo the wall-clock columns (`swreport
 //! --diff --ignore "sample secs,route secs"` verifies this in CI).
+//! `--mapped` goes one step further: it routes and analyzes **without
+//! decoding the adjacency at all** — components and greedy trials stream
+//! per-vertex neighbor lists on demand through the mapped store's LRU
+//! cursor, scoring straight off the flat geometry lanes. Its tables are
+//! cell-for-cell those of `--load` (CI diffs all three runs), and it prints
+//! the peak RSS plus the decode-free open time to stderr.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use smallworld_analysis::Table;
-use smallworld_bench::{Artifact, RoutingAggregate, Scale, TrialBatch};
+use smallworld_bench::{mapped_trials, Artifact, RoutingAggregate, Scale, TrialBatch};
 use smallworld_core::theory::lambda_for_average_degree;
 use smallworld_core::{
     GirgObjective, GreedyRouter, HyperbolicObjective, KleinbergObjective, Objective,
+    PackedGirgObjective,
 };
 use smallworld_graph::analytics::par_components;
 use smallworld_graph::{Components, Graph};
@@ -41,6 +48,7 @@ use smallworld_models::hyperbolic::HrgBuilder;
 use smallworld_models::{Alpha, ChungLuBuilder, GraphInstance, GraphModel, KleinbergLatticeBuilder};
 use smallworld_obs::Span;
 use smallworld_par::Pool;
+use smallworld_store::{GraphStore, MappedGraph};
 
 struct Options {
     model: String,
@@ -54,6 +62,7 @@ struct Options {
     route: usize,
     out: Option<String>,
     load: Option<String>,
+    mapped: Option<String>,
     shards: usize,
 }
 
@@ -70,6 +79,7 @@ fn parse_args() -> Result<Options, String> {
         route: 0,
         out: None,
         load: None,
+        mapped: None,
         shards: 1,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -106,6 +116,7 @@ fn parse_args() -> Result<Options, String> {
             "--route" => opts.route = value.parse().map_err(|_| bad(value))?,
             "--out" => opts.out = Some(value.clone()),
             "--load" => opts.load = Some(value.clone()),
+            "--mapped" => opts.mapped = Some(value.clone()),
             "--shards" => {
                 opts.shards = value.parse().map_err(|_| bad(value))?;
                 if opts.shards == 0 {
@@ -137,6 +148,14 @@ fn parse_args() -> Result<Options, String> {
             return Err("--load and --out are mutually exclusive".into());
         }
     }
+    if opts.mapped.is_some() {
+        if opts.model != "girg" {
+            return Err("--mapped is only supported for --model girg".into());
+        }
+        if opts.out.is_some() || opts.load.is_some() {
+            return Err("--mapped is mutually exclusive with --out and --load".into());
+        }
+    }
     if opts.route > 0 && opts.model == "chung-lu" {
         return Err("--route needs a geometric objective; chung-lu has none".into());
     }
@@ -149,8 +168,8 @@ fn usage() {
          flags: [--model girg|hrg|kleinberg|chung-lu] --n <u64> \
          --beta <f64 in (2,3)> --alpha <f64 or inf> \
          [--lambda <f64> | --degree <f64>] [--wmin <f64>] [--seed <u64>] \
-         [--route <pairs>] [--out <path>] [--load <path>] [--shards <k>] \
-         [--json <path>]\n\
+         [--route <pairs>] [--out <path>] [--load <path>] [--mapped <path>] \
+         [--shards <k>] [--json <path>]\n\
          `.swg` paths use the smallworld-store binary format; other \
          extensions use the legacy text format"
     );
@@ -165,13 +184,18 @@ fn girg_params_label(n: f64, beta: f64, alpha: f64, lambda: f64) -> String {
 }
 
 /// Builds the model-agnostic statistics table every generator (and the
-/// store load path) shares.
+/// store load and mapped paths) shares. Takes plain values rather than a
+/// [`Graph`] so the decode-free mapped path — which never materializes a
+/// CSR — fills the same cells from the store header.
+#[allow(clippy::too_many_arguments)]
 fn summary_table(
     name: &str,
     params: &str,
     seed: u64,
-    graph: &Graph,
-    comps: &Components,
+    vertices: usize,
+    edges: usize,
+    avg_degree: f64,
+    giant_fraction: f64,
     elapsed: f64,
 ) -> Table {
     let mut table = Table::new([
@@ -189,10 +213,10 @@ fn summary_table(
         name.to_string(),
         params.to_string(),
         seed.to_string(),
-        graph.node_count().to_string(),
-        graph.edge_count().to_string(),
-        format!("{:.3}", graph.average_degree()),
-        format!("{:.4}", comps.giant_fraction()),
+        vertices.to_string(),
+        edges.to_string(),
+        format!("{avg_degree:.3}"),
+        format!("{giant_fraction:.4}"),
         format!("{elapsed:.3}"),
     ]);
     table
@@ -223,7 +247,16 @@ fn sample_and_summarize<M: GraphModel>(
         graph.average_degree(),
         100.0 * comps.giant_fraction()
     );
-    let table = summary_table(model.name(), params, seed, graph, &comps, elapsed);
+    let table = summary_table(
+        model.name(),
+        params,
+        seed,
+        graph.node_count(),
+        graph.edge_count(),
+        graph.average_degree(),
+        comps.giant_fraction(),
+        elapsed,
+    );
     Ok((instance, comps, table))
 }
 
@@ -250,8 +283,33 @@ fn load_and_summarize(path: &str, seed: u64) -> Result<(Girg<2>, Components, Tab
         graph.node_count(),
         graph.edge_count()
     );
-    let table = summary_table("girg", &params, seed, graph, &comps, elapsed);
+    let table = summary_table(
+        "girg",
+        &params,
+        seed,
+        graph.node_count(),
+        graph.edge_count(),
+        graph.average_degree(),
+        comps.giant_fraction(),
+        elapsed,
+    );
     Ok((girg, comps, table))
+}
+
+/// Builds the routing-trial table both the decoded and mapped route phases
+/// share; the cells must format identically so a `--mapped` rerun diffs
+/// cleanly against the generating run under `swreport --diff`.
+fn route_table(pairs: usize, threads: usize, agg: &RoutingAggregate, elapsed: f64) -> Table {
+    let mut table = Table::new(["pairs", "threads", "success rate", "mean hops", "route secs"])
+        .title("girg_gen: greedy routing trials");
+    table.row([
+        pairs.to_string(),
+        threads.to_string(),
+        format!("{:.4}", agg.success.rate()),
+        format!("{:.3}", agg.hops.mean()),
+        format!("{elapsed:.3}"),
+    ]);
+    table
 }
 
 /// Runs `pairs` greedy trials on the shared pool and tabulates the result;
@@ -280,16 +338,105 @@ fn route_phase<O: Objective + Sync>(
         100.0 * agg.success.rate(),
         agg.hops.mean()
     );
-    let mut table = Table::new(["pairs", "threads", "success rate", "mean hops", "route secs"])
-        .title("girg_gen: greedy routing trials");
-    table.row([
-        pairs.to_string(),
-        pool.threads().to_string(),
-        format!("{:.4}", agg.success.rate()),
-        format!("{:.3}", agg.hops.mean()),
-        format!("{elapsed:.3}"),
-    ]);
-    table
+    route_table(pairs, pool.threads(), &agg, elapsed)
+}
+
+/// Routes `pairs` trials straight off the mapped store via
+/// [`smallworld_bench::mapped_trials`] — outcome-for-outcome the decoded
+/// [`route_phase`] run — and tabulates the result in its exact shape.
+fn route_phase_mapped<const D: usize>(
+    mapped: &MappedGraph<'_>,
+    comps: &Components,
+    objective: &PackedGirgObjective<'_, D>,
+    pairs: usize,
+    seed: u64,
+) -> Table {
+    let pool = Pool::from_env();
+    let start = std::time::Instant::now();
+    let trials = {
+        let _span = Span::enter("route_pairs");
+        mapped_trials(mapped, comps, objective, pairs, seed, &pool, false)
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+    let agg = RoutingAggregate::from_trials(&trials.outcomes);
+    eprintln!(
+        "routed {pairs} connected pairs decode-free on {} thread(s) in {elapsed:.2}s \
+         (success {:.1}%, mean hops {:.2}, LRU {} hits / {} misses)",
+        pool.threads(),
+        100.0 * agg.success.rate(),
+        agg.hops.mean(),
+        trials.lru_hits,
+        trials.lru_misses
+    );
+    route_table(pairs, pool.threads(), &agg, elapsed)
+}
+
+/// The `--mapped` path: open the store, route and analyze **without
+/// decoding the adjacency** — components stream one vertex at a time
+/// through the mapped cursor, and routing scores straight off the flat
+/// POS/WEIGHT lanes. The tables match a `--load` run cell for cell modulo
+/// the wall-clock columns (`swreport --diff --ignore "sample secs,route
+/// secs"`), which CI pins.
+fn run_mapped(path: &str, route: usize, seed: u64) -> Result<Vec<Table>, String> {
+    let start = std::time::Instant::now();
+    let store = {
+        let _span = Span::enter("open_swg");
+        GraphStore::open(Path::new(path)).map_err(|e| format!("opening {path}: {e}"))?
+    };
+    let mapped = store
+        .mapped_graph()
+        .map_err(|e| format!("mapping {path}: {e}"))?;
+    let open_secs = start.elapsed().as_secs_f64();
+    let comps = {
+        let _span = Span::enter("components_view");
+        let mut cursor = mapped.cursor();
+        Components::compute_view(&mut cursor)
+    };
+    let (p, _) = store
+        .params()
+        .map_err(|e| format!("reading params from {path}: {e}"))?;
+    let alpha = match p.alpha {
+        Alpha::Finite(a) => a,
+        Alpha::Threshold => f64::INFINITY,
+    };
+    let params = girg_params_label(p.intensity, p.beta, alpha, p.lambda);
+    let (rss, rss_source) = smallworld_obs::peak_rss();
+    eprintln!(
+        "mapped girg ({params}) from {path}: {} vertices, {} edges, open {open_secs:.3}s \
+         decode-free (peak RSS {} via {})",
+        mapped.node_count(),
+        mapped.edge_count(),
+        rss.map(|b| format!("{:.1} MiB", b as f64 / (1024.0 * 1024.0)))
+            .unwrap_or_else(|| "?".into()),
+        rss_source.as_str(),
+    );
+    let avg_degree = if mapped.node_count() == 0 {
+        0.0
+    } else {
+        mapped.target_count() as f64 / mapped.node_count() as f64
+    };
+    let table = summary_table(
+        "girg",
+        &params,
+        seed,
+        mapped.node_count(),
+        mapped.edge_count(),
+        avg_degree,
+        comps.giant_fraction(),
+        open_secs,
+    );
+    let mut tables = vec![table];
+    if route > 0 {
+        let positions = store
+            .packed_positions()
+            .map_err(|e| format!("reading positions from {path}: {e}"))?;
+        let weights = store
+            .packed_weights()
+            .map_err(|e| format!("reading weights from {path}: {e}"))?;
+        let packed = PackedGirgObjective::<2>::new(&positions, &weights, p.wmin * p.intensity);
+        tables.push(route_phase_mapped(&mapped, &comps, &packed, route, seed));
+    }
+    Ok(tables)
 }
 
 fn main() -> ExitCode {
@@ -326,6 +473,16 @@ fn main() -> ExitCode {
         }
         match opts.model.as_str() {
             "girg" => {
+                if let Some(path) = &opts.mapped {
+                    return match run_mapped(path, opts.route, opts.seed) {
+                        Ok(tables) => tables,
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            exit = ExitCode::FAILURE;
+                            Vec::new()
+                        }
+                    };
+                }
                 let (girg, comps, table) = if let Some(path) = &opts.load {
                     match load_and_summarize(path, opts.seed) {
                         Ok(parts) => parts,

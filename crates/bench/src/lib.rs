@@ -19,6 +19,8 @@
 pub mod artifact;
 pub mod experiments;
 pub mod harness;
+pub mod mapped;
 
 pub use artifact::{push_record, Artifact};
 pub use harness::{parallel_map, split_seed, RoutingAggregate, Scale, TrialBatch, TrialOutcome};
+pub use mapped::{mapped_trials, MappedTrials};

@@ -25,6 +25,10 @@
 //! * [`packed`] — the φ objective over packed (flat `f64`) geometry, as
 //!   exposed by a memory-mapped `smallworld-store` file: same bitwise
 //!   scores, zero geometry copies.
+//! * [`view_route`] — the same greedy loop over an adjacency *view*
+//!   (`smallworld_graph::AdjacencyView`): decode-free routing straight off
+//!   a memory-mapped store, plus shard-local routing with explicit
+//!   cross-shard handoff — both bitwise-identical to the decoded route.
 //! * [`observe`] — per-hop routing probes: every router reports hops,
 //!   objective values, backtracks and dead ends to a [`RouteObserver`];
 //!   the no-op default monomorphizes to zero cost.
@@ -74,6 +78,7 @@ pub mod router;
 pub mod stretch;
 pub mod theory;
 pub mod trajectory;
+pub mod view_route;
 
 pub use distributed::{DistributedGreedy, Simulator};
 pub use greedy::{GreedyRouter, RouteOutcome, RouteRecord};
@@ -92,3 +97,4 @@ pub use patching::{GravityPressureRouter, HistoryRouter, PhiDfsRouter};
 pub use router::{RouteScratch, Router, RouterKind};
 pub use stretch::{stretch, stretch_many};
 pub use trajectory::{Layer, Phase, Trajectory};
+pub use view_route::{route_sharded, ShardSlice, ShardedRoute, ViewRouter};

@@ -1,0 +1,519 @@
+//! Greedy routing over an [`AdjacencyView`] — decode-free routing straight
+//! off a memory-mapped store, and shard-local routing with explicit
+//! cross-shard handoff.
+//!
+//! [`GreedyRouter`](crate::GreedyRouter) requires a fully decoded
+//! [`Graph`](smallworld_graph::Graph); for a 10⁸-vertex store that decode
+//! is gigabytes of RSS before the first hop. [`ViewRouter`] runs the
+//! **identical greedy loop** against the [`AdjacencyView`] abstraction, so
+//! a mapped store's on-demand cursor (which decodes one vertex's varint
+//! stream per hop, LRU-cached) routes without any up-front decode. The
+//! argmax inside the view callback is the same first-best-in-adjacency-
+//! order fold as [`ScoreKernel::best_neighbor`], evaluated via
+//! [`ScoreKernel::score_block`] in [`BLOCK_WIDTH`] chunks — both are
+//! bitwise-pinned to the scalar fold, so a [`ViewRouter`] route over a
+//! mapped cursor equals the decoded [`GreedyRouter`](crate::GreedyRouter)
+//! route **bitwise**
+//! (same path, same outcome; `smallworld-store`'s equivalence tests
+//! enforce this).
+//!
+//! [`route_sharded`] extends the same loop across a partitioned store:
+//! each shard exposes its local adjacency as a view plus a boundary-edge
+//! table, and the router merges local and boundary neighbors in global id
+//! order — exactly the merge the store's `assemble` performs — so the
+//! sharded route is bitwise the global route, while only touching the
+//! shards the packet actually crosses. A *handoff* is counted whenever
+//! the chosen hop leaves the current shard.
+
+use smallworld_graph::{AdjacencyView, NodeId};
+
+use crate::block::{fold_first_best, BLOCK_WIDTH};
+use crate::greedy::{RouteOutcome, RouteRecord, DEFAULT_MAX_STEPS};
+use crate::objective::ScoreKernel;
+use crate::observe::RouteObserver;
+use crate::router::RouteScratch;
+
+/// The greedy argmax over one neighbor list: scores in [`BLOCK_WIDTH`]
+/// chunks and folds first-best-in-order, bitwise-identical to the scalar
+/// fold in [`ScoreKernel::best_neighbor`].
+#[inline]
+fn best_of_list<K: ScoreKernel>(kernel: &K, neighbors: &[NodeId]) -> Option<(f64, NodeId)> {
+    let mut best: Option<(f64, NodeId)> = None;
+    let mut scores = [0.0f64; BLOCK_WIDTH];
+    for chunk in neighbors.chunks(BLOCK_WIDTH) {
+        kernel.score_block(chunk, &mut scores);
+        fold_first_best(&mut best, &scores[..chunk.len()], chunk);
+    }
+    best
+}
+
+/// Greedy routing (Algorithm 1) over any [`AdjacencyView`].
+///
+/// Same protocol, same step cap, same observer events, and bitwise the
+/// same routes as [`GreedyRouter`](crate::GreedyRouter) — only the
+/// adjacency access is abstracted, so the view may decode neighbor lists
+/// on demand from a mapped store instead of holding a decoded CSR.
+#[derive(Clone, Copy, Debug)]
+pub struct ViewRouter {
+    max_steps: usize,
+}
+
+impl ViewRouter {
+    /// Creates the router with the default step cap.
+    pub fn new() -> Self {
+        ViewRouter {
+            max_steps: DEFAULT_MAX_STEPS,
+        }
+    }
+
+    /// Creates the router with an explicit step cap.
+    pub fn with_max_steps(max_steps: usize) -> Self {
+        ViewRouter { max_steps }
+    }
+
+    /// Routes from `s` towards the kernel's target over `view`.
+    pub fn route_view<V, K, Obs>(
+        &self,
+        view: &mut V,
+        kernel: &K,
+        s: NodeId,
+        obs: &mut Obs,
+        scratch: &mut RouteScratch,
+    ) -> RouteRecord
+    where
+        V: AdjacencyView,
+        K: ScoreKernel,
+        Obs: RouteObserver,
+    {
+        let t = kernel.target();
+        obs.on_start(s, t);
+        let mut path = scratch.take_path();
+        path.push(s);
+        let mut current = s;
+        let mut current_score = kernel.score(s);
+        loop {
+            if current == t {
+                obs.on_finish(RouteOutcome::Delivered, path.len() - 1);
+                return RouteRecord {
+                    outcome: RouteOutcome::Delivered,
+                    path,
+                };
+            }
+            if path.len() > self.max_steps {
+                obs.on_finish(RouteOutcome::MaxStepsExceeded, path.len() - 1);
+                return RouteRecord {
+                    outcome: RouteOutcome::MaxStepsExceeded,
+                    path,
+                };
+            }
+            match view.with_neighbors(current, |ns| best_of_list(kernel, ns)) {
+                Some((score, u)) if score > current_score => {
+                    obs.on_hop(u, score);
+                    path.push(u);
+                    current = u;
+                    current_score = score;
+                }
+                _ => {
+                    obs.on_dead_end(current);
+                    obs.on_finish(RouteOutcome::DeadEnd, path.len() - 1);
+                    return RouteRecord {
+                        outcome: RouteOutcome::DeadEnd,
+                        path,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper: no observer, fresh scratch.
+    pub fn route_view_quiet<V, K>(&self, view: &mut V, kernel: &K, s: NodeId) -> RouteRecord
+    where
+        V: AdjacencyView,
+        K: ScoreKernel,
+    {
+        self.route_view(
+            view,
+            kernel,
+            s,
+            &mut crate::observe::NoopObserver,
+            &mut RouteScratch::new(),
+        )
+    }
+}
+
+impl Default for ViewRouter {
+    fn default() -> Self {
+        ViewRouter::new()
+    }
+}
+
+/// One shard of a partitioned graph, as seen by [`route_sharded`]: the
+/// contiguous global id range `start..end`, a view of the shard-local
+/// adjacency (local ids `0..end-start`, sorted), and the boundary-edge
+/// table `(local source, global target)` sorted by source then target,
+/// with every target outside the shard's range — exactly the layout of
+/// `smallworld-store`'s shard partition.
+#[derive(Debug)]
+pub struct ShardSlice<'a, V> {
+    /// First global id owned by this shard.
+    pub start: u32,
+    /// One past the last global id owned by this shard.
+    pub end: u32,
+    /// Shard-local adjacency over local ids.
+    pub local: V,
+    /// Cross-shard edges: `(local src, global tgt)`, sorted.
+    pub boundary: &'a [(u32, u32)],
+}
+
+/// A sharded route: the record (bitwise the global-graph route) plus how
+/// often the packet crossed a shard boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardedRoute {
+    /// The route, identical to the unsharded route on the assembled graph.
+    pub record: RouteRecord,
+    /// Number of hops whose destination lay in a different shard.
+    pub handoffs: u64,
+}
+
+/// Index of the shard owning global vertex `g`.
+///
+/// # Panics
+///
+/// Panics if no shard covers `g` (the slices must tile `0..n`).
+#[inline]
+fn owner<V>(shards: &[ShardSlice<'_, V>], g: u32) -> usize {
+    let i = shards.partition_point(|s| s.end <= g);
+    assert!(
+        i < shards.len() && shards[i].start <= g,
+        "vertex v{g} not covered by any shard"
+    );
+    i
+}
+
+/// The greedy argmax over global vertex `g`'s full neighborhood, seen
+/// through its owner shard: local neighbors (offset to global ids) merged
+/// with the boundary targets in ascending global order — the same merge
+/// the store's shard assembly performs — folded first-best element-wise,
+/// so the result is bitwise [`ScoreKernel::best_neighbor`] on the
+/// assembled graph.
+#[inline]
+fn best_neighbor_sharded<V: AdjacencyView, K: ScoreKernel>(
+    shard: &mut ShardSlice<'_, V>,
+    kernel: &K,
+    g: u32,
+) -> Option<(f64, NodeId)> {
+    let start = shard.start;
+    let l = g - start;
+    let from = shard.boundary.partition_point(|&(src, _)| src < l);
+    let to = shard.boundary.partition_point(|&(src, _)| src <= l);
+    let boundary = &shard.boundary[from..to];
+    shard.local.with_neighbors(NodeId::new(l), |ns| {
+        let mut best: Option<(f64, NodeId)> = None;
+        let mut fold = |u: NodeId| {
+            let score = kernel.score(u);
+            if best.is_none_or(|(b, _)| score > b) {
+                best = Some((score, u));
+            }
+        };
+        let (mut i, mut j) = (0, 0);
+        while i < ns.len() && j < boundary.len() {
+            let local_global = ns[i].raw() + start;
+            // a boundary target is never a local id, so < is exact
+            if local_global < boundary[j].1 {
+                fold(NodeId::new(local_global));
+                i += 1;
+            } else {
+                fold(NodeId::new(boundary[j].1));
+                j += 1;
+            }
+        }
+        for &u in &ns[i..] {
+            fold(NodeId::new(u.raw() + start));
+        }
+        for &(_, t) in &boundary[j..] {
+            fold(NodeId::new(t));
+        }
+        best
+    })
+}
+
+/// Greedy routing across a shard partition with explicit handoff: the
+/// packet routes within the owning shard's local adjacency until the best
+/// neighbor is (or crosses into) another shard, then hands off via the
+/// boundary table.
+///
+/// The returned route is **bitwise identical** (path, outcome, hop count)
+/// to routing on the assembled global graph, for any shard count — the
+/// per-hop argmax merges local and boundary neighbors in exactly the
+/// global adjacency order.
+///
+/// # Panics
+///
+/// Panics if the shard slices do not tile the vertex space (any routed-to
+/// vertex must have an owner).
+pub fn route_sharded<V, K>(
+    shards: &mut [ShardSlice<'_, V>],
+    kernel: &K,
+    s: NodeId,
+    max_steps: usize,
+) -> ShardedRoute
+where
+    V: AdjacencyView,
+    K: ScoreKernel,
+{
+    let t = kernel.target();
+    let mut path = Vec::new();
+    path.push(s);
+    let mut current = s;
+    let mut shard_idx = owner(shards, s.raw());
+    let mut current_score = kernel.score(s);
+    let mut handoffs = 0u64;
+    loop {
+        if current == t {
+            return ShardedRoute {
+                record: RouteRecord {
+                    outcome: RouteOutcome::Delivered,
+                    path,
+                },
+                handoffs,
+            };
+        }
+        if path.len() > max_steps {
+            return ShardedRoute {
+                record: RouteRecord {
+                    outcome: RouteOutcome::MaxStepsExceeded,
+                    path,
+                },
+                handoffs,
+            };
+        }
+        match best_neighbor_sharded(&mut shards[shard_idx], kernel, current.raw()) {
+            Some((score, u)) if score > current_score => {
+                path.push(u);
+                current = u;
+                current_score = score;
+                let next_idx = owner(shards, u.raw());
+                if next_idx != shard_idx {
+                    handoffs += 1;
+                    shard_idx = next_idx;
+                }
+            }
+            _ => {
+                return ShardedRoute {
+                    record: RouteRecord {
+                        outcome: RouteOutcome::DeadEnd,
+                        path,
+                    },
+                    handoffs,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{GirgObjective, Objective};
+    use crate::router::Router;
+    use crate::GreedyRouter;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use smallworld_graph::Graph;
+    use smallworld_models::girg::GirgBuilder;
+
+    #[test]
+    fn view_router_matches_greedy_router_on_girg() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let girg = GirgBuilder::<2>::new(1_200).sample(&mut rng).unwrap();
+        let obj = GirgObjective::new(&girg);
+        let greedy = GreedyRouter::new();
+        let view_router = ViewRouter::new();
+        for _ in 0..40 {
+            let s = girg.random_vertex(&mut rng);
+            let t = girg.random_vertex(&mut rng);
+            let expect = greedy.route_quiet(girg.graph(), &obj, s, t);
+            let kernel = obj.prepare(t);
+            let got = view_router.route_view_quiet(&mut girg.graph(), &kernel, s);
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn view_router_respects_step_cap() {
+        struct ById;
+        impl Objective for ById {
+            fn score(&self, v: NodeId, t: NodeId) -> f64 {
+                if v == t {
+                    f64::INFINITY
+                } else {
+                    v.index() as f64
+                }
+            }
+            crate::impl_naive_kernel!();
+        }
+        let g = Graph::from_edges(10, (0u32..9).map(|i| (i, i + 1))).unwrap();
+        let kernel = ById.prepare(NodeId::new(9));
+        let r = ViewRouter::with_max_steps(3).route_view_quiet(&mut (&g), &kernel, NodeId::new(0));
+        assert_eq!(r.outcome, RouteOutcome::MaxStepsExceeded);
+    }
+
+    /// One shard: id range, local CSR, and sorted boundary table.
+    type ShardParts = (u32, u32, Graph, Vec<(u32, u32)>);
+
+    /// Splits a graph into `k` contiguous-range shards the way the store
+    /// does: local CSR per shard plus a sorted boundary table.
+    fn split(graph: &Graph, k: usize) -> Vec<ShardParts> {
+        let n = graph.node_count() as u32;
+        let mut out = Vec::new();
+        let per = n.div_ceil(k as u32).max(1);
+        let mut start = 0u32;
+        while start < n {
+            let end = (start + per).min(n);
+            let mut edges = Vec::new();
+            let mut boundary = Vec::new();
+            for v in start..end {
+                for &u in graph.neighbors(NodeId::new(v)) {
+                    let u = u.raw();
+                    if (start..end).contains(&u) {
+                        if v < u {
+                            edges.push((v - start, u - start));
+                        }
+                    } else {
+                        boundary.push((v - start, u));
+                    }
+                }
+            }
+            let local = Graph::from_edges((end - start) as usize, edges).unwrap();
+            boundary.sort_unstable();
+            out.push((start, end, local, boundary));
+            start = end;
+        }
+        out
+    }
+
+    #[test]
+    fn sharded_route_equals_global_route() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let girg = GirgBuilder::<2>::new(900).sample(&mut rng).unwrap();
+        let obj = GirgObjective::new(&girg);
+        let greedy = GreedyRouter::new();
+        for k in [1usize, 2, 4, 8] {
+            let parts = split(girg.graph(), k);
+            let mut shards: Vec<ShardSlice<'_, &Graph>> = parts
+                .iter()
+                .map(|(start, end, local, boundary)| ShardSlice {
+                    start: *start,
+                    end: *end,
+                    local,
+                    boundary,
+                })
+                .collect();
+            let mut crossed_any = false;
+            for _ in 0..25 {
+                let s = girg.random_vertex(&mut rng);
+                let t = girg.random_vertex(&mut rng);
+                let expect = greedy.route_quiet(girg.graph(), &obj, s, t);
+                let kernel = obj.prepare(t);
+                let got = route_sharded(&mut shards, &kernel, s, crate::greedy::DEFAULT_MAX_STEPS);
+                assert_eq!(got.record, expect, "k={k}");
+                crossed_any |= got.handoffs > 0;
+                if k == 1 {
+                    assert_eq!(got.handoffs, 0);
+                }
+            }
+            if k > 1 {
+                assert!(crossed_any, "k={k}: no route ever crossed a shard");
+            }
+        }
+    }
+
+    #[test]
+    fn handoff_count_matches_path_shard_changes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let girg = GirgBuilder::<2>::new(600).sample(&mut rng).unwrap();
+        let obj = GirgObjective::new(&girg);
+        let parts = split(girg.graph(), 4);
+        let mut shards: Vec<ShardSlice<'_, &Graph>> = parts
+            .iter()
+            .map(|(start, end, local, boundary)| ShardSlice {
+                start: *start,
+                end: *end,
+                local,
+                boundary,
+            })
+            .collect();
+        for _ in 0..20 {
+            let s = girg.random_vertex(&mut rng);
+            let t = girg.random_vertex(&mut rng);
+            let kernel = obj.prepare(t);
+            let got = route_sharded(&mut shards, &kernel, s, crate::greedy::DEFAULT_MAX_STEPS);
+            let expected: u64 = got
+                .record
+                .path
+                .windows(2)
+                .filter(|w| owner(&shards, w[0].raw()) != owner(&shards, w[1].raw()))
+                .count() as u64;
+            assert_eq!(got.handoffs, expected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not covered")]
+    fn uncovered_vertex_panics() {
+        let g = Graph::from_edges(4, [(0u32, 1u32)]).unwrap();
+        let shards: &[ShardSlice<'_, &Graph>] = &[ShardSlice {
+            start: 0,
+            end: 2,
+            local: &g,
+            boundary: &[],
+        }];
+        let _ = owner(shards, 3);
+    }
+
+    #[test]
+    fn random_graph_sharded_equivalence_fuzz() {
+        // arbitrary (non-geometric) graphs with an id objective
+        struct ById;
+        impl Objective for ById {
+            fn score(&self, v: NodeId, t: NodeId) -> f64 {
+                if v == t {
+                    f64::INFINITY
+                } else {
+                    v.index() as f64
+                }
+            }
+            crate::impl_naive_kernel!();
+        }
+        let mut rng = StdRng::seed_from_u64(8);
+        for trial in 0..30 {
+            let n = rng.gen_range(2..40usize);
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.15) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, edges).unwrap();
+            let k = rng.gen_range(1..=4usize.min(n));
+            let parts = split(&g, k);
+            let mut shards: Vec<ShardSlice<'_, &Graph>> = parts
+                .iter()
+                .map(|(start, end, local, boundary)| ShardSlice {
+                    start: *start,
+                    end: *end,
+                    local,
+                    boundary,
+                })
+                .collect();
+            let s = NodeId::new(rng.gen_range(0..n as u32));
+            let t = NodeId::new(rng.gen_range(0..n as u32));
+            let expect = GreedyRouter::new().route_quiet(&g, &ById, s, t);
+            let kernel = ById.prepare(t);
+            let got = route_sharded(&mut shards, &kernel, s, crate::greedy::DEFAULT_MAX_STEPS);
+            assert_eq!(got.record, expect, "trial {trial} n={n} k={k}");
+        }
+    }
+}

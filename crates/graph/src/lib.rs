@@ -39,8 +39,10 @@ pub mod permute;
 pub mod stats;
 pub mod traversal;
 pub mod union_find;
+pub mod view;
 
 pub use csr::{percolate, percolate_vertices, Graph, GraphBuilder, GraphError, NodeId};
 pub use permute::Permutation;
 pub use traversal::{bfs_distance, bfs_distances, double_sweep_diameter, Components};
 pub use union_find::UnionFind;
+pub use view::AdjacencyView;

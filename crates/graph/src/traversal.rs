@@ -5,6 +5,7 @@ use std::cell::RefCell;
 use crate::analytics::{bfs_distance_with, bfs_distances_into, BfsScratch};
 use crate::csr::{Graph, NodeId};
 use crate::union_find::UnionFind;
+use crate::view::AdjacencyView;
 
 /// Distance value used for unreachable nodes in [`bfs_distances`].
 pub const UNREACHABLE: u32 = u32::MAX;
@@ -138,14 +139,27 @@ pub struct Components {
 impl Components {
     /// Computes connected components via union–find over the edge list.
     pub fn compute(graph: &Graph) -> Self {
-        let n = graph.node_count();
+        Components::compute_view(&mut (&*graph))
+    }
+
+    /// Computes connected components from any [`AdjacencyView`] — the same
+    /// union–find sweep [`Components::compute`] runs on a decoded
+    /// [`Graph`], so the labels are identical whether the adjacency lives
+    /// in RAM or streams one vertex at a time out of a mapped store.
+    /// Peak memory is the union–find array, `O(n)`, independent of the
+    /// edge count.
+    pub fn compute_view<V: AdjacencyView>(view: &mut V) -> Self {
+        let n = view.node_count();
         let mut uf = UnionFind::new(n);
-        for u in graph.nodes() {
-            for &v in graph.neighbors(u) {
-                if u < v {
-                    uf.union(u.index(), v.index());
+        for v in 0..n {
+            let u = NodeId::from_index(v);
+            view.with_neighbors(u, |neighbors| {
+                for &w in neighbors {
+                    if u < w {
+                        uf.union(u.index(), w.index());
+                    }
                 }
-            }
+            });
         }
         // densify representative ids into labels 0..count
         let mut label = vec![u32::MAX; n];

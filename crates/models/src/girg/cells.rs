@@ -79,21 +79,85 @@ pub fn sample_edges_pooled<const D: usize, K>(
 where
     K: ConnectionKernel + Sync,
 {
-    let n = positions.len();
-    if n < 2 {
-        return Vec::new();
+    let plan = plan(positions, weights, kernel);
+    plan.run_batch(0..plan.task_count(), master_seed, pool)
+}
+
+/// A prepared cell-sampling run: the deterministic ordered task list of
+/// [`sample_edges_pooled`], exposed so out-of-core callers (the streamed
+/// sampler) can execute it in index-range batches without holding every
+/// task's output at once.
+///
+/// Task `i` always samples with `split_seed(master_seed, i)` — the seed
+/// depends on the *global* task index, never on the batch boundaries or
+/// pool size — so concatenating `run_batch` outputs over a partition of
+/// `0..task_count()` is bitwise-identical to one full
+/// [`sample_edges_pooled`] call.
+pub(crate) struct CellPlan<'a, const D: usize, K> {
+    /// `None` for degenerate inputs (fewer than two vertices).
+    sampler: Option<CellSampler<'a, D, K>>,
+    tasks: Vec<Task>,
+}
+
+/// Prepares the task decomposition for the given instance (see
+/// [`CellPlan`]).
+pub(crate) fn plan<'a, const D: usize, K>(
+    positions: &'a [Point<D>],
+    weights: &'a [f64],
+    kernel: &'a K,
+) -> CellPlan<'a, D, K>
+where
+    K: ConnectionKernel + Sync,
+{
+    if positions.len() < 2 {
+        return CellPlan {
+            sampler: None,
+            tasks: Vec::new(),
+        };
     }
     let sampler = CellSampler::new(positions, weights, kernel);
     let split_level = sampler.split_level();
     let mut tasks = Vec::new();
     sampler.collect_tasks(MortonCell::root(), MortonCell::root(), split_level, &mut tasks);
-    let per_task = pool.map_seeded(tasks.len(), master_seed, |i, seed| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut edges = Vec::new();
-        sampler.run_task(&tasks[i], &mut rng, &mut edges);
-        edges
-    });
-    per_task.concat()
+    CellPlan {
+        sampler: Some(sampler),
+        tasks,
+    }
+}
+
+impl<const D: usize, K: ConnectionKernel + Sync> CellPlan<'_, D, K> {
+    /// Number of tasks in the decomposition.
+    pub(crate) fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Runs the tasks with indices in `range` and returns their edges
+    /// concatenated in task order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` exceeds `0..task_count()`.
+    pub(crate) fn run_batch(
+        &self,
+        range: std::ops::Range<usize>,
+        master_seed: u64,
+        pool: &Pool,
+    ) -> Vec<(u32, u32)> {
+        let Some(sampler) = &self.sampler else {
+            return Vec::new();
+        };
+        assert!(range.end <= self.tasks.len(), "task range out of bounds");
+        let start = range.start;
+        let per_task = pool.map(range.len(), |off| {
+            let i = start + off;
+            let mut rng =
+                StdRng::seed_from_u64(smallworld_par::split_seed(master_seed, i as u64));
+            let mut edges = Vec::new();
+            sampler.run_task(&self.tasks[i], &mut rng, &mut edges);
+            edges
+        });
+        per_task.concat()
+    }
 }
 
 /// One unit of parallel sampling work over a cell pair.

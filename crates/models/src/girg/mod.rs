@@ -18,6 +18,9 @@
 
 mod cells;
 mod naive;
+mod stream;
+
+pub use stream::{HalfEdges, StreamError, StreamedGirg};
 
 use rand::Rng;
 

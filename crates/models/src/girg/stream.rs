@@ -1,0 +1,581 @@
+//! Out-of-core GIRG sampling: spill Morton-sorted edge runs to disk and
+//! k-way merge them, so the full edge list never lives in memory.
+//!
+//! [`GirgBuilder::sample`] materializes every sampled edge in one `Vec`
+//! and then builds an in-memory CSR — at 10⁸ vertices that is tens of
+//! gigabytes before the store writer even starts. The streamed path keeps
+//! the identical sampling mathematics (same RNG draws in the same order,
+//! same per-task seed splitting) but changes only where edges *go*:
+//!
+//! 1. vertices are drawn exactly as in `sample`, then the Morton
+//!    relabeling permutation is computed from the positions;
+//! 2. the cell sampler's deterministic task list is executed in
+//!    index-range batches ([`super::cells::CellPlan`]); each batch's edges
+//!    are relabeled on the fly and appended as two half-edges
+//!    `(src, tgt)` packed into `u64` keys to a run buffer;
+//! 3. full run buffers are sorted and spilled to a single append-only
+//!    spill file as delta-varint runs;
+//! 4. [`StreamedGirg::half_edges`] k-way merges the runs back into one
+//!    strictly increasing half-edge stream for the store writer.
+//!
+//! Peak memory is `O(vertices + run buffer)`: positions, weights, the
+//! permutation, one run buffer, and one batch's edge output. The merged
+//! stream is byte-for-byte the adjacency `sample` + Morton relabel would
+//! produce — `smallworld-store` pins this by comparing whole `.swg` files.
+
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::Rng;
+
+use smallworld_geometry::Point;
+use smallworld_graph::{NodeId, Permutation};
+
+use crate::kernel::GirgKernel;
+use crate::poisson::sample_poisson;
+use crate::weights::PowerLaw;
+use crate::{check_param, ModelError};
+
+use super::{cells, naive, use_cells, GirgBuilder, GirgParams};
+
+/// Half-edge run-buffer capacity in keys (8 bytes each): large enough
+/// that run count stays small at full scale, small enough that the buffer
+/// is negligible next to the position/weight lanes.
+const MAX_RUN_KEYS: usize = 1 << 23;
+/// Floor on the run buffer so tiny instances still batch sensibly.
+const MIN_RUN_KEYS: usize = 1 << 16;
+/// Target number of task batches per sampling run: bounds one batch's
+/// in-flight edge Vec to roughly `edges / 256`.
+const TARGET_BATCHES: usize = 256;
+
+/// Error from the streamed sampling pipeline: either the model parameters
+/// were invalid (as in [`GirgBuilder::sample`]) or spill-file I/O failed.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Invalid model parameters or an unsupported configuration.
+    Model(ModelError),
+    /// Spill-file I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Model(e) => write!(f, "streamed sampling: {e}"),
+            StreamError::Io(e) => write!(f, "streamed sampling spill i/o: {e}"),
+        }
+    }
+}
+
+impl Error for StreamError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StreamError::Model(e) => Some(e),
+            StreamError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<ModelError> for StreamError {
+    fn from(e: ModelError) -> Self {
+        StreamError::Model(e)
+    }
+}
+
+impl From<io::Error> for StreamError {
+    fn from(e: io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+/// One spilled run: `count` delta-varint-encoded keys starting at byte
+/// `offset` of the spill file.
+#[derive(Clone, Copy, Debug)]
+struct RunMeta {
+    offset: u64,
+    count: u64,
+}
+
+/// Appends an LEB128 varint (7 data bits per byte, continuation bit 0x80,
+/// least-significant group first).
+#[inline]
+fn write_var(mut value: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint byte-at-a-time from `r`.
+#[inline]
+fn read_var<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    let mut byte = [0u8; 1];
+    loop {
+        r.read_exact(&mut byte)?;
+        let group = (byte[0] & 0x7f) as u64;
+        if shift >= 64 || (shift == 63 && group > 1) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "spill varint overflow"));
+        }
+        value |= group << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// The spill-side of the pipeline: buffers half-edge keys, sorts full
+/// buffers, and appends them to the spill file as delta-varint runs.
+struct SpillWriter {
+    writer: BufWriter<File>,
+    buf: Vec<u64>,
+    capacity: usize,
+    runs: Vec<RunMeta>,
+    offset: u64,
+    scratch: Vec<u8>,
+}
+
+impl SpillWriter {
+    fn create(path: &Path, capacity: usize) -> io::Result<SpillWriter> {
+        Ok(SpillWriter {
+            writer: BufWriter::new(File::create(path)?),
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            runs: Vec::new(),
+            offset: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    fn push(&mut self, key: u64) -> io::Result<()> {
+        self.buf.push(key);
+        if self.buf.len() >= self.capacity {
+            self.flush_run()?;
+        }
+        Ok(())
+    }
+
+    fn flush_run(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.buf.sort_unstable();
+        self.scratch.clear();
+        let mut prev = 0u64;
+        for (i, &key) in self.buf.iter().enumerate() {
+            if i == 0 {
+                write_var(key, &mut self.scratch);
+            } else {
+                debug_assert!(key > prev, "duplicate half-edge in one run");
+                write_var(key - prev - 1, &mut self.scratch);
+            }
+            prev = key;
+        }
+        self.writer.write_all(&self.scratch)?;
+        self.runs.push(RunMeta {
+            offset: self.offset,
+            count: self.buf.len() as u64,
+        });
+        self.offset += self.scratch.len() as u64;
+        self.buf.clear();
+        Ok(())
+    }
+
+    fn finish(mut self) -> io::Result<(Vec<RunMeta>, u64)> {
+        self.flush_run()?;
+        self.writer.flush()?;
+        Ok((self.runs, self.offset))
+    }
+}
+
+/// Reads one run's keys back, decoding the delta-varints sequentially.
+#[derive(Debug)]
+struct RunReader {
+    reader: BufReader<File>,
+    remaining: u64,
+    prev: u64,
+    started: bool,
+}
+
+impl RunReader {
+    fn open(path: &Path, meta: RunMeta) -> io::Result<RunReader> {
+        let mut file = File::open(path)?;
+        file.seek(SeekFrom::Start(meta.offset))?;
+        Ok(RunReader {
+            reader: BufReader::with_capacity(1 << 16, file),
+            remaining: meta.count,
+            prev: 0,
+            started: false,
+        })
+    }
+
+    fn next_key(&mut self) -> io::Result<Option<u64>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        let raw = read_var(&mut self.reader)?;
+        let key = if self.started {
+            self.prev
+                .checked_add(raw)
+                .and_then(|k| k.checked_add(1))
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "spill delta overflows")
+                })?
+        } else {
+            self.started = true;
+            raw
+        };
+        self.prev = key;
+        Ok(Some(key))
+    }
+}
+
+/// A strictly increasing stream of half-edges `(src, tgt)`, k-way merged
+/// from the spill runs of a [`StreamedGirg`].
+///
+/// Each undirected edge `{u, v}` appears exactly twice, once per
+/// direction, so consuming the stream grouped by `src` reconstructs every
+/// vertex's sorted neighbor list in vertex order.
+#[derive(Debug)]
+pub struct HalfEdges {
+    runs: Vec<RunReader>,
+    /// Min-heap of `(next key, run index)`.
+    heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+    last: Option<u64>,
+}
+
+impl Iterator for HalfEdges {
+    type Item = io::Result<(u32, u32)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let std::cmp::Reverse((key, run)) = self.heap.pop()?;
+        match self.runs[run].next_key() {
+            Ok(Some(next)) => self.heap.push(std::cmp::Reverse((next, run))),
+            Ok(None) => {}
+            Err(e) => return Some(Err(e)),
+        }
+        if self.last.is_some_and(|l| key <= l) {
+            return Some(Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "merged half-edge stream is not strictly increasing",
+            )));
+        }
+        self.last = Some(key);
+        Some(Ok(((key >> 32) as u32, key as u32)))
+    }
+}
+
+/// A GIRG sampled out-of-core: vertex data in memory (already in Morton
+/// order), adjacency staged on disk as sorted half-edge runs.
+///
+/// Produced by [`GirgBuilder::sample_streamed`]; consumed by the store's
+/// streamed `.swg` writer, which merges the runs straight into the varint
+/// NBR section. The spill file is deleted when this value drops.
+#[derive(Debug)]
+pub struct StreamedGirg<const D: usize> {
+    positions: Vec<Point<D>>,
+    weights: Vec<f64>,
+    params: GirgParams,
+    spill_path: PathBuf,
+    runs: Vec<RunMeta>,
+    spill_bytes: u64,
+    edge_count: usize,
+}
+
+impl<const D: usize> StreamedGirg<D> {
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of undirected edges sampled.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Total neighbor-list entries the adjacency will decode to (`2m`).
+    pub fn target_count(&self) -> usize {
+        self.edge_count * 2
+    }
+
+    /// Vertex positions in Morton order, indexed by final node id.
+    pub fn positions(&self) -> &[Point<D>] {
+        &self.positions
+    }
+
+    /// Vertex weights in Morton order, indexed by final node id.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The model parameters the instance was sampled with.
+    pub fn params(&self) -> &GirgParams {
+        &self.params
+    }
+
+    /// Number of spilled runs awaiting the merge.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Bytes occupied by the spill file.
+    pub fn spill_bytes(&self) -> u64 {
+        self.spill_bytes
+    }
+
+    /// Opens the k-way merge over all spilled runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the spill file cannot be reopened.
+    pub fn half_edges(&self) -> io::Result<HalfEdges> {
+        let mut runs = Vec::with_capacity(self.runs.len());
+        let mut heap = BinaryHeap::with_capacity(self.runs.len());
+        for (i, &meta) in self.runs.iter().enumerate() {
+            let mut reader = RunReader::open(&self.spill_path, meta)?;
+            if let Some(first) = reader.next_key()? {
+                heap.push(std::cmp::Reverse((first, i)));
+            }
+            runs.push(reader);
+        }
+        Ok(HalfEdges {
+            runs,
+            heap,
+            last: None,
+        })
+    }
+}
+
+impl<const D: usize> Drop for StreamedGirg<D> {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.spill_path).ok();
+    }
+}
+
+/// Monotone counter making concurrent spill files in one process unique.
+static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl<const D: usize> GirgBuilder<D> {
+    /// Samples a GIRG out-of-core: identical vertex and edge distribution
+    /// to [`GirgBuilder::sample`] — in fact the **identical RNG draws in
+    /// the identical order**, so for a fixed seed the merged adjacency is
+    /// bitwise what `sample` + Morton relabel would produce — but edges
+    /// are spilled to `spill_dir` in sorted runs instead of accumulating
+    /// in memory.
+    ///
+    /// The result is already in Morton order (the streamed pipeline
+    /// relabels on the fly); peak RSS is `O(vertices + run buffer)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::Model`] for invalid parameters or when
+    /// planted vertices are configured (their first-ids contract is
+    /// incompatible with the Morton relabeling, exactly as in
+    /// [`super::Girg::relabel`]), and [`StreamError::Io`] on spill-file
+    /// failure.
+    pub fn sample_streamed<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        spill_dir: &Path,
+    ) -> Result<StreamedGirg<D>, StreamError> {
+        check_param(
+            "beta",
+            self.beta,
+            self.beta > 2.0 && self.beta < 3.0,
+            "must lie in (2, 3)",
+        )?;
+        check_param(
+            "intensity",
+            self.intensity,
+            self.intensity > 0.0,
+            "must be positive",
+        )?;
+        let kernel = GirgKernel::new(self.alpha, self.lambda, self.wmin, self.intensity, D as u32)?;
+        let weights_dist = PowerLaw::new(self.beta, self.wmin)?;
+        check_param(
+            "planted",
+            self.planted.len() as f64,
+            self.planted.is_empty(),
+            "streamed sampling relabels vertices and cannot preserve planted ids",
+        )?;
+
+        // identical draw order to `sample`: count, then position/weight per
+        // vertex, then (cell path) one master seed for the edge tasks
+        let random_count = match self.fixed_count {
+            Some(c) => c,
+            None => sample_poisson(rng, self.intensity) as usize,
+        };
+        let total = random_count;
+        let mut positions: Vec<Point<D>> = Vec::with_capacity(total);
+        let mut weights = Vec::with_capacity(total);
+        for _ in 0..random_count {
+            positions.push(Point::random(rng));
+            weights.push(weights_dist.sample(rng));
+        }
+
+        let keys: Vec<u64> = positions
+            .iter()
+            .map(smallworld_geometry::morton::point_code)
+            .collect();
+        let perm = Permutation::from_sort_keys(&keys);
+        drop(keys);
+
+        let spill_path = spill_dir.join(format!(
+            "swstream-{}-{}.spill",
+            std::process::id(),
+            SPILL_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let capacity = (total / 2).clamp(MIN_RUN_KEYS, MAX_RUN_KEYS);
+        let mut spill = SpillWriter::create(&spill_path, capacity)?;
+        let mut edge_count = 0usize;
+
+        let spill_edges = |edges: &[(u32, u32)], spill: &mut SpillWriter| -> io::Result<()> {
+            for &(u, v) in edges {
+                let a = perm.forward(NodeId::new(u)).raw() as u64;
+                let b = perm.forward(NodeId::new(v)).raw() as u64;
+                spill.push((a << 32) | b)?;
+                spill.push((b << 32) | a)?;
+            }
+            Ok(())
+        };
+
+        let pool = smallworld_par::Pool::from_env();
+        if use_cells(self.algorithm, total) {
+            let master_seed = rng.next_u64();
+            let plan = cells::plan(&positions, &weights, &kernel);
+            let batch_len = plan.task_count().div_ceil(TARGET_BATCHES).max(1);
+            let mut start = 0;
+            while start < plan.task_count() {
+                let end = (start + batch_len).min(plan.task_count());
+                let edges = plan.run_batch(start..end, master_seed, &pool);
+                edge_count += edges.len();
+                spill_edges(&edges, &mut spill)?;
+                start = end;
+            }
+        } else {
+            let edges = naive::sample_edges(&positions, &weights, &kernel, rng);
+            edge_count += edges.len();
+            spill_edges(&edges, &mut spill)?;
+        }
+
+        let (runs, spill_bytes) = spill.finish()?;
+        Ok(StreamedGirg {
+            positions: perm.apply_slice(&positions),
+            weights: perm.apply_slice(&weights),
+            params: GirgParams {
+                intensity: self.intensity,
+                beta: self.beta,
+                wmin: self.wmin,
+                alpha: self.alpha,
+                lambda: self.lambda,
+            },
+            spill_path,
+            runs,
+            spill_bytes,
+            edge_count,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn streamed_matches_in_ram_sample_after_relabel() {
+        for (n, algo) in [
+            (400u64, super::super::SamplerAlgorithm::Auto), // naive path
+            (4_000, super::super::SamplerAlgorithm::Auto),  // cell path
+        ] {
+            let builder = GirgBuilder::<2>::new(n).beta(2.5).alpha(2.0);
+            let mut rng_a = StdRng::seed_from_u64(99);
+            let mut rng_b = StdRng::seed_from_u64(99);
+            let girg = builder.sample(&mut rng_a).unwrap();
+            let relabeled = girg.relabel(&girg.morton_permutation());
+            let streamed = builder
+                .algorithm(algo)
+                .sample_streamed(&mut rng_b, &std::env::temp_dir())
+                .unwrap();
+            assert_eq!(streamed.node_count(), relabeled.node_count());
+            assert_eq!(streamed.edge_count(), relabeled.graph().edge_count());
+            assert_eq!(streamed.weights(), relabeled.weights());
+            assert_eq!(streamed.positions(), relabeled.positions());
+            // half-edge merge reproduces every sorted neighbor list
+            let mut iter = streamed.half_edges().unwrap();
+            for v in relabeled.graph().nodes() {
+                for &t in relabeled.graph().neighbors(v) {
+                    let (src, tgt) = iter.next().expect("stream long enough").unwrap();
+                    assert_eq!((src, tgt), (v.raw(), t.raw()), "n={n}");
+                }
+            }
+            assert!(iter.next().is_none(), "stream has trailing edges");
+        }
+    }
+
+    #[test]
+    fn planted_vertices_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = GirgBuilder::<2>::new(100)
+            .plant(Point::origin(), 2.0)
+            .sample_streamed(&mut rng, &std::env::temp_dir());
+        assert!(matches!(r, Err(StreamError::Model(_))));
+    }
+
+    #[test]
+    fn spill_file_is_cleaned_up() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let streamed = GirgBuilder::<2>::new(300)
+            .sample_streamed(&mut rng, &std::env::temp_dir())
+            .unwrap();
+        let path = streamed.spill_path.clone();
+        assert!(path.exists());
+        drop(streamed);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn multiple_runs_merge_correctly() {
+        // tiny run capacity path: force many runs via a larger instance
+        let mut rng = StdRng::seed_from_u64(3);
+        let streamed = GirgBuilder::<2>::new(5_000)
+            .sample_streamed(&mut rng, &std::env::temp_dir())
+            .unwrap();
+        let mut prev: Option<(u32, u32)> = None;
+        let mut count = 0usize;
+        for item in streamed.half_edges().unwrap() {
+            let he = item.unwrap();
+            if let Some(p) = prev {
+                assert!(he > p, "merge not strictly increasing");
+            }
+            prev = Some(he);
+            count += 1;
+        }
+        assert_eq!(count, streamed.target_count());
+    }
+
+    #[test]
+    fn varints_roundtrip() {
+        let mut buf = Vec::new();
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            buf.clear();
+            write_var(v, &mut buf);
+            let mut cursor = io::Cursor::new(&buf);
+            assert_eq!(read_var(&mut cursor).unwrap(), v);
+        }
+    }
+}

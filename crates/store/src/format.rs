@@ -117,6 +117,25 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     crc32_update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
 }
 
+/// Incremental CRC32 for producers that stream a payload to disk: start
+/// from [`Crc32::new`], feed chunks, take [`Crc32::finish`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Crc32(u32);
+
+impl Crc32 {
+    pub(crate) fn new() -> Crc32 {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
+        self.0 = crc32_update(self.0, bytes);
+    }
+
+    pub(crate) fn finish(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
 fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
     for &b in bytes {
         state = (state >> 8) ^ CRC_TABLE[((state ^ b as u32) & 0xFF) as usize];
@@ -141,14 +160,49 @@ fn round_up(x: usize, to: usize) -> usize {
     x.div_ceil(to) * to
 }
 
+/// A section payload for the writer: bytes held in memory, or a spill file
+/// an out-of-core producer already wrote (with its length and CRC32
+/// accumulated while spilling). Both feed the identical layout code, so a
+/// file-backed section is byte-for-byte what the in-memory path would have
+/// written.
+pub(crate) enum SectionSource {
+    /// Payload materialized in memory.
+    Bytes(Vec<u8>),
+    /// Payload staged in a file, copied into the store in chunks.
+    File {
+        /// The staged payload file.
+        path: std::path::PathBuf,
+        /// Payload length in bytes.
+        len: u64,
+        /// CRC32 of the payload, precomputed by the producer.
+        crc: u32,
+    },
+}
+
+impl SectionSource {
+    fn len(&self) -> u64 {
+        match self {
+            SectionSource::Bytes(b) => b.len() as u64,
+            SectionSource::File { len, .. } => *len,
+        }
+    }
+
+    fn crc(&self) -> u32 {
+        match self {
+            SectionSource::Bytes(b) => crc32(b),
+            SectionSource::File { crc, .. } => *crc,
+        }
+    }
+}
+
 /// Serializes `sections` into a `.swg` file at `path` (created/truncated).
-fn write_sections(
+pub(crate) fn write_sections(
     path: &Path,
     dim: u32,
     flags: u32,
     node_count: u64,
     target_count: u64,
-    sections: &[(SectionId, Vec<u8>)],
+    sections: &[(SectionId, SectionSource)],
 ) -> Result<u64, StoreError> {
     let table_len = sections.len() * SECTION_ENTRY_LEN;
     let mut offset = round_up(HEADER_LEN + table_len, PAGE);
@@ -157,10 +211,10 @@ fn write_sections(
     let mut table = Vec::with_capacity(table_len);
     for (id, payload) in sections {
         table.extend_from_slice(&(*id as u32).to_le_bytes());
-        table.extend_from_slice(&crc32(payload).to_le_bytes());
+        table.extend_from_slice(&payload.crc().to_le_bytes());
         table.extend_from_slice(&(offset as u64).to_le_bytes());
-        table.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        offset = round_up(offset + payload.len(), PAGE);
+        table.extend_from_slice(&payload.len().to_le_bytes());
+        offset = round_up(offset + payload.len() as usize, PAGE);
     }
 
     // header (crc over bytes 0..44 with the table appended)
@@ -186,8 +240,19 @@ fn write_sections(
     for (_, payload) in sections {
         let aligned = round_up(written, PAGE);
         w.write_all(&vec![0u8; aligned - written])?;
-        w.write_all(payload)?;
-        written = aligned + payload.len();
+        match payload {
+            SectionSource::Bytes(bytes) => w.write_all(bytes)?,
+            SectionSource::File { path, len, .. } => {
+                let mut reader = File::open(path)?;
+                let copied = std::io::copy(&mut reader, &mut w)?;
+                if copied != *len {
+                    return Err(StoreError::Corrupt(format!(
+                        "staged section file is {copied} bytes, expected {len}"
+                    )));
+                }
+            }
+        }
+        written = aligned + payload.len() as usize;
     }
     // pad the tail so the file is a whole number of pages
     let total = round_up(written, PAGE);
@@ -196,15 +261,22 @@ fn write_sections(
     Ok(total as u64)
 }
 
-fn adjacency_sections(graph: &Graph) -> (CompressedCsr, Vec<(SectionId, Vec<u8>)>) {
-    let compressed = CompressedCsr::from_graph(graph);
-    let mut offsets_bytes = Vec::with_capacity(compressed.offsets().len() * 8);
-    for &o in compressed.offsets() {
-        offsets_bytes.extend_from_slice(&o.to_le_bytes());
+/// Serializes the (n+1)-entry compressed offsets index as its OFFSETS
+/// section payload.
+pub(crate) fn offsets_section_bytes(offsets: &[u64]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(offsets.len() * 8);
+    for &o in offsets {
+        bytes.extend_from_slice(&o.to_le_bytes());
     }
+    bytes
+}
+
+fn adjacency_sections(graph: &Graph) -> (CompressedCsr, Vec<(SectionId, SectionSource)>) {
+    let compressed = CompressedCsr::from_graph(graph);
+    let offsets_bytes = offsets_section_bytes(compressed.offsets());
     let sections = vec![
-        (SectionId::Offsets, offsets_bytes),
-        (SectionId::Nbr, compressed.data().to_vec()),
+        (SectionId::Offsets, SectionSource::Bytes(offsets_bytes)),
+        (SectionId::Nbr, SectionSource::Bytes(compressed.data().to_vec())),
     ];
     (compressed, sections)
 }
@@ -227,7 +299,7 @@ pub fn write_graph_swg(
         flags |= FLAG_SHARDS;
         sections.push((
             SectionId::Shards,
-            ShardedStore::partition(graph, shard_count).to_bytes(),
+            SectionSource::Bytes(ShardedStore::partition(graph, shard_count).to_bytes()),
         ));
     }
     let file_bytes = write_sections(
@@ -261,38 +333,27 @@ pub fn write_girg_swg<const D: usize>(
     let graph = girg.graph();
     let (compressed, mut sections) = adjacency_sections(graph);
 
-    let p = girg.params();
-    let alpha = match p.alpha {
-        Alpha::Finite(a) => a,
-        Alpha::Threshold => f64::INFINITY,
-    };
-    let mut meta = Vec::with_capacity(48);
-    for v in [p.intensity, p.beta, p.wmin, alpha, p.lambda] {
-        meta.extend_from_slice(&v.to_le_bytes());
-    }
-    meta.extend_from_slice(&(girg.planted_count() as u64).to_le_bytes());
-    sections.insert(0, (SectionId::Meta, meta));
+    let meta = meta_section_bytes(*girg.params(), girg.planted_count());
+    sections.insert(0, (SectionId::Meta, SectionSource::Bytes(meta)));
 
-    let mut pos = Vec::with_capacity(girg.node_count() * D * 8);
-    for point in girg.positions() {
-        for &c in point.coords() {
-            pos.extend_from_slice(&c.to_le_bytes());
-        }
-    }
-    sections.push((SectionId::Pos, pos));
-    let mut weights = Vec::with_capacity(girg.node_count() * 8);
-    for &w in girg.weights() {
-        weights.extend_from_slice(&w.to_le_bytes());
-    }
-    sections.push((SectionId::Weight, weights));
+    sections.push((
+        SectionId::Pos,
+        SectionSource::Bytes(pos_section_bytes(girg.positions())),
+    ));
+    sections.push((
+        SectionId::Weight,
+        SectionSource::Bytes(weight_section_bytes(girg.weights())),
+    ));
 
     let mut flags = FLAG_GEOMETRY;
     if shard_count > 1 {
         flags |= FLAG_SHARDS;
         sections.push((
             SectionId::Shards,
-            ShardedStore::partition_with_positions(graph, girg.positions(), shard_count)
-                .to_bytes(),
+            SectionSource::Bytes(
+                ShardedStore::partition_with_positions(graph, girg.positions(), shard_count)
+                    .to_bytes(),
+            ),
         ));
     }
     let file_bytes = write_sections(
@@ -309,6 +370,40 @@ pub fn write_girg_swg<const D: usize>(
         raw_csr_bytes: compressed.raw_byte_len(),
         target_count: compressed.target_count(),
     })
+}
+
+/// META section payload for GIRG parameters and the planted-vertex count.
+pub(crate) fn meta_section_bytes(p: GirgParams, planted: usize) -> Vec<u8> {
+    let alpha = match p.alpha {
+        Alpha::Finite(a) => a,
+        Alpha::Threshold => f64::INFINITY,
+    };
+    let mut meta = Vec::with_capacity(48);
+    for v in [p.intensity, p.beta, p.wmin, alpha, p.lambda] {
+        meta.extend_from_slice(&v.to_le_bytes());
+    }
+    meta.extend_from_slice(&(planted as u64).to_le_bytes());
+    meta
+}
+
+/// POS section payload: canonical torus coordinates, vertex-major.
+pub(crate) fn pos_section_bytes<const D: usize>(positions: &[Point<D>]) -> Vec<u8> {
+    let mut pos = Vec::with_capacity(positions.len() * D * 8);
+    for point in positions {
+        for &c in point.coords() {
+            pos.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+    pos
+}
+
+/// WEIGHT section payload.
+pub(crate) fn weight_section_bytes(weights: &[f64]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(weights.len() * 8);
+    for &w in weights {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    bytes
 }
 
 #[derive(Debug)]
@@ -446,6 +541,11 @@ impl GraphStore {
         (self.target_count / 2) as usize
     }
 
+    /// Total neighbor-list entries (`2m`), from the header.
+    pub(crate) fn target_count(&self) -> usize {
+        self.target_count as usize
+    }
+
     /// Stored torus dimension (0 for a bare graph).
     pub fn dim(&self) -> u32 {
         self.dim
@@ -467,7 +567,7 @@ impl GraphStore {
         self.mapping.is_zero_copy()
     }
 
-    fn section(&self, id: SectionId) -> Result<&[u8], StoreError> {
+    pub(crate) fn section(&self, id: SectionId) -> Result<&[u8], StoreError> {
         self.sections
             .iter()
             .find(|s| s.id == id as u32)
@@ -500,11 +600,16 @@ impl GraphStore {
 
     /// Decodes the full adjacency into a [`Graph`].
     ///
+    /// Goes through [`GraphStore::mapped_graph`], which decodes straight
+    /// out of the mapping — no intermediate copy of the NBR bytes or the
+    /// offsets index is made (the `open_buffered` fallback used to pay
+    /// both copies on top of its owned file buffer).
+    ///
     /// # Errors
     ///
     /// Returns [`StoreError`] on missing or malformed sections.
     pub fn load_graph(&self) -> Result<Graph, StoreError> {
-        self.compressed()?.decode()
+        self.mapped_graph()?.decode_full()
     }
 
     /// The stored model parameters and planted-vertex count.

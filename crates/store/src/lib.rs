@@ -30,8 +30,10 @@
 mod csr;
 mod error;
 mod format;
+mod mapped;
 mod mmap;
 mod shard;
+mod stream_write;
 pub mod varint;
 
 use std::fs::File;
@@ -46,8 +48,10 @@ pub use crate::format::{
     write_girg_swg, write_graph_swg, GraphStore, SectionId, WriteStats, FLAG_GEOMETRY,
     FLAG_SHARDS, MAGIC, VERSION,
 };
+pub use crate::mapped::{MappedCursor, MappedGraph};
 pub use crate::mmap::{map_readonly, Mapping};
 pub use crate::shard::{ShardSpec, ShardedStore, StoreShard};
+pub use crate::stream_write::write_girg_swg_streamed;
 
 /// Whether `path` names a binary store file (by its `.swg` extension).
 pub fn is_swg_path(path: &Path) -> bool {

@@ -1,0 +1,282 @@
+//! Decode-free access is invisible: adjacency read through the mapped
+//! view (on-demand per-vertex decode, with or without the LRU cursor)
+//! equals the fully decoded graph on arbitrary inputs, greedy routes over
+//! the mmap are bitwise those of the in-memory `GreedyRouter`, shard-local
+//! routing with explicit handoff reproduces the global walk at every shard
+//! count, and truncated files can never reach the mapped path.
+//!
+//! This is what licenses `girg_gen --mapped` and `bench_store`'s
+//! mapped-vs-decoded throughput comparison: the mapped numbers are
+//! measurements of the *same* computation, not of an approximation.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smallworld_core::greedy::DEFAULT_MAX_STEPS;
+use smallworld_core::{
+    route_sharded, GirgObjective, GreedyRouter, Objective, PackedGirgObjective, RouteRecord,
+    Router, ShardSlice, ViewRouter,
+};
+use smallworld_graph::{AdjacencyView, Graph, NodeId};
+use smallworld_models::girg::{Girg, GirgBuilder};
+use smallworld_store::{write_graph_swg, GraphStore, MappedGraph};
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "smallworld-store-mapped-{}-{name}.swg",
+        std::process::id()
+    ))
+}
+
+/// Deterministic s–t pairs spread over the vertex range.
+fn trial_pairs(n: usize, count: usize) -> Vec<(NodeId, NodeId)> {
+    (0..count)
+        .map(|i| {
+            let s = (i * 131) % n;
+            let t = (i * 197 + n / 2) % n;
+            (NodeId::new(s as u32), NodeId::new(t as u32))
+        })
+        .filter(|(s, t)| s != t)
+        .collect()
+}
+
+/// Neighbor lists of `view` must equal the decoded graph's, vertex for
+/// vertex, regardless of which decode path serves them.
+fn assert_view_matches<V: AdjacencyView>(view: &mut V, graph: &Graph) {
+    assert_eq!(view.node_count(), graph.node_count());
+    for v in graph.nodes() {
+        let from_view = view.with_neighbors(v, |ns| ns.to_vec());
+        assert_eq!(from_view, graph.neighbors(v), "vertex {v:?}");
+    }
+}
+
+fn check_mapped_decode_matches(tag: &str, n: usize, raw_edges: &[(u32, u32)]) {
+    let edges: std::collections::BTreeSet<(u32, u32)> = raw_edges
+        .iter()
+        .map(|&(a, b)| (a % n as u32, b % n as u32))
+        .filter(|&(a, b)| a != b)
+        .map(|(a, b)| (a.min(b), a.max(b)))
+        .collect();
+    let graph = Graph::from_edges(n, edges).expect("sanitized edges");
+    let path = temp_path(tag);
+    write_graph_swg(&graph, &path, 1).expect("write");
+    let store = GraphStore::open(&path).expect("reopen");
+    let mapped: MappedGraph<'_> = store.mapped_graph().expect("own file maps");
+
+    assert_eq!(mapped.node_count(), graph.node_count());
+    assert_eq!(mapped.target_count(), 2 * graph.edge_count());
+    assert_eq!(mapped.edge_count(), graph.edge_count());
+    assert_eq!(mapped.decode_full().expect("own encoding decodes"), graph);
+
+    // per-vertex on-demand decode, without any cursor cache
+    let mut out = Vec::new();
+    for v in 0..graph.node_count() {
+        out.clear();
+        mapped.decode_into(v, &mut out).expect("vertex decodes");
+        let expect: Vec<u32> = graph
+            .neighbors(NodeId::from_index(v))
+            .iter()
+            .map(|t| t.raw())
+            .collect();
+        assert_eq!(out, expect, "vertex {v}");
+    }
+
+    // the LRU cursor (revisit every vertex twice so the cache both fills
+    // and serves hits) and the eager A/B cursor
+    let mut cursor = mapped.cursor();
+    assert_view_matches(&mut cursor, &graph);
+    assert_view_matches(&mut cursor, &graph);
+    assert_eq!(cursor.hits() + cursor.misses(), 2 * graph.node_count() as u64);
+    let mut eager = mapped.cursor_eager().expect("own encoding decodes");
+    assert_view_matches(&mut eager, &graph);
+    assert_eq!(eager.misses(), 0, "eager cursor never decodes on demand");
+
+    std::fs::remove_file(&path).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On-demand decode through every mapped access path equals the full
+    /// decode on arbitrary graphs.
+    #[test]
+    fn prop_mapped_decode_matches_full_decode(
+        n in 1usize..60,
+        raw_edges in vec((0u32..60, 0u32..60), 0..240),
+    ) {
+        check_mapped_decode_matches("prop", n, &raw_edges);
+    }
+}
+
+/// Dense and empty corners the proptest generator rarely lands on.
+#[test]
+fn mapped_decode_handles_degenerate_graphs() {
+    check_mapped_decode_matches("empty", 5, &[]);
+    let complete: Vec<(u32, u32)> = (0..8u32)
+        .flat_map(|a| (0..8u32).map(move |b| (a, b)))
+        .collect();
+    check_mapped_decode_matches("complete", 8, &complete);
+}
+
+#[test]
+fn mapped_routes_are_bitwise_identical() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let girg: Girg<2> = GirgBuilder::new(2_000).sample(&mut rng).unwrap();
+    let girg = girg.relabel(&girg.morton_permutation());
+    let pairs = trial_pairs(girg.node_count(), 300);
+
+    let reference: Vec<RouteRecord> = {
+        let router = GreedyRouter::new();
+        let objective = GirgObjective::new(&girg);
+        pairs
+            .iter()
+            .map(|&(s, t)| router.route_quiet(girg.graph(), &objective, s, t))
+            .collect()
+    };
+    let delivered = reference
+        .iter()
+        .filter(|r| r.outcome == smallworld_core::RouteOutcome::Delivered)
+        .count();
+    assert!(delivered > 0, "trial set must contain delivered routes");
+
+    let path = temp_path("routes");
+    smallworld_store::save_girg(&girg, &path, 1).unwrap();
+    let store = GraphStore::open(&path).unwrap();
+    let mapped = store.mapped_graph().unwrap();
+    let positions = store.packed_positions().unwrap();
+    let weights = store.packed_weights().unwrap();
+    let (params, _) = store.params().unwrap();
+    let packed =
+        PackedGirgObjective::<2>::new(&positions, &weights, params.wmin * params.intensity);
+    let router = ViewRouter::new();
+
+    // decode-free over the LRU cursor, the eager cursor, and — pinning the
+    // view router itself against the reference loop — the decoded graph
+    let mut lazy = mapped.cursor();
+    let mut eager = mapped.cursor_eager().unwrap();
+    let mut decoded_view = girg.graph();
+    for (i, &(s, t)) in pairs.iter().enumerate() {
+        let kernel = packed.prepare(t);
+        let via_lazy = router.route_view_quiet(&mut lazy, &kernel, s);
+        let via_eager = router.route_view_quiet(&mut eager, &kernel, s);
+        let via_decoded = router.route_view_quiet(&mut decoded_view, &kernel, s);
+        assert_eq!(via_lazy, reference[i], "lazy cursor, pair {i}");
+        assert_eq!(via_eager, reference[i], "eager cursor, pair {i}");
+        assert_eq!(via_decoded, reference[i], "decoded view, pair {i}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sharded_handoff_routing_matches_global_at_every_shard_count() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let girg: Girg<2> = GirgBuilder::new(1_600).sample(&mut rng).unwrap();
+    let girg = girg.relabel(&girg.morton_permutation());
+    let pairs = trial_pairs(girg.node_count(), 200);
+
+    let reference: Vec<RouteRecord> = {
+        let router = GreedyRouter::new();
+        let objective = GirgObjective::new(&girg);
+        pairs
+            .iter()
+            .map(|&(s, t)| router.route_quiet(girg.graph(), &objective, s, t))
+            .collect()
+    };
+
+    for shard_count in [1usize, 2, 4, 8] {
+        let path = temp_path(&format!("handoff-{shard_count}"));
+        smallworld_store::save_girg(&girg, &path, shard_count).unwrap();
+        let store = GraphStore::open(&path).unwrap();
+        let positions = store.packed_positions().unwrap();
+        let weights = store.packed_weights().unwrap();
+        let (params, _) = store.params().unwrap();
+        let packed =
+            PackedGirgObjective::<2>::new(&positions, &weights, params.wmin * params.intensity);
+
+        // single-shard stores carry no SHARDS section: the whole graph is
+        // one slice with an empty boundary
+        let whole;
+        let sharded;
+        let locals: Vec<Graph>;
+        let mut slices: Vec<ShardSlice<'_, &Graph>> = if shard_count == 1 {
+            whole = store.load_graph().unwrap();
+            vec![ShardSlice {
+                start: 0,
+                end: whole.node_count() as u32,
+                local: &whole,
+                boundary: &[],
+            }]
+        } else {
+            sharded = store.load_shards().unwrap();
+            locals = sharded
+                .shards()
+                .iter()
+                .map(|s| s.local_graph().unwrap())
+                .collect();
+            sharded
+                .shards()
+                .iter()
+                .zip(&locals)
+                .map(|(s, local)| ShardSlice {
+                    start: s.spec().nodes.start,
+                    end: s.spec().nodes.end,
+                    local,
+                    boundary: s.boundary(),
+                })
+                .collect()
+        };
+
+        let mut handoffs = 0u64;
+        for (i, &(s, t)) in pairs.iter().enumerate() {
+            let kernel = packed.prepare(t);
+            let route = route_sharded(&mut slices, &kernel, s, DEFAULT_MAX_STEPS);
+            assert_eq!(route.record, reference[i], "shards={shard_count}, pair {i}");
+            handoffs += route.handoffs;
+        }
+        if shard_count == 1 {
+            assert_eq!(handoffs, 0, "a single shard has no boundary to cross");
+        } else {
+            assert!(
+                handoffs > 0,
+                "shards={shard_count}: routes never crossed a boundary"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn truncated_files_never_reach_the_mapped_path() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let girg: Girg<2> = GirgBuilder::new(300).sample(&mut rng).unwrap();
+    let path = temp_path("truncate");
+    smallworld_store::save_girg(&girg, &path, 2).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+
+    // a prefix must fail before a MappedGraph can be constructed — either
+    // the open itself (header/section-table/checksum) or the mapped view's
+    // offsets validation — unless it only sheds trailing zero padding, in
+    // which case the decoded adjacency must still be exactly the original
+    let cut = temp_path("truncate-cut");
+    let mut lengths: Vec<usize> = (1..16).map(|k| bytes.len() * k / 16).collect();
+    lengths.push(bytes.len() - 1);
+    let mut rejected = 0;
+    for len in lengths {
+        std::fs::write(&cut, &bytes[..len]).unwrap();
+        match GraphStore::open(&cut).and_then(|s| s.mapped_graph().and_then(|m| m.decode_full())) {
+            Ok(graph) => assert_eq!(
+                &graph,
+                girg.graph(),
+                "prefix of {len} bytes changed the mapped adjacency"
+            ),
+            Err(e) => {
+                let _typed: smallworld_store::StoreError = e;
+                rejected += 1;
+            }
+        }
+    }
+    assert!(rejected >= 14, "almost every prefix must be rejected outright");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&cut).ok();
+}
